@@ -1,0 +1,547 @@
+(* Benchmark harness: regenerates every measured table of the paper
+   (Tables II, III, IV and V) and runs the ablation studies listed in
+   DESIGN.md.  Paper reference values are printed beside ours; absolute
+   agreement is not expected (our substrate is a simulator, not the
+   authors' Seamless CVE testbed), but the orderings and rough factors
+   should hold.
+
+   A Bechamel micro-benchmark per table measures one representative unit
+   of that table's computation (OLS estimate of time per run). *)
+
+open Busgen_apps
+module G = Bussyn.Generate
+module Machine = Busgen_sim.Machine
+
+let line = String.make 78 '-'
+
+let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* ------------------------------------------------------------------ *)
+(* Table II: OFDM transmitter                                          *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  header "Table I - OFDM function assignment for PPA (static, from the paper)";
+  List.iter
+    (fun (group, ban, fns) ->
+      Printf.printf "%-3s %-7s %s\n" group ban (String.concat "; " fns))
+    Ofdm.function_groups;
+  print_string
+    "[note] Functions marked * run once at startup and are excluded from\n\
+    \       throughput, as in the paper.  The paper's figures carry no\n\
+    \       measured data (they are block diagrams and FSMs); regenerate\n\
+    \       the architecture diagrams with `bussyn_cli wires --dot`.\n"
+
+let table2 () =
+  header
+    "Table II - OFDM transmitter throughput [Mbps] (4 MPC755s, 8 packets)";
+  Printf.printf "%-5s %-9s %-6s %10s %10s %8s\n" "Case" "Bus" "Style" "ours"
+    "paper" "ratio";
+  let cases =
+    List.map
+      (fun (case, arch, style, paper) ->
+        ( case, arch,
+          (match style with `Ppa -> Ofdm.Ppa | `Fpa -> Ofdm.Fpa),
+          paper ))
+      Paper_data.table2
+  in
+  List.iter
+    (fun (case, arch, style, paper) ->
+      let r = Ofdm.run arch style in
+      Printf.printf "%-5s %-9s %-6s %10.4f %10.4f %8.2f\n%!" case
+        (G.arch_name arch) (Ofdm.style_name style) r.Ofdm.throughput_mbps
+        paper
+        (r.Ofdm.throughput_mbps /. paper))
+    cases;
+  (* Beyond the paper: GBAVII, the version the paper says "could easily
+     be added to our tool". *)
+  List.iter
+    (fun (arch, style) ->
+      let r = Ofdm.run arch style in
+      Printf.printf "  (extra) %-9s %-6s %10.4f\n%!" (G.arch_name arch)
+        (Ofdm.style_name style) r.Ofdm.throughput_mbps)
+    [ (G.Gbavii, Ofdm.Ppa); (G.Gbavii, Ofdm.Fpa) ];
+  print_string
+    "[note] Paper Table II labels cases 2 and 9 'FPA'; its observation (D)\n\
+    \       compares them as PPA-style cases, which is also the only style\n\
+    \       GBAVI supports without a shared memory.  We follow (D).\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table III: MPEG2 decoder                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  header "Table III - MPEG2 decoder throughput [Mbps] (16x16 pictures, FPA)";
+  Printf.printf "%-5s %-9s %10s %10s %8s\n" "Case" "Bus" "ours" "paper" "ratio";
+  let cases = Paper_data.table3 in
+  let thr = Hashtbl.create 8 in
+  List.iter
+    (fun (case, arch, paper) ->
+      let r = Mpeg2.run arch in
+      Hashtbl.replace thr arch r.Mpeg2.throughput_mbps;
+      Printf.printf "%-5s %-9s %10.4f %10.4f %8.2f\n%!" case
+        (G.arch_name arch) r.Mpeg2.throughput_mbps paper
+        (r.Mpeg2.throughput_mbps /. paper))
+    cases;
+  let r = Mpeg2.run G.Gbavii in
+  Printf.printf "  (extra) %-9s %10.4f\n%!" (G.arch_name G.Gbavii)
+    r.Mpeg2.throughput_mbps;
+  let h = Hashtbl.find thr G.Hybrid and c = Hashtbl.find thr G.Ccba in
+  Printf.printf "[check] Hybrid over CCBA: %+.2f%% (paper: +%.2f%%)\n"
+    (100. *. (h -. c) /. c)
+    (100. *. Paper_data.hybrid_over_ccba)
+
+(* ------------------------------------------------------------------ *)
+(* Table IV: database example                                          *)
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  header "Table IV - database example execution time [ns] (41 RTOS tasks)";
+  Printf.printf "%-5s %-9s %12s %12s %8s\n" "Case" "Bus" "ours" "paper" "ratio";
+  let results =
+    List.map
+      (fun (case, arch, paper) ->
+        let r = Database.run arch in
+        Printf.printf "%-5s %-9s %12.0f %12.0f %8.2f\n%!" case
+          (G.arch_name arch) r.Database.execution_time_ns paper
+          (r.Database.execution_time_ns /. paper);
+        r.Database.execution_time_ns)
+      Paper_data.table4
+  in
+  (match results with
+  | [ ggba; split ] ->
+      Printf.printf
+        "[check] SplitBA reduction over GGBA: %.1f%% (paper: %.1f%%)\n"
+        (100. *. (ggba -. split) /. ggba)
+        (100. *. Paper_data.splitba_reduction)
+  | _ -> ());
+  List.iter
+    (fun arch ->
+      let r = Database.run arch in
+      Printf.printf "  (extra) %-9s %12.0f\n%!" (G.arch_name arch)
+        r.Database.execution_time_ns)
+    [ G.Gbavii; G.Gbaviii; G.Hybrid; G.Ccba ]
+
+(* ------------------------------------------------------------------ *)
+(* Table V: generation time and gate count                             *)
+(* ------------------------------------------------------------------ *)
+
+let table5 () =
+  header "Table V - BusSyn generation time [ms] and NAND2 gate count";
+  let paper = Paper_data.table5 @ [ (G.Gbavii, []) (* beyond the paper *) ] in
+  Printf.printf "%-9s %5s %10s %12s %12s\n" "Bus" "PEs" "time[ms]"
+    "gates(ours)" "gates(paper)";
+  List.iter
+    (fun (arch, rows) ->
+      List.iter
+        (fun n ->
+          match Bussyn.Preset.scaled ~arch ~n_pes:n with
+          | None ->
+              Printf.printf "%-9s %5d %10s %12s %12s\n" (G.arch_name arch) n
+                "N/A" "N/A" "N/A"
+          | Some opts -> (
+              match G.from_options opts with
+              | Error e ->
+                  Printf.printf "%-9s %5d  ERROR %s\n" (G.arch_name arch) n e
+              | Ok r ->
+                  let paper_gates =
+                    match List.assoc_opt n rows with
+                    | Some g -> string_of_int g
+                    | None -> "-"
+                  in
+                  Printf.printf "%-9s %5d %10.1f %12d %12s\n%!"
+                    (G.arch_name arch) n r.G.generation_time_ms r.G.gate_count
+                    paper_gates))
+        [ 1; 8; 16; 24 ])
+    paper;
+  print_string
+    "[note] Our gate model counts the full generated interface logic\n\
+    \       (address decoders, bus multiplexers), landing a few times\n\
+    \       above the paper's Synopsys numbers; the linear growth with\n\
+    \       processor count, the Hybrid maximum and the SplitBA minimum\n\
+    \       are preserved.  Generation takes milliseconds (paper: ~0.5 s\n\
+    \       on a 2002 UltraSPARC; about a week by hand).\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let db_config arch ~policy =
+  let base = Machine.default_config arch ~n_pes:4 in
+  {
+    base with
+    Machine.policy;
+    var_home =
+      (fun name ->
+        match String.index_opt name '#' with
+        | None -> 0
+        | Some i ->
+            int_of_string (String.sub name (i + 1) (String.length name - i - 1)));
+    timing =
+      { base.Machine.timing with
+        Busgen_sim.Timing.miss_rate_num = 1; miss_rate_den = 8 };
+  }
+
+let ablation_arbiter () =
+  header "Ablation - arbitration policy (database example on GGBA)";
+  List.iter
+    (fun (name, policy) ->
+      let r = Database.run ~config:(db_config G.Ggba ~policy) G.Ggba in
+      Printf.printf "%-15s %12.0f ns\n%!" name r.Database.execution_time_ns)
+    [
+      ("FCFS (paper)", Machine.Fcfs);
+      ("fixed priority", Machine.Fixed_priority);
+      ("round robin", Machine.Round_robin);
+    ]
+
+let ablation_fifo_depth () =
+  header "Ablation - Bi-FIFO depth (user option 3.3), bursty consumer";
+  (* A steady producer feeds a consumer that drains in bursts (compute,
+     then drain): a deep Bi-FIFO absorbs the bursts, a shallow one
+     stalls the producer.  The OFDM pipeline itself is insensitive to
+     depth beyond one 64-word chunk, which is why the paper's default
+     1024 is comfortable. *)
+  let module Program = Busgen_sim.Program in
+  let module P = Busgen_sim.Program in
+  let rounds = 40 in
+  List.iter
+    (fun depth ->
+      let config =
+        { (Machine.default_config G.Bfba ~n_pes:2) with
+          Machine.fifo_depth = depth }
+      in
+      let producer =
+        Program.concat
+          [
+            P.of_list [ P.Fifo_set_threshold (1, 64) ];
+            P.repeat rounds (fun _ ->
+                [ P.Compute 16; P.Fifo_push (1, 64) ]);
+            P.of_list [ P.Halt ];
+          ]
+      in
+      let consumer =
+        Program.concat
+          [
+            P.repeat (rounds / 4) (fun _ ->
+                P.Compute 600
+                :: List.concat
+                     (List.init 4 (fun _ -> [ P.Wait_fifo_irq; P.Fifo_pop 64 ])));
+            P.of_list [ P.Halt ];
+          ]
+      in
+      let stats = Machine.run config [| producer; consumer |] in
+      (* The consumer's burstiness bounds the wall clock; what the depth
+         buys is producer decoupling: blocked-on-full cycles vanish as
+         the FIFO deepens (the producer retires early). *)
+      Printf.printf "depth %5d: %7d cycles, producer blocked %6d cycles\n%!"
+        depth stats.Machine.cycles stats.Machine.pe_wait.(0))
+    [ 64; 128; 256; 1024; 4096 ]
+
+let ablation_miss_rate () =
+  header "Ablation - shared program memory cost (OFDM FPA, GGBA vs GBAVIII)";
+  List.iter
+    (fun den ->
+      let run arch =
+        let base = Machine.default_config arch ~n_pes:4 in
+        let config =
+          { base with
+            Machine.timing =
+              { base.Machine.timing with
+                Busgen_sim.Timing.miss_rate_num = 1; miss_rate_den = den } }
+        in
+        (Ofdm.run ~config arch Ofdm.Fpa).Ofdm.throughput_mbps
+      in
+      let ggba = run G.Ggba and gbaviii = run G.Gbaviii in
+      Printf.printf "miss 1/%-5d GGBA %7.4f  GBAVIII %7.4f  gap %5.1f%%\n%!"
+        den ggba gbaviii
+        (100. *. (gbaviii -. ggba) /. gbaviii))
+    [ 2000; 1000; 500; 200; 100 ]
+
+let ablation_handshake () =
+  header
+    "Ablation - handshake protocol (OFDM PPA on GBAVIII; paper Sec. IV.C)";
+  List.iter
+    (fun (name, protocol) ->
+      let r = Ofdm.run ~protocol G.Gbaviii Ofdm.Ppa in
+      Printf.printf "%-28s %8.4f Mbps\n%!" name r.Ofdm.throughput_mbps)
+    [
+      ("2 registers (paper, Ex. 2)", Comm.Two_reg);
+      ("3 registers (classical [21])", Comm.Three_reg);
+    ]
+
+let ablation_arb_latency () =
+  header "Ablation - global arbitration latency (OFDM FPA on GBAVIII)";
+  List.iter
+    (fun arb ->
+      let base = Machine.default_config G.Gbaviii ~n_pes:4 in
+      let config =
+        { base with
+          Machine.timing =
+            { base.Machine.timing with Busgen_sim.Timing.arb_cycles = arb } }
+      in
+      let r = Ofdm.run ~config G.Gbaviii Ofdm.Fpa in
+      Printf.printf "arb %2d cycles: %8.4f Mbps\n%!" arb r.Ofdm.throughput_mbps)
+    [ 1; 3; 5; 8; 16 ]
+
+let ablation_scalability () =
+  header "Ablation - FPA scalability with PE count (OFDM on GBAVIII)";
+  List.iter
+    (fun n ->
+      let config = Machine.default_config G.Gbaviii ~n_pes:n in
+      let programs =
+        Ofdm.programs ~arch:G.Gbaviii ~style:Ofdm.Fpa ~n_pes:n ~packets:(2 * n)
+          ()
+      in
+      let stats = Machine.run config programs in
+      let thr =
+        Machine.throughput_mbps
+          ~bits:(2 * n * Ofdm.Kernel.bits_per_packet)
+          ~cycles:stats.Machine.cycles
+      in
+      Printf.printf "%2d PEs: %8.4f Mbps (%.2fx of 2 PEs per PE pair)\n%!" n
+        thr (thr /. 2.26))
+    [ 2; 4; 8 ]
+
+let ablation_bus_energy () =
+  header
+    "Ablation - relative bus energy (database; paper's bus-splitting power \
+claim)";
+  let baseline = ref 1.0 in
+  List.iter
+    (fun arch ->
+      let r = Database.run ~trace:true arch in
+      let e = Busgen_sim.Analysis.bus_energy r.Database.stats ~n_pes:4 in
+      if arch = G.Ggba then baseline := e;
+      Printf.printf "%-9s %12.0f units (%.0f%% of GGBA)\n%!"
+        (G.arch_name arch) e (100.0 *. e /. !baseline))
+    [ G.Ggba; G.Splitba; G.Gbaviii; G.Gbavii ]
+
+let ablation_bus_width () =
+  header
+    "Ablation - data-bus width vs generated hardware cost (4 PEs)";
+  Printf.printf "%-9s %6s %12s %10s %8s\n" "Bus" "width" "gates" "regs"
+    "levels";
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun dw ->
+          let c =
+            {
+              (Bussyn.Archs.paper_config ~n_pes:4) with
+              Bussyn.Archs.bus_data_width = dw;
+            }
+          in
+          let r = G.generate arch c in
+          Printf.printf "%-9s %6d %12d %10d %8d\n%!" (G.arch_name arch) dw
+            r.G.gate_count r.G.register_bits r.G.depth_levels)
+        [ 32; 64; 128 ])
+    [ G.Gbaviii; G.Bfba ];
+  print_string
+    "[note] Gate count tracks the datapath width roughly linearly (the\n\
+    \       bus muxes, FIFOs and interface registers are all dw bits\n\
+    \       wide) while the critical path barely moves — decode and\n\
+    \       arbitration depth depends on the address map and master\n\
+    \       count, not the data width.  User option 3.2 is therefore a\n\
+    \       pure area/bandwidth trade.\n"
+
+let ablation_splitba_subsystems () =
+  header
+    "Ablation - SplitBA generalized to N subsystems (12 PEs, local traffic)";
+  let base_cycles = ref 0 in
+  List.iter
+    (fun n_ss ->
+      let c =
+        {
+          (Machine.default_config G.Splitba ~n_pes:12) with
+          Machine.n_subsystems = n_ss;
+        }
+      in
+      let programs =
+        Array.init 12 (fun _ ->
+            Busgen_sim.Program.of_list
+              (List.concat
+                 (List.init 40 (fun _ ->
+                      [ Busgen_sim.Program.Compute 5;
+                        Busgen_sim.Program.Read (Busgen_sim.Program.Loc_local, 8);
+                        Busgen_sim.Program.Write (Busgen_sim.Program.Loc_local, 8)
+                      ]))
+              @ [ Busgen_sim.Program.Halt ]))
+      in
+      let stats = Machine.run c programs in
+      if n_ss = 2 then base_cycles := stats.Machine.cycles;
+      Printf.printf
+        "%2d subsystems: %8d cycles  (%.2fx vs 2 subsystems)\n%!" n_ss
+        stats.Machine.cycles
+        (float_of_int !base_cycles /. float_of_int stats.Machine.cycles))
+    [ 2; 3; 4; 6 ];
+  print_string
+    "[note] Each added subsystem splits the shared-memory traffic over\n\
+    \       one more arbiter — the mechanism behind Table IV's 41%\n\
+    \       reduction, extended past the paper's two subsystems (the\n\
+    \       generator builds the full bridge mesh; splitba_n).\n"
+
+let ablation_l1_model () =
+  header
+    "Ablation - rational miss constant vs simulated L1 (OFDM FPA, GBAVIII)";
+  let base = Machine.default_config G.Gbaviii ~n_pes:4 in
+  let rational = Ofdm.run ~config:base G.Gbaviii Ofdm.Fpa in
+  Printf.printf "rational 1/%d constant:   %8.4f Mbps\n%!"
+    base.Machine.timing.Busgen_sim.Timing.miss_rate_den
+    rational.Ofdm.throughput_mbps;
+  List.iter
+    (fun (nm, l1) ->
+      let r =
+        Ofdm.run ~config:{ base with Machine.l1 = Some l1 } G.Gbaviii Ofdm.Fpa
+      in
+      Printf.printf "%-24s %8.4f Mbps  (%+5.1f%%)\n%!" nm
+        r.Ofdm.throughput_mbps
+        (100.0
+        *. (r.Ofdm.throughput_mbps -. rational.Ofdm.throughput_mbps)
+        /. rational.Ofdm.throughput_mbps))
+    [ ("MPC755-like 32K 8-way:", Busgen_sim.Cache.mpc755_l1);
+      ("small 2K direct-mapped:",
+       { Busgen_sim.Cache.line_words = 4; sets = 128; ways = 1 }) ];
+  print_string
+    "[note] The calibrated 1/1000 constant reproduces the MPC755-sized\n\
+    \       L1 within a fraction of a percent — the OFDM kernels are\n\
+    \       cache-resident on the paper's hardware, which is exactly\n\
+    \       what the constant encodes.  Shrinking the cache to 2 KB\n\
+    \       halves throughput: program-memory traffic starts competing\n\
+    \       for the shared bus (the mechanism of observation (B)).\n"
+
+let ablation_cache_derivation () =
+  header
+    "Ablation - cache-derived miss rates vs the Timing calibration constants";
+  let module C = Busgen_sim.Cache in
+  let run name trace used =
+    let c = C.create C.mpc755_l1 in
+    List.iter (fun a -> ignore (C.access c a)) trace;
+    let st = C.stats c in
+    Printf.printf "%-22s %9d accesses %8d misses   rate 1/%-6.0f %s\n%!" name
+      st.C.accesses st.C.misses
+      (1.0 /. Float.max 1e-9 (C.miss_rate c))
+      used
+  in
+  run "OFDM 4096-pt FFT" (C.Trace.fft ~n:4096) "(calibrated 1/1000)";
+  run "OFDM guard streaming"
+    (C.Trace.streaming ~words:40_000)
+    "(single-pass floor: 1/line)";
+  (* A GOP re-reads its reference frame for every predicted frame. *)
+  run "MPEG2 8x8 blocks, GOP"
+    (List.concat (List.init 4 (fun _ -> C.Trace.blocked8 ~frames:8 ~width:64)))
+    "(calibrated 1/50, +syntax)";
+  run "database random objects"
+    (C.Trace.db_random ~objects:512 ~object_words:100 ~accesses:400)
+    "(calibrated 1/8)";
+  print_string
+    "[note] Rates are per memory access on an MPC755-like L1 (32 KB,\n\
+    \       8-way, 8-word lines); the Timing constants are per compute\n\
+    \       cycle, so each calibrated value folds in the kernel's\n\
+    \       accesses-per-cycle density.  The ordering that drives the\n\
+    \       paper's results — OFDM nearly cache-resident, MPEG2 in\n\
+    \       between, the database thrashing — falls out of the access\n\
+    \       shapes themselves.\n"
+
+let ablation_area_by_module () =
+  header "Ablation - area by module (Hybrid, 4 PEs; heaviest first)";
+  let r = G.generate G.Hybrid (Bussyn.Archs.paper_config ~n_pes:4) in
+  let rows = Busgen_rtl.Area.by_instance r.G.generated.Bussyn.Archs.top in
+  let total = List.fold_left (fun a (_, _, g) -> a + g) 0 rows in
+  List.iter
+    (fun (m, n, g) ->
+      Printf.printf "%-28s x%-3d %10d gates  (%4.1f%%)\n" m n g
+        (100.0 *. float_of_int g /. float_of_int total))
+    rows;
+  Printf.printf "%-28s %14d gates\n%!" "TOTAL" total;
+  print_string
+    "[note] The BAN interfaces dominate (one CBI + MBI + HS + Bi-FIFO\n\
+    \       block per processor), which is why Table V grows linearly\n\
+    \       with PE count and Hybrid — carrying both the FIFO ring and\n\
+    \       the global-bus interfaces — is the heaviest architecture.\n"
+
+let ablation_depth () =
+  header
+    "Ablation - combinational critical path per architecture (gate levels)";
+  Printf.printf "%-9s %8s %14s   %s\n" "Bus" "levels" "gates" "path endpoint";
+  List.iter
+    (fun arch ->
+      let r = G.generate arch (Bussyn.Archs.paper_config ~n_pes:4) in
+      let d = Busgen_rtl.Depth.of_circuit r.G.generated.Bussyn.Archs.top in
+      Printf.printf "%-9s %8d %14d   %s\n%!" (G.arch_name arch)
+        d.Busgen_rtl.Depth.levels r.G.gate_count d.Busgen_rtl.Depth.endpoint)
+    [ G.Bfba; G.Gbavi; G.Gbavii; G.Gbaviii; G.Hybrid; G.Splitba; G.Ggba;
+      G.Ccba ];
+  print_string
+    "[note] Depth complements Table V's area: the bridged segment chains\n\
+    \       of GBAVI/GBAVII are the deepest (a neighbour read threads\n\
+    \       decode -> bridge -> far-segment decode combinationally), CCBA\n\
+    \       pays for its many-master arbitration, while BFBA's\n\
+    \       point-to-point FIFOs and GGBA's single hub keep paths short.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel: one Test.make per table                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tables () =
+  header "Bechamel - time per representative table unit (OLS estimate)";
+  let open Bechamel in
+  let tests =
+    [
+      Test.make ~name:"table2:ofdm-fpa-gbaviii"
+        (Staged.stage (fun () -> ignore (Ofdm.run ~packets:4 G.Gbaviii Ofdm.Fpa)));
+      Test.make ~name:"table3:mpeg2-gbaviii"
+        (Staged.stage (fun () -> ignore (Mpeg2.run ~gops:4 G.Gbaviii)));
+      Test.make ~name:"table4:database-splitba"
+        (Staged.stage (fun () -> ignore (Database.run ~clients:12 G.Splitba)));
+      Test.make ~name:"table5:generate-hybrid-8pe"
+        (Staged.stage (fun () ->
+             match Bussyn.Preset.scaled ~arch:G.Hybrid ~n_pes:8 with
+             | Some opts -> ignore (G.from_options opts)
+             | None -> ()));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let cfg =
+        Benchmark.cfg ~limit:50 ~quota:(Time.second 1.5) ~kde:None ()
+      in
+      let raw = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false
+          ~predictors:[| Measure.run |]
+      in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ ns_per_run ] ->
+              Printf.printf "%-28s %12.3f ms/run\n%!" name (ns_per_run /. 1e6)
+          | Some _ | None -> Printf.printf "%-28s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  print_string
+    "BusSyn reproduction benchmarks (Ryu & Mooney, DATE 2003)\n\
+     Every measured table of the paper, regenerated.\n";
+  table1 ();
+  table2 ();
+  table3 ();
+  table4 ();
+  table5 ();
+  ablation_arbiter ();
+  ablation_fifo_depth ();
+  ablation_miss_rate ();
+  ablation_handshake ();
+  ablation_arb_latency ();
+  ablation_scalability ();
+  ablation_bus_energy ();
+  ablation_bus_width ();
+  ablation_splitba_subsystems ();
+  ablation_l1_model ();
+  ablation_cache_derivation ();
+  ablation_area_by_module ();
+  ablation_depth ();
+  bechamel_tables ();
+  print_string "\nAll benchmarks complete.\n"

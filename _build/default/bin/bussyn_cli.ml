@@ -1,0 +1,546 @@
+(* BusSyn command-line interface: the tool of paper Fig. 18 and Fig. 28.
+
+   `bussyn_cli generate` turns user options into synthesizable Verilog
+   plus the Wire Library and a report; `list` shows the Module Library
+   and architectures; `simulate` runs an application workload on a bus
+   system and prints its performance. *)
+
+open Cmdliner
+module G = Bussyn.Generate
+
+let arch_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "bfba" -> Ok G.Bfba
+    | "gbavi" -> Ok G.Gbavi
+    | "gbaviii" -> Ok G.Gbaviii
+    | "hybrid" -> Ok G.Hybrid
+    | "splitba" -> Ok G.Splitba
+    | "ggba" -> Ok G.Ggba
+    | "ccba" -> Ok G.Ccba
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown architecture %S (bfba|gbavi|gbaviii|hybrid|splitba|ggba|ccba)"
+               s))
+  in
+  let print fmt a = Format.pp_print_string fmt (G.arch_name a) in
+  Arg.conv (parse, print)
+
+let arch_arg =
+  Arg.(
+    required
+    & opt (some arch_conv) None
+    & info [ "a"; "arch" ] ~docv:"ARCH"
+        ~doc:
+          "Bus architecture: one of bfba, gbavi, gbaviii, hybrid, splitba \
+           (generated), or ggba, ccba (hand-designed baselines).")
+
+let pes_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "p"; "pes" ] ~docv:"N" ~doc:"Number of processing elements.")
+
+let config_of ~pes ~data_width ~mem_addr_width ~fifo_depth =
+  {
+    (Bussyn.Archs.paper_config ~n_pes:pes) with
+    Bussyn.Archs.bus_data_width = data_width;
+    mem_addr_width;
+    global_mem_addr_width = mem_addr_width;
+    fifo_depth;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "bussyn_out"
+      & info [ "o"; "output" ] ~docv:"DIR"
+          ~doc:"Output directory for the Verilog files, wires.txt and report.")
+  in
+  let data_width =
+    Arg.(
+      value & opt int 64
+      & info [ "data-width" ] ~docv:"BITS" ~doc:"Bus data width (option 3.2).")
+  in
+  let mem_addr_width =
+    Arg.(
+      value & opt int 20
+      & info [ "mem-addr-width" ] ~docv:"BITS"
+          ~doc:"Per-BAN memory address width (option 5.2); 20 = 8 MB of \
+                64-bit words.")
+  in
+  let fifo_depth =
+    Arg.(
+      value & opt int 1024
+      & info [ "fifo-depth" ] ~docv:"WORDS"
+          ~doc:"Bi-FIFO depth (option 3.3, BFBA/Hybrid only).")
+  in
+  let lint =
+    Arg.(value & flag & info [ "lint" ] ~doc:"Run the structural linter too.")
+  in
+  let optimize =
+    Arg.(
+      value & flag
+      & info [ "optimize" ]
+          ~doc:"Constant-fold and simplify the generated expressions \
+                before emission.")
+  in
+  let testbench =
+    Arg.(
+      value & flag
+      & info [ "testbench" ]
+          ~doc:"Also emit a self-checking Verilog testbench (tb_<sys>.v) \
+                that writes and reads back every PE's local memory; \
+                expected data is computed by the built-in interpreter.")
+  in
+  let fft =
+    Arg.(
+      value & flag
+      & info [ "fft" ]
+          ~doc:"Attach the hardware FFT BAN of paper Example 8 over \
+                dedicated wires (bfba only; needs >= 2 PEs and a bus of \
+                32 bits or wider).")
+  in
+  let options_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "options" ] ~docv:"FILE"
+          ~doc:"Read the full option tree from FILE (see \
+                lib/core/options_text.mli for the format); overrides \
+                --arch and the width flags.")
+  in
+  let run arch pes out data_width mem_addr_width fifo_depth lint options
+      optimize fft testbench =
+    let result =
+      match options with
+      | Some file -> (
+          match Bussyn.Options_text.load file with
+          | Error msg -> failwith msg
+          | Ok opts -> (
+              match G.from_options opts with
+              | Error msg -> failwith msg
+              | Ok r -> r))
+      | None ->
+          let config = config_of ~pes ~data_width ~mem_addr_width ~fifo_depth in
+          let config =
+            if fft then { config with Bussyn.Archs.accelerator = Bussyn.Archs.Acc_fft }
+            else config
+          in
+          G.generate arch config
+    in
+    Format.printf "%a@." G.pp_report result;
+    let result =
+      if optimize then begin
+        let top = result.G.generated.Bussyn.Archs.top in
+        let before, after = Busgen_rtl.Opt.savings top in
+        Printf.printf "optimizer: %d -> %d gates\n" before after;
+        {
+          result with
+          G.generated =
+            {
+              result.G.generated with
+              Bussyn.Archs.top = Busgen_rtl.Opt.circuit top;
+            };
+        }
+      end
+      else result
+    in
+    let files = G.write_output ~dir:out result in
+    let files =
+      if testbench then
+        files
+        @ [
+            Busgen_rtl.Tbgen.write_testbench ~dir:out
+              result.G.generated.Bussyn.Archs.top
+              ~script:
+                (Busgen_rtl.Tbgen.smoke_script
+                   ~n_pes:result.G.config.Bussyn.Archs.n_pes);
+          ]
+      else files
+    in
+    Printf.printf "wrote %d files under %s/\n" (List.length files) out;
+    if lint then begin
+      let report =
+        Busgen_rtl.Lint.check result.G.generated.Bussyn.Archs.top
+      in
+      if Busgen_rtl.Lint.is_clean report then print_endline "lint: clean"
+      else Format.printf "%a@." Busgen_rtl.Lint.pp_report report
+    end;
+    0
+  in
+  let term =
+    Term.(
+      const run $ arch_arg $ pes_arg $ out_arg $ data_width $ mem_addr_width
+      $ fifo_depth $ lint $ options_arg $ optimize $ fft $ testbench)
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate a Bus System in synthesizable Verilog (BusSyn).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    print_endline "Bus architectures:";
+    List.iter
+      (fun (a, note) ->
+        Printf.printf "  %-9s %s\n" (G.arch_name a) note)
+      [
+        (G.Bfba, "Bi-FIFO bus architecture (Fig. 4)");
+        (G.Gbavi, "segmented global bus, version I (Fig. 3)");
+        (G.Gbaviii, "global bus with global memory and arbiter (Fig. 5)");
+        (G.Hybrid, "BFBA + GBAVIII combination (Fig. 6)");
+        (G.Splitba, "split bus, two subsystems over a bridge (Fig. 7)");
+        (G.Ggba, "hand-designed general global bus baseline (Fig. 9)");
+        (G.Ccba, "hand-designed CoreConnect-like baseline (Fig. 8)");
+      ];
+    print_endline "\nModule Library components:";
+    List.iter (Printf.printf "  %s\n") Busgen_modlib.Catalog.available;
+    print_endline "\nPE cores (IP, interfaced through CBI modules):";
+    List.iter (Printf.printf "  %s\n") Busgen_modlib.Catalog.pe_catalog;
+    0
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List architectures and Module Library components.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Record every bus transaction and print queueing/utilization \
+                analysis.")
+  in
+  let app_arg =
+    Arg.(
+      required
+      & opt (some (enum [ ("ofdm-ppa", `Ofdm_ppa); ("ofdm-fpa", `Ofdm_fpa);
+                          ("mpeg2", `Mpeg2); ("database", `Database) ]))
+          None
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:"Workload: ofdm-ppa, ofdm-fpa, mpeg2 or database.")
+  in
+  let csv_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"PREFIX"
+          ~doc:"With --trace: write PREFIX-trace.csv (per-transaction \
+                records), PREFIX-util.csv (bucketed bus utilization) and \
+                PREFIX-util.gp (a gnuplot script for the latter).")
+  in
+  let run arch app trace csv =
+    let report stats =
+      if trace then
+        Format.printf "%a@." Busgen_sim.Analysis.pp_report stats;
+      match csv with
+      | None -> ()
+      | Some prefix ->
+          if not trace then
+            failwith "--csv needs --trace (no transactions recorded)";
+          let module A = Busgen_sim.Analysis in
+          let buckets = 40 in
+          let util = prefix ^ "-util.csv" in
+          A.write_csv ~path:(prefix ^ "-trace.csv") (A.csv_of_trace stats);
+          A.write_csv ~path:util (A.csv_of_timeline stats ~buckets);
+          A.write_csv ~path:(prefix ^ "-util.gp")
+            (A.gnuplot_utilization ~data_path:util ~buckets stats);
+          Printf.printf "wrote %s-{trace,util}.csv and %s-util.gp\n" prefix
+            prefix
+    in
+    (match app with
+    | `Ofdm_ppa | `Ofdm_fpa -> (
+        let style =
+          match app with `Ofdm_ppa -> Busgen_apps.Ofdm.Ppa | _ -> Busgen_apps.Ofdm.Fpa
+        in
+        match Busgen_apps.Ofdm.run ~trace arch style with
+        | r ->
+            Printf.printf "OFDM %s on %s: %.4f Mbps (%d cycles)\n"
+              (Busgen_apps.Ofdm.style_name style)
+              (G.arch_name arch) r.Busgen_apps.Ofdm.throughput_mbps
+              r.Busgen_apps.Ofdm.stats.Busgen_sim.Machine.cycles;
+            report r.Busgen_apps.Ofdm.stats)
+    | `Mpeg2 ->
+        let r = Busgen_apps.Mpeg2.run ~trace arch in
+        Printf.printf "MPEG2 on %s: %.4f Mbps (%d cycles)\n"
+          (G.arch_name arch) r.Busgen_apps.Mpeg2.throughput_mbps
+          r.Busgen_apps.Mpeg2.stats.Busgen_sim.Machine.cycles;
+        report r.Busgen_apps.Mpeg2.stats
+    | `Database ->
+        let r = Busgen_apps.Database.run ~trace arch in
+        Printf.printf "Database on %s: %.0f ns (%d tasks)\n" (G.arch_name arch)
+          r.Busgen_apps.Database.execution_time_ns r.Busgen_apps.Database.tasks;
+        report r.Busgen_apps.Database.stats);
+    0
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run an application workload on a bus architecture and report \
+             its performance.")
+    Term.(const run $ arch_arg $ app_arg $ trace_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* wires                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let wires_cmd =
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the Wire Library text to FILE instead of stdout.")
+  in
+  let check_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "check" ] ~docv:"FILE"
+          ~doc:"Parse and validate an existing Wire Library file instead \
+                of dumping a generated one.")
+  in
+  let dot_arg =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:"Emit the system topology as a Graphviz digraph instead of \
+                the ASCII wire list (regenerates the paper's block \
+                diagrams; render with dot -Tsvg).")
+  in
+  let run arch out check dot =
+    match check with
+    | Some file -> (
+        let ic = open_in file in
+        let len = in_channel_length ic in
+        let src = really_input_string ic len in
+        close_in ic;
+        match Busgen_wirelib.Text.parse src with
+        | Error msg ->
+            Printf.eprintf "parse error: %s\n" msg;
+            1
+        | Ok lib -> (
+            match Busgen_wirelib.Spec.validate lib with
+            | Error msg ->
+                Printf.eprintf "invalid: %s\n" msg;
+                1
+            | Ok () ->
+                Printf.printf "%s: %d entries, %d wires, all valid\n" file
+                  (List.length lib)
+                  (List.fold_left
+                     (fun a (e : Busgen_wirelib.Spec.entry) ->
+                       a + List.length e.Busgen_wirelib.Spec.wires)
+                     0 lib);
+                0))
+    | None ->
+        let config = Bussyn.Archs.paper_config ~n_pes:4 in
+        let result = G.generate arch config in
+        let text =
+          if dot then Bussyn.Topology.dot result.G.generated
+          else G.wire_library_text result
+        in
+        (match out with
+        | None -> print_string text
+        | Some file ->
+            let oc = open_out file in
+            output_string oc text;
+            close_out oc;
+            Printf.printf "wrote %s\n" file);
+        0
+  in
+  Cmd.v
+    (Cmd.info "wires"
+       ~doc:"Dump the Wire Library of a generated Bus System, or validate \
+             a Wire Library file (the paper's Fig. 15 ASCII format).")
+    Term.(const run $ arch_arg $ out_arg $ check_arg $ dot_arg)
+
+(* ------------------------------------------------------------------ *)
+(* wizard                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let wizard_cmd =
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the resulting options file to FILE (default: print \
+                to stdout).")
+  in
+  let run out =
+    let read () = try Some (input_line stdin) with End_of_file -> None in
+    let emit line =
+      print_endline line;
+      flush stdout
+    in
+    match Bussyn.Wizard.run ~read ~emit with
+    | Error msg ->
+        prerr_endline ("wizard: " ^ msg);
+        1
+    | Ok opts -> (
+        let text = Bussyn.Options_text.print opts in
+        (match out with
+        | None -> print_string text
+        | Some file ->
+            let oc = open_out file in
+            output_string oc text;
+            close_out oc;
+            Printf.printf
+              "wrote %s (generate with: bussyn_cli generate --options %s)\n"
+              file file);
+        match G.from_options opts with
+        | Ok r ->
+            Printf.printf "dispatches to %s, %d PE(s)\n"
+              (G.arch_name r.G.arch) r.G.config.Bussyn.Archs.n_pes;
+            0
+        | Error msg ->
+            Printf.printf "note: %s\n" msg;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "wizard"
+       ~doc:"Walk the paper's option tree (Fig. 18) interactively and \
+             produce an options file for generate --options.")
+    Term.(const run $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explore                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explore_cmd =
+  let workload_arg =
+    Arg.(
+      required
+      & opt (some (enum [ ("ofdm", `Ofdm); ("mpeg2", `Mpeg2);
+                          ("database", `Database) ]))
+          None
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:"Workload to explore: ofdm, mpeg2 or database.")
+  in
+  let run workload =
+    (* The paper's pitch: sweep the bus architectures (and software
+       styles where they apply), generating each candidate for its cost
+       and simulating the workload for its performance, in seconds. *)
+    let t0 = Unix.gettimeofday () in
+    let generated_cost arch =
+      match Bussyn.Preset.scaled ~arch ~n_pes:4 with
+      | None -> None
+      | Some opts -> (
+          match G.from_options opts with
+          | Ok r -> Some (r.G.gate_count, r.G.generation_time_ms)
+          | Error _ -> None)
+    in
+    let points =
+      match workload with
+      | `Ofdm ->
+          List.concat_map
+            (fun arch ->
+              List.filter_map
+                (fun style ->
+                  if not (Busgen_apps.Ofdm.supported arch style) then None
+                  else
+                    let r = Busgen_apps.Ofdm.run arch style in
+                    Some
+                      ( Printf.sprintf "%s/%s" (G.arch_name arch)
+                          (Busgen_apps.Ofdm.style_name style),
+                        r.Busgen_apps.Ofdm.throughput_mbps,
+                        "Mbps",
+                        generated_cost arch ))
+                [ Busgen_apps.Ofdm.Ppa; Busgen_apps.Ofdm.Fpa ])
+            [ G.Bfba; G.Gbavi; G.Gbavii; G.Gbaviii; G.Hybrid; G.Splitba;
+              G.Ggba ]
+      | `Mpeg2 ->
+          List.map
+            (fun arch ->
+              let r = Busgen_apps.Mpeg2.run arch in
+              ( G.arch_name arch,
+                r.Busgen_apps.Mpeg2.throughput_mbps,
+                "Mbps",
+                generated_cost arch ))
+            [ G.Bfba; G.Gbavi; G.Gbavii; G.Gbaviii; G.Hybrid; G.Ccba ]
+      | `Database ->
+          List.map
+            (fun arch ->
+              let r = Busgen_apps.Database.run arch in
+              (* Higher is better in the ranking: use 1e9/ns. *)
+              ( G.arch_name arch,
+                1e9 /. r.Busgen_apps.Database.execution_time_ns,
+                "1/ms",
+                generated_cost arch ))
+            [ G.Gbavii; G.Gbaviii; G.Hybrid; G.Splitba; G.Ggba; G.Ccba ]
+    in
+    let ranked =
+      List.sort (fun (_, a, _, _) (_, b, _, _) -> compare b a) points
+    in
+    Printf.printf "%-4s %-14s %12s %10s %9s\n" "rank" "design point" "perf"
+      "gates" "gen[ms]";
+    List.iteri
+      (fun i (name, perf, unit_, cost) ->
+        Printf.printf "%-4d %-14s %9.4f %s %10s %9s\n" (i + 1) name perf
+          unit_
+          (match cost with Some (g, _) -> string_of_int g | None -> "(hand)")
+          (match cost with
+          | Some (_, ms) -> Printf.sprintf "%.1f" ms
+          | None -> "-"))
+      ranked;
+    (* Pareto front on (performance up, gates down). *)
+    let front =
+      List.filter
+        (fun (_, perf, _, cost) ->
+          match cost with
+          | None -> false
+          | Some (g, _) ->
+              not
+                (List.exists
+                   (fun (_, p2, _, c2) ->
+                     match c2 with
+                     | Some (g2, _) ->
+                         (p2 > perf && g2 <= g) || (p2 >= perf && g2 < g)
+                     | None -> false)
+                   points))
+        ranked
+    in
+    Printf.printf "\nPareto front (performance vs. gates): %s\n"
+      (String.concat ", " (List.map (fun (n, _, _, _) -> n) front));
+    Printf.printf
+      "Explored %d design points in %.1f s (the paper: about a week per \
+       hand-designed candidate).\n"
+      (List.length points)
+      (Unix.gettimeofday () -. t0);
+    0
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Design-space exploration: sweep every bus architecture (and \
+             software style) for a workload, rank the design points and \
+             print the performance/area Pareto front.")
+    Term.(const run $ workload_arg)
+
+let () =
+  let doc =
+    "BusSyn: automated bus generation for multiprocessor SoC design \
+     (reproduction of Ryu & Mooney, DATE 2003)."
+  in
+  let info = Cmd.info "bussyn_cli" ~version:"1.0" ~doc in
+  let cmd =
+    Cmd.group info
+      [ generate_cmd; list_cmd; simulate_cmd; wires_cmd; explore_cmd;
+        wizard_cmd ]
+  in
+  (* Option-level rejections (bad architecture/flag combinations,
+     malformed options files) are user errors, not crashes. *)
+  let code =
+    try Cmd.eval' ~catch:false cmd
+    with Invalid_argument msg | Failure msg ->
+      prerr_endline ("bussyn_cli: " ^ msg);
+      1
+  in
+  exit code

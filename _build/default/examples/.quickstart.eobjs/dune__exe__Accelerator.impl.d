@@ -1,0 +1,1 @@
+examples/accelerator.ml: Array Buffer Busgen_modlib Busgen_rtl Bussyn Circuit Interp Lint List Printf Testbench Vcd

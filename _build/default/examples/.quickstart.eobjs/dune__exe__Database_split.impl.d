@@ -1,0 +1,1 @@
+examples/database_split.ml: Busgen_apps Busgen_sim Bussyn Database List Printf

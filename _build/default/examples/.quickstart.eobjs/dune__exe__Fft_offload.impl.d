@@ -1,0 +1,1 @@
+examples/fft_offload.ml: Array Busgen_apps Busgen_modlib Busgen_rtl Busgen_wirelib Bussyn Circuit Complex Float Lint List Printf String Testbench

@@ -1,0 +1,1 @@
+examples/fft_offload.mli:

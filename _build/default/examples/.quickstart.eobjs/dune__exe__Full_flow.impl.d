@@ -1,0 +1,1 @@
+examples/full_flow.ml: Busgen_apps Busgen_rtl Busgen_sim Bussyn Filename Format List Printf

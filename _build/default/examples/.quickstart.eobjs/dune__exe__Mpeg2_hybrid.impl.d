@@ -1,0 +1,1 @@
+examples/mpeg2_hybrid.ml: Array Bits_stream Busgen_apps Busgen_sim Bussyn Char List Mpeg2 Printf

@@ -1,0 +1,1 @@
+examples/mpeg2_hybrid.mli:

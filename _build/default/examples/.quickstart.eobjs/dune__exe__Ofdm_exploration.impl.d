@@ -1,0 +1,1 @@
+examples/ofdm_exploration.ml: Busgen_apps Bussyn List Ofdm Option Printf String

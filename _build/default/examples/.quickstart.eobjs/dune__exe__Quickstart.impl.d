@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bits Busgen_rtl Bussyn Format Interp List Printf

@@ -1,0 +1,1 @@
+examples/rtos_schedule.ml: Busgen_rtos Busgen_sim Bussyn List Printf String

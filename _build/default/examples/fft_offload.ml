@@ -1,0 +1,130 @@
+(* Paper Example 8 / Fig. 17: a BFBA system with a hardware FFT BAN on
+   dedicated wires.
+
+   The point of Example 8 is that a non-CPU BAN can be attached over
+   wires that are NOT part of any shared bus: BAN B talks to the FFT
+   engine over w_fft_* while the Bi-FIFO ring stays untouched.  This
+   example demonstrates exactly that, on the generated RTL:
+
+   1. generate the system ([Archs.bfba] with [Acc_fft]);
+   2. PE 1 offloads a 16-point transform to the hardware engine and the
+      result is checked against the software radix-2 kernel the OFDM
+      application uses;
+   3. while the engine is busy, PE 0 keeps hammering its own local
+      memory — the dedicated wires mean zero added latency;
+   4. the measured RTL cycle counts are compared with a software FFT of
+      the same size on the modeled CPU.
+
+   Run with:  dune exec examples/fft_offload.exe *)
+
+open Busgen_rtl
+module Archs = Bussyn.Archs
+module Fft_ip = Busgen_modlib.Fft_ip
+
+let () =
+  let config =
+    {
+      (Archs.small_config ~n_pes:2) with
+      Archs.bus_data_width = 32;
+      accelerator = Archs.Acc_fft;
+    }
+  in
+  let g = Archs.bfba config in
+  Printf.printf "Generated BFBA + FFT BAN: %d modules, lint %s\n"
+    (1 + List.length (Circuit.sub_circuits g.Archs.top))
+    (if Lint.is_clean (Lint.check g.Archs.top) then "clean" else "DIRTY");
+  Printf.printf "Example 8 wires: %s\n\n"
+    (String.concat ", "
+       (List.filter
+          (fun n -> String.length n >= 5 && String.sub n 0 5 = "w_fft")
+          (List.map
+             (fun (w : Busgen_wirelib.Spec.wire) -> w.w_name)
+             (List.concat_map
+                (fun (e : Busgen_wirelib.Spec.entry) -> e.wires)
+                g.Archs.entries))));
+
+  let tb = Testbench.create g.Archs.top in
+  let x =
+    Array.init Fft_ip.points (fun i ->
+        {
+          Complex.re =
+            0.40 *. cos (2.0 *. Float.pi *. 3.0 *. float_of_int i /. 16.0);
+          im = 0.20 *. sin (2.0 *. Float.pi *. float_of_int i /. 16.0);
+        })
+  in
+
+  (* --- PE 1 offloads the transform ------------------------------- *)
+  let t0 = Testbench.cycles tb in
+  Array.iteri
+    (fun i s ->
+      Testbench.Cpu.write tb ~pe:1
+        ~addr:(Bussyn.Addrmap.fft_base + i)
+        (Fft_ip.pack s))
+    x;
+  Testbench.Cpu.write tb ~pe:1 ~addr:(Bussyn.Addrmap.fft_base + 16) 1;
+  (* While the engine runs, PE 0 works its local SRAM undisturbed. *)
+  let pe0_txns = ref 0 in
+  let rec wait_done () =
+    Testbench.Cpu.write tb ~pe:0 ~addr:(0x40 + (!pe0_txns land 0x3F))
+      !pe0_txns;
+    incr pe0_txns;
+    if
+      Testbench.Cpu.read tb ~pe:1 ~addr:(Bussyn.Addrmap.fft_base + 16) land 1
+      = 0
+    then wait_done ()
+  in
+  wait_done ();
+  let hw = Array.make Fft_ip.points Complex.zero in
+  for u = 0 to Fft_ip.points - 1 do
+    hw.(u) <-
+      Fft_ip.unpack
+        (Testbench.Cpu.read tb ~pe:1 ~addr:(Bussyn.Addrmap.fft_base + u))
+  done;
+  let hw_cycles = Testbench.cycles tb - t0 in
+
+  (* --- check against the software kernel ------------------------- *)
+  let sw =
+    let open Busgen_apps.Ofdm.Kernel in
+    (* The application kernel computes an unscaled transform over
+       bit-reversed input; fold in the 1/N the hardware applies. *)
+    normalize (fft x)
+  in
+  let reference = Fft_ip.reference x in
+  let max_err l r =
+    let m = ref 0.0 in
+    Array.iteri
+      (fun i a -> m := Float.max !m (Complex.norm (Complex.sub a r.(i))))
+      l;
+    !m
+  in
+  Printf.printf "hardware vs double-precision DFT: max |err| = %.5f\n"
+    (max_err hw reference);
+  Printf.printf "software kernel vs DFT:           max |err| = %.5f\n"
+    (max_err sw reference);
+  Printf.printf "tone bin X[3] = (%+.3f, %+.3f)\n\n" hw.(3).Complex.re
+    hw.(3).Complex.im;
+
+  (* --- the dedicated-wire story ----------------------------------- *)
+  Printf.printf
+    "PE 0 completed %d local writes while the offload ran — the FFT BAN's\n\
+     dedicated wires never touch BAN A's path.\n\n"
+    !pe0_txns;
+
+  (* --- cycles: offload vs in-core software ------------------------ *)
+  (* The OFDM kernel charges c_bfly modeled cycles per butterfly; a
+     16-point radix-2 FFT is (N/2) log2 N = 32 butterflies. *)
+  let _, c_bfly_total, _, _ = Busgen_apps.Ofdm.Kernel.stage_cycles () in
+  let n = float_of_int Busgen_apps.Ofdm.Kernel.data_samples in
+  let c_bfly = float_of_int c_bfly_total /. (n /. 2.0 *. (log n /. log 2.0)) in
+  let sw_cycles = int_of_float (c_bfly *. 32.0) in
+  Printf.printf
+    "offload, measured on the RTL:  %d cycles (bus handshake + %d MACs)\n"
+    hw_cycles
+    (Fft_ip.points * Fft_ip.points);
+  Printf.printf "software FFT on the CPU model: %d cycles (32 butterflies)\n"
+    sw_cycles;
+  Printf.printf
+    "at the paper's 4096-point symbol size the software side scales by\n\
+     (N/2) log2 N = %d butterflies; the engine's dedicated wires make the\n\
+     offload's bus cost independent of everything else on the chip.\n"
+    (4096 / 2 * 12)

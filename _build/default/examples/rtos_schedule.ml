@@ -1,0 +1,98 @@
+(* The ATALANTA-style RTOS kernel on one PE of a generated bus system:
+   priority scheduling, a blocking mailbox, a cross-PE lock, and
+   round-robin time slicing — with the resulting schedule drawn as an
+   ASCII chart.
+
+   This is the machinery under the paper's database example
+   (Section VI.A.1): 41 tasks multiplexed on 4 PEs with bus-visible
+   lock traffic.
+
+   Run with:  dune exec examples/rtos_schedule.exe *)
+
+module P = Busgen_sim.Program
+module Machine = Busgen_sim.Machine
+module Kernel = Busgen_rtos.Kernel
+module G = Bussyn.Generate
+
+let run_and_chart ~title ?time_slice tasks =
+  let program, trace = Kernel.program_traced ~ctx_switch:20 ?time_slice tasks in
+  let config = Machine.default_config G.Gbaviii ~n_pes:2 in
+  let stats =
+    Machine.run config [| program; P.of_list [ P.Halt ] |]
+  in
+  Printf.printf "%s  (%d cycles, %d bus transactions)\n" title
+    stats.Machine.cycles stats.Machine.transactions;
+  let entries = trace () in
+  let ids =
+    List.sort_uniq compare (List.map (fun e -> e.Kernel.running) entries)
+  in
+  List.iter
+    (fun id ->
+      let line =
+        String.concat ""
+          (List.map
+             (fun e -> if e.Kernel.running = id then "#####" else ".....")
+             entries)
+      in
+      Printf.printf "  %-10s |%s|\n" id line)
+    ids;
+  Printf.printf "  %-10s  %s\n\n" ""
+    (String.concat ""
+       (List.map (fun e -> Printf.sprintf "%-5d" e.Kernel.at_switch) entries))
+
+let () =
+  (* 1. Priorities: the high-priority task runs to completion first. *)
+  run_and_chart ~title:"priority scheduling (lower number wins)"
+    [
+      Kernel.task ~priority:5 "report" [ P.Compute 200 ];
+      Kernel.task ~priority:1 "control" [ P.Compute 150; P.Compute 150 ];
+      Kernel.task ~priority:3 "log" [ P.Compute 100 ];
+    ];
+
+  (* 2. Time slicing: equal-priority compute hogs take turns. *)
+  run_and_chart ~title:"round-robin time slice of 100 cycles" ~time_slice:100
+    [
+      Kernel.task "worker_a" (List.init 4 (fun _ -> P.Compute 100));
+      Kernel.task "worker_b" (List.init 4 (fun _ -> P.Compute 100));
+    ];
+
+  (* 3. Mailboxes: the consumer blocks (the PE does not) until the
+     producer posts; both share one processor. *)
+  let mbx = Kernel.mailbox ~capacity:4 "queue" in
+  run_and_chart ~title:"producer/consumer over a mailbox"
+    [
+      Kernel.task_s ~priority:1 "consumer"
+        [ Kernel.Recv (mbx, 16); Kernel.Op (P.Compute 80);
+          Kernel.Recv (mbx, 16); Kernel.Op (P.Compute 80) ];
+      Kernel.task_s ~priority:2 "producer"
+        [ Kernel.Op (P.Compute 120); Kernel.Send (mbx, 16);
+          Kernel.Op (P.Compute 120); Kernel.Send (mbx, 16) ];
+    ];
+
+  (* 4. A cross-PE lock: the RTOS task spins over the bus while the
+     other processor holds the shared-memory lock. *)
+  let kernel_pe =
+    Kernel.program ~ctx_switch:20
+      [
+        Kernel.task "db_client"
+          [ P.Lock_acquire "record"; P.Read (P.Loc_global, 50);
+            P.Lock_release "record" ];
+      ]
+  in
+  let holder =
+    P.of_list
+      [ P.Lock_acquire "record"; P.Compute 400; P.Lock_release "record";
+        P.Halt ]
+  in
+  let config =
+    { (Machine.default_config G.Gbaviii ~n_pes:2) with Machine.trace = true }
+  in
+  let stats = Machine.run config [| kernel_pe; holder |] in
+  Printf.printf
+    "cross-PE lock: client waited out the holder's %d-cycle critical\n\
+     section; total %d cycles, %d lock transactions on the bus\n"
+    400 stats.Machine.cycles
+    (List.length
+       (List.filter
+          (fun (r : Machine.txn_record) -> r.Machine.tr_kind = "lock")
+          stats.Machine.trace))

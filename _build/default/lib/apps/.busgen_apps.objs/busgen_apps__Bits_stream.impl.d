@@ -1,0 +1,1 @@
+lib/apps/bits_stream.ml: Bytes Char

@@ -1,0 +1,1 @@
+lib/apps/bits_stream.mli: Bytes

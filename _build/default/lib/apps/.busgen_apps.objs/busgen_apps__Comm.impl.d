@@ -1,0 +1,1 @@
+lib/apps/comm.ml: Busgen_sim Bussyn List Printf

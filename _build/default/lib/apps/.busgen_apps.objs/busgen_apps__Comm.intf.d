@@ -1,0 +1,1 @@
+lib/apps/comm.mli: Busgen_sim Bussyn

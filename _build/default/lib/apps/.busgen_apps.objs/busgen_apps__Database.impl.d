@@ -1,0 +1,1 @@
+lib/apps/database.ml: Array Busgen_rtos Busgen_sim Bussyn List Printf String

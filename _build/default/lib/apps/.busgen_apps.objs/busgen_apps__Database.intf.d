@@ -1,0 +1,1 @@
+lib/apps/database.mli: Busgen_sim Bussyn

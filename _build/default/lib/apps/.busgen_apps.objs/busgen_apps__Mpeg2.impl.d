@@ -1,0 +1,1 @@
+lib/apps/mpeg2.ml: Array Bits_stream Busgen_sim Bussyn Comm Float Hashtbl List Option Printf String

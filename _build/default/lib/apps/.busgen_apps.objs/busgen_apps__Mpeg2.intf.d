@@ -1,0 +1,1 @@
+lib/apps/mpeg2.mli: Bits_stream Busgen_sim Bussyn

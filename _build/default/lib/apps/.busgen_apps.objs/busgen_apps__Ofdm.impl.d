@@ -1,0 +1,1 @@
+lib/apps/ofdm.ml: Array Busgen_sim Bussyn Comm Complex Float Hashtbl Lazy List Printf String

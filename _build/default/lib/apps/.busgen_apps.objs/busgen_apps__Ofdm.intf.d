@@ -1,0 +1,1 @@
+lib/apps/ofdm.mli: Busgen_sim Bussyn Comm Complex

@@ -1,0 +1,1 @@
+lib/apps/paper_data.mli: Bussyn

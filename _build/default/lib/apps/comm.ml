@@ -1,0 +1,129 @@
+module P = Busgen_sim.Program
+module G = Bussyn.Generate
+
+let chunk = 64
+
+let chunks_of words = (words + chunk - 1) / chunk
+
+type protocol = Two_reg | Three_reg
+
+let transfer ?(protocol = Two_reg) arch ~src ~dst ~tag words =
+  let n_chunks = chunks_of words in
+  (* The classical three-register protocol adds a READ_REQ exchange in
+     front of each chunk: the receiver requests, the sender waits for the
+     request before producing. *)
+  let rr_flag =
+    match arch with
+    | G.Gbavi | G.Gbavii -> P.Hs_flag (dst, "read_req")
+    | G.Bfba | G.Hybrid | G.Gbaviii | G.Ggba | G.Ccba | G.Splitba ->
+        P.Var_flag (Printf.sprintf "rr_%s_%d_%d" tag src dst)
+  in
+  let send_rr =
+    match protocol with
+    | Two_reg -> []
+    | Three_reg ->
+        [ P.Wait_flag (rr_flag, true); P.Set_flag (rr_flag, false) ]
+  in
+  let recv_rr =
+    match protocol with
+    | Two_reg -> []
+    | Three_reg -> [ P.Set_flag (rr_flag, true) ]
+  in
+  match arch with
+  | G.Bfba | G.Hybrid ->
+      let send =
+        [
+          P.Wait_flag (P.Hs_flag (dst, "done_op"), true);
+          P.Set_flag (P.Hs_flag (dst, "done_op"), false);
+        ]
+        @ List.concat
+            (List.init n_chunks (fun _ -> [ P.Fifo_push (dst, chunk) ]))
+      in
+      let recv =
+        List.concat
+          (List.init n_chunks (fun _ -> [ P.Wait_fifo_irq; P.Fifo_pop chunk ]))
+        @ [ P.Set_flag (P.Hs_flag (dst, "done_op"), true) ]
+      in
+      (send, recv)
+  | G.Gbavi | G.Gbavii ->
+      let send =
+        List.concat
+          (List.init n_chunks (fun _ ->
+               send_rr
+               @ [
+                 P.Write (P.Loc_local, chunk);
+                 P.Set_flag (P.Hs_flag (dst, "done_op"), true);
+                 P.Wait_flag (P.Hs_flag (dst, "done_rv"), true);
+                 P.Set_flag (P.Hs_flag (dst, "done_rv"), false);
+               ]))
+      in
+      let recv =
+        List.concat
+          (List.init n_chunks (fun _ ->
+               recv_rr
+               @ [
+                 P.Wait_flag (P.Hs_flag (dst, "done_op"), true);
+                 P.Set_flag (P.Hs_flag (dst, "done_op"), false);
+                 P.Read (P.Loc_peer_mem src, chunk);
+                 P.Write (P.Loc_local, chunk);
+                 P.Set_flag (P.Hs_flag (dst, "done_rv"), true);
+               ]))
+      in
+      (send, recv)
+  | G.Gbaviii | G.Ggba | G.Ccba ->
+      let op = Printf.sprintf "op_%s_%d_%d" tag src dst in
+      let rv = Printf.sprintf "rv_%s_%d_%d" tag src dst in
+      let send =
+        List.concat
+          (List.init n_chunks (fun _ ->
+               send_rr
+               @ [
+                 P.Write (P.Loc_global, chunk);
+                 P.Set_flag (P.Var_flag op, true);
+                 P.Wait_flag (P.Var_flag rv, true);
+                 P.Set_flag (P.Var_flag rv, false);
+               ]))
+      in
+      let recv =
+        List.concat
+          (List.init n_chunks (fun _ ->
+               recv_rr
+               @ [
+                 P.Wait_flag (P.Var_flag op, true);
+                 P.Set_flag (P.Var_flag op, false);
+                 P.Read (P.Loc_global, chunk);
+                 P.Write (P.Loc_local, chunk);
+                 P.Set_flag (P.Var_flag rv, true);
+               ]))
+      in
+      (send, recv)
+  | G.Splitba ->
+      let home pe = if pe < 2 then 0 else 1 in
+      let op = Printf.sprintf "op_%s_%d_%d#%d" tag src dst (home dst) in
+      let rv = Printf.sprintf "rv_%s_%d_%d#%d" tag src dst (home src) in
+      let send =
+        List.concat
+          (List.init n_chunks (fun _ ->
+               [
+                 P.Write (P.Loc_peer_mem dst, chunk);
+                 P.Set_flag (P.Var_flag op, true);
+                 P.Wait_flag (P.Var_flag rv, true);
+                 P.Set_flag (P.Var_flag rv, false);
+               ]))
+      in
+      let recv =
+        List.concat
+          (List.init n_chunks (fun _ ->
+               [
+                 P.Wait_flag (P.Var_flag op, true);
+                 P.Set_flag (P.Var_flag op, false);
+                 P.Read (P.Loc_local, chunk);
+                 P.Set_flag (P.Var_flag rv, true);
+               ]))
+      in
+      (send, recv)
+
+let fifo_setup arch ~pe =
+  match arch with
+  | G.Bfba | G.Hybrid -> [ P.Fifo_set_threshold (pe, chunk) ]
+  | G.Gbavi | G.Gbavii | G.Gbaviii | G.Splitba | G.Ggba | G.Ccba -> []

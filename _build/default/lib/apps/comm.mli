@@ -1,0 +1,43 @@
+(** Architecture-specific point-to-point data transfer, shared by the
+    application models (paper Sections IV.C.1-IV.C.4).
+
+    [transfer arch ~src ~dst ~tag words] returns the sender-side and
+    receiver-side operation lists moving [words] bus words from PE [src]
+    to PE [dst] in 64-word chunks (the granularity of the paper's
+    [mem_read] API and Bi-FIFO thresholds):
+
+    - BFBA/Hybrid: Bi-FIFO push/pop with a whole-transfer DONE_OP
+      handshake (Example 4);
+    - GBAVI: through the sender's SRAM with DONE_OP/DONE_RV per chunk
+      (Example 3);
+    - GBAVIII/GGBA/CCBA: through global memory with control variables
+      (Example 5);
+    - SplitBA: through the receiver's subsystem memory.
+
+    [tag] disambiguates the control variables when several logical
+    streams share a PE pair. *)
+
+val chunk : int
+(** 64 words. *)
+
+type protocol =
+  | Two_reg
+      (** the paper's protocol: DONE_OP / DONE_RV only (Example 2) *)
+  | Three_reg
+      (** the classical protocol the paper cites \[21\]: an explicit
+          READ_REQ from the receiver precedes every chunk *)
+
+val transfer :
+  ?protocol:protocol ->
+  Bussyn.Generate.arch ->
+  src:int ->
+  dst:int ->
+  tag:string ->
+  int ->
+  Busgen_sim.Program.op list * Busgen_sim.Program.op list
+(** Default [Two_reg].  [Three_reg] applies to the shared-memory and
+    GBAVI methods (the Bi-FIFO method has no read-request to add). *)
+
+val fifo_setup : Bussyn.Generate.arch -> pe:int -> Busgen_sim.Program.op list
+(** Threshold programming for the PE's inbound Bi-FIFO on architectures
+    that have one; empty otherwise. *)

@@ -1,0 +1,38 @@
+module G = Bussyn.Generate
+
+let table2 =
+  [
+    ("1", G.Bfba, `Ppa, 2.6504);
+    ("2", G.Gbavi, `Ppa, 2.1087);
+    ("3", G.Gbaviii, `Fpa, 4.5599);
+    ("4", G.Gbaviii, `Ppa, 2.2567);
+    ("5", G.Hybrid, `Fpa, 4.5599);
+    ("6", G.Hybrid, `Ppa, 2.6504);
+    ("7", G.Splitba, `Fpa, 5.1132);
+    ("8", G.Ggba, `Fpa, 4.3913);
+    ("9", G.Ggba, `Ppa, 2.1880);
+  ]
+
+let table3 =
+  [
+    ("10", G.Bfba, 0.8594);
+    ("11", G.Gbavi, 0.8271);
+    ("12", G.Gbaviii, 1.1444);
+    ("13", G.Hybrid, 1.1650);
+    ("14", G.Ccba, 1.0083);
+  ]
+
+let table4 = [ ("15", G.Ggba, 2_241_100.0); ("16", G.Splitba, 1_317_804.0) ]
+
+let table5 =
+  [
+    (G.Bfba, [ (1, 800); (8, 6_401); (16, 12_793); (24, 19_188) ]);
+    (G.Gbavi, [ (1, 872); (8, 5_809); (16, 13_751); (24, 21_156) ]);
+    (G.Gbaviii, [ (1, 2_070); (8, 14_746); (16, 30_798); (24, 48_395) ]);
+    (G.Hybrid, [ (1, 2_973); (8, 21_869); (16, 44_847); (24, 69_697) ]);
+    (G.Splitba, [ (8, 4_207); (16, 8_605); (24, 16_110) ]);
+  ]
+
+let splitba_reduction = 0.412
+
+let hybrid_over_ccba = 0.1554

@@ -1,0 +1,21 @@
+(** The paper's published measurements (Tables II-V), in one place for
+    the benchmark harness and the regression tests. *)
+
+val table2 : (string * Bussyn.Generate.arch * [ `Ppa | `Fpa ] * float) list
+(** (case, architecture, style, throughput in Mbps).  Styles for cases 2
+    and 9 follow the paper's observation (D); see EXPERIMENTS.md. *)
+
+val table3 : (string * Bussyn.Generate.arch * float) list
+(** (case, architecture, throughput in Mbps). *)
+
+val table4 : (string * Bussyn.Generate.arch * float) list
+(** (case, architecture, execution time in ns). *)
+
+val table5 : (Bussyn.Generate.arch * (int * int) list) list
+(** Architecture -> (processor count, NAND2 gate count) rows. *)
+
+val splitba_reduction : float
+(** The headline 41.2% database execution-time reduction. *)
+
+val hybrid_over_ccba : float
+(** Section VI.C: Hybrid outperforms CCBA by 15.54% on MPEG2. *)

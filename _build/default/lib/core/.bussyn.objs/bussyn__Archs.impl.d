@@ -1,0 +1,1 @@
+lib/core/archs.ml: Addrmap Bits Busgen_modlib Busgen_rtl Busgen_wirelib Circuit List Netlist Printf String

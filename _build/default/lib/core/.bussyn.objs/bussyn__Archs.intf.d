@@ -1,0 +1,1 @@
+lib/core/archs.mli: Busgen_modlib Busgen_rtl Busgen_wirelib Netlist

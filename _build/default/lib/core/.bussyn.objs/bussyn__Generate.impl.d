@@ -1,0 +1,1 @@
+lib/core/generate.ml: Archs Area Busgen_modlib Busgen_rtl Busgen_wirelib Circuit Depth Filename Format List Options String Sys Unix Verilog

@@ -1,0 +1,1 @@
+lib/core/generate.mli: Archs Format Options Stdlib

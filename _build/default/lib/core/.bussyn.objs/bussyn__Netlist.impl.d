@@ -1,0 +1,1 @@
+lib/core/netlist.ml: Busgen_rtl Busgen_wirelib Circuit Expr Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/core/netlist.mli: Busgen_rtl Busgen_wirelib

@@ -1,0 +1,1 @@
+lib/core/options.ml: Busgen_modlib Format List Printf

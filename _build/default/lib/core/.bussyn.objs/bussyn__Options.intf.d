@@ -1,0 +1,1 @@
+lib/core/options.mli: Busgen_modlib Format

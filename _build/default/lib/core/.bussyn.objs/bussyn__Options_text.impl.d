@@ -1,0 +1,1 @@
+lib/core/options_text.ml: Buffer List Options Printf String

@@ -1,0 +1,1 @@
+lib/core/options_text.mli: Options

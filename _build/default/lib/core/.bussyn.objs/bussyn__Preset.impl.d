@@ -1,0 +1,1 @@
+lib/core/preset.ml: Generate List Options

@@ -1,0 +1,1 @@
+lib/core/topology.ml: Archs Buffer Busgen_wirelib Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/wizard.ml: List Options Printf String

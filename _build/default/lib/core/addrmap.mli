@@ -1,0 +1,50 @@
+(** System-wide address map conventions for generated Bus Systems.
+
+    All addresses are word addresses on the BAN-internal CPU bus.  Bases
+    are aligned so that window-relative offsets are plain low address
+    bits. *)
+
+val local_mem_base : int
+(** Base of the BAN's local memory (0). *)
+
+val own_hs_base : int
+(** The BAN's own handshake registers, receiver side (2 words). *)
+
+val own_fifo_base : int
+(** Receiver port of the BAN's own Bi-FIFO (4 words). *)
+
+val peer_base : int
+(** Master window into the downstream neighbour BAN (32 words:
+    handshake side-A port at +0, Bi-FIFO sender port at +16). *)
+
+val peer_window_words : int
+val peer_hs_offset : int
+val peer_fifo_offset : int
+
+val global_base : int
+(** Master window onto the subsystem's global bus (GBAVIII / Hybrid). *)
+
+val prevmem_base : int
+(** GBAVI: master window into the upstream neighbour's local memory. *)
+
+val splitba_subsystem_base : int -> int
+(** [splitba_subsystem_base i] is the base of subsystem [i]'s shared
+    memory in the system-wide map (i in 0..1). *)
+
+val ccba_local_base : int -> int
+(** CCBA: base of processor [i]'s SRAM on the shared PLB-style bus. *)
+
+val dct_base : int
+(** Base of the hardware DCT accelerator's register window on the
+    global bus (32 words). *)
+
+val global_window_words : int
+(** Size of the BAN-level decode window onto the global bus: covers the
+    global memory and any accelerator windows behind it. *)
+
+val fft_base : int
+(** Master window of the hardware FFT BAN (paper Example 8) as seen from
+    the BAN that drives it. *)
+
+val fft_window_words : int
+(** 4096 — matching the 12-bit [addr_fft] bus of Fig. 17. *)

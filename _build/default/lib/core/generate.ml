@@ -1,0 +1,209 @@
+open Busgen_rtl
+
+type arch = Bfba | Gbavi | Gbavii | Gbaviii | Hybrid | Splitba | Ggba | Ccba
+
+let arch_name = function
+  | Bfba -> "BFBA"
+  | Gbavi -> "GBAVI"
+  | Gbavii -> "GBAVII"
+  | Gbaviii -> "GBAVIII"
+  | Hybrid -> "Hybrid"
+  | Splitba -> "SplitBA"
+  | Ggba -> "GGBA"
+  | Ccba -> "CCBA"
+
+let arch_of_options (t : Options.t) =
+  let bus_types ss = List.map (fun b -> b.Options.bus) ss.Options.buses in
+  match t.Options.subsystems with
+  | [ ss ] -> (
+      match List.sort compare (bus_types ss) with
+      | [ Options.Bfba ] -> Ok Bfba
+      | [ Options.Gbavi ] -> Ok Gbavi
+      | [ Options.Gbaviii ] -> Ok Gbaviii
+      | [ Options.Gbaviii; Options.Bfba ] | [ Options.Bfba; Options.Gbaviii ]
+        ->
+          Ok Hybrid
+      | [ Options.Gbavi; Options.Gbaviii ] | [ Options.Gbaviii; Options.Gbavi ]
+        ->
+          (* The paper notes GBAVII "could easily be added to our tool":
+             it combines GBAVI's segmented neighbour access with a global
+             memory, i.e. this bus pair. *)
+          Ok Gbavii
+      | [ Options.Splitba ] ->
+          Error "SplitBA needs two Bus Subsystems (one per bus half)"
+      | _ -> Error "unsupported bus combination in a single subsystem")
+  | [] -> Error "no subsystems"
+  | (_ :: _ :: _) as subsystems ->
+      (* Two subsystems are the paper's SplitBA (Fig. 7); the generator
+         extends the same architecture to any count over a full bridge
+         mesh. *)
+      if
+        List.for_all
+          (fun ss -> bus_types ss = [ Options.Splitba ])
+          subsystems
+      then Ok Splitba
+      else Error "multiple subsystems are only supported for SplitBA"
+
+let config_of_options (t : Options.t) =
+  match Options.validate t with
+  | Error es -> Error (String.concat "; " es)
+  | Ok () ->
+      let all_bans =
+        List.concat_map (fun ss -> ss.Options.bans) t.Options.subsystems
+      in
+      let cpu_bans =
+        List.filter_map (fun b -> b.Options.cpu) all_bans
+      in
+      let n_pes = List.length cpu_bans in
+      if
+        List.exists
+          (fun b -> b.Options.non_cpu = Some Options.Mpeg2_decoder)
+          all_bans
+      then
+        Error
+          "a hardware MPEG2-decoder BAN is accepted by the option model \
+           but not elaborated by this generator (the DCT accelerator \
+           demonstrates non-CPU BANs; see WALKTHROUGH.md)"
+      else if n_pes = 0 then Error "no CPU BANs in the option tree"
+      else
+        let cpu = Options.cpu_to_modlib (List.hd cpu_bans) in
+        let first_bus =
+          List.hd (List.hd t.Options.subsystems).Options.buses
+        in
+        let mems =
+          List.concat_map (fun b -> b.Options.memories) all_bans
+        in
+        let mem_addr_width =
+          match mems with m :: _ -> m.Options.mem_addr_width | [] -> 20
+        in
+        let fifo_depth =
+          List.fold_left
+            (fun acc ss ->
+              List.fold_left
+                (fun acc b ->
+                  match b.Options.bififo_depth with
+                  | Some d -> d
+                  | None -> acc)
+                acc ss.Options.buses)
+            1024 t.Options.subsystems
+        in
+        let mem_kind =
+          match mems with
+          | { Options.mem_type = Options.Mem_dram; _ } :: _ -> Archs.Mk_dram
+          | { Options.mem_type = Options.Mem_dpram; _ } :: _ -> Archs.Mk_dpram
+          | { Options.mem_type = (Options.Mem_sram | Options.Mem_fifo); _ } :: _
+          | [] ->
+              Archs.Mk_sram
+        in
+        let accelerator =
+          if
+            List.exists
+              (fun b -> b.Options.non_cpu = Some Options.Fft)
+              all_bans
+          then Archs.Acc_fft
+          else if
+            List.exists
+              (fun b -> b.Options.non_cpu = Some Options.Dct)
+              all_bans
+          then Archs.Acc_dct
+          else Archs.Acc_none
+        in
+        Ok
+          {
+            Archs.n_pes;
+            bus_addr_width = first_bus.Options.bus_addr_width;
+            bus_data_width = first_bus.Options.bus_data_width;
+            mem_addr_width;
+            global_mem_addr_width = mem_addr_width;
+            fifo_depth;
+            arb_policy = Busgen_modlib.Arbiter.Fcfs;
+            cpu;
+            accelerator;
+            mem_kind;
+            n_subsystems = max 2 (List.length t.Options.subsystems);
+          }
+
+type t = {
+  arch : arch;
+  config : Archs.config;
+  generated : Archs.generated;
+  generation_time_ms : float;
+  gate_count : int;
+  register_bits : int;
+  memory_bits : int;
+  module_count : int;
+  depth_levels : int;
+}
+
+let builder_of_arch = function
+  | Bfba -> Archs.bfba
+  | Gbavi -> Archs.gbavi
+  | Gbavii -> Archs.gbavii
+  | Gbaviii -> Archs.gbaviii
+  | Hybrid -> Archs.hybrid
+  | Splitba -> Archs.splitba
+  | Ggba -> Archs.ggba
+  | Ccba -> Archs.ccba
+
+let generate arch config =
+  let t0 = Unix.gettimeofday () in
+  let generated = builder_of_arch arch config in
+  let t1 = Unix.gettimeofday () in
+  let area = Area.of_circuit generated.Archs.top in
+  let depth = Depth.of_circuit generated.Archs.top in
+  let module_count =
+    1 + List.length (Circuit.sub_circuits generated.Archs.top)
+  in
+  {
+    arch;
+    config;
+    generated;
+    generation_time_ms = (t1 -. t0) *. 1000.;
+    gate_count = Area.gates area;
+    register_bits = area.Area.register_bits;
+    memory_bits = area.Area.memory_bits;
+    module_count;
+    depth_levels = depth.Depth.levels;
+  }
+
+let from_options t =
+  match arch_of_options t with
+  | Error _ as e -> e
+  | Ok arch -> (
+      match config_of_options t with
+      | Error _ as e -> e
+      | Ok config -> (
+          (* Builders reject impossible combinations (e.g. an FFT BAN on
+             a non-BFBA bus) with Invalid_argument; surface those as
+             ordinary option errors. *)
+          try Ok (generate arch config)
+          with Invalid_argument msg -> Error msg))
+
+let verilog r = Verilog.of_design r.generated.Archs.top
+
+let wire_library_text r = Busgen_wirelib.Text.print r.generated.Archs.entries
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>Bus System %s: %d PE(s)@,\
+     generation time: %.2f ms@,\
+     gate count (NAND2, bus logic): %d@,\
+     register bits: %d@,\
+     memory bits: %d@,\
+     module definitions: %d@,\
+     critical path: %d gate levels@]"
+    (arch_name r.arch) r.config.Archs.n_pes r.generation_time_ms r.gate_count
+    r.register_bits r.memory_bits r.module_count r.depth_levels
+
+let write_output ~dir r =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let v_files = Verilog.write_design ~dir r.generated.Archs.top in
+  let wires_path = Filename.concat dir "wires.txt" in
+  let oc = open_out wires_path in
+  output_string oc (wire_library_text r);
+  close_out oc;
+  let report_path = Filename.concat dir "report.txt" in
+  let oc = open_out report_path in
+  output_string oc (Format.asprintf "%a@." pp_report r);
+  close_out oc;
+  v_files @ [ wires_path; report_path ]

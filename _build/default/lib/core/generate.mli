@@ -1,0 +1,49 @@
+(** BusSyn front-end: from user options to a generated Bus System with
+    the paper's reported metrics (generation time, NAND2 gate count).
+
+    [GGBA] and [CCBA] are the hand-designed baselines — they can be built
+    for comparison but are not reachable from user options, exactly as in
+    the paper. *)
+
+type arch = Bfba | Gbavi | Gbavii | Gbaviii | Hybrid | Splitba | Ggba | Ccba
+
+val arch_name : arch -> string
+
+val arch_of_options : Options.t -> (arch, string) result
+(** Dispatch on the option tree: one subsystem with a single BFBA /
+    GBAVI / GBAVIII bus; one subsystem with BFBA+GBAVIII buses (Hybrid,
+    Example 10); or two subsystems of SplitBA buses. *)
+
+val config_of_options : Options.t -> (Archs.config, string) result
+(** Extract the architecture configuration (PE count, widths, FIFO
+    depth) from validated options. *)
+
+type t = {
+  arch : arch;
+  config : Archs.config;
+  generated : Archs.generated;
+  generation_time_ms : float;   (** wall-clock, as in paper Table V *)
+  gate_count : int;             (** NAND2 equivalents, memories excluded *)
+  register_bits : int;
+  memory_bits : int;
+  module_count : int;           (** distinct module definitions *)
+  depth_levels : int;           (** combinational critical path, gate levels *)
+}
+
+val generate : arch -> Archs.config -> t
+(** Run the generator and measure it. *)
+
+val from_options : Options.t -> (t, string) Stdlib.result
+(** Validate options, dispatch, generate. *)
+
+val verilog : t -> string
+(** Full synthesizable Verilog for the generated system. *)
+
+val wire_library_text : t -> string
+(** The Wire Library entries used, in the paper's ASCII format. *)
+
+val write_output : dir:string -> t -> string list
+(** Write one [.v] per module plus [wires.txt] and [report.txt] under
+    [dir]; returns the paths. *)
+
+val pp_report : Format.formatter -> t -> unit

@@ -1,0 +1,248 @@
+open Busgen_rtl
+module Spec = Busgen_wirelib.Spec
+
+type element = { el_name : string; el_circuit : Circuit.t }
+
+type info = {
+  wire_count : int;
+  exported_inputs : string list;
+  exported_outputs : string list;
+  dangling : string list;
+  tied : string list;
+}
+
+(* A resolved wire endpoint. *)
+type resolved =
+  | R_boundary of Spec.endpoint
+  | R_elem of element * Circuit.port * Spec.endpoint
+
+(* How a wire is sourced. *)
+type source =
+  | Src_elem of string * string (* element, output port *)
+  | Src_boundary of string      (* boundary input port *)
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let ref_matches instance = function
+  | Spec.Exact n -> n = instance
+  | Spec.Group (_, members) -> List.mem instance members
+
+let resolve ~boundary ~elements (w : Spec.wire) (e : Spec.endpoint) =
+  if ref_matches boundary e.Spec.m_ref then R_boundary e
+  else
+    match
+      List.filter (fun el -> ref_matches el.el_name e.Spec.m_ref) elements
+    with
+    | [ el ] -> (
+        match Circuit.find_port el.el_circuit e.Spec.pname with
+        | Some port -> R_elem (el, port, e)
+        | None ->
+            fail "netlist: wire %s: module %s has no port %s" w.Spec.w_name
+              el.el_name e.Spec.pname)
+    | [] ->
+        fail "netlist: wire %s: no element matches %s" w.Spec.w_name
+          (match e.Spec.m_ref with
+          | Spec.Exact n -> n
+          | Spec.Group (base, _) -> base ^ "[..]")
+    | _ :: _ :: _ ->
+        fail "netlist: wire %s: ambiguous module reference" w.Spec.w_name
+
+let build ~name ~boundary ~elements ~entry ?(ties = []) () =
+  let () =
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun el ->
+        if Hashtbl.mem seen el.el_name then
+          fail "netlist %s: duplicate element name %s" name el.el_name;
+        if el.el_name = boundary then
+          fail "netlist %s: element named like the boundary (%s)" name
+            boundary;
+        Hashtbl.add seen el.el_name ())
+      elements
+  in
+  let entry = Spec.expand_groups entry in
+  let wires = entry.Spec.wires in
+  let boundary_inputs : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let wire_source : (string, source) Hashtbl.t = Hashtbl.create 64 in
+  let primary_of_output : (string * string, string) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  (* (element, input port) -> (wire, endpoint at the sink) *)
+  let input_conn : (string * string, Spec.wire * Spec.endpoint) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let boundary_outputs : (string * string) list ref = ref [] in
+  let full_span (w : Spec.wire) (e : Spec.endpoint) =
+    Spec.endpoint_width e = w.Spec.w_width
+  in
+  let register_driver (w : Spec.wire) el (port : Circuit.port) e =
+    if not (full_span w e) then
+      fail "netlist %s: wire %s: driving endpoint must span the wire" name
+        w.Spec.w_name;
+    if port.Circuit.port_width <> w.Spec.w_width then
+      fail "netlist %s: wire %s: driver %s.%s width %d <> wire width %d" name
+        w.Spec.w_name el.el_name port.Circuit.port_name
+        port.Circuit.port_width w.Spec.w_width;
+    let key = (el.el_name, port.Circuit.port_name) in
+    if not (Hashtbl.mem primary_of_output key) then
+      Hashtbl.replace primary_of_output key w.Spec.w_name;
+    Hashtbl.replace wire_source w.Spec.w_name
+      (Src_elem (el.el_name, port.Circuit.port_name))
+  in
+  let register_sink (w : Spec.wire) el (port : Circuit.port) (e : Spec.endpoint)
+      =
+    if port.Circuit.port_width <> Spec.endpoint_width e then
+      fail "netlist %s: wire %s: sink %s.%s width %d <> endpoint width %d"
+        name w.Spec.w_name el.el_name port.Circuit.port_name
+        port.Circuit.port_width (Spec.endpoint_width e);
+    let key = (el.el_name, port.Circuit.port_name) in
+    if Hashtbl.mem input_conn key then
+      fail "netlist %s: input %s.%s connected by more than one wire" name
+        el.el_name port.Circuit.port_name;
+    Hashtbl.replace input_conn key (w, e)
+  in
+  let register_boundary_input (w : Spec.wire) (e : Spec.endpoint) =
+    if not (full_span w e) then
+      fail "netlist %s: wire %s: boundary endpoint must span the wire" name
+        w.Spec.w_name;
+    (match Hashtbl.find_opt boundary_inputs e.Spec.pname with
+    | Some width when width <> w.Spec.w_width ->
+        fail "netlist %s: boundary port %s used at widths %d and %d" name
+          e.Spec.pname width w.Spec.w_width
+    | Some _ | None ->
+        Hashtbl.replace boundary_inputs e.Spec.pname w.Spec.w_width);
+    Hashtbl.replace wire_source w.Spec.w_name (Src_boundary e.Spec.pname)
+  in
+  List.iter
+    (fun (w : Spec.wire) ->
+      let r1 = resolve ~boundary ~elements w w.Spec.end1 in
+      let r2 = resolve ~boundary ~elements w w.Spec.end2 in
+      match (r1, r2) with
+      | R_boundary _, R_boundary _ ->
+          fail "netlist %s: wire %s connects the boundary to itself" name
+            w.Spec.w_name
+      | R_elem (el1, p1, e1), R_elem (el2, p2, e2) -> (
+          match (p1.Circuit.direction, p2.Circuit.direction) with
+          | Circuit.Output, Circuit.Input ->
+              register_driver w el1 p1 e1;
+              register_sink w el2 p2 e2
+          | Circuit.Input, Circuit.Output ->
+              register_driver w el2 p2 e2;
+              register_sink w el1 p1 e1
+          | Circuit.Output, Circuit.Output ->
+              fail "netlist %s: wire %s has two drivers" name w.Spec.w_name
+          | Circuit.Input, Circuit.Input ->
+              fail "netlist %s: wire %s has no driver" name w.Spec.w_name)
+      | R_boundary be, R_elem (el, p, e) | R_elem (el, p, e), R_boundary be
+        -> (
+          match p.Circuit.direction with
+          | Circuit.Output ->
+              register_driver w el p e;
+              if not (full_span w be) then
+                fail
+                  "netlist %s: wire %s: boundary endpoint must span the wire"
+                  name w.Spec.w_name;
+              if List.mem_assoc be.Spec.pname !boundary_outputs then
+                fail "netlist %s: boundary output %s driven twice" name
+                  be.Spec.pname;
+              boundary_outputs :=
+                (be.Spec.pname, w.Spec.w_name) :: !boundary_outputs
+          | Circuit.Input ->
+              register_boundary_input w be;
+              register_sink w el p e))
+    wires;
+  (* The flat signal a wire's value lives on: either a boundary input port
+     or the primary wire of the driving element output. *)
+  let base_of_wire wname =
+    match Hashtbl.find_opt wire_source wname with
+    | Some (Src_boundary pn) -> pn
+    | Some (Src_elem (el, port)) -> Hashtbl.find primary_of_output (el, port)
+    | None -> assert false
+  in
+  let open Circuit.Builder in
+  let b = create name in
+  let exported_inputs =
+    Hashtbl.fold (fun pname width acc -> (pname, width) :: acc)
+      boundary_inputs []
+    |> List.sort compare
+  in
+  List.iter (fun (pname, width) -> ignore (input b pname width)) exported_inputs;
+  let dangling = ref [] and tied = ref [] in
+  List.iter
+    (fun el ->
+      let ins =
+        List.map
+          (fun (p : Circuit.port) ->
+            match
+              Hashtbl.find_opt input_conn (el.el_name, p.Circuit.port_name)
+            with
+            | Some (w, e) ->
+                let base = Expr.Var (base_of_wire w.Spec.w_name) in
+                let expr =
+                  if Spec.endpoint_width e = w.Spec.w_width then base
+                  else Expr.Select (base, e.Spec.wmsb, e.Spec.wlsb)
+                in
+                (p.Circuit.port_name, expr)
+            | None -> (
+                match
+                  List.find_opt
+                    (fun (en, pn, _) ->
+                      en = el.el_name && pn = p.Circuit.port_name)
+                    ties
+                with
+                | Some (_, _, bits) ->
+                    tied :=
+                      Printf.sprintf "%s.%s" el.el_name p.Circuit.port_name
+                      :: !tied;
+                    (p.Circuit.port_name, Expr.Const bits)
+                | None ->
+                    fail "netlist %s: input %s.%s is unconnected" name
+                      el.el_name p.Circuit.port_name))
+          (Circuit.inputs el.el_circuit)
+      in
+      let outs =
+        List.map
+          (fun (p : Circuit.port) ->
+            match
+              Hashtbl.find_opt primary_of_output
+                (el.el_name, p.Circuit.port_name)
+            with
+            | Some wname -> (p.Circuit.port_name, wname)
+            | None ->
+                let nc =
+                  Printf.sprintf "nc_%s_%s" el.el_name p.Circuit.port_name
+                in
+                dangling :=
+                  Printf.sprintf "%s.%s" el.el_name p.Circuit.port_name
+                  :: !dangling;
+                (p.Circuit.port_name, nc))
+          (Circuit.outputs el.el_circuit)
+      in
+      ignore (instantiate b ~name:el.el_name el.el_circuit ~inputs:ins ~outputs:outs))
+    elements;
+  List.iter
+    (fun (pname, wname) ->
+      let src = base_of_wire wname in
+      let width =
+        match Hashtbl.find_opt wire_source wname with
+        | Some _ ->
+            (* Width known from the wire spec: find it. *)
+            (match
+               List.find_opt (fun w -> w.Spec.w_name = wname) wires
+             with
+            | Some w -> w.Spec.w_width
+            | None -> assert false)
+        | None -> assert false
+      in
+      output b pname width;
+      assign b pname (Expr.Var src))
+    (List.rev !boundary_outputs);
+  let circuit = finish b in
+  ( circuit,
+    {
+      wire_count = List.length wires;
+      exported_inputs = List.map fst exported_inputs;
+      exported_outputs = List.map fst (List.rev !boundary_outputs);
+      dangling = List.rev !dangling;
+      tied = List.rev !tied;
+    } )

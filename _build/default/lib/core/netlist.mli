@@ -1,0 +1,44 @@
+(** The match-and-instantiate netlister underlying both [BANGen]
+    (paper Fig. 19) and [SubSysGen] (paper Fig. 20).
+
+    Given a set of named elements (module instances with their circuits)
+    and a Wire Library entry, the netlister:
+    + expands group wires ({!Busgen_wirelib.Spec.expand_groups});
+    + matches each wire endpoint against the elements' ports (Steps 3-4 of
+      both figures);
+    + decides the I/O ports of the generated circuit: endpoints whose
+      module reference equals [boundary] become ports, with direction
+      inferred from the opposite end;
+    + instantiates the elements and writes the circuit (Step 5).
+
+    Rules enforced:
+    - every wire has exactly one driver (an element output or a boundary
+      input);
+    - a driving element endpoint spans the whole wire and matches the
+      port width; reading endpoints may select a slice;
+    - element input ports must be connected by exactly one wire, appear
+      in [ties], or the build fails;
+    - element output ports not referenced by any wire are tied to
+      dangling wires (reported in {!info.dangling}). *)
+
+type element = { el_name : string; el_circuit : Busgen_rtl.Circuit.t }
+
+type info = {
+  wire_count : int;        (** wires created after group expansion *)
+  exported_inputs : string list;
+  exported_outputs : string list;
+  dangling : string list;  (** element outputs no wire reads *)
+  tied : string list;      (** element inputs satisfied from [ties] *)
+}
+
+val build :
+  name:string ->
+  boundary:string ->
+  elements:element list ->
+  entry:Busgen_wirelib.Spec.entry ->
+  ?ties:(string * string * Busgen_rtl.Bits.t) list ->
+  unit ->
+  Busgen_rtl.Circuit.t * info
+(** @raise Invalid_argument with a descriptive message on any rule
+    violation (unknown module/port in a wire, multiple drivers, width
+    mismatch, unconnected input, duplicate element names). *)

@@ -1,0 +1,154 @@
+type bus_type = Gbavi | Gbaviii | Bfba | Splitba
+
+type cpu_type = Cpu_mpc750 | Cpu_mpc755 | Cpu_mpc7410 | Cpu_arm9tdmi
+
+type non_cpu_type = Dct | Fft | Mpeg2_decoder
+
+type memory_type = Mem_sram | Mem_dram | Mem_dpram | Mem_fifo
+
+type memory_prop = {
+  mem_type : memory_type;
+  mem_addr_width : int;
+  mem_data_width : int;
+}
+
+type ban_prop = {
+  cpu : cpu_type option;
+  non_cpu : non_cpu_type option;
+  memories : memory_prop list;
+}
+
+type bus_prop = {
+  bus : bus_type;
+  bus_addr_width : int;
+  bus_data_width : int;
+  bififo_depth : int option;
+}
+
+type subsystem_prop = { buses : bus_prop list; bans : ban_prop list }
+
+type t = { subsystems : subsystem_prop list }
+
+let bus_type_name = function
+  | Gbavi -> "GBAVI"
+  | Gbaviii -> "GBAVIII"
+  | Bfba -> "BFBA"
+  | Splitba -> "SplitBA"
+
+let cpu_type_name = function
+  | Cpu_mpc750 -> "MPC750"
+  | Cpu_mpc755 -> "MPC755"
+  | Cpu_mpc7410 -> "MPC7410"
+  | Cpu_arm9tdmi -> "ARM9TDMI"
+
+let memory_type_name = function
+  | Mem_sram -> "SRAM"
+  | Mem_dram -> "DRAM"
+  | Mem_dpram -> "DPRAM"
+  | Mem_fifo -> "FIFO"
+
+let cpu_to_modlib = function
+  | Cpu_mpc750 -> Busgen_modlib.Cbi.Mpc750
+  | Cpu_mpc755 -> Busgen_modlib.Cbi.Mpc755
+  | Cpu_mpc7410 -> Busgen_modlib.Cbi.Mpc7410
+  | Cpu_arm9tdmi -> Busgen_modlib.Cbi.Arm9tdmi
+
+let default_mpc755_ban mem =
+  { cpu = Some Cpu_mpc755; non_cpu = None; memories = [ mem ] }
+
+let paper_sram_8mb =
+  { mem_type = Mem_sram; mem_addr_width = 20; mem_data_width = 64 }
+
+let validate t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  if t.subsystems = [] then err "a Bus System needs at least one Bus Subsystem";
+  List.iteri
+    (fun si ss ->
+      let where = Printf.sprintf "subsystem %d" si in
+      if ss.bans = [] then err "%s: needs at least one BAN" where;
+      (match List.length ss.buses with
+      | 0 -> err "%s: needs at least one bus" where
+      | 1 | 2 -> ()
+      | n -> err "%s: at most two buses are supported, got %d" where n);
+      List.iteri
+        (fun bi bus ->
+          let bwhere = Printf.sprintf "%s bus %d (%s)" where bi
+              (bus_type_name bus.bus)
+          in
+          if bus.bus_addr_width < 8 || bus.bus_addr_width > 64 then
+            err "%s: address width %d out of [8, 64]" bwhere bus.bus_addr_width;
+          if bus.bus_data_width < 8 || bus.bus_data_width > 128 then
+            err "%s: data width %d out of [8, 128]" bwhere bus.bus_data_width;
+          match (bus.bus, bus.bififo_depth) with
+          | Bfba, None -> err "%s: BFBA requires a Bi-FIFO depth" bwhere
+          | Bfba, Some d when d < 2 ->
+              err "%s: Bi-FIFO depth %d < 2" bwhere d
+          | Bfba, Some _ -> ()
+          | (Gbavi | Gbaviii | Splitba), Some _ ->
+              err "%s: Bi-FIFO depth only applies to BFBA" bwhere
+          | (Gbavi | Gbaviii | Splitba), None -> ())
+        ss.buses;
+      List.iteri
+        (fun bani ban ->
+          let bwhere = Printf.sprintf "%s BAN %d" where bani in
+          (match (ban.cpu, ban.non_cpu) with
+          | Some _, Some _ ->
+              err "%s: a BAN has a CPU or a non-CPU function, not both" bwhere
+          | Some _, None | None, Some _ | None, None -> ());
+          if ban.cpu = None && ban.non_cpu = None && ban.memories = [] then
+            err "%s: empty BAN (no CPU, no function, no memory)" bwhere;
+          List.iteri
+            (fun mi m ->
+              let mwhere = Printf.sprintf "%s memory %d" bwhere mi in
+              if m.mem_addr_width < 1 || m.mem_addr_width > 20 then
+                err "%s: memory address width %d out of [1, 20]" mwhere
+                  m.mem_addr_width;
+              let max_bus_data =
+                List.fold_left
+                  (fun acc bus -> max acc bus.bus_data_width)
+                  0 ss.buses
+              in
+              if m.mem_data_width > max_bus_data then
+                err "%s: memory data width %d exceeds every bus width" mwhere
+                  m.mem_data_width)
+            ban.memories)
+        ss.bans)
+    t.subsystems;
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+let pp fmt t =
+  Format.fprintf fmt "1. Bus System: %d subsystem(s)@."
+    (List.length t.subsystems);
+  List.iteri
+    (fun si ss ->
+      Format.fprintf fmt "2. Subsystem %d: %d BAN(s), %d bus(es)@." si
+        (List.length ss.bans) (List.length ss.buses);
+      List.iter
+        (fun bus ->
+          Format.fprintf fmt "   3. Bus %s: addr %d, data %d%s@."
+            (bus_type_name bus.bus) bus.bus_addr_width bus.bus_data_width
+            (match bus.bififo_depth with
+            | Some d -> Printf.sprintf ", Bi-FIFO depth %d" d
+            | None -> ""))
+        ss.buses;
+      List.iteri
+        (fun bani ban ->
+          Format.fprintf fmt "   4. BAN %d: CPU %s, %d memory(ies)@." bani
+            (match ban.cpu with
+            | Some c -> cpu_type_name c
+            | None -> (
+                match ban.non_cpu with
+                | Some Dct -> "non-CPU DCT"
+                | Some Fft -> "non-CPU FFT"
+                | Some Mpeg2_decoder -> "non-CPU MPEG2"
+                | None -> "NONE"))
+            (List.length ban.memories);
+          List.iter
+            (fun m ->
+              Format.fprintf fmt "      5. Memory %s: addr %d, data %d@."
+                (memory_type_name m.mem_type) m.mem_addr_width
+                m.mem_data_width)
+            ban.memories)
+        ss.bans)
+    t.subsystems

@@ -1,0 +1,67 @@
+(** User input options (paper Fig. 18, right-hand box).
+
+    The option tree mirrors the paper's five categories:
+    1. Bus System Property — number of Bus Subsystems;
+    2. Bus Subsystem Property — number of BANs, number of buses, bus types;
+    3. Bus Property — address/data widths, Bi-FIFO depth (BFBA only);
+    4. BAN Property — CPU type or non-CPU type, number of memories;
+    5. Memory Property — type, address width, data width. *)
+
+type bus_type = Gbavi | Gbaviii | Bfba | Splitba
+
+type cpu_type = Cpu_mpc750 | Cpu_mpc755 | Cpu_mpc7410 | Cpu_arm9tdmi
+
+type non_cpu_type = Dct | Fft | Mpeg2_decoder
+
+type memory_type = Mem_sram | Mem_dram | Mem_dpram | Mem_fifo
+
+type memory_prop = {
+  mem_type : memory_type;
+  mem_addr_width : int;  (** user option 5.2 *)
+  mem_data_width : int;  (** user option 5.3 *)
+}
+
+type ban_prop = {
+  cpu : cpu_type option;          (** user option 4.1 (NONE allowed) *)
+  non_cpu : non_cpu_type option;  (** user option 4.2 *)
+  memories : memory_prop list;    (** options 4.3 + 5.x *)
+}
+
+type bus_prop = {
+  bus : bus_type;                 (** user option 2.3 *)
+  bus_addr_width : int;           (** user option 3.1 *)
+  bus_data_width : int;           (** user option 3.2 *)
+  bififo_depth : int option;      (** user option 3.3; BFBA/Hybrid only *)
+}
+
+type subsystem_prop = {
+  buses : bus_prop list;          (** options 2.2/2.3: one or two buses *)
+  bans : ban_prop list;           (** option 2.1 gives the length *)
+}
+
+type t = { subsystems : subsystem_prop list }
+
+val validate : t -> (unit, string list) result
+(** All structural constraints of the input sequence: at least one
+    subsystem, each with at least one BAN and between one and two buses;
+    Bi-FIFO depth present exactly for BFBA buses (and >= 2); a BAN has a
+    CPU or a non-CPU function or is a pure memory BAN, not both CPU and
+    non-CPU; memory widths within the bus widths; supported width
+    ranges. *)
+
+val bus_type_name : bus_type -> string
+val cpu_type_name : cpu_type -> string
+val memory_type_name : memory_type -> string
+
+val cpu_to_modlib : cpu_type -> Busgen_modlib.Cbi.pe
+
+val default_mpc755_ban : memory_prop -> ban_prop
+(** An MPC755 BAN with one memory — the configuration used throughout the
+    paper's examples. *)
+
+val paper_sram_8mb : memory_prop
+(** The paper's 8 MB SRAM: [addr_width = 20], [data_width = 64]
+    (Example 9). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the option tree in the numbered style of Fig. 18. *)

@@ -1,0 +1,211 @@
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let bus_type_of = function
+  | "bfba" -> Ok Options.Bfba
+  | "gbavi" -> Ok Options.Gbavi
+  | "gbaviii" -> Ok Options.Gbaviii
+  | "splitba" -> Ok Options.Splitba
+  | s -> Error (Printf.sprintf "unknown bus type %S" s)
+
+let cpu_of = function
+  | "mpc750" -> Ok Options.Cpu_mpc750
+  | "mpc755" -> Ok Options.Cpu_mpc755
+  | "mpc7410" -> Ok Options.Cpu_mpc7410
+  | "arm9tdmi" -> Ok Options.Cpu_arm9tdmi
+  | s -> Error (Printf.sprintf "unknown CPU core %S" s)
+
+let mem_of = function
+  | "sram" -> Ok Options.Mem_sram
+  | "dram" -> Ok Options.Mem_dram
+  | "dpram" -> Ok Options.Mem_dpram
+  | "fifo" -> Ok Options.Mem_fifo
+  | s -> Error (Printf.sprintf "unknown memory type %S" s)
+
+let int_of lineno s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "line %d: expected a number, got %S" lineno s)
+
+(* Parse "[addr N] [data N] [depth N]" option pairs of a bus line. *)
+let rec bus_opts lineno (bus : Options.bus_prop) = function
+  | [] -> Ok bus
+  | "addr" :: v :: rest ->
+      let* v = int_of lineno v in
+      bus_opts lineno { bus with Options.bus_addr_width = v } rest
+  | "data" :: v :: rest ->
+      let* v = int_of lineno v in
+      bus_opts lineno { bus with Options.bus_data_width = v } rest
+  | "depth" :: v :: rest ->
+      let* v = int_of lineno v in
+      bus_opts lineno { bus with Options.bififo_depth = Some v } rest
+  | tok :: _ -> Error (Printf.sprintf "line %d: unexpected %S on a bus line" lineno tok)
+
+let rec mems_of lineno acc = function
+  | [] -> Ok (List.rev acc)
+  | "mem" :: ty :: aw :: dw :: rest ->
+      let* mem_type = mem_of ty in
+      let* mem_addr_width = int_of lineno aw in
+      let* mem_data_width = int_of lineno dw in
+      mems_of lineno
+        ({ Options.mem_type; mem_addr_width; mem_data_width } :: acc)
+        rest
+  | tok :: _ ->
+      Error
+        (Printf.sprintf
+           "line %d: expected 'mem <type> <addr_width> <data_width>', got %S"
+           lineno tok)
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  (* Accumulate subsystems in reverse; the current subsystem's buses and
+     bans also in reverse. *)
+  let finalize (buses, bans) =
+    { Options.buses = List.rev buses; bans = List.rev bans }
+  in
+  let rec go lineno subsystems current lines =
+    match lines with
+    | [] -> (
+        let subsystems =
+          match current with
+          | None -> List.rev subsystems
+          | Some c -> List.rev (finalize c :: subsystems)
+        in
+        match subsystems with
+        | [] -> Error "no subsystems (the file needs at least one 'subsystem')"
+        | ss -> Ok { Options.subsystems = ss })
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let words =
+          String.split_on_char ' ' (String.trim line)
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (( <> ) "")
+        in
+        match words with
+        | [] -> go (lineno + 1) subsystems current rest
+        | "subsystem" :: [] ->
+            let subsystems =
+              match current with
+              | None -> subsystems
+              | Some c -> finalize c :: subsystems
+            in
+            go (lineno + 1) subsystems (Some ([], [])) rest
+        | "bus" :: ty :: opts -> (
+            match current with
+            | None -> Error (Printf.sprintf "line %d: 'bus' before 'subsystem'" lineno)
+            | Some (buses, bans) ->
+                let* bus = bus_type_of ty in
+                let* bus =
+                  bus_opts lineno
+                    { Options.bus; bus_addr_width = 32; bus_data_width = 64;
+                      bififo_depth = None }
+                    opts
+                in
+                go (lineno + 1) subsystems (Some (bus :: buses, bans)) rest)
+        | "ban" :: spec -> (
+            match current with
+            | None -> Error (Printf.sprintf "line %d: 'ban' before 'subsystem'" lineno)
+            | Some (buses, bans) ->
+                let* ban =
+                  match spec with
+                  | "cpu" :: core :: mems ->
+                      let* cpu = cpu_of core in
+                      let* memories = mems_of lineno [] mems in
+                      Ok { Options.cpu = Some cpu; non_cpu = None; memories }
+                  | [ "fft" ] ->
+                      Ok
+                        { Options.cpu = None; non_cpu = Some Options.Fft;
+                          memories = [] }
+                  | [ "dct" ] ->
+                      Ok
+                        { Options.cpu = None; non_cpu = Some Options.Dct;
+                          memories = [] }
+                  | [ "mpeg2" ] ->
+                      Ok
+                        { Options.cpu = None;
+                          non_cpu = Some Options.Mpeg2_decoder; memories = [] }
+                  | ("mem" :: _) as mems ->
+                      let* memories = mems_of lineno [] mems in
+                      Ok { Options.cpu = None; non_cpu = None; memories }
+                  | tok :: _ ->
+                      Error
+                        (Printf.sprintf "line %d: unexpected BAN kind %S"
+                           lineno tok)
+                  | [] ->
+                      Error (Printf.sprintf "line %d: empty 'ban' line" lineno)
+                in
+                go (lineno + 1) subsystems (Some (buses, ban :: bans)) rest)
+        | tok :: _ ->
+            Error (Printf.sprintf "line %d: unexpected %S" lineno tok))
+  in
+  go 1 [] None lines
+
+let bus_type_name = function
+  | Options.Bfba -> "bfba"
+  | Options.Gbavi -> "gbavi"
+  | Options.Gbaviii -> "gbaviii"
+  | Options.Splitba -> "splitba"
+
+let cpu_name = function
+  | Options.Cpu_mpc750 -> "mpc750"
+  | Options.Cpu_mpc755 -> "mpc755"
+  | Options.Cpu_mpc7410 -> "mpc7410"
+  | Options.Cpu_arm9tdmi -> "arm9tdmi"
+
+let mem_name = function
+  | Options.Mem_sram -> "sram"
+  | Options.Mem_dram -> "dram"
+  | Options.Mem_dpram -> "dpram"
+  | Options.Mem_fifo -> "fifo"
+
+let print (t : Options.t) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun ss ->
+      Buffer.add_string buf "subsystem\n";
+      List.iter
+        (fun (b : Options.bus_prop) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  bus %s addr %d data %d%s\n"
+               (bus_type_name b.Options.bus)
+               b.Options.bus_addr_width b.Options.bus_data_width
+               (match b.Options.bififo_depth with
+               | Some d -> Printf.sprintf " depth %d" d
+               | None -> "")))
+        ss.Options.buses;
+      List.iter
+        (fun (ban : Options.ban_prop) ->
+          let mems =
+            String.concat ""
+              (List.map
+                 (fun (m : Options.memory_prop) ->
+                   Printf.sprintf " mem %s %d %d"
+                     (mem_name m.Options.mem_type)
+                     m.Options.mem_addr_width m.Options.mem_data_width)
+                 ban.Options.memories)
+          in
+          match (ban.Options.cpu, ban.Options.non_cpu) with
+          | Some cpu, _ ->
+              Buffer.add_string buf
+                (Printf.sprintf "  ban cpu %s%s\n" (cpu_name cpu) mems)
+          | None, Some Options.Dct -> Buffer.add_string buf "  ban dct\n"
+          | None, Some Options.Fft -> Buffer.add_string buf "  ban fft\n"
+          | None, Some Options.Mpeg2_decoder ->
+              Buffer.add_string buf "  ban mpeg2\n"
+          | None, None ->
+              Buffer.add_string buf (Printf.sprintf "  ban%s\n" mems))
+        ss.Options.bans)
+    t.Options.subsystems;
+  Buffer.contents buf
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let len = in_channel_length ic in
+      let src = really_input_string ic len in
+      close_in ic;
+      parse src

@@ -1,0 +1,36 @@
+(** Text format for user option trees — the batch equivalent of the
+    paper's interactive input sequence (Fig. 18).
+
+    Line-based; [#] starts a comment.  Example (paper Example 10, the
+    Hybrid system):
+    {v
+    subsystem
+      bus bfba addr 32 data 64 depth 1024
+      bus gbaviii addr 32 data 64
+      ban cpu mpc755 mem sram 20 64
+      ban cpu mpc755 mem sram 20 64
+      ban cpu mpc755 mem sram 20 64
+      ban cpu mpc755 mem sram 20 64
+    v}
+
+    Grammar per line:
+    - [subsystem] — start a new Bus Subsystem (option 1/2); repeat the
+      block once per subsystem (two for the paper's SplitBA, more for
+      the generator's full-mesh extension);
+    - [bus <type> \[addr N\] \[data N\] \[depth N\]] — add a bus of type
+      [bfba], [gbavi], [gbaviii] or [splitba] (options 2.3/3.x; [addr]
+      defaults to 32, [data] to 64; [depth] is the Bi-FIFO depth);
+    - [ban cpu <core> (mem <type> <addr_width> <data_width>)*] — a CPU
+      BAN with memories (options 4.x/5.x; cores: mpc750, mpc755,
+      mpc7410, arm9tdmi; memory types: sram, dram, dpram, fifo);
+    - [ban dct] / [ban mpeg2] — a non-CPU BAN (option 4.2);
+    - [ban (mem <type> <aw> <dw>)+] — a memory-only BAN. *)
+
+val parse : string -> (Options.t, string) result
+(** The error names the offending line. *)
+
+val print : Options.t -> string
+(** Inverse of {!parse}: [parse (print o) = Ok o]. *)
+
+val load : string -> (Options.t, string) result
+(** Read and parse a file. *)

@@ -1,0 +1,76 @@
+let mpc755_ban = Options.default_mpc755_ban Options.paper_sram_8mb
+
+let bus bus_type ?bififo_depth () =
+  {
+    Options.bus = bus_type;
+    bus_addr_width = 32;
+    bus_data_width = 64;
+    bififo_depth;
+  }
+
+let single_subsystem ~buses ~n_pes =
+  {
+    Options.subsystems =
+      [ { Options.buses; bans = List.init n_pes (fun _ -> mpc755_ban) } ];
+  }
+
+let bfba_n n =
+  single_subsystem ~buses:[ bus Options.Bfba ~bififo_depth:1024 () ] ~n_pes:n
+
+let gbavi_n n = single_subsystem ~buses:[ bus Options.Gbavi () ] ~n_pes:n
+
+let gbaviii_n n = single_subsystem ~buses:[ bus Options.Gbaviii () ] ~n_pes:n
+
+let gbavii_n n =
+  single_subsystem
+    ~buses:[ bus Options.Gbavi (); bus Options.Gbaviii () ]
+    ~n_pes:n
+
+let hybrid_n n =
+  single_subsystem
+    ~buses:[ bus Options.Bfba ~bififo_depth:1024 (); bus Options.Gbaviii () ]
+    ~n_pes:n
+
+let splitba_n n =
+  let half = n / 2 in
+  {
+    Options.subsystems =
+      [
+        {
+          Options.buses = [ bus Options.Splitba () ];
+          bans = List.init half (fun _ -> mpc755_ban);
+        };
+        {
+          Options.buses = [ bus Options.Splitba () ];
+          bans = List.init (n - half) (fun _ -> mpc755_ban);
+        };
+      ];
+  }
+
+let bfba_4pe = bfba_n 4
+let gbavi_4pe = gbavi_n 4
+let gbaviii_4pe = gbaviii_n 4
+let hybrid_4pe = hybrid_n 4
+let splitba_4pe = splitba_n 4
+
+let all =
+  [
+    ("BFBA", bfba_4pe);
+    ("GBAVI", gbavi_4pe);
+    ("GBAVIII", gbaviii_4pe);
+    ("Hybrid", hybrid_4pe);
+    ("SplitBA", splitba_4pe);
+  ]
+
+let scaled ~arch ~n_pes =
+  if n_pes < 1 then None
+  else
+    match arch with
+    | Generate.Bfba -> Some (bfba_n n_pes)
+    | Generate.Gbavi -> Some (gbavi_n n_pes)
+    | Generate.Gbavii -> Some (gbavii_n n_pes)
+    | Generate.Gbaviii -> Some (gbaviii_n n_pes)
+    | Generate.Hybrid -> Some (hybrid_n n_pes)
+    | Generate.Splitba ->
+        if n_pes >= 2 && n_pes mod 2 = 0 then Some (splitba_n n_pes) else None
+    | Generate.Ggba | Generate.Ccba -> None

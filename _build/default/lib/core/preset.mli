@@ -1,0 +1,21 @@
+(** The paper's example configurations as user-option trees.
+
+    Each preset reproduces the input sequence of a paper example:
+    {!bfba_4pe} is Example 9 verbatim (one subsystem, four MPC755 BANs,
+    BFBA with depth-1024 Bi-FIFOs, one 8 MB SRAM per BAN);
+    {!hybrid_4pe} is Example 10; the others follow Figs. 3, 5 and 7.
+    All have four PEs and 32 MB total memory, as in Section IV.B. *)
+
+val bfba_4pe : Options.t
+val gbavi_4pe : Options.t
+val gbaviii_4pe : Options.t
+val hybrid_4pe : Options.t
+val splitba_4pe : Options.t
+
+val all : (string * Options.t) list
+(** The five generated architectures, keyed by paper name. *)
+
+val scaled : arch:Generate.arch -> n_pes:int -> Options.t option
+(** Table V grid: the same preset scaled to [n_pes] processors.
+    [None] when the architecture cannot take that count (SplitBA needs an
+    even count of at least 2; GGBA/CCBA are not presets). *)

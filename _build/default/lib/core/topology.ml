@@ -1,0 +1,70 @@
+module Spec = Busgen_wirelib.Spec
+
+let ref_name = function
+  | Spec.Exact m -> m
+  | Spec.Group (base, members) ->
+      (* Multi-member groups with differing member lists survive
+         expansion; render them as the set they name. *)
+      Printf.sprintf "%s[%s]" base (String.concat "," members)
+
+let dot_of_entry entry =
+  let entry = Spec.expand_groups entry in
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph \"%s\" {\n" entry.Spec.lib_name;
+  pf "  rankdir=LR;\n";
+  pf "  node [shape=box, fontname=\"Helvetica\"];\n";
+  pf "  edge [fontname=\"Helvetica\", fontsize=10];\n";
+  (* Collect nodes and merge parallel wires into one edge per pair. *)
+  let nodes = Hashtbl.create 16 in
+  let edges = Hashtbl.create 16 in
+  List.iter
+    (fun (w : Spec.wire) ->
+      let a = ref_name w.Spec.end1.Spec.m_ref in
+      let b = ref_name w.Spec.end2.Spec.m_ref in
+      Hashtbl.replace nodes a ();
+      Hashtbl.replace nodes b ();
+      let count, bits =
+        match Hashtbl.find_opt edges (a, b) with
+        | Some (c, bt) -> (c, bt)
+        | None -> (0, 0)
+      in
+      Hashtbl.replace edges (a, b) (count + 1, bits + w.Spec.w_width))
+    entry.Spec.wires;
+  let node_names =
+    List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) nodes [])
+  in
+  List.iter
+    (fun n ->
+      let shape =
+        (* Memories and FIFOs read better as cylinders, interfaces as
+           plain boxes. *)
+        if
+          List.exists
+            (fun p ->
+              String.length n >= String.length p
+              && String.sub n 0 (String.length p) = p)
+            [ "SRAM"; "DRAM"; "MEM"; "FIFO"; "BIFIFO" ]
+        then "cylinder"
+        else "box"
+      in
+      pf "  \"%s\" [shape=%s];\n" n shape)
+    node_names;
+  let edge_list =
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) edges [])
+  in
+  List.iter
+    (fun ((a, b), (count, bits)) ->
+      pf "  \"%s\" -> \"%s\" [label=\"%d wire%s / %d bit%s\"];\n" a b count
+        (if count = 1 then "" else "s")
+        bits
+        (if bits = 1 then "" else "s"))
+    edge_list;
+  pf "}\n";
+  Buffer.contents buf
+
+let dot (g : Archs.generated) =
+  match List.rev g.Archs.entries with
+  | [] -> invalid_arg "Topology.dot: design has no wire entries"
+  | top :: _ -> dot_of_entry top

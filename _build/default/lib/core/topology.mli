@@ -1,0 +1,18 @@
+(** Graphviz rendering of generated Bus Systems.
+
+    The paper presents its five architectures as block diagrams
+    (Figs. 4-7) and its BAN structures as wire diagrams (Figs. 16-17);
+    this module regenerates those figures from the actual Wire Library
+    entries the generator produced: every netlist element becomes a
+    node, and the wires between a pair of modules are merged into one
+    labelled edge ([<n> wires / <bits> bits]).
+
+    Render with [dot -Tsvg sys.dot -o sys.svg]. *)
+
+val dot_of_entry : Busgen_wirelib.Spec.entry -> string
+(** One DOT graph for a single Wire Library entry (groups expanded
+    first, so a [BAN[A,B,..]] ring appears as its enumerated edges). *)
+
+val dot : Archs.generated -> string
+(** The top-level (system) entry of a generated design — the last in
+    generation order — as a DOT graph. *)

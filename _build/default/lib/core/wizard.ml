@@ -1,0 +1,147 @@
+exception Eof
+
+let run ~read ~emit =
+  let ask prompt ~default ~parse =
+    let rec go () =
+      emit (Printf.sprintf "%s [%s]: " prompt default);
+      match read () with
+      | None -> raise Eof
+      | Some line -> (
+          let answer = String.trim line in
+          let answer = if answer = "" then default else answer in
+          match parse answer with
+          | Ok v -> v
+          | Error why ->
+              emit (Printf.sprintf "  ! %s" why);
+              go ())
+    in
+    go ()
+  in
+  let int_in ~lo ~hi answer =
+    match int_of_string_opt answer with
+    | Some v when v >= lo && v <= hi -> Ok v
+    | Some v -> Error (Printf.sprintf "%d out of [%d, %d]" v lo hi)
+    | None -> Error (Printf.sprintf "not a number: %s" answer)
+  in
+  let choice ~what table answer =
+    let key = String.lowercase_ascii answer in
+    match List.assoc_opt key table with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (Printf.sprintf "unknown %s %s (choose: %s)" what answer
+             (String.concat ", " (List.map fst table)))
+  in
+  let ask_int prompt ~default ~lo ~hi =
+    ask prompt ~default:(string_of_int default) ~parse:(int_in ~lo ~hi)
+  in
+  try
+    emit "BusSyn option entry (paper Fig. 18); empty answer = default.";
+    (* 1. Bus System property. *)
+    let n_ss =
+      ask_int "1. number of bus subsystems (>1 = SplitBA)" ~default:1 ~lo:1
+        ~hi:8
+    in
+    let subsystems =
+      List.init n_ss (fun si ->
+          emit (Printf.sprintf "-- subsystem %d --" si);
+          (* 2. Subsystem property. *)
+          let n_buses =
+            ask_int "2.2 number of buses (2 = hybrid pair)" ~default:1 ~lo:1
+              ~hi:2
+          in
+          let buses =
+            List.init n_buses (fun bi ->
+                let bus =
+                  ask
+                    (Printf.sprintf "2.3 bus %d type" bi)
+                    ~default:(if n_ss > 1 then "splitba" else "gbaviii")
+                    ~parse:
+                      (choice ~what:"bus type"
+                         [
+                           ("gbavi", Options.Gbavi);
+                           ("gbaviii", Options.Gbaviii);
+                           ("bfba", Options.Bfba);
+                           ("splitba", Options.Splitba);
+                         ])
+                in
+                (* 3. Bus property. *)
+                let bus_addr_width =
+                  ask_int "3.1 bus address width" ~default:32 ~lo:8 ~hi:64
+                in
+                let bus_data_width =
+                  ask_int "3.2 bus data width" ~default:64 ~lo:8 ~hi:128
+                in
+                let bififo_depth =
+                  if bus = Options.Bfba then
+                    Some
+                      (ask_int "3.3 Bi-FIFO depth" ~default:1024 ~lo:2
+                         ~hi:65536)
+                  else None
+                in
+                { Options.bus; bus_addr_width; bus_data_width; bififo_depth })
+          in
+          let n_bans =
+            ask_int "2.1 number of BANs" ~default:4 ~lo:1 ~hi:32
+          in
+          let bans =
+            List.init n_bans (fun ki ->
+                (* 4. BAN property. *)
+                let kind =
+                  ask
+                    (Printf.sprintf "4.1 BAN %d function" ki)
+                    ~default:"mpc755"
+                    ~parse:
+                      (choice ~what:"BAN function"
+                         [
+                           ("mpc750", `Cpu Options.Cpu_mpc750);
+                           ("mpc755", `Cpu Options.Cpu_mpc755);
+                           ("mpc7410", `Cpu Options.Cpu_mpc7410);
+                           ("arm9tdmi", `Cpu Options.Cpu_arm9tdmi);
+                           ("dct", `Non_cpu Options.Dct);
+                           ("fft", `Non_cpu Options.Fft);
+                           ("memory", `Memory);
+                         ])
+                in
+                match kind with
+                | `Non_cpu f ->
+                    { Options.cpu = None; non_cpu = Some f; memories = [] }
+                | (`Cpu _ | `Memory) as k ->
+                    (* 5. Memory property. *)
+                    let mem_type =
+                      ask "5.1 memory type" ~default:"sram"
+                        ~parse:
+                          (choice ~what:"memory type"
+                             [
+                               ("sram", Options.Mem_sram);
+                               ("dram", Options.Mem_dram);
+                               ("dpram", Options.Mem_dpram);
+                             ])
+                    in
+                    let mem_addr_width =
+                      ask_int "5.2 memory address width" ~default:20 ~lo:1
+                        ~hi:20
+                    in
+                    let mem_data_width =
+                      ask_int "5.3 memory data width" ~default:64 ~lo:8
+                        ~hi:128
+                    in
+                    let mem =
+                      { Options.mem_type; mem_addr_width; mem_data_width }
+                    in
+                    {
+                      Options.cpu =
+                        (match k with `Cpu c -> Some c | `Memory -> None);
+                      non_cpu = None;
+                      memories = [ mem ];
+                    })
+          in
+          { Options.buses; bans })
+    in
+    let t = { Options.subsystems } in
+    match Options.validate t with
+    | Ok () ->
+        emit "options complete and valid.";
+        Ok t
+    | Error es -> Error (String.concat "; " es)
+  with Eof -> Error "end of input before the option walk finished"

@@ -1,0 +1,20 @@
+(** Interactive option entry — the paper's Fig. 18 GUI walk as a
+    question/answer session.
+
+    The paper's BusSyn collects its user options through a GUI tree
+    (Bus System → Subsystem → Bus → BAN → Memory); this module walks
+    the same tree as numbered prompts.  It is I/O-agnostic: the caller
+    supplies [read] (one answer per call; [None] = end of input) and
+    [emit] (one prompt line), so the CLI can wire stdin/stdout while
+    tests drive a scripted list of answers.
+
+    Empty answers take the suggested default shown in brackets.
+    Answers are re-asked (with a reason) until they parse; end of input
+    mid-walk is an error. *)
+
+val run :
+  read:(unit -> string option) ->
+  emit:(string -> unit) ->
+  (Options.t, string) result
+(** Walk the option tree once and validate the result.  The returned
+    options are guaranteed [Options.validate]-clean. *)

@@ -1,0 +1,1 @@
+lib/modlib/abi.ml: Busgen_rtl Circuit Printf

@@ -1,0 +1,1 @@
+lib/modlib/abi.mli: Busgen_rtl

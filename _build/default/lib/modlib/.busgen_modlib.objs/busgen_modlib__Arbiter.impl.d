@@ -1,0 +1,1 @@
+lib/modlib/arbiter.ml: Array Busgen_rtl Circuit Expr Fifo List Printf Util

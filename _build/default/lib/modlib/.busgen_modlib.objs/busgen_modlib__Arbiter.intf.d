@@ -1,0 +1,1 @@
+lib/modlib/arbiter.mli: Busgen_rtl

@@ -1,0 +1,1 @@
+lib/modlib/bb.ml: Busgen_rtl Circuit Expr Printf

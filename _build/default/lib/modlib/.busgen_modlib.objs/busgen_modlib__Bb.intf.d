@@ -1,0 +1,1 @@
+lib/modlib/bb.mli: Busgen_rtl

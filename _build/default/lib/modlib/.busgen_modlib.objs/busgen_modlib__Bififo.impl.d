@@ -1,0 +1,1 @@
+lib/modlib/bififo.ml: Busgen_rtl Circuit Expr Fifo Printf

@@ -1,0 +1,1 @@
+lib/modlib/bififo.mli: Busgen_rtl

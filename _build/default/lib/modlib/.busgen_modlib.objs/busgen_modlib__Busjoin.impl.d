@@ -1,0 +1,1 @@
+lib/modlib/busjoin.ml: Busgen_rtl Circuit Expr List Printf

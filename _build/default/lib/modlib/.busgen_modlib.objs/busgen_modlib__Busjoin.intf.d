@@ -1,0 +1,1 @@
+lib/modlib/busjoin.mli: Busgen_rtl

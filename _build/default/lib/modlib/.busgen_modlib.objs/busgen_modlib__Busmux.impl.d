@@ -1,0 +1,1 @@
+lib/modlib/busmux.ml: Busgen_rtl Circuit Expr Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/modlib/busmux.mli: Busgen_rtl

@@ -1,0 +1,1 @@
+lib/modlib/catalog.ml: Abi Arbiter Bb Bififo Busgen_rtl Busjoin Busmux Cbi Dct_ip Dpram Fft_adapter Fft_ip Fifo Fifo_slave Gbi Hashtbl Hs_regs Hs_slave Mbi Rom Sb Sram String

@@ -1,0 +1,1 @@
+lib/modlib/cbi.ml: Busgen_rtl Circuit Expr Printf

@@ -1,0 +1,1 @@
+lib/modlib/cbi.mli: Busgen_rtl

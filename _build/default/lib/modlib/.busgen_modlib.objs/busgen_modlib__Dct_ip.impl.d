@@ -1,0 +1,1 @@
+lib/modlib/dct_ip.ml: Array Busgen_rtl Circuit Expr Float List Printf

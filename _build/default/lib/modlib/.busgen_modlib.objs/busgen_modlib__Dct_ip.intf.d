@@ -1,0 +1,1 @@
+lib/modlib/dct_ip.mli: Busgen_rtl

@@ -1,0 +1,1 @@
+lib/modlib/dpram.ml: Busgen_rtl Circuit Expr Printf

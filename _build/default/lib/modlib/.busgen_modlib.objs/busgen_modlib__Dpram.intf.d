@@ -1,0 +1,1 @@
+lib/modlib/dpram.mli: Busgen_rtl

@@ -1,0 +1,1 @@
+lib/modlib/fft_adapter.ml: Busgen_rtl Circuit Expr Printf

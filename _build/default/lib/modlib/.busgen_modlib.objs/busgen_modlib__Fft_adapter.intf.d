@@ -1,0 +1,1 @@
+lib/modlib/fft_adapter.mli: Busgen_rtl

@@ -1,0 +1,1 @@
+lib/modlib/fft_ip.ml: Array Busgen_rtl Circuit Complex Expr Float List Printf

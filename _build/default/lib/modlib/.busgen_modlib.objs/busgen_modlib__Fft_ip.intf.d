@@ -1,0 +1,1 @@
+lib/modlib/fft_ip.mli: Busgen_rtl Complex

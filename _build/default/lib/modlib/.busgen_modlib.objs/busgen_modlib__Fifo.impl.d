@@ -1,0 +1,1 @@
+lib/modlib/fifo.ml: Busgen_rtl Circuit Expr Printf Util

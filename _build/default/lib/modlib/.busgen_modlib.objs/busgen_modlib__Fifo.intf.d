@@ -1,0 +1,1 @@
+lib/modlib/fifo.mli: Busgen_rtl

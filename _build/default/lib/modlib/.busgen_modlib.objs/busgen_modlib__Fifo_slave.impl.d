@@ -1,0 +1,1 @@
+lib/modlib/fifo_slave.ml: Busgen_rtl Circuit Expr Printf

@@ -1,0 +1,1 @@
+lib/modlib/fifo_slave.mli: Busgen_rtl

@@ -1,0 +1,1 @@
+lib/modlib/gbi.ml: Busgen_rtl Circuit Expr Printf

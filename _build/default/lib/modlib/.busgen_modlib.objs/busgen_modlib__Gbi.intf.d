@@ -1,0 +1,1 @@
+lib/modlib/gbi.mli: Busgen_rtl

@@ -1,0 +1,1 @@
+lib/modlib/hs_regs.ml: Bits Busgen_rtl Circuit Expr

@@ -1,0 +1,1 @@
+lib/modlib/hs_regs.mli: Busgen_rtl

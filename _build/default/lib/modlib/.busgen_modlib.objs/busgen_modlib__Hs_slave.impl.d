@@ -1,0 +1,1 @@
+lib/modlib/hs_slave.ml: Busgen_rtl Circuit Expr Printf

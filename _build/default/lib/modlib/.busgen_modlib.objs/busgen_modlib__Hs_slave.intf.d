@@ -1,0 +1,1 @@
+lib/modlib/hs_slave.mli: Busgen_rtl

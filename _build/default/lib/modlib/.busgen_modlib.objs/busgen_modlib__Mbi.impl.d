@@ -1,0 +1,1 @@
+lib/modlib/mbi.ml: Busgen_rtl Circuit Expr Printf Sram

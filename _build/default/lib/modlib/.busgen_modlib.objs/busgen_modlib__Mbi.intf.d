@@ -1,0 +1,1 @@
+lib/modlib/mbi.mli: Busgen_rtl Sram

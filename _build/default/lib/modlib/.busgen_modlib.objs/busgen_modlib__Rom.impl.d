@@ -1,0 +1,1 @@
+lib/modlib/rom.ml: Array Bits Busgen_rtl Circuit Expr List Printf

@@ -1,0 +1,1 @@
+lib/modlib/rom.mli: Busgen_rtl

@@ -1,0 +1,1 @@
+lib/modlib/sb.ml: Busgen_rtl Circuit Printf

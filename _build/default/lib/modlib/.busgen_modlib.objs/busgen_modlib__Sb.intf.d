@@ -1,0 +1,1 @@
+lib/modlib/sb.mli: Busgen_rtl

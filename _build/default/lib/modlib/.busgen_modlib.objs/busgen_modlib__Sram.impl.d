@@ -1,0 +1,1 @@
+lib/modlib/sram.ml: Busgen_rtl Circuit Expr Printf

@@ -1,0 +1,1 @@
+lib/modlib/sram.mli: Busgen_rtl

@@ -1,0 +1,1 @@
+lib/modlib/util.ml: Busgen_rtl Expr List

@@ -1,0 +1,1 @@
+lib/modlib/util.mli: Busgen_rtl

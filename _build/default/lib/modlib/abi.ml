@@ -1,0 +1,21 @@
+open Busgen_rtl
+
+type params = { masters : int }
+
+let module_name p = Printf.sprintf "abi_m%d" p.masters
+
+let create p =
+  if p.masters < 1 then invalid_arg "Abi.create: masters < 1";
+  let open Circuit.Builder in
+  let b = create (module_name p) in
+  let bus_req = input b "bus_req" p.masters in
+  let arb_grant = input b "arb_grant" p.masters in
+  output b "arb_req" p.masters;
+  output b "bus_gnt" p.masters;
+  let req_r = reg b "req_r" p.masters () in
+  let gnt_r = reg b "gnt_r" p.masters () in
+  set_next b "req_r" bus_req;
+  set_next b "gnt_r" arb_grant;
+  assign b "arb_req" req_r;
+  assign b "bus_gnt" gnt_r;
+  finish b

@@ -1,0 +1,14 @@
+(** Arbiter-to-Bus Interface (paper Fig. 2, "ABI").
+
+    Sits between the global arbiter and the bus: registers the request
+    lines sampled from the bus and drives the registered grant vector
+    back, isolating arbiter timing from bus wiring.
+
+    Inputs [bus_req\[n\]] (from the masters) and [arb_grant\[n\]] (from
+    the arbiter); outputs [arb_req\[n\]] (to the arbiter) and
+    [bus_gnt\[n\]] (to the masters). *)
+
+type params = { masters : int }
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t

@@ -1,0 +1,146 @@
+open Busgen_rtl
+
+type policy = Priority | Round_robin | Fcfs
+
+type params = { policy : policy; masters : int }
+
+let policy_name = function
+  | Priority -> "priority"
+  | Round_robin -> "rr"
+  | Fcfs -> "fcfs"
+
+let module_name p =
+  Printf.sprintf "arbiter_%s_m%d" (policy_name p.policy) p.masters
+
+let id_width p = Util.clog2 p.masters
+
+(* Select element [i] of [xs] (1-bit each) by the value of [idx]. *)
+let mux_by_index idx ~width xs =
+  let w = width in
+  let open Expr in
+  List.fold_left
+    (fun (acc, i) x -> (mux (idx ==: const_int ~width:w i) x acc, i + 1))
+    (const_int ~width:1 0, 0)
+    xs
+  |> fst
+
+let create p =
+  if p.masters < 1 then invalid_arg "Arbiter.create: masters < 1";
+  let n = p.masters in
+  let idw = id_width p in
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let req = input b "req" n in
+  output b "grant" n;
+  output b "busy" 1;
+  output b "grant_id" idw;
+  let req_bit i = select req i i in
+  let reqs = List.init n req_bit in
+  (* Grant-hold: the previous winner keeps the bus while requesting. *)
+  let last = reg b "last_grant" n () in
+  let hold = wire b "hold" n in
+  assign b "hold" (last &: req);
+  let holding = wire b "holding" 1 in
+  assign b "holding" (Unop (Reduce_or, hold));
+  let fresh_grant =
+    match p.policy with
+    | Priority ->
+        let gs = Util.onehot_priority reqs in
+        concat (List.rev gs)
+    | Round_robin ->
+        (* Rotating priority: start the scan after the pointer. *)
+        let ptr = reg b "ptr" idw () in
+        let rotate_from s =
+          (* Requests in scan order s, s+1, ..., wrapping. *)
+          let order = List.init n (fun k -> (s + k) mod n) in
+          let grants_in_order =
+            Util.onehot_priority (List.map req_bit order)
+          in
+          (* Map back to positional order. *)
+          let positional = Array.make n (const_int ~width:1 0) in
+          List.iteri
+            (fun k g -> positional.(List.nth order k) <- g)
+            grants_in_order;
+          concat (List.rev (Array.to_list positional))
+        in
+        let gvec =
+          List.fold_left
+            (fun acc s ->
+              mux (ptr ==: const_int ~width:idw s) (rotate_from s) acc)
+            (rotate_from 0)
+            (List.init n (fun s -> s))
+        in
+        let gw = wire b "rr_grants" n in
+        assign b "rr_grants" gvec;
+        (* Advance the pointer past the winner whenever a grant exists. *)
+        let gbits = List.init n (fun i -> select gw i i) in
+        let gid = Util.encode_onehot gbits ~width:idw in
+        let next_ptr =
+          List.fold_left
+            (fun acc i ->
+              mux
+                (gid ==: const_int ~width:idw i)
+                (const_int ~width:idw ((i + 1) mod n))
+                acc)
+            ptr
+            (List.init n (fun i -> i))
+        in
+        set_next b "ptr" (mux (Unop (Reduce_or, gw)) next_ptr ptr);
+        gw
+    | Fcfs ->
+        (* FIFO of master ids; one id enqueued per cycle (lowest pending
+           index), as in the paper's FIFO-based FCFS global arbiter. *)
+        let enq_mask = reg b "enq_mask" n () in
+        let pending = wire b "pending" n in
+        assign b "pending" (req &: ~:enq_mask);
+        let pend_bits = List.init n (fun i -> select pending i i) in
+        let enq_onehot_bits = Util.onehot_priority pend_bits in
+        let enq_onehot = wire b "enq_onehot" n in
+        assign b "enq_onehot" (concat (List.rev enq_onehot_bits));
+        let do_enq = wire b "do_enq" 1 in
+        assign b "do_enq" (Unop (Reduce_or, enq_onehot));
+        let enq_id =
+          Util.encode_onehot
+            (List.init n (fun i -> select enq_onehot i i))
+            ~width:idw
+        in
+        let fifo = Fifo.create { Fifo.data_width = idw; depth = max 2 n } in
+        let pop = wire b "q_pop" 1 in
+        let outs =
+          instantiate b ~name:"order_q" fifo
+            ~inputs:[ ("push", do_enq); ("wdata", enq_id); ("pop", pop) ]
+            ~outputs:
+              [
+                ("rdata", "q_head");
+                ("empty", "q_empty");
+                ("full", "q_full");
+                ("count", "q_count");
+              ]
+        in
+        let head, q_empty =
+          match outs with
+          | [ h; e; _; _ ] -> (h, e)
+          | _ -> assert false
+        in
+        let head_req = mux_by_index head ~width:idw reqs in
+        (* Pop once the head master has deasserted its request. *)
+        assign b "q_pop" (~:q_empty &: ~:head_req);
+        (* Keep enq_mask in sync: a bit stays set while the request holds. *)
+        set_next b "enq_mask" ((enq_mask |: Var "enq_onehot") &: req);
+        let gbits =
+          List.init n (fun i ->
+              ~:q_empty &: (head ==: const_int ~width:idw i) &: req_bit i)
+        in
+        concat (List.rev gbits)
+  in
+  let fresh = wire b "fresh_grant" n in
+  assign b "fresh_grant" fresh_grant;
+  let grant = wire b "grant_i" n in
+  assign b "grant_i" (mux holding hold fresh);
+  set_next b "last_grant" grant;
+  assign b "grant" grant;
+  assign b "busy" (Unop (Reduce_or, grant));
+  let gbits = List.init n (fun i -> select grant i i) in
+  assign b "grant_id" (Util.encode_onehot gbits ~width:idw);
+  finish b

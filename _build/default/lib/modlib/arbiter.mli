@@ -1,0 +1,23 @@
+(** Bus arbiter generators (paper Module Library item F).
+
+    All arbiters share the interface:
+    - input  [req\[n\]]  — one request line per master (level-held until the
+      transaction completes);
+    - output [grant\[n\]] — one-hot grant; a granted master keeps its grant
+      while it holds its request (bus locking);
+    - output [busy] — some grant is active;
+    - output [grant_id\[clog2 n\]] — binary index of the granted master.
+
+    Policies:
+    - [Priority]: fixed priority, master 0 highest;
+    - [Round_robin]: rotating priority, starting after the last winner;
+    - [Fcfs]: first-come-first-served through an internal FIFO of master
+      ids (the policy the paper's GBAVIII global arbiter uses). *)
+
+type policy = Priority | Round_robin | Fcfs
+
+type params = { policy : policy; masters : int }
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t
+val id_width : params -> int

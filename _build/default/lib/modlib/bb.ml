@@ -1,0 +1,52 @@
+open Busgen_rtl
+
+type bb_type = Gbavi | Splitba
+
+type params = { bb_type : bb_type; addr_width : int; data_width : int }
+
+let module_name p =
+  Printf.sprintf "bb_%s_a%d_d%d"
+    (match p.bb_type with Gbavi -> "gbavi" | Splitba -> "splitba")
+    p.addr_width p.data_width
+
+(* The bridge registers both the forward (request) and return (response)
+   paths: a real bus bridge decouples the two segments' timing, and the
+   register stages also break the combinational cycle a bridged ring of
+   buses would otherwise form. *)
+let create p =
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let enable = input b "enable" 1 in
+  let pipe name width src =
+    let r = reg b (name ^ "_r") width () in
+    set_next b (name ^ "_r") (mux enable src (const_int ~width 0));
+    r
+  in
+  (* Forward path: A-side master request to B side. *)
+  let a_sel = input b "a_sel" 1 in
+  let a_rnw = input b "a_rnw" 1 in
+  let a_addr = input b "a_addr" p.addr_width in
+  let a_wdata = input b "a_wdata" p.data_width in
+  output b "b_sel" 1;
+  output b "b_rnw" 1;
+  output b "b_addr" p.addr_width;
+  output b "b_wdata" p.data_width;
+  let b_ack = input b "b_ack" 1 in
+  (* Drop the forwarded select once the slave answers, so the one-cycle
+     ack pulse is not re-presented to the slave as a second request.  The
+     completion flag is registered to keep the ack-to-select path
+     sequential. *)
+  let done_r = reg b "done_r" 1 () in
+  set_next b "done_r" ((done_r |: b_ack) &: a_sel);
+  assign b "b_sel" (pipe "fwd_sel" 1 a_sel &: ~:done_r);
+  assign b "b_rnw" (pipe "fwd_rnw" 1 a_rnw);
+  assign b "b_addr" (pipe "fwd_addr" p.addr_width a_addr);
+  assign b "b_wdata" (pipe "fwd_wdata" p.data_width a_wdata);
+  (* Return path: B-side response back to A. *)
+  let b_rdata = input b "b_rdata" p.data_width in
+  output b "a_rdata" p.data_width;
+  output b "a_ack" 1;
+  assign b "a_rdata" (pipe "ret_rdata" p.data_width b_rdata);
+  assign b "a_ack" (pipe "ret_ack" 1 b_ack);
+  finish b

@@ -1,0 +1,17 @@
+(** Bus Bridge (paper Module Library item E, [BB_<bb_type>]).
+
+    An on-off controllable connection point between two bus segments
+    (paper definition B): when [enable] is high the A-side master bundle
+    is forwarded to the B side and the B-side response is returned;
+    when low, the sides are isolated (forwarded signals idle low).
+
+    The paper's two variants differ only in how the generator deploys
+    them: [Gbavi] bridges separate BAN-local segments of one global bus;
+    [Splitba] joins two Bus Subsystems. *)
+
+type bb_type = Gbavi | Splitba
+
+type params = { bb_type : bb_type; addr_width : int; data_width : int }
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t

@@ -1,0 +1,54 @@
+open Busgen_rtl
+
+type params = { data_width : int; depth : int }
+
+let module_name p = Printf.sprintf "bi_fifo_d%d_n%d" p.data_width p.depth
+let count_width p = Fifo.count_width { Fifo.data_width = p.data_width; depth = p.depth }
+
+let create p =
+  let fifo_params = { Fifo.data_width = p.data_width; depth = p.depth } in
+  let cw = Fifo.count_width fifo_params in
+  let fifo = Fifo.create fifo_params in
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  (* One direction of the pair: [src] pushes, [dst] pops, [dst] gets the
+     interrupt when the fill level reaches the threshold. *)
+  let direction ~src ~dst =
+    let push = input b (src ^ "_push") 1 in
+    let wdata = input b (src ^ "_wdata") p.data_width in
+    let pop = input b (dst ^ "_pop") 1 in
+    let thr_we = input b (src ^ "_thr_we") 1 in
+    let thr_in = input b (src ^ "_thr") cw in
+    output b (dst ^ "_rdata") p.data_width;
+    output b (dst ^ "_empty") 1;
+    output b (dst ^ "_count") cw;
+    output b (src ^ "_full") 1;
+    output b ("irq_" ^ dst) 1;
+    let thr = reg b (src ^ "_threshold") cw () in
+    set_next b (src ^ "_threshold") (mux thr_we thr_in thr);
+    let prefix = src ^ "2" ^ dst in
+    let outs =
+      instantiate b ~name:("fifo_" ^ prefix) fifo
+        ~inputs:[ ("push", push); ("wdata", wdata); ("pop", pop) ]
+        ~outputs:
+          [
+            ("rdata", prefix ^ "_rdata");
+            ("full", prefix ^ "_full");
+            ("empty", prefix ^ "_empty");
+            ("count", prefix ^ "_count");
+          ]
+    in
+    match outs with
+    | [ rdata; full; empty; count ] ->
+        assign b (dst ^ "_rdata") rdata;
+        assign b (dst ^ "_empty") empty;
+        assign b (dst ^ "_count") count;
+        assign b (src ^ "_full") full;
+        assign b ("irq_" ^ dst)
+          (~:(thr ==: const_int ~width:cw 0) &: (thr <=: count))
+    | _ -> assert false
+  in
+  direction ~src:"a" ~dst:"b";
+  direction ~src:"b" ~dst:"a";
+  finish b

@@ -1,0 +1,24 @@
+(** Bi-FIFO block (paper Module Library; Figs. 4, 12 and Section IV.C.2).
+
+    A bidirectional FIFO pair between two adjacent BANs plus the Bi-FIFO
+    controller: a threshold register set by the sender and a hardware
+    counter that raises an interrupt towards the receiver when the number
+    of words pushed reaches the threshold.
+
+    Side A ("down", towards lower BAN index) and side B ("up"):
+    - [a_push], [a_wdata]: A pushes into the A->B FIFO;
+    - [b_pop], [b_rdata], [b_empty], [b_count]: B drains it;
+    - symmetric ports [b_push], [b_wdata], [a_pop], [a_rdata], [a_empty],
+      [a_count] for the B->A direction;
+    - [a_thr_we]/[a_thr] set the threshold of the A->B direction (the
+      sender writes it, paper Example 4); [b_thr_we]/[b_thr] symmetric;
+    - [irq_b] is asserted while the A->B FIFO holds at least the
+      threshold (and the threshold is non-zero); [irq_a] symmetric.
+
+    The paper's user option 3.3 ("Bi-FIFO depth", e.g. 1024) is [depth]. *)
+
+type params = { data_width : int; depth : int }
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t
+val count_width : params -> int

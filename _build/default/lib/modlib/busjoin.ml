@@ -1,0 +1,58 @@
+open Busgen_rtl
+
+type params = { masters : int; addr_width : int; data_width : int }
+
+let module_name p =
+  Printf.sprintf "busjoin_m%d_a%d_d%d" p.masters p.addr_width p.data_width
+
+let create p =
+  if p.masters < 1 then invalid_arg "Busjoin: masters < 1";
+  let n = p.masters in
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let gnt = input b "gnt" n in
+  output b "req" n;
+  output b "s_sel" 1;
+  output b "s_rnw" 1;
+  output b "s_addr" p.addr_width;
+  output b "s_wdata" p.data_width;
+  let s_rdata = input b "s_rdata" p.data_width in
+  let s_ack = input b "s_ack" 1 in
+  let masters =
+    List.init n (fun i ->
+        let pre s = Printf.sprintf "m%d_%s" i s in
+        let mreq = input b (pre "req") 1 in
+        let sel = input b (pre "sel") 1 in
+        let rnw = input b (pre "rnw") 1 in
+        let addr = input b (pre "addr") p.addr_width in
+        let wdata = input b (pre "wdata") p.data_width in
+        output b (pre "gnt") 1;
+        output b (pre "rdata") p.data_width;
+        output b (pre "ack") 1;
+        let granted = select gnt i i in
+        assign b (pre "gnt") granted;
+        assign b (pre "rdata")
+          (mux granted s_rdata (const_int ~width:p.data_width 0));
+        assign b (pre "ack") (granted &: s_ack);
+        (mreq, sel, rnw, addr, wdata, granted))
+  in
+  assign b "req"
+    (concat (List.rev_map (fun (mreq, _, _, _, _, _) -> mreq) masters));
+  let mux_fwd zero proj =
+    List.fold_left
+      (fun acc (_, sel, rnw, addr, wdata, granted) ->
+        mux granted (proj (sel, rnw, addr, wdata)) acc)
+      zero masters
+  in
+  assign b "s_sel"
+    (mux_fwd (const_int ~width:1 0) (fun (sel, _, _, _) -> sel));
+  assign b "s_rnw"
+    (mux_fwd (const_int ~width:1 0) (fun (_, rnw, _, _) -> rnw));
+  assign b "s_addr"
+    (mux_fwd (const_int ~width:p.addr_width 0) (fun (_, _, addr, _) -> addr));
+  assign b "s_wdata"
+    (mux_fwd
+       (const_int ~width:p.data_width 0)
+       (fun (_, _, _, wdata) -> wdata));
+  finish b

@@ -1,0 +1,22 @@
+(** Arbitrated bus join (N masters, one shared slave bus).
+
+    The multiplexer half of a shared bus: forwards the granted master's
+    bundle to the slave side and returns the response to that master
+    only.  The grant vector comes from an external arbiter (through the
+    {!Abi}); the request vector to feed that arbiter is collected from
+    the per-master request lines.
+
+    Per master [i]: inputs [m<i>_req], [m<i>_sel], [m<i>_rnw],
+    [m<i>_addr], [m<i>_wdata]; outputs [m<i>_gnt], [m<i>_rdata],
+    [m<i>_ack].
+    Shared: input [gnt\[n\]] (from the arbiter); outputs [req\[n\]] (to
+    the arbiter), [s_sel], [s_rnw], [s_addr], [s_wdata]; inputs
+    [s_rdata], [s_ack].
+
+    Masters that request only while selected (e.g. a {!Gbi} pipeline
+    stage) simply wire their [sel] to both [m<i>_sel] and [m<i>_req]. *)
+
+type params = { masters : int; addr_width : int; data_width : int }
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t

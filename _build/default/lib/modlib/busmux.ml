@@ -1,0 +1,85 @@
+open Busgen_rtl
+
+type region = { base : int; size : int }
+
+type params = { addr_width : int; data_width : int; regions : region list }
+
+let module_name p =
+  let h = Hashtbl.hash (List.map (fun r -> (r.base, r.size)) p.regions) in
+  Printf.sprintf "busmux_a%d_d%d_n%d_%04x" p.addr_width p.data_width
+    (List.length p.regions) (h land 0xFFFF)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  go 0
+
+let check_regions p =
+  if p.regions = [] then invalid_arg "Busmux: no regions";
+  List.iter
+    (fun r ->
+      if r.base < 0 || r.size < 1 then invalid_arg "Busmux: bad region";
+      if not (is_pow2 r.size) then
+        invalid_arg "Busmux: region size must be a power of two";
+      if r.base mod r.size <> 0 then
+        invalid_arg "Busmux: region base must be size-aligned";
+      if r.base + r.size > 1 lsl p.addr_width then
+        invalid_arg "Busmux: region exceeds address space")
+    p.regions;
+  let sorted = List.sort (fun a b -> compare a.base b.base) p.regions in
+  let rec overlap = function
+    | a :: (b :: _ as rest) ->
+        if a.base + a.size > b.base then invalid_arg "Busmux: regions overlap"
+        else overlap rest
+    | [ _ ] | [] -> ()
+  in
+  overlap sorted
+
+let create p =
+  check_regions p;
+  let n = List.length p.regions in
+  let aw = p.addr_width in
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let m_sel = input b "m_sel" 1 in
+  let m_rnw = input b "m_rnw" 1 in
+  let m_addr = input b "m_addr" aw in
+  let m_wdata = input b "m_wdata" p.data_width in
+  output b "m_rdata" p.data_width;
+  output b "m_ack" 1;
+  output b "s_rnw" 1;
+  output b "s_addr" aw;
+  output b "s_wdata" p.data_width;
+  assign b "s_rnw" m_rnw;
+  assign b "s_addr" m_addr;
+  assign b "s_wdata" m_wdata;
+  let hits =
+    List.mapi
+      (fun i r ->
+        let hit = wire b (Printf.sprintf "hit%d" i) 1 in
+        (* Power-of-two aligned regions decode by comparing the high
+           address bits only. *)
+        let k = log2 r.size in
+        let decode =
+          if k >= aw then m_sel
+          else
+            m_sel
+            &: (select m_addr (aw - 1) k
+               ==: const_int ~width:(aw - k) (r.base lsr k))
+        in
+        assign b (Printf.sprintf "hit%d" i) decode;
+        output b (Printf.sprintf "s%d_sel" i) 1;
+        assign b (Printf.sprintf "s%d_sel" i) hit;
+        hit)
+      p.regions
+  in
+  let rdatas = List.init n (fun i -> input b (Printf.sprintf "s%d_rdata" i) p.data_width) in
+  let acks = List.init n (fun i -> input b (Printf.sprintf "s%d_ack" i) 1) in
+  let mux_back zero per =
+    List.fold_left2 (fun acc hit v -> mux hit v acc) zero hits per
+  in
+  assign b "m_rdata" (mux_back (const_int ~width:p.data_width 0) rdatas);
+  assign b "m_ack" (mux_back (const_int ~width:1 0) acks);
+  finish b

@@ -1,0 +1,25 @@
+(** Address-decoding bus splitter (one master, N mapped slaves).
+
+    Part of the Interface Logic family: routes the BAN-internal CPU bus to
+    the module whose address region is hit and muxes the response back.
+
+    Master side: inputs [m_sel], [m_rnw], [m_addr], [m_wdata]; outputs
+    [m_rdata], [m_ack].
+
+    Slave side, per region [i] (in list order): output [s<i>_sel]; shared
+    outputs [s_rnw], [s_addr] (full address), [s_wdata]; inputs
+    [s<i>_rdata], [s<i>_ack].
+
+    A region is [{base; size}] in word addresses; regions must not
+    overlap.  An access outside every region is not acknowledged. *)
+
+type region = { base : int; size : int }
+
+type params = {
+  addr_width : int;
+  data_width : int;
+  regions : region list;
+}
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t

@@ -1,0 +1,147 @@
+type spec =
+  | Spec_sram of Sram.params
+  | Spec_mbi of Mbi.params
+  | Spec_cbi of Cbi.params
+  | Spec_bb of Bb.params
+  | Spec_arbiter of Arbiter.params
+  | Spec_abi of Abi.params
+  | Spec_gbi of Gbi.params
+  | Spec_sb of Sb.params
+  | Spec_hs_regs of Hs_regs.params
+  | Spec_fifo of Fifo.params
+  | Spec_bififo of Bififo.params
+  | Spec_busmux of Busmux.params
+  | Spec_busjoin of Busjoin.params
+  | Spec_hs_slave of Hs_slave.params
+  | Spec_fifo_slave of Fifo_slave.params
+  | Spec_dpram of Dpram.params
+  | Spec_dct of Dct_ip.params
+  | Spec_fft of Fft_ip.params
+  | Spec_fft_adapter of Fft_adapter.params
+  | Spec_rom of Rom.params
+
+let module_name = function
+  | Spec_sram p -> Sram.module_name p
+  | Spec_mbi p -> Mbi.module_name p
+  | Spec_cbi p -> Cbi.module_name p
+  | Spec_bb p -> Bb.module_name p
+  | Spec_arbiter p -> Arbiter.module_name p
+  | Spec_abi p -> Abi.module_name p
+  | Spec_gbi p -> Gbi.module_name p
+  | Spec_sb p -> Sb.module_name p
+  | Spec_hs_regs p -> Hs_regs.module_name p
+  | Spec_fifo p -> Fifo.module_name p
+  | Spec_bififo p -> Bififo.module_name p
+  | Spec_busmux p -> Busmux.module_name p
+  | Spec_busjoin p -> Busjoin.module_name p
+  | Spec_hs_slave p -> Hs_slave.module_name p
+  | Spec_fifo_slave p -> Fifo_slave.module_name p
+  | Spec_dpram p -> Dpram.module_name p
+  | Spec_dct p -> Dct_ip.module_name p
+  | Spec_fft p -> Fft_ip.module_name p
+  | Spec_fft_adapter p -> Fft_adapter.module_name p
+  | Spec_rom p -> Rom.module_name p
+
+let library_name = function
+  | Spec_sram { Sram.kind = Sram.Sram; _ } -> "SRAM_comp"
+  | Spec_sram { Sram.kind = Sram.Dram; _ } -> "DRAM_comp"
+  | Spec_mbi { Mbi.mem_kind = Sram.Sram; _ } -> "MBI_SRAM"
+  | Spec_mbi { Mbi.mem_kind = Sram.Dram; _ } -> "MBI_DRAM"
+  | Spec_cbi p -> "CBI_" ^ String.uppercase_ascii (Cbi.pe_name p.Cbi.pe)
+  | Spec_bb { Bb.bb_type = Bb.Gbavi; _ } -> "BB_GBAVI"
+  | Spec_bb { Bb.bb_type = Bb.Splitba; _ } -> "BB_SPLITBA"
+  | Spec_arbiter { Arbiter.policy = Arbiter.Priority; _ } ->
+      "ARBITER_PRIORITY"
+  | Spec_arbiter { Arbiter.policy = Arbiter.Round_robin; _ } ->
+      "ARBITER_ROUND_ROBIN"
+  | Spec_arbiter { Arbiter.policy = Arbiter.Fcfs; _ } -> "ARBITER_FCFS"
+  | Spec_abi _ -> "ABI"
+  | Spec_gbi { Gbi.bus_type = Gbi.Gbi_gbavi; _ } -> "GBI_GBAVI"
+  | Spec_gbi { Gbi.bus_type = Gbi.Gbi_gbaviii; _ } -> "GBI_GBAVIII"
+  | Spec_gbi { Gbi.bus_type = Gbi.Gbi_bfba; _ } -> "GBI_BFBA"
+  | Spec_sb { Sb.bus_type = Sb.Sb_gbavi; _ } -> "SB_GBAVI"
+  | Spec_sb { Sb.bus_type = Sb.Sb_gbaviii; _ } -> "SB_GBAVIII"
+  | Spec_sb { Sb.bus_type = Sb.Sb_bfba; _ } -> "SB_BFBA"
+  | Spec_hs_regs _ -> "HS_REGS"
+  | Spec_fifo _ -> "FIFO"
+  | Spec_bififo _ -> "BI_FIFO"
+  | Spec_busmux _ -> "IL_BUSMUX"
+  | Spec_busjoin _ -> "IL_BUSJOIN"
+  | Spec_hs_slave _ -> "IL_HS_SLAVE"
+  | Spec_fifo_slave _ -> "IL_FIFO_SLAVE"
+  | Spec_dpram _ -> "DPRAM_comp"
+  | Spec_dct _ -> "DCT_IP"
+  | Spec_fft _ -> "FFT_IP"
+  | Spec_fft_adapter _ -> "IL_FFT_ADAPTER"
+  | Spec_rom _ -> "ROM_comp"
+
+let cache : (string, Busgen_rtl.Circuit.t) Hashtbl.t = Hashtbl.create 32
+
+let create spec =
+  let key = module_name spec in
+  match Hashtbl.find_opt cache key with
+  | Some c -> c
+  | None ->
+      let c =
+        match spec with
+        | Spec_sram p -> Sram.create p
+        | Spec_mbi p -> Mbi.create p
+        | Spec_cbi p -> Cbi.create p
+        | Spec_bb p -> Bb.create p
+        | Spec_arbiter p -> Arbiter.create p
+        | Spec_abi p -> Abi.create p
+        | Spec_gbi p -> Gbi.create p
+        | Spec_sb p -> Sb.create p
+        | Spec_hs_regs p -> Hs_regs.create p
+        | Spec_fifo p -> Fifo.create p
+        | Spec_bififo p -> Bififo.create p
+        | Spec_busmux p -> Busmux.create p
+        | Spec_busjoin p -> Busjoin.create p
+        | Spec_hs_slave p -> Hs_slave.create p
+        | Spec_fifo_slave p -> Fifo_slave.create p
+        | Spec_dpram p -> Dpram.create p
+        | Spec_dct p -> Dct_ip.create p
+        | Spec_fft p -> Fft_ip.create p
+        | Spec_fft_adapter p -> Fft_adapter.create p
+        | Spec_rom p -> Rom.create p
+      in
+      Hashtbl.add cache key c;
+      c
+
+let pe_catalog = [ "MPC750"; "MPC755"; "MPC7410"; "ARM9TDMI" ]
+
+let available =
+  [
+    "SRAM_comp";
+    "DRAM_comp";
+    "ROM_comp";
+    "MBI_SRAM";
+    "MBI_DRAM";
+    "CBI_MPC750";
+    "CBI_MPC755";
+    "CBI_MPC7410";
+    "CBI_ARM9TDMI";
+    "BB_GBAVI";
+    "BB_SPLITBA";
+    "ARBITER_PRIORITY";
+    "ARBITER_ROUND_ROBIN";
+    "ARBITER_FCFS";
+    "ABI";
+    "GBI_GBAVI";
+    "GBI_GBAVIII";
+    "GBI_BFBA";
+    "SB_GBAVI";
+    "SB_GBAVIII";
+    "SB_BFBA";
+    "HS_REGS";
+    "FIFO";
+    "BI_FIFO";
+    "IL_BUSMUX";
+    "IL_BUSJOIN";
+    "IL_HS_SLAVE";
+    "IL_FIFO_SLAVE";
+    "DPRAM_comp";
+    "DCT_IP";
+    "FFT_IP";
+    "IL_FFT_ADAPTER";
+  ]

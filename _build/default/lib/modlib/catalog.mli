@@ -1,0 +1,46 @@
+(** The Module Library front-end (paper Section V.A).
+
+    Maps the paper's library component names — [CBI_<PE>],
+    [<memory>_comp], [MBI_<memory>], [BB_<bb_type>], [ARBITER_<arb_type>],
+    [ABI], [GBI_<bus_type>], [SB_<bus_type>], plus [HS_REGS], [FIFO] and
+    [BI_FIFO] — to circuit generators.  PEs (item A) are IP cores, not
+    Modules, and therefore have no generator; {!pe_catalog} lists them for
+    the option validator. *)
+
+type spec =
+  | Spec_sram of Sram.params
+  | Spec_mbi of Mbi.params
+  | Spec_cbi of Cbi.params
+  | Spec_bb of Bb.params
+  | Spec_arbiter of Arbiter.params
+  | Spec_abi of Abi.params
+  | Spec_gbi of Gbi.params
+  | Spec_sb of Sb.params
+  | Spec_hs_regs of Hs_regs.params
+  | Spec_fifo of Fifo.params
+  | Spec_bififo of Bififo.params
+  | Spec_busmux of Busmux.params
+  | Spec_busjoin of Busjoin.params
+  | Spec_hs_slave of Hs_slave.params
+  | Spec_fifo_slave of Fifo_slave.params
+  | Spec_dpram of Dpram.params
+  | Spec_dct of Dct_ip.params
+  | Spec_fft of Fft_ip.params
+  | Spec_fft_adapter of Fft_adapter.params
+  | Spec_rom of Rom.params
+
+val module_name : spec -> string
+(** The generated module's name, e.g. [mbi_sram_a20_d64_b64]. *)
+
+val library_name : spec -> string
+(** The paper's library component name, e.g. [MBI_SRAM]. *)
+
+val create : spec -> Busgen_rtl.Circuit.t
+(** Instantiate the template with its parameters.  Results are memoized
+    per parameter vector, so repeated BANs share module definitions. *)
+
+val pe_catalog : string list
+(** Supported PE cores ([MPC750], [MPC755], [MPC7410], [ARM9TDMI]). *)
+
+val available : string list
+(** All library component names, for diagnostics and the CLI. *)

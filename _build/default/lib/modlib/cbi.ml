@@ -1,0 +1,66 @@
+open Busgen_rtl
+
+type pe = Mpc750 | Mpc755 | Mpc7410 | Arm9tdmi
+
+let pe_name = function
+  | Mpc750 -> "mpc750"
+  | Mpc755 -> "mpc755"
+  | Mpc7410 -> "mpc7410"
+  | Arm9tdmi -> "arm9tdmi"
+
+type params = { pe : pe; addr_width : int; data_width : int }
+
+let module_name p =
+  Printf.sprintf "cbi_%s_a%d_d%d" (pe_name p.pe) p.addr_width p.data_width
+
+(* FSM encoding *)
+let s_idle = 0
+let s_request = 1
+let s_transfer = 2
+
+let create p =
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let cpu_req = input b "cpu_req" 1 in
+  let cpu_rnw = input b "cpu_rnw" 1 in
+  let cpu_addr = input b "cpu_addr" p.addr_width in
+  let cpu_wdata = input b "cpu_wdata" p.data_width in
+  let bus_gnt = input b "bus_gnt" 1 in
+  let bus_rdata = input b "bus_rdata" p.data_width in
+  let bus_ack = input b "bus_ack" 1 in
+  output b "cpu_rdata" p.data_width;
+  output b "cpu_ack" 1;
+  output b "bus_req" 1;
+  output b "bus_sel" 1;
+  output b "bus_rnw" 1;
+  output b "bus_addr" p.addr_width;
+  output b "bus_wdata" p.data_width;
+  let state = reg b "state" 2 () in
+  let addr_l = reg b "addr_l" p.addr_width () in
+  let wdata_l = reg b "wdata_l" p.data_width () in
+  let rnw_l = reg b "rnw_l" 1 () in
+  let rdata_l = reg b "rdata_l" p.data_width () in
+  let ack_l = reg b "ack_l" 1 () in
+  let st v = state ==: const_int ~width:2 v in
+  set_next b "state"
+    (mux (st s_idle)
+       (mux cpu_req (const_int ~width:2 s_request) (const_int ~width:2 s_idle))
+       (mux (st s_request)
+          (mux bus_gnt (const_int ~width:2 s_transfer)
+             (const_int ~width:2 s_request))
+          (mux bus_ack (const_int ~width:2 s_idle)
+             (const_int ~width:2 s_transfer))));
+  set_next b "addr_l" (mux (st s_idle &: cpu_req) cpu_addr addr_l);
+  set_next b "wdata_l" (mux (st s_idle &: cpu_req) cpu_wdata wdata_l);
+  set_next b "rnw_l" (mux (st s_idle &: cpu_req) cpu_rnw rnw_l);
+  set_next b "rdata_l" (mux (st s_transfer &: bus_ack) bus_rdata rdata_l);
+  set_next b "ack_l" (st s_transfer &: bus_ack);
+  assign b "bus_req" (st s_request |: st s_transfer);
+  assign b "bus_sel" (st s_transfer);
+  assign b "bus_rnw" rnw_l;
+  assign b "bus_addr" addr_l;
+  assign b "bus_wdata" wdata_l;
+  assign b "cpu_rdata" rdata_l;
+  assign b "cpu_ack" ack_l;
+  finish b

@@ -1,0 +1,28 @@
+(** CPU(PE)-to-Bus Interface (paper Module Library item B, [CBI_<PE>]).
+
+    Translates a simple PE request port into the shared-bus master
+    protocol with arbitration:
+
+    PE side: inputs [cpu_req], [cpu_rnw], [cpu_addr], [cpu_wdata];
+    outputs [cpu_rdata], [cpu_ack] (one-cycle pulse when the transaction
+    completes).
+
+    Bus side: outputs [bus_req], [bus_sel], [bus_rnw], [bus_addr],
+    [bus_wdata]; inputs [bus_gnt], [bus_rdata], [bus_ack].
+
+    FSM: IDLE -> REQUEST (assert [bus_req], wait for [bus_gnt]) ->
+    TRANSFER (assert [bus_sel] and drive address/data, wait for
+    [bus_ack]) -> IDLE, pulsing [cpu_ack] and capturing read data.
+
+    The PE core itself (MPC750/755/7410, ARM9TDMI) is an IP block, not a
+    generated module; [pe] only selects the module name, exactly as the
+    paper instantiates a CBI per PE type. *)
+
+type pe = Mpc750 | Mpc755 | Mpc7410 | Arm9tdmi
+
+val pe_name : pe -> string
+
+type params = { pe : pe; addr_width : int; data_width : int }
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t

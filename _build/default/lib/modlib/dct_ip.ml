@@ -1,0 +1,138 @@
+open Busgen_rtl
+
+type params = { data_width : int }
+
+let module_name p = Printf.sprintf "dct_ip_d%d" p.data_width
+
+let pi = 4.0 *. atan 1.0
+
+(* DCT-II with the 0.5 * c(u) normalisation folded into the ROM:
+   X[u] = sum_k coef[u][k] * x[k],
+   coef[u][k] = 0.5 * c(u) * cos((2k+1) u pi / 16), c(0) = 1/sqrt 2. *)
+let coef_float u k =
+  let cu = if u = 0 then 1.0 /. sqrt 2.0 else 1.0 in
+  0.5 *. cu *. cos ((2.0 *. float_of_int k +. 1.0) *. float_of_int u *. pi /. 16.0)
+
+let coefficient u k =
+  if u < 0 || u > 7 || k < 0 || k > 7 then invalid_arg "Dct_ip.coefficient";
+  int_of_float (Float.round (coef_float u k *. 16384.0))
+
+let reference x =
+  if Array.length x <> 8 then invalid_arg "Dct_ip.reference: length <> 8";
+  Array.init 8 (fun u ->
+      let s = ref 0.0 in
+      for k = 0 to 7 do
+        s := !s +. (coef_float u k *. x.(k))
+      done;
+      !s)
+
+(* Replicate a 1-bit sign expression [n] times (sign extension helper). *)
+let repeat_sign bit n =
+  let open Expr in
+  concat (List.init n (fun _ -> bit))
+
+(* FSM states *)
+let s_idle = 0
+let s_run = 1
+let s_done = 2
+
+let create p =
+  if p.data_width < 16 then invalid_arg "Dct_ip: data_width < 16";
+  let dw = p.data_width in
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let sel = input b "sel" 1 in
+  let rnw = input b "rnw" 1 in
+  let addr = input b "addr" 5 in
+  let wdata = input b "wdata" dw in
+  output b "rdata" dw;
+  output b "ack" 1;
+  let state = reg b "state" 2 () in
+  let u = reg b "u" 3 () in
+  let k = reg b "k" 3 () in
+  (* Accumulator: 16x16 products are 32 bits; eight of them need 35. *)
+  let acc = reg b "acc" 35 () in
+  let st v = state ==: const_int ~width:2 v in
+  let write = sel &: ~:rnw in
+  let is_input = write &: (select addr 4 3 ==: const_int ~width:2 0) in
+  let is_start = write &: (addr ==: const_int ~width:5 8) in
+  (* Input and output sample buffers. *)
+  let in_q =
+    memory b "inbuf" ~data_width:16 ~depth:8
+      ~writes:
+        [ { Circuit.we = is_input; waddr = select addr 2 0;
+            wdata = select wdata 15 0 } ]
+      ~reads:[ ("in_q", k) ]
+  in
+  let x_k = match in_q with [ q ] -> q | _ -> assert false in
+  (* Result writeback happens in the cycle after the last MAC of each
+     output: when k wrapped to 0 we hold the finished accumulator. *)
+  let mac_last = wire b "mac_last" 1 in
+  assign b "mac_last" (st s_run &: (k ==: const_int ~width:3 7));
+  let result = wire b "result" 16 in
+  let out_q =
+    memory b "outbuf" ~data_width:16 ~depth:8
+      ~writes:[ { Circuit.we = mac_last; waddr = u; wdata = result } ]
+      ~reads:[ ("out_q", select addr 2 0) ]
+  in
+  let out_rd = match out_q with [ q ] -> q | _ -> assert false in
+  (* Coefficient ROM: a combinational mux over {u, k}. *)
+  let romv = wire b "romv" 16 in
+  let rom_expr =
+    let idx = concat [ u; k ] in
+    let rec build i =
+      if i = 63 then
+        const_int ~width:16 (coefficient 7 7)
+      else
+        mux
+          (idx ==: const_int ~width:6 i)
+          (const_int ~width:16 (coefficient (i lsr 3) (i land 7)))
+          (build (i + 1))
+    in
+    build 0
+  in
+  assign b "romv" rom_expr;
+  (* MAC: acc += coef *s x[k], sign-extended to 35 bits. *)
+  let product = wire b "product" 32 in
+  assign b "product" (Binop (Smul, romv, x_k));
+  let _ = wire b "product_ext" 35 in
+  assign b "product_ext"
+    (concat [ repeat_sign (select product 31 31) 3; product ]);
+  set_next b "acc"
+    (mux (st s_run)
+       (mux mac_last (const_int ~width:35 0) (acc +: Var "product_ext"))
+       (const_int ~width:35 0));
+  (* The accumulator misses the final product when writing back: include
+     it combinationally. *)
+  let total = wire b "total" 35 in
+  assign b "total" (acc +: Var "product_ext");
+  (* Q1.14 -> integer with rounding: add half an LSB then shift. *)
+  let rounded = wire b "rounded" 35 in
+  assign b "rounded" (total +: const_int ~width:35 (1 lsl 13));
+  assign b "result" (select rounded 29 14);
+  (* Counters and FSM. *)
+  set_next b "k"
+    (mux (st s_run) (k +: const_int ~width:3 1) (const_int ~width:3 0));
+  set_next b "u"
+    (mux (st s_run &: mac_last)
+       (u +: const_int ~width:3 1)
+       (mux (st s_idle) (const_int ~width:3 0) u));
+  set_next b "state"
+    (mux is_start (const_int ~width:2 s_run)
+       (mux
+          (st s_run &: mac_last &: (u ==: const_int ~width:3 7))
+          (const_int ~width:2 s_done)
+          state));
+  (* Bus responses. *)
+  let status =
+    concat
+      [ const_int ~width:(dw - 2) 0; st s_done; st s_run ]
+  in
+  let out_padded =
+    if dw = 16 then out_rd else concat [ const_int ~width:(dw - 16) 0; out_rd ]
+  in
+  assign b "rdata"
+    (mux (addr ==: const_int ~width:5 8) status out_padded);
+  assign b "ack" sel;
+  finish b

@@ -1,0 +1,31 @@
+(** Hardware 8-point DCT-II accelerator — the paper's "Non-CPU Type: DCT"
+    BAN function (user option 4.2).
+
+    A memory-mapped slave computing a 1-D 8-point DCT-II over signed
+    16-bit samples with Q1.14 fixed-point coefficients, one
+    multiply-accumulate per cycle (64 MACs per transform).
+
+    Register map (word offsets):
+    - 0..7:  input samples (write; low 16 bits, two's complement);
+    - 8:     control/status — writing any value starts the transform;
+      reading returns bit 0 = busy, bit 1 = done;
+    - 16..23: output coefficients (read; low 16 bits, two's complement).
+
+    Bus-slave ports: [sel], [rnw], [addr] (5 bits), [wdata]; outputs
+    [rdata], [ack] (single-cycle).
+
+    The fixed-point result matches a double-precision DCT within
+    +/- 2 LSB for full-scale inputs (verified by the test suite). *)
+
+type params = { data_width : int  (** bus data width; >= 16 *) }
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t
+
+val reference : float array -> float array
+(** Double-precision 8-point DCT-II (with the 1/2 c(u) normalisation the
+    hardware implements), for verification.
+    @raise Invalid_argument unless the input has length 8. *)
+
+val coefficient : int -> int -> int
+(** [coefficient u k]: the Q1.14 ROM value the hardware multiplies by. *)

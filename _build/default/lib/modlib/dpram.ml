@@ -1,0 +1,49 @@
+open Busgen_rtl
+
+type params = { addr_width : int; data_width : int }
+
+let module_name p = Printf.sprintf "dpram_a%d_d%d" p.addr_width p.data_width
+
+let words p =
+  if p.addr_width < 1 || p.addr_width > 20 then
+    invalid_arg "Dpram: addr_width out of [1, 20]";
+  1 lsl p.addr_width
+
+let create p =
+  let depth = words p in
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let port x =
+    let pre s = x ^ "_" ^ s in
+    let csb = input b (pre "csb") 1 in
+    let web = input b (pre "web") 1 in
+    let reb = input b (pre "reb") 1 in
+    let addr = input b (pre "addr") p.addr_width in
+    let wdata = input b (pre "wdata") p.data_width in
+    output b (pre "rdata") p.data_width;
+    let _ = wire b (pre "we") 1 in
+    assign b (pre "we") (~:csb &: ~:web);
+    let _ = wire b (pre "re") 1 in
+    assign b (pre "re") (~:csb &: ~:reb);
+    (Var (pre "we"), Var (pre "re"), addr, wdata)
+  in
+  let a_we, a_re, a_addr, a_wdata = port "a" in
+  let b_we, b_re, b_addr, b_wdata = port "b" in
+  (* Port A wins a same-word write conflict: suppress B's write then. *)
+  let _ = wire b "b_we_eff" 1 in
+  assign b "b_we_eff" (b_we &: ~:(a_we &: (a_addr ==: b_addr)));
+  (match
+     memory b "cells" ~data_width:p.data_width ~depth
+       ~writes:
+         [
+           { Circuit.we = a_we; waddr = a_addr; wdata = a_wdata };
+           { Circuit.we = Var "b_we_eff"; waddr = b_addr; wdata = b_wdata };
+         ]
+       ~reads:[ ("a_q", a_addr); ("b_q", b_addr) ]
+   with
+  | [ aq; bq ] ->
+      assign b "a_rdata" (mux a_re aq (const_int ~width:p.data_width 0));
+      assign b "b_rdata" (mux b_re bq (const_int ~width:p.data_width 0))
+  | _ -> assert false);
+  finish b

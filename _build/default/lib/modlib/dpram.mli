@@ -1,0 +1,14 @@
+(** True dual-port RAM template (paper memory type option 5.1, DPRAM).
+
+    Two fully independent ports, [a] and [b], each with the same
+    active-low pin protocol as {!Sram} ([x_csb], [x_web], [x_reb],
+    [x_addr], [x_wdata], [x_rdata]).  Simultaneous writes to the same
+    word let port [a] win (documented tie-break).  Each port pairs with
+    a standard {!Mbi}, allowing two buses to share a buffer without
+    arbitration. *)
+
+type params = { addr_width : int; data_width : int }
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t
+val words : params -> int

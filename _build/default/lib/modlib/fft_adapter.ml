@@ -1,0 +1,40 @@
+open Busgen_rtl
+
+type params = { data_width : int }
+
+let module_name p = Printf.sprintf "fft_adapter_d%d" p.data_width
+
+let create p =
+  if p.data_width < 32 then invalid_arg "Fft_adapter: data_width < 32";
+  let dw = p.data_width in
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let sel = input b "sel" 1 in
+  let rnw = input b "rnw" 1 in
+  let addr = input b "addr" 12 in
+  let wdata = input b "wdata" dw in
+  let q_b = input b "q_b" dw in
+  let ack_b = input b "ack_b" 1 in
+  output b "rdata" dw;
+  output b "ack" 1;
+  output b "addr_b" 12;
+  output b "data_b" dw;
+  output b "web_b" 1;
+  output b "reb_b" 1;
+  output b "srt_b" 1;
+  let in_buffer = wire b "in_buffer" 1 in
+  assign b "in_buffer" (select addr 11 4 ==: const_int ~width:8 0);
+  let is_ctrl = wire b "is_ctrl" 1 in
+  assign b "is_ctrl" (addr ==: const_int ~width:12 16);
+  assign b "addr_b" addr;
+  assign b "data_b" wdata;
+  assign b "web_b" (~:(sel &: ~:rnw &: in_buffer));
+  assign b "reb_b" (~:(sel &: rnw &: in_buffer));
+  assign b "srt_b" (sel &: ~:rnw &: is_ctrl);
+  let status =
+    concat [ const_int ~width:(dw - 1) 0; ack_b ]
+  in
+  assign b "rdata" (mux is_ctrl status q_b);
+  assign b "ack" sel;
+  finish b

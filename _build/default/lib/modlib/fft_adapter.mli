@@ -1,0 +1,16 @@
+(** Bus-slave adapter for the {!Fft_ip} block — the interface logic BAN B
+    carries in paper Fig. 17(b) to drive the FFT BAN's dedicated wires.
+
+    Window map (word offsets): 0..15 = the FFT sample buffer (write to
+    load, read to fetch results); 16 = control (a write pulses
+    [srt_fft], a read returns [ack_fft] in bit 0).
+
+    Bus side: inputs [sel], [rnw], [addr] (12 bits), [wdata]; outputs
+    [rdata], [ack] (single-cycle).  FFT side: outputs [addr_b], [data_b],
+    [web_b], [reb_b], [srt_b]; inputs [q_b], [ack_b] — the [_b]-suffixed
+    port names of Fig. 17(b). *)
+
+type params = { data_width : int }
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t

@@ -1,0 +1,160 @@
+open Busgen_rtl
+
+type params = { data_width : int }
+
+let points = 16
+let module_name p = Printf.sprintf "fft_ip_n%d_d%d" points p.data_width
+
+let pi = 4.0 *. atan 1.0
+
+(* Twiddle W^i = e^{-2 pi i j / N}, Q1.14. *)
+let twiddle_float j =
+  let th = -2.0 *. pi *. float_of_int j /. float_of_int points in
+  (cos th, sin th)
+
+let q14 x = int_of_float (Float.round (x *. 16384.0)) land 0xFFFF
+
+let reference x =
+  if Array.length x <> points then invalid_arg "Fft_ip.reference: length <> 16";
+  Array.init points (fun u ->
+      let acc = ref Complex.zero in
+      for k = 0 to points - 1 do
+        let c, s = twiddle_float (u * k mod points) in
+        acc := Complex.add !acc (Complex.mul x.(k) { Complex.re = c; im = s })
+      done;
+      { Complex.re = !acc.Complex.re /. float_of_int points;
+        im = !acc.Complex.im /. float_of_int points })
+
+let to_q14 v =
+  let i = int_of_float (Float.round (v *. 16384.0)) in
+  let i = max (-32768) (min 32767 i) in
+  i land 0xFFFF
+
+let pack c = (to_q14 c.Complex.re lsl 16) lor to_q14 c.Complex.im
+
+let sext16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+
+let unpack w =
+  {
+    Complex.re = float_of_int (sext16 ((w lsr 16) land 0xFFFF)) /. 16384.0;
+    im = float_of_int (sext16 (w land 0xFFFF)) /. 16384.0;
+  }
+
+(* FSM states *)
+let s_idle = 0
+let s_run = 1
+let s_done = 2
+
+let create p =
+  if p.data_width < 32 then invalid_arg "Fft_ip: data_width < 32";
+  let dw = p.data_width in
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let addr = input b "addr_fft" 12 in
+  let data = input b "data_fft" dw in
+  let web = input b "web_fft" 1 in
+  let reb = input b "reb_fft" 1 in
+  let srt = input b "srt_fft" 1 in
+  output b "q_fft" dw;
+  output b "ack_fft" 1;
+  let a4 = select addr 3 0 in
+  let state = reg b "state" 2 () in
+  let u = reg b "u" 4 () in
+  let k = reg b "k" 4 () in
+  (* Q2.28 products accumulated over 16 terms: 36 bits. *)
+  let acc_re = reg b "acc_re" 36 () in
+  let acc_im = reg b "acc_im" 36 () in
+  let prev_srt = reg b "prev_srt" 1 () in
+  set_next b "prev_srt" srt;
+  let start = wire b "start" 1 in
+  assign b "start" (srt &: ~:prev_srt);
+  let st v = state ==: const_int ~width:2 v in
+  (* Input buffer: packed re/im, written over the bus. *)
+  let in_q =
+    memory b "inbuf" ~data_width:32 ~depth:points
+      ~writes:
+        [ { Circuit.we = ~:web; waddr = a4; wdata = select data 31 0 } ]
+      ~reads:[ ("in_q", k) ]
+  in
+  let xk = match in_q with [ q ] -> q | _ -> assert false in
+  let x_re = wire b "x_re" 16 in
+  assign b "x_re" (select xk 31 16);
+  let x_im = wire b "x_im" 16 in
+  assign b "x_im" (select xk 15 0);
+  (* Twiddle index (u*k mod 16) and ROM. *)
+  let idx = wire b "tw_idx" 4 in
+  assign b "tw_idx" (select (Binop (Mul, u, k)) 3 0);
+  let rom part =
+    let rec build i =
+      if i = points - 1 then
+        let c, s = twiddle_float i in
+        const_int ~width:16 (q14 (if part = `Re then c else s))
+      else
+        let c, s = twiddle_float i in
+        mux
+          (idx ==: const_int ~width:4 i)
+          (const_int ~width:16 (q14 (if part = `Re then c else s)))
+          (build (i + 1))
+    in
+    build 0
+  in
+  let w_re = wire b "w_re" 16 in
+  assign b "w_re" (rom `Re);
+  let w_im = wire b "w_im" 16 in
+  assign b "w_im" (rom `Im);
+  (* Complex multiply: (x_re + i x_im) * (w_re + i w_im). *)
+  let smul a c = Binop (Smul, a, c) in
+  let sext36 e =
+    (* Sign-extend a 32-bit product to 36 bits. *)
+    concat [ concat (List.init 4 (fun _ -> select e 31 31)); e ]
+  in
+  let p_rr = wire b "p_rr" 32 in
+  assign b "p_rr" (smul x_re w_re);
+  let p_ii = wire b "p_ii" 32 in
+  assign b "p_ii" (smul x_im w_im);
+  let p_ri = wire b "p_ri" 32 in
+  assign b "p_ri" (smul x_re w_im);
+  let p_ir = wire b "p_ir" 32 in
+  assign b "p_ir" (smul x_im w_re);
+  let mac_re = wire b "mac_re" 36 in
+  assign b "mac_re" (acc_re +: (sext36 p_rr -: sext36 p_ii));
+  let mac_im = wire b "mac_im" 36 in
+  assign b "mac_im" (acc_im +: (sext36 p_ri +: sext36 p_ir));
+  let mac_last = wire b "mac_last" 1 in
+  assign b "mac_last" (st s_run &: (k ==: const_int ~width:4 (points - 1)));
+  (* Result: Q2.28 accumulator back to Q1.14 with the 1/N fold (>> 4),
+     with rounding. *)
+  let round v =
+    select (v +: const_int ~width:36 (1 lsl 17)) 33 18
+  in
+  let result = wire b "result" 32 in
+  assign b "result" (concat [ round mac_re; round mac_im ]);
+  let out_q =
+    memory b "outbuf" ~data_width:32 ~depth:points
+      ~writes:[ { Circuit.we = mac_last; waddr = u; wdata = result } ]
+      ~reads:[ ("out_q", a4) ]
+  in
+  let out_rd = match out_q with [ q ] -> q | _ -> assert false in
+  set_next b "acc_re"
+    (mux (st s_run &: ~:mac_last) mac_re (const_int ~width:36 0));
+  set_next b "acc_im"
+    (mux (st s_run &: ~:mac_last) mac_im (const_int ~width:36 0));
+  set_next b "k"
+    (mux (st s_run) (k +: const_int ~width:4 1) (const_int ~width:4 0));
+  set_next b "u"
+    (mux (st s_run &: mac_last)
+       (u +: const_int ~width:4 1)
+       (mux (st s_idle |: st s_done) (const_int ~width:4 0) u));
+  set_next b "state"
+    (mux start (const_int ~width:2 s_run)
+       (mux
+          (st s_run &: mac_last &: (u ==: const_int ~width:4 (points - 1)))
+          (const_int ~width:2 s_done)
+          state));
+  let q_padded =
+    if dw = 32 then out_rd else concat [ const_int ~width:(dw - 32) 0; out_rd ]
+  in
+  assign b "q_fft" (mux reb (const_int ~width:dw 0) q_padded);
+  assign b "ack_fft" (st s_done);
+  finish b

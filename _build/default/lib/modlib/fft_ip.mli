@@ -1,0 +1,40 @@
+(** Hardware FFT IP block — the [BAN FFT] of paper Example 8 /
+    Fig. 17(b).
+
+    A 16-point complex DFT engine with the pin interface the paper's
+    wire list gives it: a buffer port ([addr_fft], [data_fft] in,
+    [q_fft] out, [web_fft]/[reb_fft] active low) plus the dedicated
+    control wires [srt_fft] (start) and [ack_fft] (transform done).
+    The paper's bidirectional [data_fft] is split into an input and an
+    output bus, as everywhere else in this reproduction (cf. Fig. 14's
+    SRAM data pins).
+
+    Samples are complex fixed-point: the real part in bits
+    [31:16], the imaginary part in bits [15:0], both two's complement.
+    Writing loads the input buffer; after [srt_fft] the engine runs
+    [N^2] complex multiply-accumulates against a 16-entry twiddle ROM
+    (one per distinct [u*k mod 16]) and raises [ack_fft]; reads return
+    the output buffer, scaled by [1/N] (so full-scale inputs cannot
+    overflow).
+
+    The result matches a double-precision DFT within a few LSB
+    (property-tested against the OFDM application's float FFT). *)
+
+type params = { data_width : int  (** bus data width; >= 32 *) }
+
+val points : int
+(** 16. *)
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t
+
+val reference : Complex.t array -> Complex.t array
+(** Double-precision forward DFT scaled by [1/N], for verification.
+    @raise Invalid_argument unless the input has length {!points}. *)
+
+val pack : Complex.t -> int
+(** Encode a complex sample (components in [-1, 1)) into the 32-bit
+    Q1.14 bus format. *)
+
+val unpack : int -> Complex.t
+(** Decode a 32-bit result word. *)

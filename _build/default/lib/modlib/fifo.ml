@@ -1,0 +1,51 @@
+open Busgen_rtl
+
+type params = { data_width : int; depth : int }
+
+let module_name p = Printf.sprintf "fifo_d%d_n%d" p.data_width p.depth
+let count_width p = Util.clog2 (p.depth + 1)
+
+let create p =
+  if p.depth < 2 then invalid_arg "Fifo.create: depth < 2";
+  let cw = count_width p in
+  let pw = Util.clog2 p.depth in
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let push = input b "push" 1 in
+  let wdata = input b "wdata" p.data_width in
+  let pop = input b "pop" 1 in
+  output b "rdata" p.data_width;
+  output b "full" 1;
+  output b "empty" 1;
+  output b "count" cw;
+  let cnt = reg b "cnt" cw () in
+  let rptr = reg b "rptr" pw () in
+  let wptr = reg b "wptr" pw () in
+  let full = wire b "full_i" 1 in
+  assign b "full_i" (cnt ==: const_int ~width:cw p.depth);
+  let empty = wire b "empty_i" 1 in
+  assign b "empty_i" (cnt ==: const_int ~width:cw 0);
+  let do_push = wire b "do_push" 1 in
+  assign b "do_push" (push &: ~:full);
+  let do_pop = wire b "do_pop" 1 in
+  assign b "do_pop" (pop &: ~:empty);
+  set_next b "cnt"
+    (mux (do_push &: ~:do_pop)
+       (cnt +: const_int ~width:cw 1)
+       (mux (do_pop &: ~:do_push) (cnt -: const_int ~width:cw 1) cnt));
+  set_next b "wptr"
+    (mux do_push (Util.wrap_incr wptr ~width:pw ~modulo:p.depth) wptr);
+  set_next b "rptr"
+    (mux do_pop (Util.wrap_incr rptr ~width:pw ~modulo:p.depth) rptr);
+  (match
+     memory b "store" ~data_width:p.data_width ~depth:p.depth
+       ~writes:[ { Circuit.we = do_push; waddr = wptr; wdata } ]
+       ~reads:[ ("head", rptr) ]
+   with
+  | [ head ] -> assign b "rdata" head
+  | _ -> assert false);
+  assign b "full" full;
+  assign b "empty" empty;
+  assign b "count" cnt;
+  finish b

@@ -1,0 +1,18 @@
+(** Synchronous FIFO generator.
+
+    Ports:
+    - inputs  [push], [wdata\[data_width\]], [pop]
+    - outputs [rdata\[data_width\]] (head, valid when not [empty]),
+      [full], [empty], [count\[clog2 (depth+1)\]]
+
+    A push when full and a pop when empty are ignored.  Simultaneous
+    push+pop is allowed and keeps the count unchanged. *)
+
+type params = { data_width : int; depth : int }
+
+val module_name : params -> string
+(** E.g. [fifo_d64_n1024]. *)
+
+val create : params -> Busgen_rtl.Circuit.t
+
+val count_width : params -> int

@@ -1,0 +1,58 @@
+open Busgen_rtl
+
+type params = { data_width : int; count_width : int }
+
+let module_name p =
+  Printf.sprintf "fifo_slave_d%d_c%d" p.data_width p.count_width
+
+let create p =
+  if p.data_width < p.count_width + 2 then
+    invalid_arg "Fifo_slave: data too narrow for the status word";
+  let dw = p.data_width in
+  let cw = p.count_width in
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  (* FIFO-facing side. *)
+  let head = input b "head" dw in
+  let empty = input b "empty" 1 in
+  let full = input b "full" 1 in
+  let count = input b "count" cw in
+  let irq = input b "irq" 1 in
+  output b "push" 1;
+  output b "push_data" dw;
+  output b "thr_we" 1;
+  output b "thr" cw;
+  output b "pop" 1;
+  let pad1 e = if dw = 1 then e else concat [ const_int ~width:(dw - 1) 0; e ] in
+  (* Sender port. *)
+  let s_sel = input b "s_sel" 1 in
+  let s_rnw = input b "s_rnw" 1 in
+  let s_addr = input b "s_addr" 2 in
+  let s_wdata = input b "s_wdata" dw in
+  output b "s_rdata" dw;
+  output b "s_ack" 1;
+  let s_write = s_sel &: ~:s_rnw in
+  let at port v = port ==: const_int ~width:2 v in
+  assign b "push" (s_write &: at s_addr 0);
+  assign b "push_data" s_wdata;
+  assign b "thr_we" (s_write &: at s_addr 1);
+  assign b "thr" (select s_wdata (cw - 1) 0);
+  assign b "s_rdata" (pad1 full);
+  assign b "s_ack" s_sel;
+  (* Receiver port. *)
+  let r_sel = input b "r_sel" 1 in
+  let r_rnw = input b "r_rnw" 1 in
+  let r_addr = input b "r_addr" 2 in
+  let r_wdata = input b "r_wdata" dw in
+  ignore r_wdata;
+  output b "r_rdata" dw;
+  output b "r_ack" 1;
+  let r_read = r_sel &: r_rnw in
+  assign b "pop" (r_read &: at r_addr 0);
+  let status =
+    concat [ const_int ~width:(dw - cw - 2) 0; count; empty; irq ]
+  in
+  assign b "r_rdata" (mux (at r_addr 0) head status);
+  assign b "r_ack" r_sel;
+  finish b

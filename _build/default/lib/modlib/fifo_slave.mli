@@ -1,0 +1,26 @@
+(** Memory-mapped slave adapter for one direction of a {!Bififo} block.
+
+    Two independent bus ports, matching how the paper's Bi-FIFO is used
+    (Example 4): the {e sender} side pushes words and sets the threshold
+    register; the {e receiver} side pops words and reads status.
+
+    Sender port (prefix [s_]): word offsets
+    - 0: write = push a word;
+    - 1: write = set the threshold register;
+    - 2: read  = the [full] flag in bit 0.
+
+    Receiver port (prefix [r_]): word offsets
+    - 0: read = pop a word (the returned word is the FIFO head);
+    - 2: read = status: bit 0 = irq (threshold reached), bit 1 = empty,
+      remaining bits = fill count.
+
+    Both ports: [x_sel], [x_rnw], [x_addr] (2 bits), [x_wdata] in;
+    [x_rdata], [x_ack] out (single-cycle).  FIFO-facing ports connect to
+    the corresponding {!Bififo} direction: outputs [push], [push_data],
+    [thr_we], [thr], [pop]; inputs [head], [empty], [full], [count],
+    [irq]. *)
+
+type params = { data_width : int; count_width : int }
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t

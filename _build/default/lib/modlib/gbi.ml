@@ -1,0 +1,48 @@
+open Busgen_rtl
+
+type bus_type = Gbi_gbavi | Gbi_gbaviii | Gbi_bfba
+
+type params = { bus_type : bus_type; addr_width : int; data_width : int }
+
+let bus_name = function
+  | Gbi_gbavi -> "gbavi"
+  | Gbi_gbaviii -> "gbaviii"
+  | Gbi_bfba -> "bfba"
+
+let module_name p =
+  Printf.sprintf "gbi_%s_a%d_d%d" (bus_name p.bus_type) p.addr_width
+    p.data_width
+
+let create p =
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let en = input b "en" 1 in
+  let i_sel = input b "i_sel" 1 in
+  let i_rnw = input b "i_rnw" 1 in
+  let i_addr = input b "i_addr" p.addr_width in
+  let i_wdata = input b "i_wdata" p.data_width in
+  let o_rdata = input b "o_rdata" p.data_width in
+  let o_ack = input b "o_ack" 1 in
+  output b "i_rdata" p.data_width;
+  output b "i_ack" 1;
+  output b "o_sel" 1;
+  output b "o_rnw" 1;
+  output b "o_addr" p.addr_width;
+  output b "o_wdata" p.data_width;
+  (* One pipeline register stage on the outgoing request. *)
+  let sel_r = reg b "sel_r" 1 () in
+  let rnw_r = reg b "rnw_r" 1 () in
+  let addr_r = reg b "addr_r" p.addr_width () in
+  let wdata_r = reg b "wdata_r" p.data_width () in
+  set_next b "sel_r" (en &: i_sel &: ~:o_ack);
+  set_next b "rnw_r" i_rnw;
+  set_next b "addr_r" i_addr;
+  set_next b "wdata_r" i_wdata;
+  assign b "o_sel" sel_r;
+  assign b "o_rnw" rnw_r;
+  assign b "o_addr" addr_r;
+  assign b "o_wdata" wdata_r;
+  assign b "i_rdata" o_rdata;
+  assign b "i_ack" (en &: o_ack);
+  finish b

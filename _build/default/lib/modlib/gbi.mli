@@ -1,0 +1,18 @@
+(** Generic Bus Interface (paper Module Library item H, [GBI_<bus_type>]).
+
+    Connects a BAN's internal CPU bus to a subsystem-level bus of a given
+    type, registering the outgoing request for one cycle (the paper's GBI
+    provides "flexibility in selecting various types of buses for a Bus
+    Subsystem"; the pipeline register is the adaptation stage).
+
+    Inward bundle (from the BAN): [i_sel], [i_rnw], [i_addr], [i_wdata];
+    returns [i_rdata], [i_ack].  Outward bundle (to the subsystem bus):
+    [o_sel], [o_rnw], [o_addr], [o_wdata]; receives [o_rdata], [o_ack].
+    [en] qualifies the interface (address-decode hit). *)
+
+type bus_type = Gbi_gbavi | Gbi_gbaviii | Gbi_bfba
+
+type params = { bus_type : bus_type; addr_width : int; data_width : int }
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t

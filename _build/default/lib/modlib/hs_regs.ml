@@ -1,0 +1,29 @@
+open Busgen_rtl
+
+type params = { init_op : bool }
+
+let module_name p = if p.init_op then "hs_regs_op1" else "hs_regs"
+
+let create p =
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let op_set = input b "op_set" 1 in
+  let op_clr = input b "op_clr" 1 in
+  let rv_set = input b "rv_set" 1 in
+  let rv_clr = input b "rv_clr" 1 in
+  output b "op_q" 1;
+  output b "rv_q" 1;
+  let op =
+    reg b "done_op" 1 ~init:(Bits.of_bool p.init_op) ()
+  in
+  let rv = reg b "done_rv" 1 () in
+  let hold_update q set clr =
+    (* set and clear simultaneously: hold. *)
+    mux (set ^: clr) (mux set (const_int ~width:1 1) (const_int ~width:1 0)) q
+  in
+  set_next b "done_op" (hold_update op op_set op_clr);
+  set_next b "done_rv" (hold_update rv rv_set rv_clr);
+  assign b "op_q" op;
+  assign b "rv_q" rv;
+  finish b

@@ -1,0 +1,18 @@
+(** Handshake registers block (paper Fig. 10 / Example 2).
+
+    Two 1-bit control registers shared between a sender and a receiver:
+    - [DONE_OP]: "operation done" — set by the sender, cleared by the
+      receiver;
+    - [DONE_RV]: "data received" — set by the receiver, cleared by the
+      sender.
+
+    Ports: inputs [op_set], [op_clr], [rv_set], [rv_clr]; outputs [op_q],
+    [rv_q].  A simultaneous set and clear leaves the register unchanged.
+
+    The paper's BFBA initialises [DONE_OP] to 1 (Example 4); other
+    architectures initialise both to 0 — hence [init_op]. *)
+
+type params = { init_op : bool }
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t

@@ -1,0 +1,47 @@
+open Busgen_rtl
+
+type params = { data_width : int }
+
+let module_name p = Printf.sprintf "hs_slave_d%d" p.data_width
+
+let create p =
+  if p.data_width < 1 then invalid_arg "Hs_slave: data_width < 1";
+  let dw = p.data_width in
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let op_q = input b "op_q" 1 in
+  let rv_q = input b "rv_q" 1 in
+  output b "op_set" 1;
+  output b "op_clr" 1;
+  output b "rv_set" 1;
+  output b "rv_clr" 1;
+  let side x =
+    let pre s = x ^ "_" ^ s in
+    let sel = input b (pre "sel") 1 in
+    let rnw = input b (pre "rnw") 1 in
+    let addr = input b (pre "addr") 1 in
+    let wdata = input b (pre "wdata") dw in
+    output b (pre "rdata") dw;
+    output b (pre "ack") 1;
+    let is_op = ~:addr in
+    let write = sel &: ~:rnw in
+    let w1 = select wdata 0 0 in
+    let pad e =
+      if dw = 1 then e else concat [ const_int ~width:(dw - 1) 0; e ]
+    in
+    assign b (pre "rdata") (pad (mux is_op op_q rv_q));
+    assign b (pre "ack") sel;
+    (* set/clr pulses for this side *)
+    ( write &: is_op &: w1,
+      write &: is_op &: ~:w1,
+      write &: ~:is_op &: w1,
+      write &: ~:is_op &: ~:w1 )
+  in
+  let a_os, a_oc, a_rs, a_rc = side "a" in
+  let b_os, b_oc, b_rs, b_rc = side "b" in
+  assign b "op_set" (a_os |: b_os);
+  assign b "op_clr" (a_oc |: b_oc);
+  assign b "rv_set" (a_rs |: b_rs);
+  assign b "rv_clr" (a_rc |: b_rc);
+  finish b

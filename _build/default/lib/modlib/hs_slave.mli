@@ -1,0 +1,21 @@
+(** Memory-mapped slave adapter for a {!Hs_regs} block.
+
+    Gives two bus masters (the sender's side [a] and the receiver's side
+    [b]) register access to the shared handshake bits, implementing the
+    paper's "the registers can be accessed from both BAN A and BAN B"
+    (Fig. 10).
+
+    Register map (word offsets within the block's region):
+    - offset 0: [DONE_OP] — read returns the bit in bit 0; a write stores
+      bit 0 (writing 1 sets, writing 0 clears);
+    - offset 1: [DONE_RV] — same encoding.
+
+    Per side [x] in [a], [b]: inputs [x_sel], [x_rnw], [x_addr] (1 bit),
+    [x_wdata]; outputs [x_rdata], [x_ack] (combinational, single-cycle).
+    Outputs [op_set]/[op_clr]/[rv_set]/[rv_clr] drive the {!Hs_regs}
+    instance; inputs [op_q]/[rv_q] read it back. *)
+
+type params = { data_width : int }
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t

@@ -1,0 +1,67 @@
+open Busgen_rtl
+
+type params = {
+  mem_kind : Sram.kind;
+  mem_addr_width : int;
+  mem_data_width : int;
+  bus_addr_width : int;
+  bus_data_width : int;
+  latency : int;
+}
+
+let module_name p =
+  Printf.sprintf "mbi_%s_a%d_d%d_b%d"
+    (match p.mem_kind with Sram.Sram -> "sram" | Sram.Dram -> "dram")
+    p.mem_addr_width p.mem_data_width p.bus_data_width
+
+let for_sram (s : Sram.params) ~bus_addr_width ~bus_data_width =
+  {
+    mem_kind = s.Sram.kind;
+    mem_addr_width = s.Sram.addr_width;
+    mem_data_width = s.Sram.data_width;
+    bus_addr_width;
+    bus_data_width;
+    latency = (match s.Sram.kind with Sram.Sram -> 1 | Sram.Dram -> 3);
+  }
+
+let create p =
+  if p.mem_data_width > p.bus_data_width then
+    invalid_arg "Mbi: memory wider than bus";
+  if p.mem_addr_width > p.bus_addr_width then
+    invalid_arg "Mbi: memory address wider than bus address";
+  if p.latency < 1 then invalid_arg "Mbi: latency < 1";
+  let bit_difference = p.bus_data_width - p.mem_data_width in
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let sel = input b "sel" 1 in
+  let rnw = input b "rnw" 1 in
+  let addr = input b "addr" p.bus_addr_width in
+  let wdata = input b "wdata" p.bus_data_width in
+  let m_rdata = input b "m_rdata" p.mem_data_width in
+  output b "rdata" p.bus_data_width;
+  output b "ack" 1;
+  output b "csb" 1;
+  output b "web" 1;
+  output b "reb" 1;
+  output b "m_addr" p.mem_addr_width;
+  output b "m_wdata" p.mem_data_width;
+  assign b "csb" (~:sel);
+  assign b "web" (~:(sel &: ~:rnw));
+  assign b "reb" (~:(sel &: rnw));
+  assign b "m_addr" (select addr (p.mem_addr_width - 1) 0);
+  assign b "m_wdata" (select wdata (p.mem_data_width - 1) 0);
+  (* Zero-extend the memory word over the bit difference (Fig. 14's
+     {BIT_DIFFERENCE'b0, sram_dq}). *)
+  assign b "rdata"
+    (if bit_difference = 0 then m_rdata
+     else concat [ const_int ~width:bit_difference 0; m_rdata ]);
+  (* Ack pipeline: ack after [latency] cycles of continuous select. *)
+  let stage = ref sel in
+  for i = 1 to p.latency do
+    let r = reg b (Printf.sprintf "ack_p%d" i) 1 () in
+    set_next b (Printf.sprintf "ack_p%d" i) (!stage &: sel);
+    stage := r
+  done;
+  assign b "ack" (!stage &: sel);
+  finish b

@@ -1,0 +1,32 @@
+(** Memory-to-Bus Interface (paper Module Library item D and Fig. 14).
+
+    Adapts a bus slave port to the active-low pin interface of a
+    {!Sram}-style memory.  The paper's template parameters
+    [@MEM_A_WIDTH@], [@MEM_D_WIDTH@] and [@BIT_DIFFERENCE@] map to
+    [mem_addr_width], [mem_data_width] and
+    [bus_data_width - mem_data_width].
+
+    Bus-slave side: inputs [sel], [rnw], [addr\[bus_addr_width\]],
+    [wdata\[bus_data_width\]]; outputs [rdata\[bus_data_width\]] (memory
+    word zero-extended over the bit difference, as in Fig. 14) and [ack].
+
+    Memory side: outputs [csb], [web], [reb], [m_addr], [m_wdata];
+    input [m_rdata].
+
+    [ack] rises [latency] cycles after [sel] (1 for SRAM; DRAMs use a
+    larger value to model row activation). *)
+
+type params = {
+  mem_kind : Sram.kind;
+  mem_addr_width : int;
+  mem_data_width : int;
+  bus_addr_width : int;
+  bus_data_width : int;
+  latency : int;  (** >= 1 *)
+}
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t
+
+val for_sram : Sram.params -> bus_addr_width:int -> bus_data_width:int -> params
+(** Standard pairing: latency 1 for SRAM, 3 for DRAM. *)

@@ -1,0 +1,52 @@
+open Busgen_rtl
+
+type params = { data_width : int; contents : int list }
+
+let depth p =
+  let n = max 2 (List.length p.contents) in
+  let rec pow2 w = if w >= n then w else pow2 (2 * w) in
+  pow2 2
+
+let addr_width p =
+  let d = depth p in
+  let rec go w = if 1 lsl w >= d then w else go (w + 1) in
+  go 1
+
+(* A short content digest keeps module names unique per image (the
+   hierarchy emitter rejects same-named structurally-different
+   modules). *)
+let digest p =
+  List.fold_left
+    (fun acc w -> (acc * 31) + (w land 0xFFFF) land 0xFFFFFF)
+    (17 + p.data_width)
+    p.contents
+  land 0xFFFFFF
+
+let module_name p =
+  Printf.sprintf "rom_d%d_n%d_%06x" p.data_width (depth p) (digest p)
+
+let create p =
+  if p.contents = [] then invalid_arg "Rom: empty contents";
+  if p.data_width < 1 then invalid_arg "Rom: data_width < 1";
+  let d = depth p in
+  let aw = addr_width p in
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let csb = input b "csb" 1 in
+  let reb = input b "reb" 1 in
+  let addr = input b "addr" aw in
+  output b "rdata" p.data_width;
+  let re = wire b "re" 1 in
+  assign b "re" (~:csb &: ~:reb);
+  let init =
+    Array.of_list
+      (List.map (fun w -> Bits.of_int ~width:p.data_width w) p.contents)
+  in
+  (match
+     memory b "image" ~init ~data_width:p.data_width ~depth:d ~writes:[]
+       ~reads:[ ("image_q", addr) ]
+   with
+  | [ q ] -> assign b "rdata" (mux re q (const_int ~width:p.data_width 0))
+  | _ -> assert false);
+  finish b

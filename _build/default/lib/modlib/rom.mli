@@ -1,0 +1,29 @@
+(** Read-only memory template (boot/coefficient store).
+
+    Completes the Module Library's memory family: where {!Sram} holds
+    run-time data, a ROM carries contents fixed at generation time — a
+    boot image, microcode, or filter coefficients — using the RTL IR's
+    memory-initialization support, so the image appears in the emitted
+    Verilog (restored on reset) and in the interpreter alike.
+
+    Pins follow the same active-low convention as {!Sram}: [csb] chip
+    select, [reb] output enable, asynchronous [rdata]. *)
+
+type params = {
+  data_width : int;
+  contents : int list;  (** one word per entry, truncated to the width *)
+}
+
+val module_name : params -> string
+(** Includes a content digest, so two ROMs of the same shape but
+    different images never collide in a design hierarchy. *)
+
+val depth : params -> int
+(** Word count: the contents length rounded up to a power of two
+    (minimum 2, so there is always an address bit). *)
+
+val addr_width : params -> int
+
+val create : params -> Busgen_rtl.Circuit.t
+(** @raise Invalid_argument on empty contents or a non-positive
+    width. *)

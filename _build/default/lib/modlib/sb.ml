@@ -1,0 +1,37 @@
+open Busgen_rtl
+
+type bus_type = Sb_gbavi | Sb_gbaviii | Sb_bfba
+
+type params = { bus_type : bus_type; addr_width : int; data_width : int }
+
+let bus_name = function
+  | Sb_gbavi -> "gbavi"
+  | Sb_gbaviii -> "gbaviii"
+  | Sb_bfba -> "bfba"
+
+let module_name p =
+  Printf.sprintf "sb_%s_a%d_d%d" (bus_name p.bus_type) p.addr_width
+    p.data_width
+
+let create p =
+  let open Circuit.Builder in
+  let b = create (module_name p) in
+  let through name width =
+    let i = input b (name ^ "_in") width in
+    output b (name ^ "_out") width;
+    assign b (name ^ "_out") i
+  in
+  (match p.bus_type with
+  | Sb_gbavi | Sb_gbaviii ->
+      through "addr" p.addr_width;
+      through "wdata" p.data_width;
+      through "rdata" p.data_width;
+      through "sel" 1;
+      through "rnw" 1;
+      through "ack" 1
+  | Sb_bfba ->
+      through "data" p.data_width;
+      through "push" 1;
+      through "pop" 1;
+      through "irq" 1);
+  finish b

@@ -1,0 +1,19 @@
+(** Segment of Bus (paper Module Library item I, [SB_<bus_type>]).
+
+    A contiguous bus segment: address, data and control wires specific to
+    a bus type (paper definition E).  Structurally it is a wiring module —
+    inputs pass straight to outputs — so that generated netlists mirror
+    the paper's BAN diagrams, where every BAN contains explicit SB
+    instances; the linter still checks every connection's width through
+    it.
+
+    Signals: [addr], [wdata], [rdata], [sel], [rnw], [ack] for GBA-style
+    buses; BFBA segments carry the FIFO handshake instead ([data], [push],
+    [pop], [irq]). *)
+
+type bus_type = Sb_gbavi | Sb_gbaviii | Sb_bfba
+
+type params = { bus_type : bus_type; addr_width : int; data_width : int }
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t

@@ -1,0 +1,42 @@
+open Busgen_rtl
+
+type kind = Sram | Dram
+
+type params = { kind : kind; addr_width : int; data_width : int }
+
+let kind_name = function Sram -> "sram" | Dram -> "dram"
+
+let module_name p =
+  Printf.sprintf "%s_comp_a%d_d%d" (kind_name p.kind) p.addr_width
+    p.data_width
+
+let words p =
+  if p.addr_width < 1 || p.addr_width > 20 then
+    invalid_arg "Sram: addr_width out of [1, 20]";
+  1 lsl p.addr_width
+
+let create p =
+  let depth = words p in
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let csb = input b "csb" 1 in
+  let web = input b "web" 1 in
+  let reb = input b "reb" 1 in
+  let addr = input b "addr" p.addr_width in
+  let wdata = input b "wdata" p.data_width in
+  output b "rdata" p.data_width;
+  let we = wire b "we" 1 in
+  assign b "we" (~:csb &: ~:web);
+  let re = wire b "re" 1 in
+  assign b "re" (~:csb &: ~:reb);
+  (match
+     memory b "cells" ~data_width:p.data_width ~depth
+       ~writes:[ { Circuit.we; waddr = addr; wdata } ]
+       ~reads:[ ("cells_q", addr) ]
+   with
+  | [ q ] ->
+      assign b "rdata"
+        (mux re q (const_int ~width:p.data_width 0))
+  | _ -> assert false);
+  finish b

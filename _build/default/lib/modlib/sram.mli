@@ -1,0 +1,26 @@
+(** Behavioural memory templates (paper Module Library item C,
+    [<memory>_comp]).
+
+    Control pins follow the paper's active-low convention ([csb] chip
+    select, [web] write enable, [reb] read/output enable).  Reads are
+    asynchronous ([rdata] is valid combinationally while [csb=0, reb=0]);
+    writes occur on the clock edge while [csb=0, web=0].
+
+    [Dram] differs from [Sram] only in its interface-level timing model
+    (the MBI inserts extra access latency); the storage template is
+    shared. *)
+
+type kind = Sram | Dram
+
+type params = {
+  kind : kind;
+  addr_width : int;  (** log2 of the word count *)
+  data_width : int;
+}
+
+val module_name : params -> string
+val create : params -> Busgen_rtl.Circuit.t
+
+val words : params -> int
+(** [2 ^ addr_width], capped at [2^20] words for simulation practicality
+    (the paper's 8 MB SRAMs use [addr_width = 20], [data_width = 64]). *)

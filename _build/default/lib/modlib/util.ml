@@ -1,0 +1,42 @@
+open Busgen_rtl
+
+let clog2 n =
+  if n < 1 then invalid_arg "clog2: n < 1";
+  let rec go w = if 1 lsl w >= n then w else go (w + 1) in
+  max 1 (go 0)
+
+let wrap_incr ptr ~width ~modulo =
+  let w = width in
+  let open Expr in
+  mux
+    (ptr ==: const_int ~width:w (modulo - 1))
+    (const_int ~width:w 0)
+    (ptr +: const_int ~width:w 1)
+
+let onehot_priority reqs =
+  let open Expr in
+  let rec go blocked = function
+    | [] -> []
+    | r :: rest ->
+        let grant =
+          match blocked with None -> r | Some b -> r &: ~:b
+        in
+        let blocked' =
+          match blocked with None -> Some r | Some b -> Some (b |: r)
+        in
+        grant :: go blocked' rest
+  in
+  go None reqs
+
+let any = function
+  | [] -> invalid_arg "Util.any: empty list"
+  | e :: es -> List.fold_left (fun acc x -> Expr.(acc |: x)) e es
+
+let encode_onehot onehot ~width =
+  let w = width in
+  let open Expr in
+  List.fold_left
+    (fun (acc, i) g -> (mux g (const_int ~width:w i) acc, i + 1))
+    (const_int ~width:w 0, 0)
+    onehot
+  |> fst

@@ -1,0 +1,20 @@
+(** Shared helpers for Module Library generators. *)
+
+val clog2 : int -> int
+(** [clog2 n] is the number of bits needed to count [0 .. n-1]; at least 1.
+    @raise Invalid_argument if [n < 1]. *)
+
+val wrap_incr : Busgen_rtl.Expr.t -> width:int -> modulo:int -> Busgen_rtl.Expr.t
+(** [wrap_incr ptr ~width ~modulo] is [ptr + 1] wrapping to 0 at
+    [modulo - 1]; [ptr] has the given width. *)
+
+val onehot_priority : Busgen_rtl.Expr.t list -> Busgen_rtl.Expr.t list
+(** [onehot_priority reqs] grants the first asserted request: element [i] of
+    the result is [reqs_i && not (reqs_0 || .. || reqs_{i-1})].  All inputs
+    are 1-bit. *)
+
+val any : Busgen_rtl.Expr.t list -> Busgen_rtl.Expr.t
+(** OR of a non-empty list of 1-bit expressions. *)
+
+val encode_onehot : Busgen_rtl.Expr.t list -> width:int -> Busgen_rtl.Expr.t
+(** Binary index of the asserted element of a one-hot list (0 if none). *)

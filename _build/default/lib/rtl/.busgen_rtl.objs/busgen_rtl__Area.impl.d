@@ -1,0 +1,1 @@
+lib/rtl/area.ml: Circuit Expr Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/rtl/bits.ml: Array Char Format List Printf Seq Stdlib String

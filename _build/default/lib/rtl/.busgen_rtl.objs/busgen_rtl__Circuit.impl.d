@@ -1,0 +1,1 @@
+lib/rtl/circuit.ml: Array Bits Expr Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/rtl/depth.ml: Circuit Expr Format Hashtbl List String

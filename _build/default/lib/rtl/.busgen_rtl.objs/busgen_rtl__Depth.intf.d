@@ -1,0 +1,1 @@
+lib/rtl/depth.mli: Circuit Expr Format

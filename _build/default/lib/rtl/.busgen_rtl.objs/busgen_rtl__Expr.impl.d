@@ -1,0 +1,1 @@
+lib/rtl/expr.ml: Bits Format Hashtbl List Printf

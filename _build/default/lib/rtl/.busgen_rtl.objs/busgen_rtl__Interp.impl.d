@@ -1,0 +1,1 @@
+lib/rtl/interp.ml: Array Bits Circuit Expr Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/rtl/lint.ml: Circuit Expr Format Hashtbl Interp List Printf

@@ -1,0 +1,1 @@
+lib/rtl/lint.mli: Circuit Format

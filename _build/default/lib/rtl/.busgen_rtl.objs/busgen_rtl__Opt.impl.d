@@ -1,0 +1,1 @@
+lib/rtl/opt.ml: Area Bits Circuit Expr Hashtbl List

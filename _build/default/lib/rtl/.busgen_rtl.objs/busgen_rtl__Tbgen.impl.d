@@ -1,0 +1,1 @@
+lib/rtl/tbgen.ml: Buffer Circuit Filename List Printf Testbench

@@ -1,0 +1,1 @@
+lib/rtl/testbench.ml: Bits Circuit Hashtbl Interp List Printf

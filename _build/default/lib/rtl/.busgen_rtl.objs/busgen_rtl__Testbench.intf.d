@@ -1,0 +1,1 @@
+lib/rtl/testbench.mli: Circuit Interp

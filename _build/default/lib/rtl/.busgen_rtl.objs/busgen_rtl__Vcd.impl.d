@@ -1,0 +1,1 @@
+lib/rtl/vcd.ml: Bits Buffer Char Hashtbl Interp List Printf String

@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Array Bits Buffer Circuit Expr Filename Format List Printf String Sys

@@ -1,0 +1,1 @@
+lib/rtl/vparse.ml: Array Bits Circuit Expr Hashtbl List Printf String

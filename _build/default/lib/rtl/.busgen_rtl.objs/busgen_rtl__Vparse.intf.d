@@ -1,0 +1,1 @@
+lib/rtl/vparse.mli: Bits Circuit Expr

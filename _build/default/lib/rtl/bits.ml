@@ -1,0 +1,316 @@
+(* Bit vectors are stored little-endian in 32-bit limbs packed in OCaml
+   ints.  Invariant: the unused high bits of the top limb are zero, so
+   structural equality of the limb arrays coincides with value equality. *)
+
+let limb_bits = 32
+let limb_mask = 0xFFFFFFFF
+
+type t = { width : int; limbs : int array }
+
+let nlimbs width = (width + limb_bits - 1) / limb_bits
+
+(* Mask covering the valid bits of the top limb. *)
+let top_mask width =
+  let r = width mod limb_bits in
+  if r = 0 then limb_mask else (1 lsl r) - 1
+
+let normalize t =
+  let n = Array.length t.limbs in
+  if n > 0 then t.limbs.(n - 1) <- t.limbs.(n - 1) land top_mask t.width;
+  t
+
+let check_width w =
+  if w < 1 then invalid_arg (Printf.sprintf "Bits: width %d < 1" w)
+
+let zero w =
+  check_width w;
+  { width = w; limbs = Array.make (nlimbs w) 0 }
+
+let of_int ~width v =
+  check_width width;
+  let t = zero width in
+  let n = Array.length t.limbs in
+  (* Negative values wrap: replicate the sign bit through the high limbs. *)
+  let fill = if v < 0 then limb_mask else 0 in
+  for i = 0 to n - 1 do
+    let shift = i * limb_bits in
+    t.limbs.(i) <- (if shift >= 62 then fill else (v asr shift) land limb_mask)
+  done;
+  normalize t
+
+let one w = of_int ~width:w 1
+
+let ones w =
+  check_width w;
+  normalize { width = w; limbs = Array.make (nlimbs w) limb_mask }
+
+let of_bool b = of_int ~width:1 (if b then 1 else 0)
+let width t = t.width
+
+let bit t i =
+  if i < 0 then invalid_arg "Bits.bit: negative index";
+  if i >= t.width then false
+  else (t.limbs.(i / limb_bits) lsr (i mod limb_bits)) land 1 = 1
+
+let is_zero t = Array.for_all (fun l -> l = 0) t.limbs
+
+let to_int_trunc t =
+  let v = ref 0 in
+  let n = Array.length t.limbs in
+  for i = min (n - 1) 1 downto 0 do
+    v := (!v lsl limb_bits) lor t.limbs.(i)
+  done;
+  if t.width > 62 then !v land max_int else !v
+
+let to_int_exn t =
+  let fits = ref true in
+  for i = 62 to t.width - 1 do
+    if bit t i then fits := false
+  done;
+  if not !fits then invalid_arg "Bits.to_int_exn: value exceeds 62 bits";
+  to_int_trunc t
+
+let equal a b = a.width = b.width && a.limbs = b.limbs
+
+let compare a b =
+  let na = Array.length a.limbs and nb = Array.length b.limbs in
+  let n = max na nb in
+  let limb t i = if i < Array.length t.limbs then t.limbs.(i) else 0 in
+  let rec go i =
+    if i < 0 then 0
+    else
+      let la = limb a i and lb = limb b i in
+      if la <> lb then Stdlib.compare la lb else go (i - 1)
+  in
+  go (n - 1)
+
+let ult a b = compare a b < 0
+let ule a b = compare a b <= 0
+
+let to_binary_string t =
+  String.init t.width (fun i -> if bit t (t.width - 1 - i) then '1' else '0')
+
+let to_hex_string t =
+  let digits = (t.width + 3) / 4 in
+  String.init digits (fun i ->
+      let lo = (digits - 1 - i) * 4 in
+      let v =
+        (if bit t lo then 1 else 0)
+        lor (if bit t (lo + 1) then 2 else 0)
+        lor (if bit t (lo + 2) then 4 else 0)
+        lor if bit t (lo + 3) then 8 else 0
+      in
+      "0123456789abcdef".[v])
+
+let to_verilog_literal t = Printf.sprintf "%d'h%s" t.width (to_hex_string t)
+let pp fmt t = Format.pp_print_string fmt (to_verilog_literal t)
+
+let set_bit t i b =
+  if i < t.width && b then
+    t.limbs.(i / limb_bits) <-
+      t.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+
+let init width f =
+  let t = zero width in
+  for i = 0 to width - 1 do
+    set_bit t i (f i)
+  done;
+  t
+
+let concat hi lo = init (hi.width + lo.width) (fun i ->
+    if i < lo.width then bit lo i else bit hi (i - lo.width))
+
+let concat_list = function
+  | [] -> invalid_arg "Bits.concat_list: empty list"
+  | v :: vs -> List.fold_left (fun acc x -> concat acc x) v vs
+
+let select t hi lo =
+  if lo < 0 || hi < lo || hi >= t.width then
+    invalid_arg
+      (Printf.sprintf "Bits.select: [%d:%d] out of range for width %d" hi lo
+         t.width);
+  init (hi - lo + 1) (fun i -> bit t (lo + i))
+
+let resize t w =
+  check_width w;
+  init w (fun i -> bit t i)
+
+let repeat t n =
+  if n < 1 then invalid_arg "Bits.repeat: count < 1";
+  let rec go acc k = if k = 1 then acc else go (concat acc t) (k - 1) in
+  go t n
+
+let map2 f a b =
+  if a.width <> b.width then
+    invalid_arg
+      (Printf.sprintf "Bits: width mismatch %d vs %d" a.width b.width);
+  let r = zero a.width in
+  Array.iteri (fun i la -> r.limbs.(i) <- f la b.limbs.(i) land limb_mask)
+    a.limbs;
+  normalize r
+
+let logand = map2 ( land )
+let logor = map2 ( lor )
+let logxor = map2 ( lxor )
+
+let lognot t =
+  let r = zero t.width in
+  Array.iteri (fun i l -> r.limbs.(i) <- lnot l land limb_mask) t.limbs;
+  normalize r
+
+let reduce_or t = not (is_zero t)
+let reduce_and t = equal t (ones t.width)
+
+let reduce_xor t =
+  let parity = ref false in
+  for i = 0 to t.width - 1 do
+    if bit t i then parity := not !parity
+  done;
+  !parity
+
+let add a b =
+  if a.width <> b.width then invalid_arg "Bits.add: width mismatch";
+  let r = zero a.width in
+  let carry = ref 0 in
+  Array.iteri
+    (fun i la ->
+      let s = la + b.limbs.(i) + !carry in
+      r.limbs.(i) <- s land limb_mask;
+      carry := s lsr limb_bits)
+    a.limbs;
+  normalize r
+
+let sub a b =
+  (* a - b = a + (~b) + 1, modulo 2^width *)
+  if a.width <> b.width then invalid_arg "Bits.sub: width mismatch";
+  add a (add (lognot b) (one a.width))
+
+let shift_left t k =
+  if k < 0 then invalid_arg "Bits.shift_left: negative shift";
+  init t.width (fun i -> i >= k && bit t (i - k))
+
+let shift_right t k =
+  if k < 0 then invalid_arg "Bits.shift_right: negative shift";
+  init t.width (fun i -> bit t (i + k))
+
+(* Schoolbook multiplication over 16-bit half-limbs so partial products fit
+   comfortably in an OCaml int. *)
+let mul a b =
+  let halves t =
+    Array.init (2 * Array.length t.limbs) (fun i ->
+        let l = t.limbs.(i / 2) in
+        if i mod 2 = 0 then l land 0xFFFF else l lsr 16)
+  in
+  let ha = halves a and hb = halves b in
+  let rw = a.width + b.width in
+  let acc = Array.make (Array.length ha + Array.length hb + 1) 0 in
+  Array.iteri
+    (fun i x ->
+      if x <> 0 then
+        Array.iteri
+          (fun j y ->
+            let p = x * y in
+            acc.(i + j) <- acc.(i + j) + (p land 0xFFFF);
+            acc.(i + j + 1) <- acc.(i + j + 1) + (p lsr 16))
+          hb)
+    ha;
+  (* Propagate carries. *)
+  let carry = ref 0 in
+  Array.iteri
+    (fun i v ->
+      let s = v + !carry in
+      acc.(i) <- s land 0xFFFF;
+      carry := s lsr 16)
+    acc;
+  init rw (fun i ->
+      let h = i / 16 in
+      h < Array.length acc && (acc.(h) lsr (i mod 16)) land 1 = 1)
+
+let smul a b =
+  (* Sign-extend both operands to the result width, multiply unsigned,
+     truncate: standard two's-complement product. *)
+  let rw = a.width + b.width in
+  let sext t =
+    let sign = bit t (t.width - 1) in
+    init rw (fun i -> if i < t.width then bit t i else sign)
+  in
+  resize (mul (sext a) (sext b)) rw
+
+let to_signed_int_exn t =
+  if bit t (t.width - 1) then
+    (* Negative: value - 2^width, computed on the complement. *)
+    let mag = add (lognot t) (one t.width) in
+    -to_int_exn mag
+  else to_int_exn t
+
+let of_signed_int ~width v = of_int ~width v
+
+let of_string s =
+  let fail () = invalid_arg (Printf.sprintf "Bits.of_string: %S" s) in
+  match String.index_opt s '\'' with
+  | None -> fail ()
+  | Some q ->
+      let w = try int_of_string (String.sub s 0 q) with _ -> fail () in
+      check_width w;
+      if q + 1 >= String.length s then fail ();
+      let base = s.[q + 1] in
+      let body = String.sub s (q + 2) (String.length s - q - 2) in
+      let digits =
+        String.to_seq body |> Seq.filter (fun c -> c <> '_') |> List.of_seq
+      in
+      if digits = [] then fail ();
+      let digit_val per_digit c =
+        let v =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> 10 + Char.code c - Char.code 'a'
+          | 'A' .. 'F' -> 10 + Char.code c - Char.code 'A'
+          | _ -> fail ()
+        in
+        if v >= 1 lsl per_digit then fail () else v
+      in
+      let shift_in per_digit =
+        List.fold_left
+          (fun acc c ->
+            logor (shift_left acc per_digit)
+              (of_int ~width:w (digit_val per_digit c)))
+          (zero w) digits
+      in
+      let value =
+        match base with
+        | 'b' | 'B' -> shift_in 1
+        | 'h' | 'H' | 'x' | 'X' -> shift_in 4
+        | 'd' | 'D' ->
+            List.fold_left
+              (fun acc c ->
+                let ten = of_int ~width:w 10 in
+                let acc10 = resize (mul acc ten) w in
+                add acc10 (of_int ~width:w (digit_val 4 c)))
+              (zero w) digits
+        | _ -> fail ()
+      in
+      (* Reject literals whose digits do not fit the declared width. *)
+      let needed_bits =
+        match base with
+        | 'b' | 'B' -> List.length digits
+        | 'h' | 'H' | 'x' | 'X' -> 4 * List.length digits
+        | _ -> 0
+      in
+      if needed_bits > w then begin
+        (* Allowed only if the extra leading digits are zero. *)
+        let wide =
+          match base with
+          | 'b' | 'B' | 'h' | 'H' | 'x' | 'X' ->
+              let per = if base = 'b' || base = 'B' then 1 else 4 in
+              List.fold_left
+                (fun acc c ->
+                  logor
+                    (shift_left acc per)
+                    (of_int ~width:needed_bits (digit_val per c)))
+                (zero needed_bits) digits
+          | _ -> assert false
+        in
+        if not (equal (resize wide w |> fun v -> resize v needed_bits) wide)
+        then fail ()
+      end;
+      value

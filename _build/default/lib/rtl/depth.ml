@@ -1,0 +1,158 @@
+type report = { levels : int; endpoint : string }
+
+let clog2 n =
+  let rec go w = if 1 lsl w >= n then w else go (w + 1) in
+  if n <= 1 then 0 else go 1
+
+(* Levels contributed by one operator over operands of width [w]. *)
+let adder_levels w = 2 * max 1 (clog2 w)
+let cmp_levels w = 1 + clog2 w
+
+let rec expr_levels ~env depth_of_var (e : Expr.t) =
+  let sub x = expr_levels ~env depth_of_var x in
+  let w x = Expr.width ~env x in
+  match e with
+  | Expr.Const _ -> 0
+  | Expr.Var v -> depth_of_var v
+  | Expr.Select (x, _, _) | Expr.Shift_left (x, _) | Expr.Shift_right (x, _)
+    ->
+      sub x
+  | Expr.Concat xs -> List.fold_left (fun a x -> max a (sub x)) 0 xs
+  | Expr.Unop (Expr.Not, x) -> 1 + sub x
+  | Expr.Unop ((Expr.Reduce_or | Expr.Reduce_and | Expr.Reduce_xor), x) ->
+      max 1 (clog2 (w x)) + sub x
+  | Expr.Binop ((Expr.And | Expr.Or | Expr.Xor), a, b) ->
+      1 + max (sub a) (sub b)
+  | Expr.Binop ((Expr.Add | Expr.Sub), a, b) ->
+      adder_levels (w a) + max (sub a) (sub b)
+  | Expr.Binop ((Expr.Mul | Expr.Smul), a, b) ->
+      (* Booth/Wallace partial products then a final carry-lookahead. *)
+      let wp = w a + w b in
+      clog2 (w b) + adder_levels wp + max (sub a) (sub b)
+  | Expr.Binop ((Expr.Eq | Expr.Neq), a, b) ->
+      cmp_levels (w a) + max (sub a) (sub b)
+  | Expr.Binop ((Expr.Ult | Expr.Ule), a, b) ->
+      (adder_levels (w a) + 1) + max (sub a) (sub b)
+  | Expr.Mux (c, a, b) -> 1 + max (sub c) (max (sub a) (sub b))
+
+(* Flatten the hierarchy the same way the interpreter does: instance
+   boundaries become zero-cost alias assignments. *)
+let flatten (top : Circuit.t) =
+  let widths = Hashtbl.create 256 in
+  let assigns = ref [] in
+  let reg_nexts = ref [] in
+  let mem_nodes = ref [] in
+  let mem_write_exprs = ref [] in
+  let rec go prefix (c : Circuit.t) =
+    let ren n = prefix ^ n in
+    let rename_expr = Expr.map_vars ren in
+    List.iter
+      (fun (p : Circuit.port) ->
+        Hashtbl.replace widths (ren p.port_name) p.port_width)
+      c.ports;
+    List.iter
+      (fun (s : Circuit.signal) ->
+        Hashtbl.replace widths (ren s.sig_name) s.sig_width)
+      c.wires;
+    List.iter
+      (fun (r : Circuit.reg) ->
+        Hashtbl.replace widths (ren r.reg_name) r.reg_width;
+        reg_nexts := (ren r.reg_name, rename_expr r.next) :: !reg_nexts)
+      c.regs;
+    List.iter
+      (fun (m : Circuit.memory) ->
+        List.iter
+          (fun (rd, a) ->
+            Hashtbl.replace widths (ren rd) m.data_width;
+            mem_nodes := (ren rd, rename_expr a, m.depth) :: !mem_nodes)
+          m.reads;
+        List.iter
+          (fun (wr : Circuit.mem_write) ->
+            mem_write_exprs :=
+              (ren m.mem_name,
+               [ rename_expr wr.we; rename_expr wr.waddr;
+                 rename_expr wr.wdata ])
+              :: !mem_write_exprs)
+          m.writes)
+      c.memories;
+    List.iter
+      (fun (a : Circuit.assign) ->
+        assigns := (ren a.target, rename_expr a.expr) :: !assigns)
+      c.assigns;
+    List.iter
+      (fun (i : Circuit.instance) ->
+        let sub_prefix = prefix ^ i.inst_name ^ "$" in
+        go sub_prefix i.sub;
+        List.iter
+          (fun (p, e) ->
+            assigns := (sub_prefix ^ p, rename_expr e) :: !assigns)
+          i.in_connections;
+        List.iter
+          (fun (p, wn) ->
+            assigns := (ren wn, Expr.Var (sub_prefix ^ p)) :: !assigns)
+          i.out_connections)
+      c.instances
+  in
+  go "" top;
+  (widths, !assigns, !reg_nexts, !mem_nodes, !mem_write_exprs)
+
+let of_circuit (top : Circuit.t) =
+  let widths, assigns, reg_nexts, mem_nodes, mem_writes = flatten top in
+  let env n =
+    match Hashtbl.find_opt widths n with
+    | Some w -> w
+    | None -> invalid_arg ("Depth: unknown signal " ^ n)
+  in
+  (* Combinational drivers: target -> node. *)
+  let drivers = Hashtbl.create 256 in
+  List.iter (fun (t, e) -> Hashtbl.replace drivers t (`Assign e)) assigns;
+  List.iter
+    (fun (rd, a, depth) -> Hashtbl.replace drivers rd (`Memread (a, depth)))
+    mem_nodes;
+  let memo = Hashtbl.create 256 in
+  let rec depth_of path name =
+    match Hashtbl.find_opt memo name with
+    | Some (`Done d) -> d
+    | Some `Busy ->
+        invalid_arg
+          ("Depth: combinational loop through "
+          ^ String.concat " -> " (List.rev (name :: path)))
+    | None -> (
+        match Hashtbl.find_opt drivers name with
+        | None -> 0 (* input, register output or constant source *)
+        | Some node ->
+            Hashtbl.replace memo name `Busy;
+            let d =
+              match node with
+              | `Assign e -> expr_levels ~env (depth_of (name :: path)) e
+              | `Memread (a, depth) ->
+                  (* Address decode then word mux: log2(depth) levels. *)
+                  max 1 (clog2 depth)
+                  + expr_levels ~env (depth_of (name :: path)) a
+            in
+            Hashtbl.replace memo name (`Done d);
+            d)
+  in
+  let best = ref { levels = 0; endpoint = Circuit.name top } in
+  let consider endpoint d = if d > !best.levels then best := { levels = d; endpoint } in
+  (* Endpoints: every combinational target (covers output ports), every
+     register D input, every memory write port. *)
+  Hashtbl.iter
+    (fun name _ -> consider name (depth_of [] name))
+    drivers;
+  List.iter
+    (fun (r, e) ->
+      consider (r ^ " (reg D)") (expr_levels ~env (depth_of []) e))
+    reg_nexts;
+  List.iter
+    (fun (m, es) ->
+      List.iter
+        (fun e ->
+          consider (m ^ " (mem write)") (expr_levels ~env (depth_of []) e))
+        es)
+    mem_writes;
+  !best
+
+let pp_report fmt r =
+  Format.fprintf fmt "critical path: %d levels, ending at %s" r.levels
+    r.endpoint

@@ -1,0 +1,181 @@
+type unop = Not | Reduce_or | Reduce_and | Reduce_xor
+
+type binop = And | Or | Xor | Add | Sub | Mul | Smul | Eq | Neq | Ult | Ule
+
+type t =
+  | Const of Bits.t
+  | Var of string
+  | Select of t * int * int
+  | Concat of t list
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Mux of t * t * t
+  | Shift_left of t * int
+  | Shift_right of t * int
+
+let const_int ~width v = Const (Bits.of_int ~width v)
+let var s = Var s
+let ( &: ) a b = Binop (And, a, b)
+let ( |: ) a b = Binop (Or, a, b)
+let ( ^: ) a b = Binop (Xor, a, b)
+let ( ~: ) a = Unop (Not, a)
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( ==: ) a b = Binop (Eq, a, b)
+let ( <>: ) a b = Binop (Neq, a, b)
+let ( <: ) a b = Binop (Ult, a, b)
+let ( <=: ) a b = Binop (Ule, a, b)
+let mux c a b = Mux (c, a, b)
+let select e hi lo = Select (e, hi, lo)
+
+let concat = function
+  | [] -> invalid_arg "Expr.concat: empty list"
+  | es -> Concat es
+
+let binop_name = function
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Smul -> "*s"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Ult -> "<"
+  | Ule -> "<="
+
+let rec width ~env e =
+  match e with
+  | Const b -> Bits.width b
+  | Var v -> env v
+  | Select (e, hi, lo) ->
+      let w = width ~env e in
+      if lo < 0 || hi < lo || hi >= w then
+        invalid_arg
+          (Printf.sprintf "Expr: select [%d:%d] out of range for width %d" hi
+             lo w);
+      hi - lo + 1
+  | Concat es ->
+      if es = [] then invalid_arg "Expr: empty concat";
+      List.fold_left (fun acc e -> acc + width ~env e) 0 es
+  | Unop (Not, e) -> width ~env e
+  | Unop ((Reduce_or | Reduce_and | Reduce_xor), e) ->
+      ignore (width ~env e);
+      1
+  | Binop (((And | Or | Xor | Add | Sub) as op), a, b) ->
+      let wa = width ~env a and wb = width ~env b in
+      if wa <> wb then
+        invalid_arg
+          (Printf.sprintf "Expr: operator %s width mismatch %d vs %d"
+             (binop_name op) wa wb);
+      wa
+  | Binop ((Mul | Smul), a, b) -> width ~env a + width ~env b
+  | Binop (((Eq | Neq | Ult | Ule) as op), a, b) ->
+      let wa = width ~env a and wb = width ~env b in
+      if wa <> wb then
+        invalid_arg
+          (Printf.sprintf "Expr: comparison %s width mismatch %d vs %d"
+             (binop_name op) wa wb);
+      1
+  | Mux (c, a, b) ->
+      if width ~env c <> 1 then invalid_arg "Expr: mux condition not 1 bit";
+      let wa = width ~env a and wb = width ~env b in
+      if wa <> wb then
+        invalid_arg
+          (Printf.sprintf "Expr: mux arm width mismatch %d vs %d" wa wb);
+      wa
+  | Shift_left (e, k) | Shift_right (e, k) ->
+      if k < 0 then invalid_arg "Expr: negative shift";
+      width ~env e
+
+let vars e =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec go = function
+    | Const _ -> ()
+    | Var v ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          acc := v :: !acc
+        end
+    | Select (e, _, _) | Unop (_, e) | Shift_left (e, _) | Shift_right (e, _)
+      ->
+        go e
+    | Concat es -> List.iter go es
+    | Binop (_, a, b) ->
+        go a;
+        go b
+    | Mux (c, a, b) ->
+        go c;
+        go a;
+        go b
+  in
+  go e;
+  List.rev !acc
+
+let rec eval ~env e =
+  match e with
+  | Const b -> b
+  | Var v -> env v
+  | Select (e, hi, lo) -> Bits.select (eval ~env e) hi lo
+  | Concat es -> Bits.concat_list (List.map (eval ~env) es)
+  | Unop (Not, e) -> Bits.lognot (eval ~env e)
+  | Unop (Reduce_or, e) -> Bits.of_bool (Bits.reduce_or (eval ~env e))
+  | Unop (Reduce_and, e) -> Bits.of_bool (Bits.reduce_and (eval ~env e))
+  | Unop (Reduce_xor, e) -> Bits.of_bool (Bits.reduce_xor (eval ~env e))
+  | Binop (And, a, b) -> Bits.logand (eval ~env a) (eval ~env b)
+  | Binop (Or, a, b) -> Bits.logor (eval ~env a) (eval ~env b)
+  | Binop (Xor, a, b) -> Bits.logxor (eval ~env a) (eval ~env b)
+  | Binop (Add, a, b) -> Bits.add (eval ~env a) (eval ~env b)
+  | Binop (Sub, a, b) -> Bits.sub (eval ~env a) (eval ~env b)
+  | Binop (Mul, a, b) -> Bits.mul (eval ~env a) (eval ~env b)
+  | Binop (Smul, a, b) -> Bits.smul (eval ~env a) (eval ~env b)
+  | Binop (Eq, a, b) -> Bits.of_bool (Bits.equal (eval ~env a) (eval ~env b))
+  | Binop (Neq, a, b) ->
+      Bits.of_bool (not (Bits.equal (eval ~env a) (eval ~env b)))
+  | Binop (Ult, a, b) -> Bits.of_bool (Bits.ult (eval ~env a) (eval ~env b))
+  | Binop (Ule, a, b) -> Bits.of_bool (Bits.ule (eval ~env a) (eval ~env b))
+  | Mux (c, a, b) ->
+      if Bits.reduce_or (eval ~env c) then eval ~env a else eval ~env b
+  | Shift_left (e, k) -> Bits.shift_left (eval ~env e) k
+  | Shift_right (e, k) -> Bits.shift_right (eval ~env e) k
+
+let rec map_vars f = function
+  | Const b -> Const b
+  | Var v -> Var (f v)
+  | Select (e, hi, lo) -> Select (map_vars f e, hi, lo)
+  | Concat es -> Concat (List.map (map_vars f) es)
+  | Unop (op, e) -> Unop (op, map_vars f e)
+  | Binop (op, a, b) -> Binop (op, map_vars f a, map_vars f b)
+  | Mux (c, a, b) -> Mux (map_vars f c, map_vars f a, map_vars f b)
+  | Shift_left (e, k) -> Shift_left (map_vars f e, k)
+  | Shift_right (e, k) -> Shift_right (map_vars f e, k)
+
+let rec pp fmt = function
+  | Const b -> Format.pp_print_string fmt (Bits.to_verilog_literal b)
+  | Var v -> Format.pp_print_string fmt v
+  | Select (Var v, hi, lo) ->
+      if hi = lo then Format.fprintf fmt "%s[%d]" v hi
+      else Format.fprintf fmt "%s[%d:%d]" v hi lo
+  | Select (e, hi, lo) ->
+      (* Verilog cannot slice a general expression; parenthesise through a
+         concat which synthesis tools accept. *)
+      Format.fprintf fmt "({%a}[%d:%d])" pp e hi lo
+  | Concat es ->
+      Format.fprintf fmt "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp)
+        es
+  | Unop (Not, e) -> Format.fprintf fmt "(~%a)" pp e
+  | Unop (Reduce_or, e) -> Format.fprintf fmt "(|%a)" pp e
+  | Unop (Reduce_and, e) -> Format.fprintf fmt "(&%a)" pp e
+  | Unop (Reduce_xor, e) -> Format.fprintf fmt "(^%a)" pp e
+  | Binop (Smul, a, b) ->
+      Format.fprintf fmt "($signed(%a) * $signed(%a))" pp a pp b
+  | Binop (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp a (binop_name op) pp b
+  | Mux (c, a, b) -> Format.fprintf fmt "(%a ? %a : %a)" pp c pp a pp b
+  | Shift_left (e, k) -> Format.fprintf fmt "(%a << %d)" pp e k
+  | Shift_right (e, k) -> Format.fprintf fmt "(%a >> %d)" pp e k

@@ -1,0 +1,76 @@
+(** RTL expressions over named signals.
+
+    Expressions are pure combinational functions of the signals named by
+    {!constructor:Var}.  Width rules mirror (a simple subset of) Verilog:
+    logic and arithmetic operators require equal operand widths and produce
+    that width; comparisons produce 1 bit; [Mul] produces the sum of the
+    operand widths. *)
+
+type unop =
+  | Not          (** bitwise complement *)
+  | Reduce_or    (** OR-reduction to 1 bit *)
+  | Reduce_and   (** AND-reduction to 1 bit *)
+  | Reduce_xor   (** XOR-reduction to 1 bit *)
+
+type binop =
+  | And
+  | Or
+  | Xor
+  | Add
+  | Sub
+  | Mul
+  | Smul  (** signed (two's complement) multiply; width = sum of widths *)
+  | Eq
+  | Neq
+  | Ult   (** unsigned less-than *)
+  | Ule   (** unsigned less-or-equal *)
+
+type t =
+  | Const of Bits.t
+  | Var of string
+  | Select of t * int * int  (** [Select (e, hi, lo)] = [e\[hi:lo\]] *)
+  | Concat of t list         (** head is most significant; non-empty *)
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Mux of t * t * t         (** [Mux (cond, if_true, if_false)]; [cond] is 1 bit *)
+  | Shift_left of t * int
+  | Shift_right of t * int
+
+(** {1 Smart constructors} *)
+
+val const_int : width:int -> int -> t
+val var : string -> t
+val ( &: ) : t -> t -> t
+val ( |: ) : t -> t -> t
+val ( ^: ) : t -> t -> t
+val ( ~: ) : t -> t
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val ( ==: ) : t -> t -> t
+val ( <>: ) : t -> t -> t
+val ( <: ) : t -> t -> t
+val ( <=: ) : t -> t -> t
+val mux : t -> t -> t -> t
+val select : t -> int -> int -> t
+val concat : t list -> t
+
+(** {1 Analysis} *)
+
+val width : env:(string -> int) -> t -> int
+(** Infer the width of an expression.  [env] gives the width of each named
+    signal.
+    @raise Invalid_argument on any width-rule violation (with a message
+    naming the offending operator). *)
+
+val vars : t -> string list
+(** Free signal names, each listed once, in first-use order. *)
+
+val eval : env:(string -> Bits.t) -> t -> Bits.t
+(** Evaluate under an assignment of signal values.
+    @raise Invalid_argument on width-rule violations. *)
+
+val map_vars : (string -> string) -> t -> t
+(** Rename every [Var]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Verilog-syntax rendering (used by {!Verilog}). *)

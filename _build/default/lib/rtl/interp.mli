@@ -1,0 +1,48 @@
+(** Cycle-accurate interpreter for {!Circuit} designs.
+
+    The hierarchy is flattened at {!create} time; combinational assignments
+    are evaluated in topological order.  One {!step} = settle combinational
+    logic with the current inputs, then take one rising clock edge (latch
+    registers and memory writes). *)
+
+type t
+
+val create : Circuit.t -> t
+(** Flatten and schedule the design.
+    @raise Invalid_argument on combinational loops (the message lists the
+    signals on the cycle). *)
+
+val reset : t -> unit
+(** Force every register to its reset value and clear memories to zero;
+    re-settle combinational logic. *)
+
+val set_input : t -> string -> Bits.t -> unit
+(** @raise Invalid_argument if the name is not a top-level input or the
+    width differs. *)
+
+val settle : t -> unit
+(** Re-evaluate combinational logic with the current inputs and state. *)
+
+val step : t -> unit
+(** [settle] then clock edge. *)
+
+val run : t -> int -> unit
+(** [run t n] performs [n] steps. *)
+
+val peek : t -> string -> Bits.t
+(** Current value of a top-level port or internal flat signal.  Signals of
+    sub-instances use [instname$signal] paths.
+    @raise Not_found if unknown. *)
+
+val peek_int : t -> string -> int
+(** [Bits.to_int_trunc] of {!peek}. *)
+
+val peek_mem : t -> string -> int -> Bits.t
+(** [peek_mem t mem addr]: a word of a (flattened) memory.
+    @raise Not_found / [Invalid_argument] on unknown memory / bad address. *)
+
+val poke_mem : t -> string -> int -> Bits.t -> unit
+(** Backdoor memory write (test preloading). *)
+
+val signal_names : t -> string list
+(** All flat signal names (diagnostics). *)

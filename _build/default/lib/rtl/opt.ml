@@ -1,0 +1,146 @@
+let is_zero = function Expr.Const b -> Bits.is_zero b | _ -> false
+
+let is_ones = function
+  | Expr.Const b -> Bits.equal b (Bits.ones (Bits.width b))
+  | _ -> false
+
+let const_of = function Expr.Const b -> Some b | _ -> None
+
+let rec expr (e : Expr.t) =
+  match e with
+  | Expr.Const _ | Expr.Var _ -> e
+  | Expr.Select (x, hi, lo) -> (
+      let x = expr x in
+      match x with
+      | Expr.Const b -> Expr.Const (Bits.select b hi lo)
+      | _ -> Expr.Select (x, hi, lo))
+  | Expr.Concat xs -> (
+      let xs = List.map expr xs in
+      (* Merge adjacent constants (msb-first list). *)
+      let rec merge = function
+        | Expr.Const a :: Expr.Const b :: rest ->
+            merge (Expr.Const (Bits.concat a b) :: rest)
+        | x :: rest -> x :: merge rest
+        | [] -> []
+      in
+      match merge xs with [ x ] -> x | xs -> Expr.Concat xs)
+  | Expr.Unop (op, x) -> (
+      let x = expr x in
+      match (op, x) with
+      | Expr.Not, Expr.Unop (Expr.Not, y) -> y
+      | Expr.Not, Expr.Const b -> Expr.Const (Bits.lognot b)
+      | Expr.Reduce_or, Expr.Const b -> Expr.Const (Bits.of_bool (Bits.reduce_or b))
+      | Expr.Reduce_and, Expr.Const b ->
+          Expr.Const (Bits.of_bool (Bits.reduce_and b))
+      | Expr.Reduce_xor, Expr.Const b ->
+          Expr.Const (Bits.of_bool (Bits.reduce_xor b))
+      | _, _ -> Expr.Unop (op, x))
+  | Expr.Binop (op, a, b) -> (
+      let a = expr a and b = expr b in
+      match (const_of a, const_of b) with
+      | Some ca, Some cb -> (
+          match op with
+          | Expr.And -> Expr.Const (Bits.logand ca cb)
+          | Expr.Or -> Expr.Const (Bits.logor ca cb)
+          | Expr.Xor -> Expr.Const (Bits.logxor ca cb)
+          | Expr.Add -> Expr.Const (Bits.add ca cb)
+          | Expr.Sub -> Expr.Const (Bits.sub ca cb)
+          | Expr.Mul -> Expr.Const (Bits.mul ca cb)
+          | Expr.Smul -> Expr.Const (Bits.smul ca cb)
+          | Expr.Eq -> Expr.Const (Bits.of_bool (Bits.equal ca cb))
+          | Expr.Neq -> Expr.Const (Bits.of_bool (not (Bits.equal ca cb)))
+          | Expr.Ult -> Expr.Const (Bits.of_bool (Bits.ult ca cb))
+          | Expr.Ule -> Expr.Const (Bits.of_bool (Bits.ule ca cb)))
+      | _, _ -> (
+          match op with
+          | Expr.And when is_zero a -> a
+          | Expr.And when is_zero b -> b
+          | Expr.And when is_ones a -> b
+          | Expr.And when is_ones b -> a
+          | Expr.Or when is_zero a -> b
+          | Expr.Or when is_zero b -> a
+          | Expr.Or when is_ones a -> a
+          | Expr.Or when is_ones b -> b
+          | Expr.Xor when is_zero a -> b
+          | Expr.Xor when is_zero b -> a
+          | Expr.Add when is_zero a -> b
+          | Expr.Add when is_zero b -> a
+          | Expr.Sub when is_zero b -> a
+          | _ -> Expr.Binop (op, a, b)))
+  | Expr.Mux (c, a, b) -> (
+      let c = expr c and a = expr a and b = expr b in
+      match c with
+      | Expr.Const cb -> if Bits.reduce_or cb then a else b
+      | _ -> if a = b then a else Expr.Mux (c, a, b))
+  | Expr.Shift_left (x, 0) | Expr.Shift_right (x, 0) -> expr x
+  | Expr.Shift_left (x, k) -> (
+      match expr x with
+      | Expr.Const b -> Expr.Const (Bits.shift_left b k)
+      | x -> Expr.Shift_left (x, k))
+  | Expr.Shift_right (x, k) -> (
+      match expr x with
+      | Expr.Const b -> Expr.Const (Bits.shift_right b k)
+      | x -> Expr.Shift_right (x, k))
+
+let circuit top =
+  let cache : (string, Circuit.t) Hashtbl.t = Hashtbl.create 16 in
+  let rec go (c : Circuit.t) =
+    match Hashtbl.find_opt cache c.Circuit.circ_name with
+    | Some c' -> c'
+    | None ->
+        let c' =
+          {
+            c with
+            Circuit.assigns =
+              List.map
+                (fun (a : Circuit.assign) ->
+                  { a with Circuit.expr = expr a.Circuit.expr })
+                c.Circuit.assigns;
+            regs =
+              List.map
+                (fun (r : Circuit.reg) ->
+                  { r with Circuit.next = expr r.Circuit.next })
+                c.Circuit.regs;
+            memories =
+              List.map
+                (fun (m : Circuit.memory) ->
+                  {
+                    m with
+                    Circuit.writes =
+                      List.map
+                        (fun (w : Circuit.mem_write) ->
+                          {
+                            Circuit.we = expr w.Circuit.we;
+                            waddr = expr w.Circuit.waddr;
+                            wdata = expr w.Circuit.wdata;
+                          })
+                        m.Circuit.writes;
+                    reads =
+                      List.map
+                        (fun (rd, a) -> (rd, expr a))
+                        m.Circuit.reads;
+                  })
+                c.Circuit.memories;
+            instances =
+              List.map
+                (fun (i : Circuit.instance) ->
+                  {
+                    i with
+                    Circuit.sub = go i.Circuit.sub;
+                    in_connections =
+                      List.map
+                        (fun (p, e) -> (p, expr e))
+                        i.Circuit.in_connections;
+                  })
+                c.Circuit.instances;
+          }
+        in
+        Hashtbl.add cache c.Circuit.circ_name c';
+        c'
+  in
+  go top
+
+let savings c =
+  let before = Area.gates (Area.of_circuit c) in
+  let after = Area.gates (Area.of_circuit (circuit c)) in
+  (before, after)

@@ -1,0 +1,25 @@
+(** Combinational expression optimisation.
+
+    Semantics-preserving rewrites applied bottom-up:
+    - constant folding over every operator;
+    - identity/annihilator laws ([x & 0 = 0], [x & ~0 = x], [x | 0 = x],
+      [x ^ 0 = x], [x + 0 = x], [x - 0 = x]);
+    - mux simplification ([c ? a : a = a], constant conditions);
+    - double negation; zero shifts; single-element concatenations;
+    - full-width selects.
+
+    The equivalence [eval (optimize e) = eval e] for every environment is
+    property-tested in the suite. *)
+
+val expr : Expr.t -> Expr.t
+(** Optimise one expression. *)
+
+val circuit : Circuit.t -> Circuit.t
+(** Optimise every expression of a circuit (assignments, next-state
+    functions, memory ports, instance connections) and recursively its
+    sub-circuits.  Structure (ports, wires, registers, memories,
+    instances) is unchanged, so the result stays compatible with
+    {!Vparse.matches_circuit} against itself. *)
+
+val savings : Circuit.t -> int * int
+(** [(gates_before, gates_after)] NAND2 estimate of {!circuit}. *)

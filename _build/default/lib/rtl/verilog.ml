@@ -1,0 +1,132 @@
+let range_suffix w = if w = 1 then "" else Printf.sprintf " [%d:0]" (w - 1)
+
+let addr_width depth =
+  let rec go w = if 1 lsl w >= depth then w else go (w + 1) in
+  max 1 (go 0)
+
+let pp_expr = Expr.pp
+
+let of_circuit (c : Circuit.t) =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let stateful = Circuit.has_state c in
+  let port_names =
+    (if stateful then [ "clk"; "rst" ] else [])
+    @ List.map (fun p -> p.Circuit.port_name) c.ports
+  in
+  pf "module %s (\n  %s\n);\n" c.circ_name (String.concat ",\n  " port_names);
+  if stateful then pf "  input clk;\n  input rst;\n";
+  List.iter
+    (fun (p : Circuit.port) ->
+      pf "  %s%s %s;\n"
+        (match p.direction with Input -> "input" | Output -> "output")
+        (range_suffix p.port_width) p.port_name)
+    c.ports;
+  if c.wires <> [] then pf "\n";
+  List.iter
+    (fun (w : Circuit.signal) ->
+      pf "  wire%s %s;\n" (range_suffix w.sig_width) w.sig_name)
+    c.wires;
+  List.iter
+    (fun (r : Circuit.reg) ->
+      pf "  reg%s %s;\n" (range_suffix r.reg_width) r.reg_name)
+    c.regs;
+  List.iter
+    (fun (m : Circuit.memory) ->
+      pf "  reg%s %s [0:%d];\n"
+        (range_suffix m.data_width)
+        m.mem_name (m.depth - 1);
+      (* Asynchronous read ports are continuous assignments into wires
+         that must be declared at the memory's width (an undeclared net
+         would default to one bit). *)
+      List.iter
+        (fun (rd, _) -> pf "  wire%s %s;\n" (range_suffix m.data_width) rd)
+        m.reads;
+      ignore (addr_width m.depth))
+    c.memories;
+  if c.assigns <> [] || List.exists (fun m -> m.Circuit.reads <> []) c.memories
+  then pf "\n";
+  List.iter
+    (fun (a : Circuit.assign) ->
+      pf "  assign %s = %s;\n" a.target (Format.asprintf "%a" pp_expr a.expr))
+    c.assigns;
+  List.iter
+    (fun (m : Circuit.memory) ->
+      List.iter
+        (fun (rd, aexpr) ->
+          pf "  assign %s = %s[%s];\n" rd m.mem_name
+            (Format.asprintf "%a" pp_expr aexpr))
+        m.reads)
+    c.memories;
+  if
+    c.regs <> []
+    || List.exists
+         (fun m -> m.Circuit.writes <> [] || m.Circuit.init <> [||])
+         c.memories
+  then begin
+    pf "\n  always @(posedge clk) begin\n";
+    pf "    if (rst) begin\n";
+    List.iter
+      (fun (r : Circuit.reg) ->
+        pf "      %s <= %s;\n" r.reg_name (Bits.to_verilog_literal r.init))
+      c.regs;
+    List.iter
+      (fun (m : Circuit.memory) ->
+        Array.iteri
+          (fun i w ->
+            pf "      %s[%d] <= %s;\n" m.mem_name i
+              (Bits.to_verilog_literal w))
+          m.init)
+      c.memories;
+    pf "    end else begin\n";
+    List.iter
+      (fun (r : Circuit.reg) ->
+        pf "      %s <= %s;\n" r.reg_name
+          (Format.asprintf "%a" pp_expr r.next))
+      c.regs;
+    List.iter
+      (fun (m : Circuit.memory) ->
+        List.iter
+          (fun (w : Circuit.mem_write) ->
+            pf "      if (%s) %s[%s] <= %s;\n"
+              (Format.asprintf "%a" pp_expr w.we)
+              m.mem_name
+              (Format.asprintf "%a" pp_expr w.waddr)
+              (Format.asprintf "%a" pp_expr w.wdata))
+          m.writes)
+      c.memories;
+    pf "    end\n  end\n"
+  end;
+  List.iter
+    (fun (i : Circuit.instance) ->
+      let conns =
+        (if Circuit.has_state i.sub then [ (".clk", "clk"); (".rst", "rst") ]
+         else [])
+        @ List.map
+            (fun (p, e) ->
+              ("." ^ p, Format.asprintf "%a" pp_expr e))
+            i.in_connections
+        @ List.map (fun (p, w) -> ("." ^ p, w)) i.out_connections
+      in
+      pf "\n  %s %s (\n    %s\n  );\n" i.sub.circ_name i.inst_name
+        (String.concat ",\n    "
+           (List.map (fun (p, e) -> Printf.sprintf "%s(%s)" p e) conns)))
+    c.instances;
+  pf "endmodule\n";
+  Buffer.contents buf
+
+let of_design top =
+  let subs = Circuit.sub_circuits top in
+  String.concat "\n" (List.map of_circuit (subs @ [ top ]))
+
+let write_design ~dir top =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let subs = Circuit.sub_circuits top in
+  List.map
+    (fun c ->
+      let path = Filename.concat dir (Circuit.name c ^ ".v") in
+      let oc = open_out path in
+      output_string oc (of_circuit c);
+      close_out oc;
+      path)
+    (subs @ [ top ])

@@ -1,0 +1,17 @@
+(** Synthesizable Verilog emission.
+
+    Circuits with state get implicit [clk] / [rst] ports (synchronous,
+    active-high reset), threaded automatically through the hierarchy. *)
+
+val of_circuit : Circuit.t -> string
+(** Verilog source for one module (sub-circuits are referenced, not
+    included). *)
+
+val of_design : Circuit.t -> string
+(** Verilog source for the whole hierarchy: every distinct sub-circuit
+    module first (deepest first), then the top module.
+    @raise Invalid_argument if two different modules share a name. *)
+
+val write_design : dir:string -> Circuit.t -> string list
+(** Write one [.v] file per module under [dir] (created if needed); returns
+    the file paths, top module last. *)

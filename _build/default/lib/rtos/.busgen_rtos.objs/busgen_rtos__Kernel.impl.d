@@ -1,0 +1,1 @@
+lib/rtos/kernel.ml: Busgen_sim List

@@ -1,0 +1,1 @@
+lib/rtos/kernel.mli: Busgen_sim

@@ -1,0 +1,170 @@
+module P = Busgen_sim.Program
+
+type mailbox = {
+  mb_name : string;
+  capacity : int;
+  mutable count : int;
+}
+
+let mailbox ?(capacity = 16) mb_name =
+  if capacity < 1 then invalid_arg "Kernel.mailbox: capacity < 1";
+  { mb_name; capacity; count = 0 }
+
+let mailbox_count mb = mb.count
+
+let mb_lock mb = "mbx_" ^ mb.mb_name
+
+type stmt =
+  | Op of P.op
+  | Send of mailbox * int
+  | Recv of mailbox * int
+
+type task = { task_id : string; priority : int; body : stmt list }
+
+let task_id t = t.task_id
+
+let task ?(priority = 10) task_id body =
+  { task_id; priority; body = List.map (fun op -> Op op) body }
+
+let task_s ?(priority = 10) task_id body = { task_id; priority; body }
+
+type trace_entry = { at_switch : int; running : string }
+
+(* Internal runnable state. *)
+type live = {
+  t : task;
+  mutable rest : stmt list;
+  mutable polled : bool; (* a Recv already paid its poll this visit *)
+}
+
+(* Nominal cost an emitted operation charges against the time slice. *)
+let op_cost = function
+  | P.Compute n -> n
+  | P.Read (_, w) | P.Write (_, w) -> w
+  | _ -> 1
+
+let program_traced ?(ctx_switch = 40) ?(time_slice = 0) tasks =
+  let ready : live list ref =
+    ref
+      (List.map (fun t -> { t; rest = t.body; polled = false }) tasks)
+  in
+  let sort_ready () =
+    ready := List.stable_sort (fun a b -> compare a.t.priority b.t.priority) !ready
+  in
+  sort_ready ();
+  let current : live option ref = ref None in
+  let lock_outcome = ref None in
+  let switches = ref 0 in
+  let trace = ref [] in
+  let pending_charge = ref false in
+  let slice_left = ref max_int in
+  let yield live =
+    ready := !ready @ [ live ];
+    current := None
+  in
+  (* Slice preemption is round-robin WITHIN a priority class: the
+     preempted task re-enters behind its equal-priority peers but
+     ahead of lower-priority tasks (stable sort keeps everyone else's
+     order). *)
+  let preempt live =
+    ready :=
+      List.stable_sort
+        (fun a b -> compare a.t.priority b.t.priority)
+        (!ready @ [ live ]);
+    current := None
+  in
+  let emit op =
+    if time_slice > 0 then slice_left := !slice_left - op_cost op;
+    Some op
+  in
+  let rec next () =
+    match !current with
+    | None -> (
+        match !ready with
+        | [] -> None
+        | live :: rest ->
+            ready := rest;
+            current := Some live;
+            slice_left := (if time_slice > 0 then time_slice else max_int);
+            incr switches;
+            trace := { at_switch = !switches; running = live.t.task_id } :: !trace;
+            pending_charge := true;
+            next ())
+    | Some live -> (
+        if !pending_charge then begin
+          pending_charge := false;
+          if ctx_switch > 0 then Some (P.Compute ctx_switch) else next ()
+        end
+        else
+          match live.rest with
+          | [] ->
+              current := None;
+              next ()
+          | _ when time_slice > 0 && !slice_left <= 0 && !ready <> [] ->
+              (* Slice expired and someone else is runnable. *)
+              preempt live;
+              next ()
+          | Op (P.Lock_acquire name) :: rest_stmts -> (
+              match !lock_outcome with
+              | Some true ->
+                  lock_outcome := None;
+                  live.rest <- rest_stmts;
+                  next ()
+              | Some false ->
+                  (* Failed: yield to the end of the ready queue. *)
+                  lock_outcome := None;
+                  yield live;
+                  next ()
+              | None ->
+                  Some
+                    (P.Try_lock
+                       (name, fun acquired -> lock_outcome := Some acquired)))
+          | Op P.Halt :: _ ->
+              current := None;
+              next ()
+          | Op op :: rest_stmts ->
+              live.rest <- rest_stmts;
+              emit op
+          | Send (mb, words) :: rest_stmts ->
+              (* Expand into ordinary statements so the mailbox lock
+                 goes through the kernel's blocking path. *)
+              live.rest <-
+                Op (P.Lock_acquire (mb_lock mb))
+                :: Op (P.Write (P.Loc_global, words))
+                :: Op
+                     (P.Call
+                        (fun () ->
+                          if mb.count < mb.capacity then
+                            mb.count <- mb.count + 1))
+                :: Op (P.Lock_release (mb_lock mb))
+                :: rest_stmts;
+              next ()
+          | Recv (mb, words) :: rest_stmts ->
+              if not live.polled then begin
+                (* Pay the mailbox-count poll (one shared-memory read),
+                   then decide. *)
+                live.polled <- true;
+                emit (P.Read (P.Loc_global, 1))
+              end
+              else begin
+                live.polled <- false;
+                if mb.count > 0 then begin
+                  live.rest <-
+                    Op (P.Lock_acquire (mb_lock mb))
+                    :: Op (P.Read (P.Loc_global, words))
+                    :: Op (P.Call (fun () -> mb.count <- mb.count - 1))
+                    :: Op (P.Lock_release (mb_lock mb))
+                    :: rest_stmts;
+                  next ()
+                end
+                else begin
+                  (* Empty: block the task, let others run. *)
+                  yield live;
+                  next ()
+                end
+              end)
+  in
+  (next, fun () -> List.rev !trace)
+
+let program ?ctx_switch ?time_slice tasks =
+  fst (program_traced ?ctx_switch ?time_slice tasks)

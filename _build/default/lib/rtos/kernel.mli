@@ -1,0 +1,78 @@
+(** A small multitasking kernel in the style of the ATALANTA RTOS the
+    paper installs on every BAN for the database example (Section VI.A.1).
+
+    The kernel multiplexes a set of tasks onto one PE, producing a single
+    {!Busgen_sim.Program.t}.  Scheduling is priority-based (lower number =
+    higher priority), cooperative at blocking points:
+
+    - a task runs until it blocks on a lock or an empty mailbox, or
+      finishes;
+    - [Lock_acquire] inside a task becomes a single bus test-and-set
+      ({!Busgen_sim.Program.Try_lock}); on failure the task yields to the
+      end of the ready queue and retries when scheduled again (lock
+      wake-up across PEs is by rescheduling, as in a shared-memory RTOS
+      without inter-processor interrupts);
+    - every switch costs [ctx_switch] compute cycles.
+
+    Tasks finishing leave the ready set; the kernel halts when no task
+    remains. *)
+
+type task
+
+val task : ?priority:int -> string -> Busgen_sim.Program.op list -> task
+(** A task from a plain operation list.  [Lock_acquire] operations become
+    kernel blocking points; [Halt] ends the task (not the PE). *)
+
+val task_id : task -> string
+
+(** {1 Mailboxes}
+
+    Bounded message queues in shared memory — the ATALANTA-style
+    inter-task communication primitive.  A send deposits the payload
+    under the mailbox's lock and increments its count; a receive blocks
+    the {e task} (never the PE) until a message is available, then
+    drains one.  Every operation pays its bus cost through ordinary
+    lock/read/write transactions on the shared-memory path; cross-PE
+    mailboxes work because the simulator is single-threaded. *)
+
+type mailbox
+
+val mailbox : ?capacity:int -> string -> mailbox
+(** Default capacity: 16 messages.  Create one value per run and share
+    it between the communicating tasks. *)
+
+val mailbox_count : mailbox -> int
+(** Messages currently queued (test observability). *)
+
+type stmt =
+  | Op of Busgen_sim.Program.op   (** as in {!task} bodies *)
+  | Send of mailbox * int         (** post [words] of payload; a send to
+                                      a full mailbox pays its bus cost
+                                      but the message is dropped *)
+  | Recv of mailbox * int         (** blocking receive of [words] *)
+
+val task_s : ?priority:int -> string -> stmt list -> task
+(** A task from statements, allowing mailbox operations. *)
+
+val program :
+  ?ctx_switch:int -> ?time_slice:int -> task list -> Busgen_sim.Program.t
+(** Build the PE program scheduling the given tasks.  Default context
+    switch cost: 40 cycles.
+
+    [time_slice] (default 0 = cooperative only) enables ATALANTA-style
+    round-robin within a priority class: once a task has been charged
+    that many cycles of work since it was scheduled, it is preempted at
+    the next operation boundary — re-entering the ready queue behind
+    its equal-priority peers but still ahead of lower priorities — if
+    any other task is runnable.  Operations are never split, so a long
+    [Compute] finishes before the preemption takes effect. *)
+
+type trace_entry = { at_switch : int; running : string }
+
+val program_traced :
+  ?ctx_switch:int ->
+  ?time_slice:int ->
+  task list ->
+  Busgen_sim.Program.t * (unit -> trace_entry list)
+(** Like {!program}, also returning a function to read the schedule
+    trace (switch ordinal and task id) for testing. *)

@@ -1,0 +1,1 @@
+lib/sim/analysis.ml: Array Buffer Format Hashtbl List Machine Option Printf String

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Bussyn Cache Format Hashtbl List Printf Program Stdlib Timing

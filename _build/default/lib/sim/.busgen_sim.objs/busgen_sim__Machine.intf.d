@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Bussyn Cache Format Program Timing

@@ -1,0 +1,1 @@
+lib/sim/timing.ml: Format

@@ -1,0 +1,234 @@
+type latency = { count : int; mean : float; max : int; p95 : int }
+
+let latency_of waits =
+  match waits with
+  | [] -> { count = 0; mean = 0.0; max = 0; p95 = 0 }
+  | _ ->
+      let sorted = List.sort compare waits in
+      let n = List.length sorted in
+      let arr = Array.of_list sorted in
+      {
+        count = n;
+        mean =
+          float_of_int (List.fold_left ( + ) 0 waits) /. float_of_int n;
+        max = arr.(n - 1);
+        p95 = arr.(min (n - 1) (n * 95 / 100));
+      }
+
+let queueing (s : Machine.stats) =
+  let by_bus = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Machine.txn_record) ->
+      match r.Machine.tr_resource with
+      | None -> ()
+      | Some bus ->
+          let waits =
+            match Hashtbl.find_opt by_bus bus with Some w -> w | None -> []
+          in
+          Hashtbl.replace by_bus bus
+            ((r.Machine.tr_grant - r.Machine.tr_submit) :: waits))
+    s.Machine.trace;
+  Hashtbl.fold (fun bus waits acc -> (bus, latency_of waits) :: acc) by_bus []
+  |> List.sort compare
+
+let words_by_kind (s : Machine.stats) =
+  let by_kind = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Machine.txn_record) ->
+      let prev =
+        match Hashtbl.find_opt by_kind r.Machine.tr_kind with
+        | Some w -> w
+        | None -> 0
+      in
+      Hashtbl.replace by_kind r.Machine.tr_kind (prev + r.Machine.tr_words))
+    s.Machine.trace;
+  Hashtbl.fold (fun k w acc -> (k, w) :: acc) by_kind []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let utilization (s : Machine.stats) =
+  List.map
+    (fun (bus, busy) ->
+      (bus, float_of_int busy /. float_of_int (max 1 s.Machine.cycles)))
+    s.Machine.bus_busy
+
+let timeline (s : Machine.stats) ~buckets =
+  if buckets < 1 then invalid_arg "Analysis.timeline: buckets < 1";
+  let width = max 1 ((s.Machine.cycles + buckets - 1) / buckets) in
+  let buses = List.map fst s.Machine.bus_busy in
+  let table =
+    List.map (fun bus -> (bus, Array.make buckets 0.0)) buses
+  in
+  List.iter
+    (fun (r : Machine.txn_record) ->
+      match r.Machine.tr_resource with
+      | None -> ()
+      | Some bus -> (
+          match List.assoc_opt bus table with
+          | None -> ()
+          | Some arr ->
+              (* Spread the busy interval [grant, finish) over buckets. *)
+              let rec fill t =
+                if t < r.Machine.tr_finish then begin
+                  let b = min (buckets - 1) (t / width) in
+                  let seg_end = min r.Machine.tr_finish (((t / width) + 1) * width) in
+                  arr.(b) <- arr.(b) +. float_of_int (seg_end - t);
+                  fill seg_end
+                end
+              in
+              fill r.Machine.tr_grant))
+    s.Machine.trace;
+  List.map
+    (fun (bus, arr) ->
+      (bus, Array.map (fun v -> v /. float_of_int width) arr))
+    table
+
+let per_pe (s : Machine.stats) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Machine.txn_record) ->
+      let t, w =
+        match Hashtbl.find_opt tbl r.Machine.tr_pe with
+        | Some (t, w) -> (t, w)
+        | None -> (0, 0)
+      in
+      Hashtbl.replace tbl r.Machine.tr_pe (t + 1, w + r.Machine.tr_words))
+    s.Machine.trace;
+  Hashtbl.fold (fun pe (t, w) acc -> (pe, t, w) :: acc) tbl []
+  |> List.sort compare
+
+let bus_energy (s : Machine.stats) ~n_pes =
+  let factor (r : Machine.txn_record) =
+    match r.Machine.tr_resource with
+    | None -> if r.Machine.tr_kind = "fifo" then 0.15 else 0.2
+    | Some "global" -> 1.0
+    | Some bus ->
+        if String.length bus >= 2 && String.sub bus 0 2 = "ss" then 0.55
+        else 2.0 /. float_of_int (max 2 n_pes) (* seg<k> *)
+  in
+  List.fold_left
+    (fun acc r -> acc +. (float_of_int r.Machine.tr_words *. factor r))
+    0.0 s.Machine.trace
+
+let lock_contention (s : Machine.stats) =
+  let per_lock = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Machine.txn_record) ->
+      match (r.Machine.tr_kind, r.Machine.tr_label) with
+      | "lock", Some name ->
+          let attempts, wait =
+            match Hashtbl.find_opt per_lock name with
+            | Some (a, w) -> (a, w)
+            | None -> (0, 0)
+          in
+          Hashtbl.replace per_lock name
+            (attempts + 1, wait + (r.Machine.tr_grant - r.Machine.tr_submit))
+      | _ -> ())
+    s.Machine.trace;
+  List.sort
+    (fun (_, a, _) (_, b, _) -> compare b a)
+    (Hashtbl.fold
+       (fun name (attempts, wait) acc ->
+         (name, attempts,
+          if attempts = 0 then 0.0
+          else float_of_int wait /. float_of_int attempts)
+         :: acc)
+       per_lock [])
+
+let pp_report fmt (s : Machine.stats) =
+  Format.fprintf fmt "@[<v>run: %d cycles, %d transactions, %d words@,"
+    s.Machine.cycles s.Machine.transactions s.Machine.words_transferred;
+  List.iter
+    (fun (bus, u) ->
+      Format.fprintf fmt "bus %-8s %5.1f%% utilized@," bus (100.0 *. u))
+    (utilization s);
+  (match queueing s with
+  | [] -> Format.fprintf fmt "(no trace: enable config.trace for queueing)@,"
+  | qs ->
+      List.iter
+        (fun (bus, l) ->
+          Format.fprintf fmt
+            "bus %-8s queueing: %d grants, mean %.1f, p95 %d, max %d cycles@,"
+            bus l.count l.mean l.p95 l.max)
+        qs);
+  List.iter
+    (fun (kind, words) ->
+      Format.fprintf fmt "traffic %-6s %8d words@," kind words)
+    (words_by_kind s);
+  List.iter
+    (fun (name, attempts, mean_wait) ->
+      Format.fprintf fmt "lock %-12s %6d txns, mean wait %.1f cycles@," name
+        attempts mean_wait)
+    (lock_contention s);
+  (* A coarse utilization sparkline per bus when a trace is present. *)
+  if s.Machine.trace <> [] then
+    List.iter
+      (fun (bus, arr) ->
+        let glyph v =
+          let levels = " .:-=+*#%@" in
+          let i =
+            min (String.length levels - 1)
+              (int_of_float (v *. float_of_int (String.length levels)))
+          in
+          levels.[max 0 i]
+        in
+        Format.fprintf fmt "load %-8s |%s|@," bus
+          (String.init (Array.length arr) (fun i -> glyph arr.(i))))
+      (timeline s ~buckets:40);
+  Format.fprintf fmt "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let csv_of_trace (s : Machine.stats) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "pe,kind,resource,submit,grant,finish,words\n";
+  List.iter
+    (fun (r : Machine.txn_record) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%s,%d,%d,%d,%d\n" r.Machine.tr_pe
+           r.Machine.tr_kind
+           (Option.value ~default:"private" r.Machine.tr_resource)
+           r.Machine.tr_submit r.Machine.tr_grant r.Machine.tr_finish
+           r.Machine.tr_words))
+    s.Machine.trace;
+  Buffer.contents buf
+
+let csv_of_timeline (s : Machine.stats) ~buckets =
+  let series = timeline s ~buckets in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    ("bucket" ^ String.concat "" (List.map (fun (b, _) -> "," ^ b) series)
+    ^ "\n");
+  for i = 0 to buckets - 1 do
+    Buffer.add_string buf (string_of_int i);
+    List.iter
+      (fun (_, arr) ->
+        Buffer.add_string buf (Printf.sprintf ",%.4f" arr.(i)))
+      series;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let write_csv ~path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let gnuplot_utilization ~data_path ~buckets (s : Machine.stats) =
+  let series = timeline s ~buckets in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "set datafile separator ','\n";
+  Buffer.add_string buf "set key outside\n";
+  Buffer.add_string buf "set xlabel 'time bucket'\n";
+  Buffer.add_string buf "set ylabel 'bus utilization'\n";
+  Buffer.add_string buf "set yrange [0:1]\n";
+  Buffer.add_string buf
+    (Printf.sprintf "plot %s\n"
+       (String.concat ", \\\n     "
+          (List.mapi
+             (fun i (bus, _) ->
+               Printf.sprintf "'%s' using 1:%d with lines title '%s'"
+                 data_path (i + 2) bus)
+             series)));
+  Buffer.contents buf

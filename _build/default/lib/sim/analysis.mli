@@ -1,0 +1,72 @@
+(** Post-run analysis over a traced simulation
+    ({!Machine.config.trace} = true).
+
+    Quantifies the "performance impacting factors" the paper's design
+    space exploration is about: where the cycles go per PE, how loaded
+    each bus is, and the queueing latency its masters suffer. *)
+
+type latency = {
+  count : int;
+  mean : float;
+  max : int;
+  p95 : int;
+      (** 95th percentile of grant - submit (arbitration queueing) *)
+}
+
+val queueing : Machine.stats -> (string * latency) list
+(** Arbitration wait statistics per bus resource. *)
+
+val words_by_kind : Machine.stats -> (string * int) list
+(** Words moved per transaction kind ([read], [write], [flag], [lock],
+    [miss], [fifo]), descending. *)
+
+val utilization : Machine.stats -> (string * float) list
+(** Busy fraction per bus over the whole run (from {!Machine.stats}
+    occupancy counters; works without tracing). *)
+
+val timeline : Machine.stats -> buckets:int -> (string * float array) list
+(** Per-bus utilization over [buckets] equal time windows (requires
+    tracing: computed from transaction grant/finish intervals). *)
+
+val per_pe : Machine.stats -> (int * int * int) list
+(** Per PE: (pe, transactions, words), from the trace, ascending pe. *)
+
+val bus_energy : Machine.stats -> n_pes:int -> float
+(** Relative switched-capacitance energy of the run's bus traffic, in
+    abstract units: each traced word costs the capacitance factor of the
+    wire it toggled.  Factors follow the paper's bus-splitting power
+    argument (Section IV.B, citing Hsieh & Pedram): a full-length global
+    bus is 1.0 per word; a split-bus half 0.55; a single-BAN segment
+    [2/n_pes]; private local wiring 0.2; Bi-FIFO point-to-point links
+    0.15.  Requires tracing. *)
+
+val lock_contention : Machine.stats -> (string * int * float) list
+(** Per-lock [(name, bus transactions, mean queueing wait)] from the
+    trace, most-contended first.  Counts every lock-path transaction —
+    acquisition polls, test-and-sets and releases — so a hot lock shows
+    both its traffic and the arbitration delay around it. *)
+
+val pp_report : Format.formatter -> Machine.stats -> unit
+(** Human-readable summary of all of the above. *)
+
+(** {1 Export}
+
+    Machine-readable dumps for external plotting, completing the
+    paper's experimental flow: the bench prints tables, these emit the
+    underlying series. *)
+
+val csv_of_trace : Machine.stats -> string
+(** One row per traced transaction:
+    [pe,kind,resource,submit,grant,finish,words] with a header line.
+    Requires tracing; the header alone otherwise. *)
+
+val csv_of_timeline : Machine.stats -> buckets:int -> string
+(** Bucketed per-bus utilization: [bucket,<bus1>,<bus2>,...] rows. *)
+
+val write_csv : path:string -> string -> unit
+(** Write CSV text produced by the functions above. *)
+
+val gnuplot_utilization : data_path:string -> buckets:int ->
+  Machine.stats -> string
+(** A gnuplot script plotting every bus column of
+    {!csv_of_timeline} (written at [data_path]) as a line series. *)

@@ -1,0 +1,135 @@
+type config = { line_words : int; sets : int; ways : int }
+
+let mpc755_l1 = { line_words = 8; sets = 128; ways = 8 }
+
+type stats = { accesses : int; misses : int; evictions : int }
+
+type line = {
+  mutable valid : bool;
+  mutable tag : int;
+  mutable last_used : int;  (* global access counter, for LRU *)
+}
+
+type t = {
+  cfg : config;
+  lines : line array array;  (* [set].[way] *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create cfg =
+  if not (is_pow2 cfg.line_words) then
+    invalid_arg "Cache.create: line_words must be a power of two";
+  if not (is_pow2 cfg.sets) then
+    invalid_arg "Cache.create: sets must be a power of two";
+  if cfg.ways < 1 then invalid_arg "Cache.create: ways must be >= 1";
+  {
+    cfg;
+    lines =
+      Array.init cfg.sets (fun _ ->
+          Array.init cfg.ways (fun _ ->
+              { valid = false; tag = 0; last_used = 0 }));
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let reset t =
+  Array.iter (Array.iter (fun l -> l.valid <- false)) t.lines;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
+
+let access t addr =
+  if addr < 0 then invalid_arg "Cache.access: negative address";
+  t.clock <- t.clock + 1;
+  t.accesses <- t.accesses + 1;
+  let line_no = addr / t.cfg.line_words in
+  let set = line_no land (t.cfg.sets - 1) in
+  let tag = line_no / t.cfg.sets in
+  let ways = t.lines.(set) in
+  let hit = ref None in
+  Array.iter
+    (fun l -> if l.valid && l.tag = tag && !hit = None then hit := Some l)
+    ways;
+  match !hit with
+  | Some l ->
+      l.last_used <- t.clock;
+      `Hit
+  | None ->
+      t.misses <- t.misses + 1;
+      (* Victim: an invalid way if any, else the LRU way. *)
+      let victim = ref ways.(0) in
+      Array.iter
+        (fun l ->
+          if not !victim.valid then ()
+          else if (not l.valid) || l.last_used < !victim.last_used then
+            victim := l)
+        ways;
+      if !victim.valid then t.evictions <- t.evictions + 1;
+      !victim.valid <- true;
+      !victim.tag <- tag;
+      !victim.last_used <- t.clock;
+      `Miss
+
+let stats t =
+  { accesses = t.accesses; misses = t.misses; evictions = t.evictions }
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0
+  else float_of_int t.misses /. float_of_int t.accesses
+
+module Trace = struct
+  let streaming ~words = List.init words (fun i -> i)
+
+  let fft ~n =
+    (* log2 n passes; pass s pairs index i with i + 2^s; each complex
+       sample is two words. *)
+    let stages =
+      let rec go s acc = if 1 lsl s >= n then acc else go (s + 1) (s :: acc) in
+      List.rev (go 0 [])
+    in
+    List.concat_map
+      (fun s ->
+        let half = 1 lsl s in
+        List.concat_map
+          (fun i ->
+            let j = i lxor half in
+            if j > i then [ 2 * i; (2 * i) + 1; 2 * j; (2 * j) + 1 ]
+            else [])
+          (List.init n (fun i -> i)))
+      stages
+
+  let blocked8 ~frames ~width =
+    List.concat_map
+      (fun f ->
+        let base = f * width * 8 in
+        List.concat_map
+          (fun by ->
+            List.concat_map
+              (fun row ->
+                List.init 8 (fun col -> base + (row * width) + (by * 8) + col))
+              (List.init 8 (fun r -> r)))
+          (List.init (width / 8) (fun b -> b)))
+      (List.init frames (fun f -> f))
+
+  let db_random ~objects ~object_words ~accesses =
+    (* Fixed LCG (numerical recipes constants) — deterministic runs. *)
+    let state = ref 42 in
+    let next () =
+      state := ((!state * 1664525) + 1013904223) land 0x3FFFFFFF;
+      !state
+    in
+    List.concat_map
+      (fun _ ->
+        let obj = next () mod objects in
+        let base = obj * object_words in
+        List.init object_words (fun i -> base + i))
+      (List.init accesses (fun a -> a))
+end

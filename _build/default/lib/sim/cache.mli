@@ -1,0 +1,67 @@
+(** Set-associative cache simulator.
+
+    The paper's PEs are MPC755 cores with 32 KB 8-way L1 caches; the
+    architectural simulator folds their effect into the rational
+    [miss_rate_num/den] of {!Timing.t}.  This module is where those
+    constants come from: running a kernel's address stream through the
+    modeled cache yields its steady-state miss rate, so the per-
+    application calibration in EXPERIMENTS.md is derived rather than
+    asserted (see the [cache-miss-derivation] ablation in
+    [bench/main.ml]).
+
+    Addresses are word addresses; a line holds [line_words] words.
+    Replacement is true LRU within a set. *)
+
+type config = {
+  line_words : int;  (** words per cache line (power of two) *)
+  sets : int;        (** number of sets (power of two) *)
+  ways : int;        (** associativity, >= 1 *)
+}
+
+val mpc755_l1 : config
+(** 32 KB / 32-byte lines / 8-way, in 32-bit words: 8 words per line,
+    128 sets. *)
+
+type t
+
+type stats = {
+  accesses : int;
+  misses : int;
+  evictions : int;  (** misses that displaced a valid line *)
+}
+
+val create : config -> t
+(** @raise Invalid_argument unless sizes are powers of two and
+    [ways >= 1]. *)
+
+val access : t -> int -> [ `Hit | `Miss ]
+(** Look up one word address, updating LRU state and filling on miss. *)
+
+val stats : t -> stats
+
+val miss_rate : t -> float
+(** [misses / accesses]; 0 before the first access. *)
+
+val reset : t -> unit
+(** Invalidate every line and zero the statistics. *)
+
+(** Deterministic reference address streams for the three applications'
+    dominant kernels (word addresses).  These drive the miss-rate
+    derivation ablation; they use a fixed linear-congruential sequence,
+    never wall-clock randomness, so runs are reproducible. *)
+module Trace : sig
+  val streaming : words:int -> int list
+  (** Sequential burst processing (OFDM guard insertion / output). *)
+
+  val fft : n:int -> int list
+  (** Radix-2 butterfly pattern over an [n]-point complex buffer
+      (2 words per sample): pass [s] touches pairs [i, i + 2^s]. *)
+
+  val blocked8 : frames:int -> width:int -> int list
+  (** 8x8-block raster walk (MPEG2 IDCT / motion compensation) over a
+      [width]-words-per-line frame. *)
+
+  val db_random : objects:int -> object_words:int -> accesses:int -> int list
+  (** Uniform object picks with sequential scans inside each object
+      (the database example's access shape), from a fixed LCG seed. *)
+end

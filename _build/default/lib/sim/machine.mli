@@ -1,0 +1,97 @@
+(** The architectural cycle simulator.
+
+    Executes one {!Program.t} per PE against a transaction-level model of
+    one of the seven bus architectures.  Buses are explicit resources:
+    every shared-path access queues at its bus, waits for the grant
+    (FCFS by default, matching the paper's global arbiter), holds the
+    bus for the burst and releases it.  Private paths (a BFBA BAN's
+    local SRAM, Bi-FIFO ports) cost latency but no contention.
+
+    Compute phases generate background instruction-fetch traffic at the
+    configured cache-miss rate over the PE's {e program memory} path —
+    private for the custom architectures, the shared bus for GGBA/CCBA.
+    This models the paper's observation (B) that buses holding program
+    and local data in shared memory pay arbitration on every miss. *)
+
+type arch = Bussyn.Generate.arch
+
+type policy = Fcfs | Fixed_priority | Round_robin
+
+type config = {
+  arch : arch;
+  n_pes : int;
+  timing : Timing.t;
+  fifo_depth : int;           (** Bi-FIFO capacity in words *)
+  policy : policy;            (** shared-bus arbitration *)
+  n_subsystems : int;
+      (** SplitBA: how many bus subsystems the PEs are split across
+          (PE [k] lives in subsystem [k / (n_pes / n_subsystems)];
+          ignored by other architectures) *)
+  l1 : Cache.config option;
+      (** [None] (default): cache misses follow the rational
+          [Timing.miss_rate_num/den].  [Some cfg]: each PE simulates a
+          real L1 of that shape over a deterministic
+          sequential-with-jumps instruction stream, and every actual
+          miss becomes a line fetch on the program-memory path —
+          slower, but the miss rate emerges from the cache instead of
+          being a constant. *)
+  var_home : string -> int;
+      (** SplitBA: which subsystem's memory holds a named control
+          variable or lock (ignored by other architectures) *)
+  initial_flags : (Program.flag * bool) list;
+  trace : bool;               (** record every transaction (see {!stats.trace}) *)
+}
+
+val default_config : arch -> n_pes:int -> config
+(** FCFS, paper timing ({!Timing.generated}, or {!Timing.ccba} for
+    CCBA), depth-1024 FIFOs, BFBA-style [DONE_OP=1] initialisation on
+    architectures with handshake register blocks. *)
+
+type stats = {
+  cycles : int;               (** total simulated cycles *)
+  pe_busy : int array;        (** compute cycles per PE *)
+  pe_wait : int array;        (** cycles blocked on buses/flags/FIFOs *)
+  bus_busy : (string * int) list;  (** occupancy per bus resource *)
+  transactions : int;
+  words_transferred : int;
+  polls : int;                (** handshake/lock poll transactions *)
+  marks : (string * int) list;
+      (** [Mark] labels with the cycle they executed at, in time order *)
+  trace : txn_record list;
+      (** per-transaction records in completion order, when
+          [config.trace] is set; empty otherwise *)
+}
+
+and txn_record = {
+  tr_pe : int;
+  tr_kind : string;  (** [read], [write], [flag], [lock], [miss], [fifo] *)
+  tr_label : string option;
+      (** the lock name for [lock] transactions; [None] otherwise *)
+  tr_resource : string option;  (** bus name, or [None] for private paths *)
+  tr_submit : int;   (** cycle the request was issued *)
+  tr_grant : int;    (** cycle the bus granted it (= submit when private) *)
+  tr_finish : int;
+  tr_words : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+exception Invalid_program of string
+(** Raised when a program uses an operation the architecture cannot
+    perform (e.g. [Loc_global] on BFBA), naming the PE and operation. *)
+
+exception Deadlock of string
+(** Raised when no PE can make progress before [max_cycles]. *)
+
+val run : ?max_cycles:int -> config -> Program.t array -> stats
+(** Run until every PE halts.  [max_cycles] (default 200 million) guards
+    against livelock.
+    @raise Invalid_program / [Deadlock] as above; [Invalid_argument] if
+    the program count differs from [n_pes] or the same (stateful)
+    program generator appears under two PEs. *)
+
+val ns_per_cycle : float
+(** 10.0 — the paper's 100 MHz SYSCLK. *)
+
+val throughput_mbps : bits:int -> cycles:int -> float
+(** Application throughput at 100 MHz, in Mbit/s. *)

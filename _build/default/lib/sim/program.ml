@@ -1,0 +1,89 @@
+type location = Loc_local | Loc_peer_mem of int | Loc_global
+
+type flag = Hs_flag of int * string | Var_flag of string
+
+type op =
+  | Compute of int
+  | Read of location * int
+  | Write of location * int
+  | Set_flag of flag * bool
+  | Wait_flag of flag * bool
+  | Lock_acquire of string
+  | Try_lock of string * (bool -> unit)
+  | Lock_release of string
+  | Fifo_set_threshold of int * int
+  | Fifo_push of int * int
+  | Fifo_pop of int
+  | Wait_fifo_irq
+  | Mark of string
+  | Call of (unit -> unit)
+  | Halt
+
+type t = unit -> op option
+
+let of_list ops =
+  let rest = ref ops in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | op :: tl ->
+        rest := tl;
+        Some op
+
+let concat programs =
+  let rest = ref programs in
+  let rec next () =
+    match !rest with
+    | [] -> None
+    | p :: tl -> (
+        match p () with
+        | Some op -> Some op
+        | None ->
+            rest := tl;
+            next ())
+  in
+  next
+
+let repeat n body =
+  let i = ref 0 in
+  let current = ref (of_list []) in
+  let rec next () =
+    match !current () with
+    | Some op -> Some op
+    | None ->
+        if !i >= n then None
+        else begin
+          current := of_list (body !i);
+          incr i;
+          next ()
+        end
+  in
+  next
+
+let generator f = f
+
+let pp_location fmt = function
+  | Loc_local -> Format.pp_print_string fmt "local"
+  | Loc_peer_mem k -> Format.fprintf fmt "peer%d" k
+  | Loc_global -> Format.pp_print_string fmt "global"
+
+let pp_flag fmt = function
+  | Hs_flag (k, name) -> Format.fprintf fmt "hs%d.%s" k name
+  | Var_flag name -> Format.fprintf fmt "var.%s" name
+
+let pp_op fmt = function
+  | Compute n -> Format.fprintf fmt "compute %d" n
+  | Read (l, n) -> Format.fprintf fmt "read %a x%d" pp_location l n
+  | Write (l, n) -> Format.fprintf fmt "write %a x%d" pp_location l n
+  | Set_flag (f, v) -> Format.fprintf fmt "set %a := %b" pp_flag f v
+  | Wait_flag (f, v) -> Format.fprintf fmt "wait %a = %b" pp_flag f v
+  | Lock_acquire l -> Format.fprintf fmt "lock %s" l
+  | Try_lock (l, _) -> Format.fprintf fmt "trylock %s" l
+  | Lock_release l -> Format.fprintf fmt "unlock %s" l
+  | Fifo_set_threshold (d, w) -> Format.fprintf fmt "fifo_thr ->%d %d" d w
+  | Fifo_push (d, w) -> Format.fprintf fmt "fifo_push ->%d x%d" d w
+  | Fifo_pop w -> Format.fprintf fmt "fifo_pop x%d" w
+  | Wait_fifo_irq -> Format.pp_print_string fmt "wait_irq"
+  | Mark l -> Format.fprintf fmt "mark %s" l
+  | Call _ -> Format.pp_print_string fmt "call"
+  | Halt -> Format.pp_print_string fmt "halt"

@@ -1,0 +1,32 @@
+type t = {
+  arb_cycles : int;
+  word_cycles : int;
+  mem_cycles : int;
+  bridge_cycles : int;
+  fifo_word_cycles : int;
+  poll_interval : int;
+  miss_rate_num : int;
+  miss_rate_den : int;
+  line_words : int;
+}
+
+let generated =
+  {
+    arb_cycles = 3;
+    word_cycles = 1;
+    mem_cycles = 1;
+    bridge_cycles = 2;
+    fifo_word_cycles = 1;
+    poll_interval = 16;
+    miss_rate_num = 1;
+    miss_rate_den = 1000;
+    line_words = 4;
+  }
+
+let ccba = { generated with arb_cycles = 5 }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "arb=%d word=%d mem=%d bridge=%d fifo=%d poll=%d miss=%d/%d line=%d"
+    t.arb_cycles t.word_cycles t.mem_cycles t.bridge_cycles t.fifo_word_cycles
+    t.poll_interval t.miss_rate_num t.miss_rate_den t.line_words

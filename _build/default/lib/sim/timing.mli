@@ -1,0 +1,29 @@
+(** Timing parameters of the architectural simulator.
+
+    Values are cycles of the 100 MHz bus clock (SYSCLK of the paper's
+    MPC755 setup, Section VI.B). *)
+
+type t = {
+  arb_cycles : int;
+      (** request-to-grant on an arbitrated bus when it is free; the
+          paper reports 3 cycles for generated buses and 5 for CCBA *)
+  word_cycles : int;        (** per-word transfer on a bus *)
+  mem_cycles : int;         (** memory array access setup *)
+  bridge_cycles : int;      (** extra latency across a bus bridge *)
+  fifo_word_cycles : int;   (** per-word Bi-FIFO push/pop *)
+  poll_interval : int;      (** idle cycles between handshake polls *)
+  miss_rate_num : int;
+  miss_rate_den : int;
+      (** instruction/data cache misses per compute cycle, as the exact
+          rational [num/den] (kept rational so runs are deterministic);
+          each miss fetches a cache line over the program-memory path *)
+  line_words : int;         (** cache line size in bus words *)
+}
+
+val generated : t
+(** Timing of BusSyn-generated buses: 3-cycle arbitration. *)
+
+val ccba : t
+(** CCBA baseline: 5-cycle arbitration (paper Section VI.C). *)
+
+val pp : Format.formatter -> t -> unit

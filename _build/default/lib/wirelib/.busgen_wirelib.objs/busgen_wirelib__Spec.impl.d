@@ -1,0 +1,1 @@
+lib/wirelib/spec.ml: Format List Printf String

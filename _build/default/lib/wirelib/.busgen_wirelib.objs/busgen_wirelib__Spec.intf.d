@@ -1,0 +1,1 @@
+lib/wirelib/spec.mli: Format

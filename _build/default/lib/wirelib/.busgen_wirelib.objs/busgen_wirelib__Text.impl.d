@@ -1,0 +1,1 @@
+lib/wirelib/text.ml: Buffer Format List Printf Result Spec String

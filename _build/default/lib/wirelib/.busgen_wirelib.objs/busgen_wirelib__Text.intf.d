@@ -1,0 +1,1 @@
+lib/wirelib/text.mli: Spec

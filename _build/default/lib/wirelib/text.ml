@@ -1,0 +1,126 @@
+let parse_module_ref tok =
+  match String.index_opt tok '[' with
+  | None -> Ok (Spec.Exact tok)
+  | Some i ->
+      let n = String.length tok in
+      if tok.[n - 1] <> ']' then Error (Printf.sprintf "malformed group %S" tok)
+      else
+        let base = String.sub tok 0 i in
+        let inner = String.sub tok (i + 1) (n - i - 2) in
+        let members =
+          String.split_on_char ',' inner
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        in
+        if members = [] then Error (Printf.sprintf "empty group %S" tok)
+        else Ok (Spec.Group (base, members))
+
+let parse_int line tok =
+  match int_of_string_opt tok with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "line %d: expected integer, got %S" line tok)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let build_wire line tokens =
+  match tokens with
+  | [ w_name; w_width; m1; p1; msb1; lsb1; m2; p2; msb2; lsb2 ] ->
+      let* w_width = parse_int line w_width in
+      let* m1 =
+        Result.map_error (Printf.sprintf "line %d: %s" line) (parse_module_ref m1)
+      in
+      let* msb1 = parse_int line msb1 in
+      let* lsb1 = parse_int line lsb1 in
+      let* m2 =
+        Result.map_error (Printf.sprintf "line %d: %s" line) (parse_module_ref m2)
+      in
+      let* msb2 = parse_int line msb2 in
+      let* lsb2 = parse_int line lsb2 in
+      let wire =
+        {
+          Spec.w_name;
+          w_width;
+          end1 = { Spec.m_ref = m1; pname = p1; wmsb = msb1; wlsb = lsb1 };
+          end2 = { Spec.m_ref = m2; pname = p2; wmsb = msb2; wlsb = lsb2 };
+        }
+      in
+      let* () =
+        Result.map_error (Printf.sprintf "line %d: %s" line)
+          (Spec.validate_wire wire)
+      in
+      Ok wire
+  | _ -> Error (Printf.sprintf "line %d: expected 10 tokens" line)
+
+let parse content =
+  let lines = String.split_on_char '\n' content in
+  let rec outside acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then outside acc (lineno + 1) rest
+        else
+          match String.split_on_char ' ' trimmed |> List.filter (( <> ) "") with
+          | [ "%wire"; name ] -> inside acc name [] (lineno + 1) rest
+          | "%wire" :: _ ->
+              Error (Printf.sprintf "line %d: %%wire needs one name" lineno)
+          | _ ->
+              Error
+                (Printf.sprintf "line %d: expected %%wire <name>, got %S"
+                   lineno trimmed))
+  and inside acc name toks lineno = function
+    | [] -> Error (Printf.sprintf "line %d: unterminated %%wire %s" lineno name)
+    | line :: rest -> (
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then
+          inside acc name toks (lineno + 1) rest
+        else if trimmed = "%endwire" then
+          let* wires = collect name toks in
+          outside ({ Spec.lib_name = name; wires } :: acc) (lineno + 1) rest
+        else
+          let words =
+            String.split_on_char ' ' trimmed
+            |> List.concat_map (String.split_on_char '\t')
+            |> List.filter (( <> ) "")
+          in
+          inside acc name (toks @ List.map (fun w -> (lineno, w)) words)
+            (lineno + 1) rest)
+  and collect name toks =
+    let rec take10 acc = function
+      | [] -> Ok (List.rev acc)
+      | toks ->
+          if List.length toks < 10 then
+            let line = match toks with (l, _) :: _ -> l | [] -> 0 in
+            Error
+              (Printf.sprintf
+                 "line %d: entry %s: trailing tokens (wires take 10 fields)"
+                 line name)
+          else
+            let rec split n xs =
+              if n = 0 then ([], xs)
+              else
+                match xs with
+                | x :: rest ->
+                    let a, b = split (n - 1) rest in
+                    (x :: a, b)
+                | [] -> assert false
+            in
+            let ten, rest = split 10 toks in
+            let line = match ten with (l, _) :: _ -> l | [] -> 0 in
+            let* w = build_wire line (List.map snd ten) in
+            take10 (w :: acc) rest
+    in
+    take10 [] toks
+  in
+  outside [] 1 lines
+
+let parse_exn content =
+  match parse content with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Wirelib.Text.parse: " ^ msg)
+
+let print lib =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e -> Buffer.add_string buf (Format.asprintf "%a" Spec.pp_entry e))
+    lib;
+  Buffer.contents buf

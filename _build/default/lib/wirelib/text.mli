@@ -1,0 +1,24 @@
+(** ASCII serialization of the Wire Library (paper Fig. 15).
+
+    Grammar (whitespace-separated tokens, one wire per line):
+    {v
+    %wire <library_name>
+    <w_name> <w_width> <m1_name> <m1_pname> <m1_wmsb> <m1_wlsb>
+                       <m2_name> <m2_pname> <m2_wmsb> <m2_wlsb>
+    ...
+    %endwire
+    v}
+    Module names of the form [BASE\[m1,m2,...\]] are group patterns.
+    Lines starting with [#] and blank lines are ignored.  A wire may be
+    split over several physical lines; tokens are consumed ten at a
+    time. *)
+
+val parse : string -> (Spec.t, string) result
+(** Parse a whole Wire Library file.  The error string carries a line
+    number. *)
+
+val parse_exn : string -> Spec.t
+
+val print : Spec.t -> string
+(** Inverse of {!parse} up to whitespace: [parse (print l) = Ok l] for
+    valid [l]. *)

@@ -1,0 +1,415 @@
+(* Tests for the application models: OFDM and MPEG2 kernels (numerical
+   correctness of the real signal processing), program mappings, and the
+   qualitative orderings of the paper's Tables II-IV. *)
+
+open Busgen_apps
+module G = Bussyn.Generate
+
+(* ------------------------------------------------------------------ *)
+(* OFDM kernels                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let complex_close ?(eps = 1e-6) a b =
+  Float.abs (a.Complex.re -. b.Complex.re) < eps
+  && Float.abs (a.Complex.im -. b.Complex.im) < eps
+
+let test_ifft_impulse () =
+  (* IFFT of a constant spectrum is an impulse (and vice versa). *)
+  let n = 16 in
+  let spectrum = Array.make n { Complex.re = 1.0; im = 0.0 } in
+  let time =
+    Ofdm.Kernel.normalize
+      (Ofdm.Kernel.ifft (Ofdm.Kernel.bit_reverse_permute spectrum))
+  in
+  Alcotest.(check bool) "impulse at 0" true
+    (complex_close time.(0) { Complex.re = 1.0; im = 0.0 });
+  Alcotest.(check bool) "zero elsewhere" true
+    (Array.for_all
+       (fun c -> Complex.norm c < 1e-9)
+       (Array.sub time 1 (n - 1)))
+
+let test_fft_ifft_roundtrip () =
+  let n = 64 in
+  let x =
+    Array.init n (fun i ->
+        { Complex.re = sin (float_of_int i *. 0.37);
+          im = cos (float_of_int i *. 0.11) })
+  in
+  let spectrum = Ofdm.Kernel.fft x in
+  let back =
+    Ofdm.Kernel.normalize
+      (Ofdm.Kernel.ifft (Ofdm.Kernel.bit_reverse_permute spectrum))
+  in
+  Array.iteri
+    (fun i c ->
+      if not (complex_close ~eps:1e-9 c x.(i)) then
+        Alcotest.failf "sample %d differs" i)
+    back
+
+let test_parseval () =
+  (* Energy conservation of the transform (Parseval). *)
+  let n = 128 in
+  let x =
+    Array.init n (fun i -> { Complex.re = float_of_int (i mod 7) -. 3.0; im = 0.2 })
+  in
+  let spectrum = Ofdm.Kernel.fft x in
+  let e t = Array.fold_left (fun a c -> a +. (Complex.norm2 c)) 0.0 t in
+  let lhs = e x and rhs = e spectrum /. float_of_int n in
+  Alcotest.(check bool) "parseval" true (Float.abs (lhs -. rhs) < 1e-6 *. lhs)
+
+let test_symbol_map () =
+  let bits = Array.init Ofdm.Kernel.bits_per_packet (fun i -> i land 1) in
+  let symbols = Ofdm.Kernel.symbol_map bits in
+  Alcotest.(check int) "symbol count" Ofdm.Kernel.data_samples
+    (Array.length symbols);
+  Array.iter
+    (fun c ->
+      if Float.abs (Float.abs c.Complex.re -. 1.0) > 1e-9
+         || Float.abs (Float.abs c.Complex.im -. 1.0) > 1e-9
+      then Alcotest.fail "non-QPSK symbol")
+    symbols
+
+let test_guard_is_cyclic () =
+  let bits = Array.init Ofdm.Kernel.bits_per_packet (fun i -> (i / 3) land 1) in
+  let out = Ofdm.Kernel.transmit bits in
+  let n = Ofdm.Kernel.data_samples and g = Ofdm.Kernel.guard_samples in
+  Alcotest.(check int) "length" (n + g) (Array.length out);
+  (* The prefix equals the tail (cyclic extension, paper Fig. 24). *)
+  for i = 0 to g - 1 do
+    if not (complex_close out.(i) out.(n + i)) then
+      Alcotest.failf "guard sample %d not cyclic" i
+  done
+
+let test_stage_cycles_positive () =
+  let e, f, g, h = Ofdm.Kernel.stage_cycles () in
+  List.iter (fun v -> Alcotest.(check bool) "positive" true (v > 0)) [ e; f; g; h ];
+  (* The paper's pipeline bottleneck is the IFFT (group F). *)
+  Alcotest.(check bool) "F is the heaviest stage" true (f > e && f > g && f > h)
+
+(* ------------------------------------------------------------------ *)
+(* MPEG2 codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_mpeg2_roundtrip_quality () =
+  let video = Mpeg2.Codec.synthetic_video ~frames:8 in
+  let decoded = Mpeg2.Codec.decode (Mpeg2.Codec.encode video) in
+  Alcotest.(check int) "frame count" 8 (List.length decoded);
+  List.iter2
+    (fun a b ->
+      let q = Mpeg2.Codec.psnr a b in
+      if q < 30.0 then Alcotest.failf "PSNR too low: %.1f dB" q)
+    video decoded
+
+let test_mpeg2_p_frames_help () =
+  (* The stream must be smaller than raw video (compression works). *)
+  let video = Mpeg2.Codec.synthetic_video ~frames:8 in
+  let bs = Mpeg2.Codec.encode video in
+  let raw_bits = 8 * 256 * 8 in
+  Alcotest.(check bool) "compressed" true (Bits_stream.length_bits bs < raw_bits)
+
+let test_mpeg2_bad_stream_rejected () =
+  let bs = Bits_stream.create () in
+  Bits_stream.put bs ~bits:8 0x42;
+  Bits_stream.put bs ~bits:8 1;
+  match Mpeg2.Codec.decode bs with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad magic accepted"
+
+let test_bits_stream_roundtrip () =
+  let bs = Bits_stream.create () in
+  let values = [ (3, 5); (1, 1); (9, 300); (6, 63); (12, 4095) ] in
+  List.iter (fun (bits, v) -> Bits_stream.put bs ~bits v) values;
+  let r = Bits_stream.reader bs in
+  List.iter
+    (fun (bits, v) ->
+      Alcotest.(check int) "value" v (Bits_stream.get r ~bits))
+    values;
+  (* Byte round trip too. *)
+  let bs2 = Bits_stream.of_bytes (Bits_stream.to_bytes bs) in
+  let r2 = Bits_stream.reader bs2 in
+  List.iter (fun (bits, v) -> Alcotest.(check int) "rt" v (Bits_stream.get r2 ~bits)) values
+
+let prop_bits_stream =
+  QCheck.Test.make ~name:"bit stream round trip" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50)
+              (pair (int_range 1 20) (int_bound 1000)))
+    (fun pairs ->
+      let pairs = List.map (fun (b, v) -> (b, v land ((1 lsl b) - 1))) pairs in
+      let bs = Bits_stream.create () in
+      List.iter (fun (bits, v) -> Bits_stream.put bs ~bits v) pairs;
+      let r = Bits_stream.reader bs in
+      List.for_all (fun (bits, v) -> Bits_stream.get r ~bits = v) pairs)
+
+let prop_ofdm_loopback =
+  (* Receiver inverts transmitter bit-exactly on a clean channel, for
+     arbitrary payloads — pins down map/permute/transform/guard as a
+     consistent pipeline. *)
+  QCheck.Test.make ~name:"ofdm transmit/receive loopback" ~count:10
+    QCheck.(int_bound 0xFFFFFF)
+    (fun seed ->
+      let state = ref (seed + 1) in
+      let bits =
+        Array.init Ofdm.Kernel.bits_per_packet (fun _ ->
+            state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+            (!state lsr 16) land 1)
+      in
+      let received = Ofdm.Kernel.receive (Ofdm.Kernel.transmit bits) in
+      received = bits)
+
+let test_ofdm_receive_rejects_short () =
+  match Ofdm.Kernel.remove_guard (Array.make 3 Complex.zero) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short packet accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Comm transfer balance                                               *)
+(* ------------------------------------------------------------------ *)
+
+module P = Busgen_sim.Program
+
+let prop_comm_balanced =
+  (* For every architecture and protocol, the sender and receiver sides
+     of a transfer move the same number of payload words, and every
+     flag one side waits on is set by the other side. *)
+  let archs =
+    [ G.Bfba; G.Gbavi; G.Gbavii; G.Gbaviii; G.Hybrid; G.Splitba; G.Ggba;
+      G.Ccba ]
+  in
+  QCheck.Test.make ~name:"comm transfers are balanced" ~count:60
+    QCheck.(
+      triple (oneofl archs) (oneofl [ Comm.Two_reg; Comm.Three_reg ])
+        (int_range 1 300))
+    (fun (arch, protocol, words) ->
+      let send, recv =
+        Comm.transfer ~protocol arch ~src:0 ~dst:1 ~tag:"t" words
+      in
+      let payload_out =
+        List.fold_left
+          (fun a op ->
+            match op with
+            | P.Fifo_push (_, w) | P.Write (_, w) -> a + w
+            | _ -> a)
+          0 send
+      in
+      let payload_in =
+        List.fold_left
+          (fun a op ->
+            match op with
+            | P.Fifo_pop w | P.Read (_, w) -> a + w
+            | _ -> a)
+          0 recv
+      in
+      let waits ops =
+        List.filter_map
+          (fun op ->
+            match op with P.Wait_flag (f, v) -> Some (f, v) | _ -> None)
+          ops
+      in
+      let sets ops =
+        List.filter_map
+          (fun op ->
+            match op with P.Set_flag (f, v) -> Some (f, v) | _ -> None)
+          ops
+      in
+      let all_sets = sets send @ sets recv in
+      let covered =
+        List.for_all
+          (fun w -> List.mem w all_sets)
+          (waits send @ waits recv)
+      in
+      payload_out >= words && payload_in >= words
+      && payload_out >= payload_in && covered)
+
+(* ------------------------------------------------------------------ *)
+(* Table II orderings (scaled-down runs for test speed)                *)
+(* ------------------------------------------------------------------ *)
+
+let ofdm_thr arch style = (Ofdm.run ~packets:8 arch style).Ofdm.throughput_mbps
+
+let test_table2_fpa_beats_ppa () =
+  (* Paper observation (A). *)
+  Alcotest.(check bool) "GBAVIII" true
+    (ofdm_thr G.Gbaviii Ofdm.Fpa > ofdm_thr G.Gbaviii Ofdm.Ppa);
+  Alcotest.(check bool) "GGBA" true
+    (ofdm_thr G.Ggba Ofdm.Fpa > ofdm_thr G.Ggba Ofdm.Ppa)
+
+let test_table2_gbaviii_beats_ggba () =
+  (* Paper observation (B): separate local program memories win. *)
+  Alcotest.(check bool) "FPA" true
+    (ofdm_thr G.Gbaviii Ofdm.Fpa > ofdm_thr G.Ggba Ofdm.Fpa)
+
+let test_table2_splitba_best_fpa () =
+  (* Paper observation (C) and Case 7. *)
+  let split = ofdm_thr G.Splitba Ofdm.Fpa in
+  Alcotest.(check bool) "beats GGBA" true (split > ofdm_thr G.Ggba Ofdm.Fpa);
+  Alcotest.(check bool) "beats GBAVIII" true
+    (split >= ofdm_thr G.Gbaviii Ofdm.Fpa)
+
+let test_table2_ppa_ordering () =
+  (* Paper observation (D): Case 1 > Case 4 > Case 9 > Case 2. *)
+  let bfba = ofdm_thr G.Bfba Ofdm.Ppa in
+  let gbaviii = ofdm_thr G.Gbaviii Ofdm.Ppa in
+  let ggba = ofdm_thr G.Ggba Ofdm.Ppa in
+  let gbavi = ofdm_thr G.Gbavi Ofdm.Ppa in
+  Alcotest.(check bool) "BFBA > GBAVIII" true (bfba > gbaviii);
+  Alcotest.(check bool) "GBAVIII > GGBA" true (gbaviii > ggba);
+  Alcotest.(check bool) "GGBA > GBAVI" true (ggba > gbavi)
+
+let test_table2_splitba_rejects_ppa () =
+  match Ofdm.programs ~arch:G.Splitba ~style:Ofdm.Ppa ~n_pes:4 ~packets:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "SplitBA PPA should be rejected"
+
+let test_three_reg_protocol_slower () =
+  (* The paper's 2-register protocol (Example 2) drops the READ_REQ
+     round trip of the classical 3-register protocol [21]; the classical
+     protocol must therefore cost throughput on handshake-heavy PPA. *)
+  let two = (Ofdm.run ~protocol:Comm.Two_reg G.Gbaviii Ofdm.Ppa).Ofdm.throughput_mbps in
+  let three =
+    (Ofdm.run ~protocol:Comm.Three_reg G.Gbaviii Ofdm.Ppa).Ofdm.throughput_mbps
+  in
+  Alcotest.(check bool) "2-reg at least as fast" true (two >= three);
+  Alcotest.(check bool) "3-reg pays a real cost" true
+    (three < two *. 0.999)
+
+let test_gbavii_between_neighbours_and_global () =
+  (* GBAVII should behave like GBAVI under PPA (neighbour transfers) and
+     approach GBAVIII under FPA (global distribution). *)
+  let ppa = (Ofdm.run G.Gbavii Ofdm.Ppa).Ofdm.throughput_mbps in
+  let fpa = (Ofdm.run G.Gbavii Ofdm.Fpa).Ofdm.throughput_mbps in
+  let gbaviii_fpa = (Ofdm.run G.Gbaviii Ofdm.Fpa).Ofdm.throughput_mbps in
+  Alcotest.(check bool) "FPA > PPA" true (fpa > ppa);
+  Alcotest.(check bool) "FPA within 5% of GBAVIII" true
+    (fpa > 0.95 *. gbaviii_fpa)
+
+(* ------------------------------------------------------------------ *)
+(* Table III orderings                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mpeg2_thr arch = (Mpeg2.run ~gops:8 arch).Mpeg2.throughput_mbps
+
+let test_table3_ordering () =
+  let bfba = mpeg2_thr G.Bfba in
+  let gbavi = mpeg2_thr G.Gbavi in
+  let gbaviii = mpeg2_thr G.Gbaviii in
+  let hybrid = mpeg2_thr G.Hybrid in
+  let ccba = mpeg2_thr G.Ccba in
+  (* Hybrid and GBAVIII lead; CCBA pays its slower arbitration; the
+     relay architectures trail (paper Table III).  The paper gives
+     Hybrid a 1.8% edge over GBAVIII; in our model the two tie to within
+     noise, so the assertion allows a 0.5% band. *)
+  Alcotest.(check bool) "Hybrid ~>= GBAVIII" true (hybrid >= 0.995 *. gbaviii);
+  Alcotest.(check bool) "GBAVIII > CCBA" true (gbaviii > ccba);
+  Alcotest.(check bool) "CCBA > BFBA" true (ccba > bfba);
+  Alcotest.(check bool) "BFBA > GBAVI" true (bfba > gbavi)
+
+let test_table2_absolute_bands () =
+  (* Every Table II case lands within 20% of the paper's number (most
+     are within 10%; SplitBA's known gap is documented in
+     EXPERIMENTS.md). *)
+  List.iter
+    (fun (case, arch, style, paper) ->
+      let style = match style with `Ppa -> Ofdm.Ppa | `Fpa -> Ofdm.Fpa in
+      let ours = (Ofdm.run arch style).Ofdm.throughput_mbps in
+      let ratio = ours /. paper in
+      if ratio < 0.80 || ratio > 1.20 then
+        Alcotest.failf "case %s (%s %s): %.4f vs paper %.4f (ratio %.2f)"
+          case (G.arch_name arch) (Ofdm.style_name style) ours paper ratio)
+    Paper_data.table2
+
+let test_table3_absolute_bands () =
+  List.iter
+    (fun (case, arch, paper) ->
+      let ours = (Mpeg2.run arch).Mpeg2.throughput_mbps in
+      let ratio = ours /. paper in
+      if ratio < 0.80 || ratio > 1.20 then
+        Alcotest.failf "case %s (%s): %.4f vs paper %.4f" case
+          (G.arch_name arch) ours paper)
+    Paper_data.table3
+
+let test_table4_absolute_bands () =
+  List.iter
+    (fun (case, arch, paper) ->
+      let ours = (Database.run arch).Database.execution_time_ns in
+      let ratio = ours /. paper in
+      if ratio < 0.80 || ratio > 1.20 then
+        Alcotest.failf "case %s (%s): %.0f vs paper %.0f" case
+          (G.arch_name arch) ours paper)
+    Paper_data.table4
+
+(* ------------------------------------------------------------------ *)
+(* Table IV                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_table4_splitba_reduction () =
+  let ggba = (Database.run G.Ggba).Database.execution_time_ns in
+  let split = (Database.run G.Splitba).Database.execution_time_ns in
+  let reduction = (ggba -. split) /. ggba in
+  (* Paper: 41% reduction; require the shape (a substantial cut). *)
+  Alcotest.(check bool) "at least 30% reduction" true (reduction > 0.30);
+  Alcotest.(check bool) "at most 55% reduction" true (reduction < 0.55)
+
+let test_table4_unsupported () =
+  Alcotest.(check bool) "no RTOS on BFBA" true (not (Database.supported G.Bfba));
+  match Database.run G.Bfba with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "BFBA database should be rejected"
+
+let test_database_task_placement () =
+  (* 41 tasks: server + 10 clients on PE0, 10 clients elsewhere. *)
+  let r = Database.run ~clients:40 G.Ggba in
+  Alcotest.(check int) "41 tasks" 41 r.Database.tasks
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "ofdm kernels",
+        [
+          Alcotest.test_case "impulse" `Quick test_ifft_impulse;
+          Alcotest.test_case "fft/ifft roundtrip" `Quick test_fft_ifft_roundtrip;
+          Alcotest.test_case "parseval" `Quick test_parseval;
+          Alcotest.test_case "symbol map" `Quick test_symbol_map;
+          Alcotest.test_case "cyclic guard" `Quick test_guard_is_cyclic;
+          Alcotest.test_case "stage cycles" `Quick test_stage_cycles_positive;
+          Alcotest.test_case "receiver bounds" `Quick
+            test_ofdm_receive_rejects_short;
+        ] );
+      ( "mpeg2 codec",
+        [
+          Alcotest.test_case "roundtrip quality" `Quick
+            test_mpeg2_roundtrip_quality;
+          Alcotest.test_case "compression" `Quick test_mpeg2_p_frames_help;
+          Alcotest.test_case "bad stream" `Quick test_mpeg2_bad_stream_rejected;
+          Alcotest.test_case "bit stream" `Quick test_bits_stream_roundtrip;
+        ] );
+      ( "table II",
+        [
+          Alcotest.test_case "FPA > PPA" `Slow test_table2_fpa_beats_ppa;
+          Alcotest.test_case "GBAVIII > GGBA" `Slow test_table2_gbaviii_beats_ggba;
+          Alcotest.test_case "SplitBA best" `Slow test_table2_splitba_best_fpa;
+          Alcotest.test_case "PPA ordering" `Slow test_table2_ppa_ordering;
+          Alcotest.test_case "SplitBA PPA rejected" `Quick
+            test_table2_splitba_rejects_ppa;
+          Alcotest.test_case "3-reg protocol" `Slow
+            test_three_reg_protocol_slower;
+          Alcotest.test_case "gbavii placement" `Slow
+            test_gbavii_between_neighbours_and_global;
+        ] );
+      ( "table III",
+        [ Alcotest.test_case "ordering" `Slow test_table3_ordering ] );
+      ( "absolute bands",
+        [
+          Alcotest.test_case "table II" `Slow test_table2_absolute_bands;
+          Alcotest.test_case "table III" `Slow test_table3_absolute_bands;
+          Alcotest.test_case "table IV" `Slow test_table4_absolute_bands;
+        ] );
+      ( "table IV",
+        [
+          Alcotest.test_case "41% reduction" `Slow test_table4_splitba_reduction;
+          Alcotest.test_case "unsupported archs" `Quick test_table4_unsupported;
+          Alcotest.test_case "task placement" `Quick test_database_task_placement;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_bits_stream; prop_comm_balanced; prop_ofdm_loopback ] );
+    ]

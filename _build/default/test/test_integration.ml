@@ -1,0 +1,217 @@
+(* Integration tests: the paper's communication procedures (Examples 3,
+   4 and 5, Figs. 11-13) replayed step by step on the *generated RTL*
+   through the testbench driver, with data integrity checked end to end,
+   and cross-checked against the architectural simulator used for the
+   performance tables. *)
+
+open Busgen_rtl
+open Bussyn
+module P = Busgen_sim.Program
+module Machine = Busgen_sim.Machine
+module G = Generate
+
+let small = Archs.small_config ~n_pes:2
+
+let make_tb g = Testbench.create g.Archs.top
+
+(* ------------------------------------------------------------------ *)
+(* Example 4 (Fig. 12): BFBA Bi-FIFO communication                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_example4_bfba_rtl () =
+  let tb = make_tb (Archs.bfba small) in
+  let fifo_s = Addrmap.peer_base + Addrmap.peer_fifo_offset in
+  (* Step 0: the sender sets the threshold register in the receiver's
+     Bi-FIFO controller. *)
+  Testbench.Cpu.write tb ~pe:0 ~addr:(fifo_s + 1) 4;
+  Alcotest.(check bool) "no interrupt yet" false (Testbench.Cpu.irq tb ~pe:1);
+  (* Step 2: the sender pushes the processed data words. *)
+  let payload = [ 0x11; 0x22; 0x33; 0x44 ] in
+  List.iter (fun w -> Testbench.Cpu.write tb ~pe:0 ~addr:fifo_s w) payload;
+  Testbench.step tb ();
+  (* Step 3: the interrupt fires at the threshold; the handler pops. *)
+  Alcotest.(check bool) "interrupt at threshold" true
+    (Testbench.Cpu.irq tb ~pe:1);
+  List.iter
+    (fun w ->
+      Alcotest.(check int) "popped in order" w
+        (Testbench.Cpu.read tb ~pe:1 ~addr:Addrmap.own_fifo_base))
+    payload;
+  Testbench.step tb ();
+  Alcotest.(check bool) "interrupt clears after draining" false
+    (Testbench.Cpu.irq tb ~pe:1);
+  (* Step 6: the receiver signals DONE_OP back for the next packet. *)
+  Testbench.Cpu.write tb ~pe:1 ~addr:Addrmap.own_hs_base 1;
+  Testbench.Cpu.check_read tb ~pe:0
+    ~addr:(Addrmap.peer_base + Addrmap.peer_hs_offset)
+    1
+
+let test_example4_machine_equivalent () =
+  (* The same exchange in the architectural simulator: word counts and
+     the interrupt-driven ordering match the RTL scenario. *)
+  let c = Machine.default_config G.Bfba ~n_pes:2 in
+  let sender =
+    P.of_list
+      [ P.Fifo_set_threshold (1, 4); P.Fifo_push (1, 4); P.Halt ]
+  in
+  let receiver =
+    P.of_list [ P.Wait_fifo_irq; P.Fifo_pop 4; P.Mark "drained"; P.Halt ]
+  in
+  let stats = Machine.run c [| sender; receiver |] in
+  Alcotest.(check int) "four words each way" 8 stats.Machine.words_transferred;
+  Alcotest.(check bool) "receiver finished" true
+    (List.mem_assoc "drained" stats.Machine.marks)
+
+(* ------------------------------------------------------------------ *)
+(* Example 3 (Fig. 11): GBAVI shared-SRAM handshake                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_example3_gbavi_rtl () =
+  let tb = make_tb (Archs.gbavi small) in
+  let payload = List.init 8 (fun i -> 0x40 + i) in
+  (* Steps 1-2: the sender processes and writes the data to its own
+     SRAM, then asserts DONE_OP in the receiver's handshake block. *)
+  List.iteri
+    (fun i w -> Testbench.Cpu.write tb ~pe:0 ~addr:(0x10 + i) w)
+    payload;
+  Testbench.Cpu.write tb ~pe:0 ~addr:Addrmap.peer_base 1;
+  (* Step 3: the receiver reads DONE_OP=1, clears it, and copies the
+     data from the sender's SRAM into its own. *)
+  Testbench.Cpu.check_read tb ~pe:1 ~addr:Addrmap.own_hs_base 1;
+  Testbench.Cpu.write tb ~pe:1 ~addr:Addrmap.own_hs_base 0;
+  List.iteri
+    (fun i w ->
+      Alcotest.(check int) "data crosses the bridge" w
+        (Testbench.Cpu.read tb ~pe:1 ~addr:(Addrmap.prevmem_base + 0x10 + i));
+      Testbench.Cpu.write tb ~pe:1 ~addr:(0x10 + i) w)
+    payload;
+  (* Step 4: the receiver asserts DONE_RV. *)
+  Testbench.Cpu.write tb ~pe:1 ~addr:(Addrmap.own_hs_base + 1) 1;
+  (* Step 5: the sender reads DONE_RV=1 and clears it. *)
+  Testbench.Cpu.check_read tb ~pe:0 ~addr:(Addrmap.peer_base + 1) 1;
+  Testbench.Cpu.write tb ~pe:0 ~addr:(Addrmap.peer_base + 1) 0;
+  Testbench.Cpu.check_read tb ~pe:1 ~addr:(Addrmap.own_hs_base + 1) 0;
+  (* The copy landed in the receiver's local SRAM. *)
+  List.iteri
+    (fun i w -> Testbench.Cpu.check_read tb ~pe:1 ~addr:(0x10 + i) w)
+    payload
+
+(* ------------------------------------------------------------------ *)
+(* Example 5 (Fig. 13): GBAVIII global-memory variables                *)
+(* ------------------------------------------------------------------ *)
+
+let test_example5_gbaviii_rtl () =
+  let tb = make_tb (Archs.gbaviii small) in
+  let var_rv = Addrmap.global_base + 0 in
+  let buffer = Addrmap.global_base + 0x10 in
+  let payload = List.init 6 (fun i -> 0x60 + i) in
+  (* Step 1: BAN A writes the stream to the input buffer in the global
+     SRAM and sets the DONE_RV variable. *)
+  List.iteri
+    (fun i w -> Testbench.Cpu.write tb ~pe:0 ~addr:(buffer + i) w)
+    payload;
+  Testbench.Cpu.write tb ~pe:0 ~addr:var_rv 1;
+  (* Step 3: BAN B sees DONE_RV=1, reads its part, resets the variable. *)
+  Testbench.Cpu.check_read tb ~pe:1 ~addr:var_rv 1;
+  List.iteri
+    (fun i w -> Testbench.Cpu.check_read tb ~pe:1 ~addr:(buffer + i) w)
+    payload;
+  Testbench.Cpu.write tb ~pe:1 ~addr:var_rv 0;
+  Testbench.Cpu.check_read tb ~pe:0 ~addr:var_rv 0
+
+let test_example5_machine_equivalent () =
+  let c = Machine.default_config G.Gbaviii ~n_pes:2 in
+  let sender =
+    P.of_list
+      [ P.Write (P.Loc_global, 6);
+        P.Set_flag (P.Var_flag "done_rv", true);
+        P.Wait_flag (P.Var_flag "done_rv", false);
+        P.Halt ]
+  in
+  let receiver =
+    P.of_list
+      [ P.Wait_flag (P.Var_flag "done_rv", true);
+        P.Read (P.Loc_global, 6);
+        P.Set_flag (P.Var_flag "done_rv", false);
+        P.Mark "consumed";
+        P.Halt ]
+  in
+  let stats = Machine.run c [| sender; receiver |] in
+  Alcotest.(check bool) "handshake completed" true
+    (List.mem_assoc "consumed" stats.Machine.marks);
+  (* 6 words written + 6 read, plus 1-word flag/poll transactions. *)
+  Alcotest.(check bool) "payload words moved" true
+    (stats.Machine.words_transferred >= 12)
+
+(* ------------------------------------------------------------------ *)
+(* Arbitration under interleaved masters on the RTL                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_interleaved_global_writes_rtl () =
+  (* Both PEs write an interleaved pattern into the global memory; every
+     word must land (the FCFS arbiter serialises correctly). *)
+  let tb = make_tb (Archs.gbaviii small) in
+  for i = 0 to 7 do
+    Testbench.Cpu.write tb ~pe:(i mod 2)
+      ~addr:(Addrmap.global_base + 0x20 + i)
+      (0x80 + i)
+  done;
+  for i = 0 to 7 do
+    Testbench.Cpu.check_read tb ~pe:((i + 1) mod 2)
+      ~addr:(Addrmap.global_base + 0x20 + i)
+      (0x80 + i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Timing sanity: RTL latency ordering matches the simulator's paths   *)
+(* ------------------------------------------------------------------ *)
+
+let test_rtl_latency_ordering () =
+  (* A local access completes in fewer bus cycles than a global
+     (arbitrated) access, on the RTL as in the simulator's path model. *)
+  let measure g ~addr =
+    let tb = make_tb g in
+    Testbench.Cpu.write tb ~pe:0 ~addr 1;
+    (* Time a read via wait_for on ack after issuing manually. *)
+    let sim = Testbench.interp tb in
+    Testbench.drive tb "cpu0_req" 1;
+    Testbench.drive tb "cpu0_rnw" 1;
+    Testbench.drive tb "cpu0_addr" addr;
+    Interp.step sim;
+    Testbench.drive tb "cpu0_req" 0;
+    let n = ref 0 in
+    while Testbench.peek tb "cpu0_ack" <> 1 && !n < 500 do
+      Interp.step sim;
+      incr n
+    done;
+    !n
+  in
+  let g = Archs.gbaviii small in
+  let local = measure g ~addr:4 in
+  let global = measure g ~addr:(Addrmap.global_base + 4) in
+  Alcotest.(check bool) "global path longer on RTL" true (global > local)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "paper examples on RTL",
+        [
+          Alcotest.test_case "Example 4 (BFBA, Fig. 12)" `Quick
+            test_example4_bfba_rtl;
+          Alcotest.test_case "Example 3 (GBAVI, Fig. 11)" `Quick
+            test_example3_gbavi_rtl;
+          Alcotest.test_case "Example 5 (GBAVIII, Fig. 13)" `Quick
+            test_example5_gbaviii_rtl;
+          Alcotest.test_case "interleaved writes" `Quick
+            test_interleaved_global_writes_rtl;
+          Alcotest.test_case "latency ordering" `Quick
+            test_rtl_latency_ordering;
+        ] );
+      ( "simulator equivalents",
+        [
+          Alcotest.test_case "Example 4 machine" `Quick
+            test_example4_machine_equivalent;
+          Alcotest.test_case "Example 5 machine" `Quick
+            test_example5_machine_equivalent;
+        ] );
+    ]

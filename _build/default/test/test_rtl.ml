@@ -1,0 +1,933 @@
+(* Tests for the RTL substrate: Bits, Expr, Circuit builder, Verilog
+   emission, Lint and the cycle-accurate interpreter. *)
+
+open Busgen_rtl
+
+let bits = Alcotest.testable Bits.pp Bits.equal
+
+(* ------------------------------------------------------------------ *)
+(* Bits                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_bits_basics () =
+  Alcotest.(check int) "width" 8 (Bits.width (Bits.zero 8));
+  Alcotest.(check bool) "zero is zero" true (Bits.is_zero (Bits.zero 8));
+  Alcotest.(check int) "of_int roundtrip" 42
+    (Bits.to_int_exn (Bits.of_int ~width:8 42));
+  Alcotest.(check int) "of_int truncates" 0xCD
+    (Bits.to_int_exn (Bits.of_int ~width:8 0xABCD));
+  Alcotest.(check int) "negative wraps" 0xF
+    (Bits.to_int_exn (Bits.of_int ~width:4 (-1)));
+  Alcotest.(check bits) "ones 4" (Bits.of_int ~width:4 15) (Bits.ones 4)
+
+let test_bits_wide () =
+  (* Values wider than an OCaml int. *)
+  let v = Bits.shift_left (Bits.one 100) 90 in
+  Alcotest.(check bool) "bit 90 set" true (Bits.bit v 90);
+  Alcotest.(check bool) "bit 89 clear" false (Bits.bit v 89);
+  Alcotest.(check bool) "not zero" false (Bits.is_zero v);
+  Alcotest.check_raises "to_int_exn overflows"
+    (Invalid_argument "Bits.to_int_exn: value exceeds 62 bits") (fun () ->
+      ignore (Bits.to_int_exn v));
+  let back = Bits.shift_right v 90 in
+  Alcotest.(check int) "shift back" 1 (Bits.to_int_exn back)
+
+let test_bits_wide_arithmetic () =
+  (* Carries propagate across the 32-bit limb boundaries. *)
+  let w = 100 in
+  let ones64 = Bits.of_string "100'hFFFFFFFFFFFFFFFF" in
+  let sum = Bits.add ones64 (Bits.one w) in
+  Alcotest.(check bool) "carry into bit 64" true (Bits.bit sum 64);
+  Alcotest.(check bool) "low bits cleared" true
+    (Bits.is_zero (Bits.select sum 63 0));
+  (* a - b + b = a at full width. *)
+  let a = Bits.shift_left (Bits.of_int ~width:w 0x123456789) 30 in
+  let b = Bits.shift_left (Bits.of_int ~width:w 0xFEDCBA) 50 in
+  Alcotest.(check bool) "sub/add roundtrip" true
+    (Bits.equal a (Bits.add (Bits.sub a b) b));
+  (* Logic ops at width 100. *)
+  let x = Bits.lognot (Bits.zero w) in
+  Alcotest.(check bool) "all-ones reduce_and" true (Bits.reduce_and x);
+  Alcotest.(check bool) "xor self is zero" true
+    (Bits.is_zero (Bits.logxor x x))
+
+let test_bits_strings () =
+  Alcotest.(check bits) "binary" (Bits.of_int ~width:4 5)
+    (Bits.of_string "4'b0101");
+  Alcotest.(check bits) "hex" (Bits.of_int ~width:12 0xabc)
+    (Bits.of_string "12'habc");
+  Alcotest.(check bits) "decimal" (Bits.of_int ~width:8 200)
+    (Bits.of_string "8'd200");
+  Alcotest.(check bits) "underscores" (Bits.of_int ~width:8 0xff)
+    (Bits.of_string "8'b1111_1111");
+  Alcotest.(check string) "to_binary" "0101"
+    (Bits.to_binary_string (Bits.of_int ~width:4 5));
+  Alcotest.(check string) "to_hex" "0ff"
+    (Bits.to_hex_string (Bits.of_int ~width:12 255));
+  Alcotest.(check string) "verilog literal" "8'h2a"
+    (Bits.to_verilog_literal (Bits.of_int ~width:8 42))
+
+let test_bits_concat_select () =
+  let hi = Bits.of_int ~width:4 0xA and lo = Bits.of_int ~width:4 0x5 in
+  let c = Bits.concat hi lo in
+  Alcotest.(check int) "concat value" 0xA5 (Bits.to_int_exn c);
+  Alcotest.(check bits) "select hi" hi (Bits.select c 7 4);
+  Alcotest.(check bits) "select lo" lo (Bits.select c 3 0);
+  Alcotest.(check int) "repeat" 0x55
+    (Bits.to_int_exn (Bits.repeat (Bits.of_int ~width:2 1) 4));
+  Alcotest.check_raises "select out of range"
+    (Invalid_argument "Bits.select: [8:0] out of range for width 8") (fun () ->
+      ignore (Bits.select c 8 0))
+
+let test_bits_arith () =
+  let a = Bits.of_int ~width:8 200 and b = Bits.of_int ~width:8 100 in
+  Alcotest.(check int) "add wraps" 44 (Bits.to_int_exn (Bits.add a b));
+  Alcotest.(check int) "sub" 100 (Bits.to_int_exn (Bits.sub a b));
+  Alcotest.(check int) "sub wraps" 156 (Bits.to_int_exn (Bits.sub b a));
+  Alcotest.(check int) "mul width" 16 (Bits.width (Bits.mul a b));
+  Alcotest.(check int) "mul value" 20000 (Bits.to_int_exn (Bits.mul a b))
+
+let test_bits_logic () =
+  let a = Bits.of_int ~width:8 0xF0 and b = Bits.of_int ~width:8 0x3C in
+  Alcotest.(check int) "and" 0x30 (Bits.to_int_exn (Bits.logand a b));
+  Alcotest.(check int) "or" 0xFC (Bits.to_int_exn (Bits.logor a b));
+  Alcotest.(check int) "xor" 0xCC (Bits.to_int_exn (Bits.logxor a b));
+  Alcotest.(check int) "not" 0x0F (Bits.to_int_exn (Bits.lognot a));
+  Alcotest.(check bool) "reduce_or" true (Bits.reduce_or a);
+  Alcotest.(check bool) "reduce_and ones" true (Bits.reduce_and (Bits.ones 9));
+  Alcotest.(check bool) "reduce_xor odd" true
+    (Bits.reduce_xor (Bits.of_int ~width:8 0x07))
+
+let test_bits_compare () =
+  let a = Bits.of_int ~width:8 5 and b = Bits.of_int ~width:8 9 in
+  Alcotest.(check bool) "ult" true (Bits.ult a b);
+  Alcotest.(check bool) "ule refl" true (Bits.ule a a);
+  Alcotest.(check bool) "not ult" false (Bits.ult b a);
+  (* compare zero-extends across widths *)
+  Alcotest.(check int) "cross-width compare" 0
+    (Bits.compare (Bits.of_int ~width:4 5) (Bits.of_int ~width:64 5))
+
+(* qcheck properties over Bits *)
+
+let gen_width = QCheck.Gen.int_range 1 80
+
+let arb_bits =
+  let gen =
+    QCheck.Gen.(
+      gen_width >>= fun w ->
+      list_repeat w bool >>= fun bs ->
+      let v =
+        List.fold_left
+          (fun (acc, i) b ->
+            ( (if b then Bits.logor acc (Bits.shift_left (Bits.one w) i)
+               else acc),
+              i + 1 ))
+          (Bits.zero w, 0) bs
+        |> fst
+      in
+      return v)
+  in
+  QCheck.make ~print:Bits.to_verilog_literal gen
+
+let prop_concat_select =
+  QCheck.Test.make ~name:"concat/select roundtrip" ~count:300
+    (QCheck.pair arb_bits arb_bits) (fun (hi, lo) ->
+      let c = Bits.concat hi lo in
+      Bits.equal hi (Bits.select c (Bits.width c - 1) (Bits.width lo))
+      && Bits.equal lo (Bits.select c (Bits.width lo - 1) 0))
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"add commutes" ~count:300
+    (QCheck.pair arb_bits arb_bits) (fun (a, b) ->
+      let b = Bits.resize b (Bits.width a) in
+      Bits.equal (Bits.add a b) (Bits.add b a))
+
+let prop_sub_inverse =
+  QCheck.Test.make ~name:"a - b + b = a" ~count:300
+    (QCheck.pair arb_bits arb_bits) (fun (a, b) ->
+      let b = Bits.resize b (Bits.width a) in
+      Bits.equal a (Bits.add (Bits.sub a b) b))
+
+let prop_not_involutive =
+  QCheck.Test.make ~name:"not (not a) = a" ~count:300 arb_bits (fun a ->
+      Bits.equal a (Bits.lognot (Bits.lognot a)))
+
+let prop_binary_string_roundtrip =
+  QCheck.Test.make ~name:"binary string roundtrip" ~count:300 arb_bits
+    (fun a ->
+      let s = Printf.sprintf "%d'b%s" (Bits.width a) (Bits.to_binary_string a) in
+      Bits.equal a (Bits.of_string s))
+
+let prop_hex_string_roundtrip =
+  QCheck.Test.make ~name:"hex string roundtrip" ~count:300 arb_bits (fun a ->
+      let s = Printf.sprintf "%d'h%s" (Bits.width a) (Bits.to_hex_string a) in
+      Bits.equal a (Bits.of_string s))
+
+let prop_smul_matches_int =
+  QCheck.Test.make ~name:"smul matches OCaml signed mult" ~count:300
+    QCheck.(pair (int_range (-30000) 30000) (int_range (-30000) 30000))
+    (fun (x, y) ->
+      let a = Bits.of_signed_int ~width:17 x
+      and b = Bits.of_signed_int ~width:17 y in
+      Bits.to_signed_int_exn (Bits.smul a b) = x * y)
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"mul matches OCaml int" ~count:300
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 0xFFFF))
+    (fun (x, y) ->
+      let a = Bits.of_int ~width:17 x and b = Bits.of_int ~width:17 y in
+      Bits.to_int_exn (Bits.mul a b) = x * y)
+
+let prop_shift_consistent =
+  QCheck.Test.make ~name:"shift left then right" ~count:300
+    QCheck.(pair arb_bits (int_bound 10))
+    (fun (a, k) ->
+      let shifted = Bits.shift_right (Bits.shift_left a k) k in
+      (* Bits shifted out of the top are lost; mask them from a. *)
+      let w = Bits.width a in
+      let kept =
+        if k >= w then Bits.zero w
+        else Bits.shift_right (Bits.shift_left a k) k
+      in
+      Bits.equal shifted kept)
+
+(* ------------------------------------------------------------------ *)
+(* Expr                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let const8 = Expr.const_int ~width:8
+
+let test_expr_width () =
+  let env = function "a" -> 8 | "b" -> 8 | "c" -> 1 | _ -> raise Not_found in
+  let open Expr in
+  Alcotest.(check int) "add width" 8 (width ~env (var "a" +: var "b"));
+  Alcotest.(check int) "eq width" 1 (width ~env (var "a" ==: var "b"));
+  Alcotest.(check int) "mul width" 16
+    (width ~env (Binop (Mul, var "a", var "b")));
+  Alcotest.(check int) "concat width" 17
+    (width ~env (concat [ var "a"; var "b"; var "c" ]));
+  Alcotest.(check int) "mux width" 8
+    (width ~env (mux (var "c") (var "a") (var "b")));
+  Alcotest.check_raises "mismatch rejected"
+    (Invalid_argument "Expr: operator + width mismatch 8 vs 1") (fun () ->
+      ignore (width ~env (var "a" +: var "c")))
+
+let test_expr_eval () =
+  let env = function
+    | "a" -> Bits.of_int ~width:8 12
+    | "b" -> Bits.of_int ~width:8 30
+    | _ -> raise Not_found
+  in
+  let open Expr in
+  Alcotest.(check int) "add" 42
+    (Bits.to_int_exn (eval ~env (var "a" +: var "b")));
+  Alcotest.(check int) "mux taken" 12
+    (Bits.to_int_exn
+       (eval ~env (mux (var "a" <: var "b") (var "a") (var "b"))));
+  Alcotest.(check int) "select" 3
+    (Bits.to_int_exn (eval ~env (select (var "b") 4 3)));
+  Alcotest.(check int) "const" 7 (Bits.to_int_exn (eval ~env (const8 7)))
+
+let test_expr_vars () =
+  let open Expr in
+  let e = mux (var "c") (var "a" +: var "b") (var "a") in
+  Alcotest.(check (list string)) "vars in order" [ "c"; "a"; "b" ] (vars e);
+  let renamed = map_vars (fun v -> "x_" ^ v) e in
+  Alcotest.(check (list string))
+    "renamed" [ "x_c"; "x_a"; "x_b" ] (vars renamed)
+
+(* ------------------------------------------------------------------ *)
+(* Circuit + Interp: an 8-bit wrapping counter with enable            *)
+(* ------------------------------------------------------------------ *)
+
+let counter_circuit () =
+  let open Circuit.Builder in
+  let b = create "counter8" in
+  let enable = input b "enable" 1 in
+  output b "count" 8;
+  let q = reg b "q" 8 () in
+  set_next b "q" Expr.(mux enable (q +: const8 1) q);
+  assign b "count" q;
+  finish b
+
+let test_counter_interp () =
+  let sim = Interp.create (counter_circuit ()) in
+  Interp.reset sim;
+  Interp.set_input sim "enable" (Bits.one 1);
+  Interp.run sim 5;
+  Alcotest.(check int) "counted to 5" 5 (Interp.peek_int sim "count");
+  Interp.set_input sim "enable" (Bits.zero 1);
+  Interp.run sim 3;
+  Alcotest.(check int) "held" 5 (Interp.peek_int sim "count");
+  Interp.set_input sim "enable" (Bits.one 1);
+  Interp.run sim 251;
+  Alcotest.(check int) "wrapped" 0 (Interp.peek_int sim "count")
+
+let test_counter_verilog () =
+  let v = Verilog.of_circuit (counter_circuit ()) in
+  let has sub =
+    let n = String.length v and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub v i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "module header" true (has "module counter8");
+  Alcotest.(check bool) "clk port" true (has "input clk;");
+  Alcotest.(check bool) "reset arm" true (has "if (rst)");
+  Alcotest.(check bool) "reg decl" true (has "reg [7:0] q;");
+  Alcotest.(check bool) "endmodule" true (has "endmodule")
+
+(* Hierarchy: two counters and an adder of their outputs. *)
+let test_hierarchy () =
+  let open Circuit.Builder in
+  let sub = counter_circuit () in
+  let b = create "pair" in
+  let en = input b "en" 1 in
+  output b "total" 8;
+  let c1 =
+    match
+      instantiate b ~name:"c1" sub ~inputs:[ ("enable", en) ]
+        ~outputs:[ ("count", "c1_count") ]
+    with
+    | [ e ] -> e
+    | _ -> assert false
+  in
+  let c2 =
+    match
+      instantiate b ~name:"c2" sub
+        ~inputs:[ ("enable", Expr.const_int ~width:1 1) ]
+        ~outputs:[ ("count", "c2_count") ]
+    with
+    | [ e ] -> e
+    | _ -> assert false
+  in
+  assign b "total" Expr.(c1 +: c2);
+  let top = finish b in
+  let sim = Interp.create top in
+  Interp.reset sim;
+  Interp.set_input sim "en" (Bits.zero 1);
+  Interp.run sim 4;
+  (* c1 disabled (0), c2 free-running (4). *)
+  Alcotest.(check int) "total" 4 (Interp.peek_int sim "total");
+  Interp.set_input sim "en" (Bits.one 1);
+  Interp.run sim 3;
+  Alcotest.(check int) "total after enable" 10 (Interp.peek_int sim "total");
+  (* Flat signal paths are visible. *)
+  Alcotest.(check int) "flat path" 3 (Interp.peek_int sim "c1$q")
+
+let test_memory_interp () =
+  let open Circuit.Builder in
+  let b = create "ram_test" in
+  let we = input b "we" 1 in
+  let waddr = input b "waddr" 4 in
+  let wdata = input b "wdata" 8 in
+  let raddr = input b "raddr" 4 in
+  output b "rdata" 8;
+  let reads =
+    memory b "ram" ~data_width:8 ~depth:16
+      ~writes:[ { Circuit.we; waddr; wdata } ]
+      ~reads:[ ("ram_q", raddr) ]
+  in
+  (match reads with
+  | [ q ] -> assign b "rdata" q
+  | _ -> assert false);
+  let sim = Interp.create (finish b) in
+  Interp.reset sim;
+  Interp.set_input sim "we" (Bits.one 1);
+  Interp.set_input sim "waddr" (Bits.of_int ~width:4 3);
+  Interp.set_input sim "wdata" (Bits.of_int ~width:8 0x5A);
+  Interp.step sim;
+  Interp.set_input sim "we" (Bits.zero 1);
+  Interp.set_input sim "raddr" (Bits.of_int ~width:4 3);
+  Interp.settle sim;
+  Alcotest.(check int) "read back" 0x5A (Interp.peek_int sim "rdata");
+  Interp.set_input sim "raddr" (Bits.of_int ~width:4 5);
+  Interp.settle sim;
+  Alcotest.(check int) "other word zero" 0 (Interp.peek_int sim "rdata");
+  Interp.poke_mem sim "ram" 5 (Bits.of_int ~width:8 7);
+  Interp.settle sim;
+  Alcotest.(check int) "poked" 7 (Interp.peek_int sim "rdata")
+
+let test_memory_backdoor () =
+  (* peek_mem / poke_mem inspect and preload flattened memories,
+     including through instance boundaries. *)
+  let open Circuit.Builder in
+  let inner =
+    let b = create "mem_leaf" in
+    let a = input b "a" 3 in
+    output b "q" 8;
+    (match
+       memory b "store" ~data_width:8 ~depth:8 ~writes:[]
+         ~reads:[ ("sq", a) ]
+     with
+    | [ q ] -> assign b "q" q
+    | _ -> assert false);
+    finish b
+  in
+  let top =
+    let b = create "mem_top" in
+    let a = input b "a" 3 in
+    output b "o" 8;
+    (match
+       instantiate b ~name:"u" inner ~inputs:[ ("a", a) ]
+         ~outputs:[ ("q", "uq") ]
+     with
+    | [ e ] -> assign b "o" e
+    | _ -> assert false);
+    finish b
+  in
+  let sim = Interp.create top in
+  Interp.reset sim;
+  Interp.poke_mem sim "u$store" 5 (Bits.of_int ~width:8 0xAB);
+  Alcotest.(check int) "peek_mem sees the poke" 0xAB
+    (Bits.to_int_trunc (Interp.peek_mem sim "u$store" 5));
+  Interp.set_input sim "a" (Bits.of_int ~width:3 5);
+  Interp.settle sim;
+  Alcotest.(check int) "hardware reads the poke" 0xAB
+    (Interp.peek_int sim "o");
+  (match Interp.peek_mem sim "nonexistent" 0 with
+  | exception Not_found -> ()
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown memory accepted");
+  match Interp.peek_mem sim "u$store" 99 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range address accepted"
+
+let test_builder_errors () =
+  let open Circuit.Builder in
+  Alcotest.check_raises "undriven output"
+    (Invalid_argument "Circuit bad1: signal out is undriven") (fun () ->
+      let b = create "bad1" in
+      output b "out" 4;
+      ignore (finish b));
+  Alcotest.check_raises "double drive"
+    (Invalid_argument "Circuit bad2: w driven twice") (fun () ->
+      let b = create "bad2" in
+      let _ = wire b "w" 4 in
+      assign b "w" (Expr.const_int ~width:4 0);
+      assign b "w" (Expr.const_int ~width:4 1));
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Circuit bad3, assign w: expected width 4, got 8")
+    (fun () ->
+      let b = create "bad3" in
+      let _ = wire b "w" 4 in
+      assign b "w" (Expr.const_int ~width:8 0);
+      ignore (finish b));
+  Alcotest.check_raises "missing next"
+    (Invalid_argument "Circuit bad4: reg r has no next-state") (fun () ->
+      let b = create "bad4" in
+      let _ = reg b "r" 4 () in
+      ignore (finish b))
+
+let test_comb_loop_detected () =
+  let open Circuit.Builder in
+  let b = create "looped" in
+  let w1 = wire b "w1" 1 in
+  let w2 = wire b "w2" 1 in
+  assign b "w1" Expr.(~:w2);
+  assign b "w2" Expr.(~:w1);
+  output b "o" 1;
+  assign b "o" w1;
+  let c = finish b in
+  (match Interp.create c with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "names the loop" true
+        (String.length msg > 0
+        && (let has sub =
+              let n = String.length msg and m = String.length sub in
+              let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+              go 0
+            in
+            has "combinational loop"))
+  | _ -> Alcotest.fail "loop not detected");
+  let report = Lint.check c in
+  Alcotest.(check bool) "lint flags loop" false (Lint.is_clean report)
+
+let test_lint_clean_counter () =
+  let report = Lint.check (counter_circuit ()) in
+  Alcotest.(check bool) "clean" true (Lint.is_clean report)
+
+let test_lint_reserved_name () =
+  let open Circuit.Builder in
+  let b = create "resv" in
+  let i = input b "clk" 1 in
+  output b "o" 1;
+  assign b "o" i;
+  let report = Lint.check (finish b) in
+  Alcotest.(check bool) "reserved name rejected" false (Lint.is_clean report)
+
+let test_signed_helpers () =
+  Alcotest.(check int) "negative roundtrip" (-5)
+    (Bits.to_signed_int_exn (Bits.of_signed_int ~width:8 (-5)));
+  Alcotest.(check int) "positive roundtrip" 100
+    (Bits.to_signed_int_exn (Bits.of_signed_int ~width:8 100));
+  Alcotest.(check int) "smul signs" (-600)
+    (Bits.to_signed_int_exn
+       (Bits.smul (Bits.of_signed_int ~width:8 (-20))
+          (Bits.of_signed_int ~width:8 30)));
+  (* Smul through the expression evaluator and Verilog printer. *)
+  let e =
+    Expr.Binop
+      (Expr.Smul, Expr.Const (Bits.of_signed_int ~width:8 (-3)),
+       Expr.Const (Bits.of_signed_int ~width:8 7))
+  in
+  Alcotest.(check int) "expr smul" (-21)
+    (Bits.to_signed_int_exn (Expr.eval ~env:(fun _ -> raise Not_found) e));
+  let printed = Format.asprintf "%a" Expr.pp e in
+  Alcotest.(check bool) "verilog uses $signed" true
+    (let has sub =
+       let n = String.length printed and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub printed i m = sub || go (i + 1)) in
+       go 0
+     in
+     has "$signed")
+
+let test_vcd_trace () =
+  let sim = Interp.create (counter_circuit ()) in
+  Interp.reset sim;
+  Interp.set_input sim "enable" (Bits.one 1);
+  let vcd = Vcd.trace_to_string sim ~signals:[ "count"; "enable" ] ~cycles:4 in
+  let has sub =
+    let n = String.length vcd and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub vcd i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "header" true (has "$enddefinitions");
+  Alcotest.(check bool) "var decl" true (has "$var wire 8");
+  Alcotest.(check bool) "value change" true (has "b00000011");
+  Alcotest.(check bool) "timestamps" true (has "#4");
+  (* Unknown signals are rejected. *)
+  Alcotest.(check bool) "unknown rejected" true
+    (match Vcd.trace_to_string sim ~signals:[ "nope" ] ~cycles:1 with
+    | exception Not_found -> true
+    | _ -> false)
+
+let test_vparse_counter_roundtrip () =
+  let c = counter_circuit () in
+  match Vparse.parse_module (Verilog.of_circuit c) with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok vm -> (
+      Alcotest.(check string) "name" "counter8" vm.Vparse.vname;
+      Alcotest.(check int) "one reg" 1 (List.length vm.Vparse.vregs);
+      match Vparse.matches_circuit vm c with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "mismatch: %s" (String.concat "; " es))
+
+let test_vparse_errors () =
+  let expect_error what src =
+    match Vparse.parse_module src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" what
+  in
+  expect_error "garbage" "not a module";
+  expect_error "unterminated" "module m (a);\n  input a;\n";
+  expect_error "bad expression" "module m (a);\n  input a;\n  assign a = ((;\nendmodule";
+  expect_error "bad char" "module m (a);\n  input a; %\nendmodule";
+  (* A mismatching circuit is detected, not silently accepted. *)
+  let c = counter_circuit () in
+  let other =
+    let open Circuit.Builder in
+    let b = create "counter8" in
+    let enable = input b "enable" 1 in
+    output b "count" 8;
+    let q = reg b "q" 8 ~init:(Bits.of_int ~width:8 1) () in
+    set_next b "q" Expr.(mux enable (q +: const8 2) q);
+    assign b "count" q;
+    finish b
+  in
+  match Vparse.parse_module (Verilog.of_circuit other) with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok vm -> (
+      match Vparse.matches_circuit vm c with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "different circuits reported equal")
+
+let test_testbench_driver () =
+  let tb = Testbench.create (counter_circuit ()) in
+  Testbench.expect tb "count" 0;
+  Testbench.drive tb "enable" 1;
+  Testbench.step tb ~n:3 ();
+  Testbench.expect tb "count" 3;
+  Testbench.wait_for tb "count" 7;
+  (match Testbench.expect tb "count" 9 with
+  | exception Testbench.Mismatch _ -> ()
+  | _ -> Alcotest.fail "mismatch not raised");
+  match Testbench.wait_for tb ~timeout:5 "count" 255 with
+  | exception Testbench.Timeout _ -> ()
+  | _ -> Alcotest.fail "timeout not raised"
+
+let test_area_counter () =
+  let bd = Area.of_circuit (counter_circuit ()) in
+  Alcotest.(check int) "register bits" 8 bd.Area.register_bits;
+  Alcotest.(check bool) "has gates" true (Area.gates bd > 8);
+  let bd_mem =
+    let open Circuit.Builder in
+    let b = create "with_mem" in
+    let a = input b "a" 4 in
+    output b "o" 8;
+    (match
+       memory b "m" ~data_width:8 ~depth:16 ~writes:[] ~reads:[ ("mq", a) ]
+     with
+    | [ q ] -> assign b "o" q
+    | _ -> assert false);
+    Area.of_circuit ~include_memories:true (finish b)
+  in
+  Alcotest.(check int) "memory bits" 128 bd_mem.Area.memory_bits;
+  Alcotest.(check bool) "memory gates counted" true (Area.gates bd_mem > 128)
+
+let test_depth_expr_levels () =
+  (* The per-operator model directly. *)
+  let env = function "a" -> 8 | "b" -> 8 | "c" -> 1 | _ -> raise Not_found in
+  let d0 _ = 0 in
+  let lv e = Depth.expr_levels ~env d0 e in
+  let open Expr in
+  let a = var "a" and b = var "b" and c = var "c" in
+  Alcotest.(check int) "const free" 0 (lv (const_int ~width:8 5));
+  Alcotest.(check int) "wiring free" 0 (lv (select a 3 0));
+  Alcotest.(check int) "concat free" 0 (lv (concat [ a; b ]));
+  Alcotest.(check int) "and = 1" 1 (lv (a &: b));
+  Alcotest.(check int) "not = 1" 1 (lv ~:a);
+  Alcotest.(check int) "reduce 8 = 3" 3 (lv (Unop (Reduce_or, a)));
+  Alcotest.(check int) "eq = 1 + log2" 4 (lv (a ==: b));
+  Alcotest.(check int) "add = 2 log2" 6 (lv (a +: b));
+  Alcotest.(check int) "mux adds one" 7 (lv (mux c (a +: b) a));
+  (* Leaf depths accumulate. *)
+  let dv = function "a" -> 5 | _ -> 0 in
+  Alcotest.(check int) "leaf depth propagates" 6
+    (Depth.expr_levels ~env dv (a &: b))
+
+let test_depth_basics () =
+  (* Two chained ANDs: two levels in and out of the wire. *)
+  let open Circuit.Builder in
+  let chain =
+    let b = create "andchain" in
+    let a = input b "a" 1 and c = input b "c" 1 in
+    output b "o" 1;
+    let m = wire b "m" 1 in
+    assign b "m" Expr.(a &: c);
+    assign b "o" Expr.(m &: a);
+    finish b
+  in
+  let r = Depth.of_circuit chain in
+  Alcotest.(check int) "two and levels" 2 r.Depth.levels;
+  Alcotest.(check string) "endpoint is o" "o" r.Depth.endpoint;
+  (* A register in the middle cuts the path to one level each side. *)
+  let cut =
+    let b = create "andcut" in
+    let a = input b "a" 1 and c = input b "c" 1 in
+    output b "o" 1;
+    let m = reg b "m" 1 () in
+    set_next b "m" Expr.(a &: c);
+    assign b "o" Expr.(m &: a);
+    finish b
+  in
+  Alcotest.(check int) "register cuts path" 1
+    (Depth.of_circuit cut).Depth.levels;
+  (* Paths are followed through instance boundaries combinationally. *)
+  let inverter =
+    let b = create "inv1" in
+    let a = input b "a" 1 in
+    output b "y" 1;
+    assign b "y" Expr.(~:a);
+    finish b
+  in
+  let two =
+    let b = create "twoinv" in
+    let a = input b "a" 1 in
+    output b "y" 1;
+    let m =
+      match
+        instantiate b ~name:"u0" inverter ~inputs:[ ("a", a) ]
+          ~outputs:[ ("y", "m0") ]
+      with
+      | [ e ] -> e
+      | _ -> assert false
+    in
+    (match
+       instantiate b ~name:"u1" inverter ~inputs:[ ("a", m) ]
+         ~outputs:[ ("y", "m1") ]
+     with
+    | [ e ] -> assign b "y" e
+    | _ -> assert false);
+    finish b
+  in
+  Alcotest.(check int) "cross-instance path" 2
+    (Depth.of_circuit two).Depth.levels;
+  (* Carry-lookahead adder model: 8-bit add = 2 * log2 8 = 6 levels. *)
+  let add8 =
+    let b = create "add8" in
+    let a = input b "a" 8 and c = input b "c" 8 in
+    output b "s" 8;
+    assign b "s" Expr.(a +: c);
+    finish b
+  in
+  Alcotest.(check int) "adder levels" 6 (Depth.of_circuit add8).Depth.levels;
+  (* Memory reads add an address-decode term. *)
+  let memrd =
+    let b = create "memrd" in
+    let a = input b "a" 4 in
+    output b "o" 8;
+    (match
+       memory b "m" ~data_width:8 ~depth:16 ~writes:[] ~reads:[ ("mq", a) ]
+     with
+    | [ q ] -> assign b "o" q
+    | _ -> assert false);
+    finish b
+  in
+  Alcotest.(check int) "memory decode levels" 4
+    (Depth.of_circuit memrd).Depth.levels
+
+let test_area_by_instance () =
+  let open Circuit.Builder in
+  let sub = counter_circuit () in
+  let b = create "area_top" in
+  let en = input b "en" 1 in
+  output b "o" 8;
+  let c1 =
+    match
+      instantiate b ~name:"u0" sub ~inputs:[ ("enable", en) ]
+        ~outputs:[ ("count", "n0") ]
+    with
+    | [ e ] -> e
+    | _ -> assert false
+  in
+  let c2 =
+    match
+      instantiate b ~name:"u1" sub ~inputs:[ ("enable", en) ]
+        ~outputs:[ ("count", "n1") ]
+    with
+    | [ e ] -> e
+    | _ -> assert false
+  in
+  assign b "o" Expr.(c1 +: c2);
+  let top = finish b in
+  let rows = Area.by_instance top in
+  (match List.find_opt (fun (m, _, _) -> m = "counter8") rows with
+  | Some (_, n, g) ->
+      Alcotest.(check int) "two instances summed" 2 n;
+      let single = Area.gates (Area.of_circuit sub) in
+      Alcotest.(check int) "gates doubled" (2 * single) g
+  | None -> Alcotest.fail "counter8 missing from the report");
+  (match List.find_opt (fun (m, _, _) -> m = "<top-level glue>") rows with
+  | Some (_, _, g) -> Alcotest.(check bool) "adder glue counted" true (g > 0)
+  | None -> Alcotest.fail "glue row missing");
+  (* Heaviest first. *)
+  let weights = List.map (fun (_, _, g) -> g) rows in
+  Alcotest.(check bool) "sorted descending" true
+    (weights = List.sort (fun a b -> compare b a) weights)
+
+let test_verilog_design_hierarchy () =
+  let open Circuit.Builder in
+  let sub = counter_circuit () in
+  let b = create "top_two" in
+  let en = input b "en" 1 in
+  output b "o" 8;
+  (match
+     instantiate b ~name:"u0" sub ~inputs:[ ("enable", en) ]
+       ~outputs:[ ("count", "n0") ]
+   with
+  | [ e ] -> assign b "o" e
+  | _ -> assert false);
+  let v = Verilog.of_design (finish b) in
+  let has sub =
+    let n = String.length v and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub v i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "contains sub module" true (has "module counter8");
+  Alcotest.(check bool) "contains top module" true (has "module top_two");
+  Alcotest.(check bool) "instance wired" true (has "counter8 u0");
+  Alcotest.(check bool) "clock threaded" true (has ".clk(clk)")
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_opt_rules () =
+  let open Expr in
+  let v = var "v" in
+  let z8 = const_int ~width:8 0 in
+  let ones8 = Const (Bits.ones 8) in
+  Alcotest.(check bool) "x & 0 = 0" true (Opt.expr (v &: z8) = z8);
+  Alcotest.(check bool) "x & ~0 = x" true (Opt.expr (v &: ones8) = v);
+  Alcotest.(check bool) "x | 0 = x" true (Opt.expr (v |: z8) = v);
+  Alcotest.(check bool) "x + 0 = x" true (Opt.expr (v +: z8) = v);
+  Alcotest.(check bool) "x ^ 0 = x" true (Opt.expr (v ^: z8) = v);
+  Alcotest.(check bool) "~~x = x" true (Opt.expr ~:(~:v) = v);
+  Alcotest.(check bool) "mux same arms" true
+    (Opt.expr (mux (var "c") v v) = v);
+  Alcotest.(check bool) "mux const cond" true
+    (Opt.expr (mux (const_int ~width:1 1) v z8) = v);
+  Alcotest.(check bool) "const fold" true
+    (Opt.expr (const_int ~width:8 3 +: const_int ~width:8 4)
+    = const_int ~width:8 7);
+  Alcotest.(check bool) "shift 0" true (Opt.expr (Shift_left (v, 0)) = v);
+  Alcotest.(check bool) "concat singleton" true (Opt.expr (Concat [ v ]) = v);
+  Alcotest.(check bool) "concat consts merge" true
+    (Opt.expr (concat [ const_int ~width:4 0xA; const_int ~width:4 0x5 ])
+    = const_int ~width:8 0xA5)
+
+(* Random well-typed expressions over a fixed environment. *)
+let opt_env_widths = [ ("a", 8); ("b", 8); ("c", 1) ]
+
+let gen_expr =
+  let open QCheck.Gen in
+  (* Generate expressions of a given width. *)
+  let rec gen w depth =
+    if depth = 0 then
+      oneof
+        [
+          map (fun v -> Expr.const_int ~width:w (v land 0xFF)) (int_bound 255);
+          (match List.filter (fun (_, vw) -> vw = w) opt_env_widths with
+          | [] -> map (fun v -> Expr.const_int ~width:w v) (int_bound 1)
+          | vars -> map (fun (n, _) -> Expr.Var n) (oneofl vars));
+        ]
+    else
+      let sub = gen w (depth - 1) in
+      oneof
+        [
+          sub;
+          map2 (fun a b -> Expr.(a &: b)) sub sub;
+          map2 (fun a b -> Expr.(a |: b)) sub sub;
+          map2 (fun a b -> Expr.(a ^: b)) sub sub;
+          map2 (fun a b -> Expr.(a +: b)) sub sub;
+          map2 (fun a b -> Expr.(a -: b)) sub sub;
+          map (fun a -> Expr.(~:a)) sub;
+          (let* c = gen 1 (depth - 1) in
+           map2 (fun a b -> Expr.mux c a b) sub sub);
+          map (fun a -> Expr.Shift_left (a, 2)) sub;
+          map (fun a -> Expr.Shift_right (a, 3)) sub;
+        ]
+  in
+  gen 8 4
+
+let prop_opt_preserves_semantics =
+  QCheck.Test.make ~name:"optimizer preserves evaluation" ~count:300
+    (QCheck.make gen_expr)
+    (fun e ->
+      let env n =
+        match n with
+        | "a" -> Bits.of_int ~width:8 0xA7
+        | "b" -> Bits.of_int ~width:8 0x3C
+        | "c" -> Bits.one 1
+        | _ -> raise Not_found
+      in
+      let env2 n =
+        match n with
+        | "a" -> Bits.of_int ~width:8 0x01
+        | "b" -> Bits.of_int ~width:8 0xFF
+        | "c" -> Bits.zero 1
+        | _ -> raise Not_found
+      in
+      let o = Opt.expr e in
+      Bits.equal (Expr.eval ~env e) (Expr.eval ~env o)
+      && Bits.equal (Expr.eval ~env:env2 e) (Expr.eval ~env:env2 o))
+
+let test_opt_circuit_equivalence () =
+  (* The optimized counter behaves identically cycle by cycle. *)
+  let c = counter_circuit () in
+  let o = Opt.circuit c in
+  let s1 = Interp.create c and s2 = Interp.create o in
+  Interp.reset s1;
+  Interp.reset s2;
+  for i = 0 to 40 do
+    let en = i land 3 <> 0 in
+    Interp.set_input s1 "enable" (Bits.of_bool en);
+    Interp.set_input s2 "enable" (Bits.of_bool en);
+    Interp.step s1;
+    Interp.step s2;
+    if Interp.peek_int s1 "count" <> Interp.peek_int s2 "count" then
+      Alcotest.failf "diverged at step %d" i
+  done;
+  (* And it never increases the estimated area. *)
+  let before, after = Opt.savings c in
+  Alcotest.(check bool) "no growth" true (after <= before)
+
+(* Cross-validation: the interpreter against a direct OCaml model of an
+   accumulator, over random input sequences. *)
+let prop_accumulator_model =
+  QCheck.Test.make ~name:"interp matches reference model" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (int_bound 255))
+    (fun inputs ->
+      let open Circuit.Builder in
+      let b = create "acc" in
+      let d = input b "d" 8 in
+      output b "sum" 8;
+      let s = reg b "s" 8 () in
+      set_next b "s" Expr.(s +: d);
+      assign b "sum" s;
+      let sim = Interp.create (finish b) in
+      Interp.reset sim;
+      let model = ref 0 in
+      List.for_all
+        (fun x ->
+          Interp.set_input sim "d" (Bits.of_int ~width:8 x);
+          Interp.step sim;
+          model := (!model + x) land 0xFF;
+          Interp.peek_int sim "sum" = !model)
+        inputs)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_concat_select;
+      prop_add_comm;
+      prop_sub_inverse;
+      prop_not_involutive;
+      prop_binary_string_roundtrip;
+      prop_hex_string_roundtrip;
+      prop_mul_matches_int;
+      prop_smul_matches_int;
+      prop_shift_consistent;
+      prop_accumulator_model;
+      prop_opt_preserves_semantics;
+    ]
+
+let () =
+  Alcotest.run "rtl"
+    [
+      ( "bits",
+        [
+          Alcotest.test_case "basics" `Quick test_bits_basics;
+          Alcotest.test_case "wide" `Quick test_bits_wide;
+          Alcotest.test_case "wide arithmetic" `Quick
+            test_bits_wide_arithmetic;
+          Alcotest.test_case "strings" `Quick test_bits_strings;
+          Alcotest.test_case "concat/select" `Quick test_bits_concat_select;
+          Alcotest.test_case "arith" `Quick test_bits_arith;
+          Alcotest.test_case "logic" `Quick test_bits_logic;
+          Alcotest.test_case "compare" `Quick test_bits_compare;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "width" `Quick test_expr_width;
+          Alcotest.test_case "eval" `Quick test_expr_eval;
+          Alcotest.test_case "vars" `Quick test_expr_vars;
+        ] );
+      ( "circuit",
+        [
+          Alcotest.test_case "counter interp" `Quick test_counter_interp;
+          Alcotest.test_case "counter verilog" `Quick test_counter_verilog;
+          Alcotest.test_case "hierarchy" `Quick test_hierarchy;
+          Alcotest.test_case "memory" `Quick test_memory_interp;
+          Alcotest.test_case "memory backdoor" `Quick test_memory_backdoor;
+          Alcotest.test_case "builder errors" `Quick test_builder_errors;
+          Alcotest.test_case "comb loop" `Quick test_comb_loop_detected;
+          Alcotest.test_case "lint clean" `Quick test_lint_clean_counter;
+          Alcotest.test_case "lint reserved" `Quick test_lint_reserved_name;
+          Alcotest.test_case "area" `Quick test_area_counter;
+          Alcotest.test_case "area by instance" `Quick test_area_by_instance;
+          Alcotest.test_case "depth" `Quick test_depth_basics;
+          Alcotest.test_case "depth operators" `Quick test_depth_expr_levels;
+          Alcotest.test_case "signed" `Quick test_signed_helpers;
+          Alcotest.test_case "vcd" `Quick test_vcd_trace;
+          Alcotest.test_case "vparse roundtrip" `Quick
+            test_vparse_counter_roundtrip;
+          Alcotest.test_case "vparse errors" `Quick test_vparse_errors;
+          Alcotest.test_case "testbench" `Quick test_testbench_driver;
+          Alcotest.test_case "opt rules" `Quick test_opt_rules;
+          Alcotest.test_case "opt circuit" `Quick test_opt_circuit_equivalence;
+          Alcotest.test_case "verilog hierarchy" `Quick
+            test_verilog_design_hierarchy;
+        ] );
+      ("properties", qcheck_cases);
+    ]

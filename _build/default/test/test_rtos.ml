@@ -1,0 +1,274 @@
+(* Tests for the RTOS kernel: scheduling order, context-switch cost,
+   lock blocking, and multi-PE lock interaction through the machine. *)
+
+open Busgen_sim
+module Kernel = Busgen_rtos.Kernel
+module G = Bussyn.Generate
+
+let cfg () = Machine.default_config G.Gbaviii ~n_pes:2
+
+let idle = Program.of_list [ Program.Halt ]
+
+let test_priority_order () =
+  let tasks =
+    [
+      Kernel.task ~priority:5 "low" [ Program.Compute 10 ];
+      Kernel.task ~priority:1 "high" [ Program.Compute 10 ];
+      Kernel.task ~priority:3 "mid" [ Program.Compute 10 ];
+    ]
+  in
+  let program, trace = Kernel.program_traced ~ctx_switch:0 tasks in
+  ignore (Machine.run (cfg ()) [| program; idle |]);
+  let order = List.map (fun e -> e.Kernel.running) (trace ()) in
+  Alcotest.(check (list string)) "highest priority first"
+    [ "high"; "mid"; "low" ] order
+
+let test_ctx_switch_cost () =
+  let tasks n =
+    List.init n (fun i ->
+        Kernel.task (Printf.sprintf "t%d" i) [ Program.Compute 10 ])
+  in
+  let time ~ctx n =
+    let stats =
+      Machine.run (cfg ()) [| Kernel.program ~ctx_switch:ctx (tasks n); idle |]
+    in
+    stats.Machine.cycles
+  in
+  let free = time ~ctx:0 4 in
+  let costly = time ~ctx:100 4 in
+  Alcotest.(check bool) "four switches charged" true (costly >= free + 400)
+
+let test_lock_blocks_task_not_pe () =
+  (* The lock is held by a task on the OTHER PE; task B on this PE
+     blocks on it, and the kernel must let task C run meanwhile. *)
+  let note name = Program.Mark name in
+  let holder =
+    [ Kernel.task "holder"
+        [ Program.Lock_acquire "m"; note "a_locked"; Program.Compute 800;
+          Program.Lock_release "m" ] ]
+  in
+  let tasks =
+    [
+      Kernel.task ~priority:1 "b"
+        [ Program.Compute 100; (* let the holder win *)
+          Program.Lock_acquire "m"; note "b_locked"; Program.Lock_release "m" ];
+      Kernel.task ~priority:2 "c" [ note "c_ran"; Program.Compute 10 ];
+    ]
+  in
+  let stats =
+    Machine.run (cfg ())
+      [| Kernel.program ~ctx_switch:10 tasks; Kernel.program ~ctx_switch:10 holder |]
+  in
+  let marks = List.map fst stats.Machine.marks in
+  let pos = List.mapi (fun i x -> (x, i)) marks in
+  let index name = List.assoc name pos in
+  Alcotest.(check bool) "holder locked first" true
+    (index "a_locked" < index "b_locked");
+  Alcotest.(check bool) "c ran while b was blocked" true
+    (index "c_ran" < index "b_locked")
+
+let test_cross_pe_lock () =
+  (* The lock is contended across PEs: PE1's kernel must retry until
+     PE0's task releases. *)
+  let t0 =
+    [ Kernel.task "holder"
+        [ Program.Lock_acquire "m"; Program.Compute 800; Program.Lock_release "m" ] ]
+  in
+  let t1 =
+    [ Kernel.task "waiter"
+        [ Program.Lock_acquire "m"; Program.Mark "got_it"; Program.Lock_release "m" ] ]
+  in
+  let stats =
+    Machine.run (cfg ())
+      [| Kernel.program ~ctx_switch:10 t0; Kernel.program ~ctx_switch:10 t1 |]
+  in
+  match stats.Machine.marks with
+  | [ ("got_it", t) ] -> Alcotest.(check bool) "after release" true (t > 800)
+  | _ -> Alcotest.fail "waiter never got the lock"
+
+let test_empty_and_single () =
+  let stats = Machine.run (cfg ()) [| Kernel.program []; idle |] in
+  Alcotest.(check bool) "empty kernel halts" true (stats.Machine.cycles < 10);
+  let stats =
+    Machine.run (cfg ())
+      [| Kernel.program ~ctx_switch:7 [ Kernel.task "only" [ Program.Compute 5 ] ];
+         idle |]
+  in
+  Alcotest.(check bool) "single task runs" true
+    (stats.Machine.cycles >= 12)
+
+let test_task_halt_ends_task_only () =
+  (* Program.Halt inside a task body ends the task, not the PE. *)
+  let tasks =
+    [
+      Kernel.task ~priority:1 "quits" [ Program.Halt ];
+      Kernel.task ~priority:2 "still_runs" [ Program.Mark "alive" ];
+    ]
+  in
+  let stats = Machine.run (cfg ()) [| Kernel.program ~ctx_switch:0 tasks; idle |] in
+  Alcotest.(check bool) "second task ran" true
+    (List.mem_assoc "alive" stats.Machine.marks)
+
+let test_time_slice_round_robin () =
+  (* Two CPU-bound equal-priority tasks: cooperative scheduling runs
+     each to completion; a time slice interleaves them. *)
+  let tasks () =
+    [
+      Kernel.task "a" (List.init 4 (fun _ -> Program.Compute 50));
+      Kernel.task "b" (List.init 4 (fun _ -> Program.Compute 50));
+    ]
+  in
+  let order ?time_slice () =
+    let program, trace =
+      Kernel.program_traced ~ctx_switch:0 ?time_slice (tasks ())
+    in
+    ignore (Machine.run (cfg ()) [| program; idle |]);
+    List.map (fun e -> e.Kernel.running) (trace ())
+  in
+  Alcotest.(check (list string))
+    "cooperative: run to completion" [ "a"; "b" ] (order ());
+  Alcotest.(check (list string))
+    "sliced: round robin"
+    [ "a"; "b"; "a"; "b"; "a"; "b"; "a"; "b" ]
+    (order ~time_slice:50 ());
+  (* A slice larger than a whole task degenerates to cooperative. *)
+  Alcotest.(check (list string))
+    "large slice: no preemption" [ "a"; "b" ]
+    (order ~time_slice:10_000 ())
+
+let test_time_slice_respects_priority () =
+  (* Preempted tasks re-enter behind their peers but ahead of lower
+     priorities: the low task must not run until both highs finish. *)
+  let tasks =
+    [
+      Kernel.task ~priority:1 "h1" (List.init 3 (fun _ -> Program.Compute 20));
+      Kernel.task ~priority:1 "h2" (List.init 3 (fun _ -> Program.Compute 20));
+      Kernel.task ~priority:9 "low" [ Program.Compute 10 ];
+    ]
+  in
+  let program, trace =
+    Kernel.program_traced ~ctx_switch:0 ~time_slice:20 tasks
+  in
+  ignore (Machine.run (cfg ()) [| program; idle |]);
+  let order = List.map (fun e -> e.Kernel.running) (trace ()) in
+  (match List.rev order with
+  | "low" :: _ -> ()
+  | _ -> Alcotest.failf "low ran early: %s" (String.concat "," order));
+  Alcotest.(check int) "highs interleave" 6
+    (List.length (List.filter (fun t -> t <> "low") order))
+
+let test_fairness_among_equal_priority () =
+  (* Blocked tasks are re-queued behind their peers: with one lock and
+     three contenders everyone eventually completes. *)
+  let tasks =
+    List.init 3 (fun i ->
+        Kernel.task
+          (Printf.sprintf "t%d" i)
+          [ Program.Lock_acquire "m"; Program.Compute 50;
+            Program.Lock_release "m"; Program.Mark (Printf.sprintf "done%d" i) ])
+  in
+  let stats = Machine.run (cfg ()) [| Kernel.program ~ctx_switch:5 tasks; idle |] in
+  Alcotest.(check int) "all three completed" 3
+    (List.length
+       (List.filter (fun (l, _) -> String.length l > 4) stats.Machine.marks))
+
+let test_mailbox_same_pe () =
+  (* Producer and consumer tasks on one PE: the consumer blocks on the
+     empty mailbox, the producer fills it, and the payload count moves
+     words over the shared bus. *)
+  let mb = Kernel.mailbox "m1" in
+  let producer =
+    Kernel.task_s ~priority:2 "producer"
+      [ Kernel.Op (Program.Compute 100);
+        Kernel.Send (mb, 10);
+        Kernel.Send (mb, 10) ]
+  in
+  let consumer =
+    Kernel.task_s ~priority:1 "consumer"
+      [ Kernel.Recv (mb, 10); Kernel.Op (Program.Mark "got1");
+        Kernel.Recv (mb, 10); Kernel.Op (Program.Mark "got2") ]
+  in
+  let stats =
+    Machine.run (cfg ())
+      [| Kernel.program ~ctx_switch:10 [ producer; consumer ]; idle |]
+  in
+  Alcotest.(check int) "both messages received" 2
+    (List.length stats.Machine.marks);
+  Alcotest.(check int) "mailbox drained" 0 (Kernel.mailbox_count mb);
+  (* The consumer (higher priority) blocked first; its receives complete
+     only after the producer's sends. *)
+  let got1 = List.assoc "got1" stats.Machine.marks in
+  Alcotest.(check bool) "after producer compute" true (got1 > 100)
+
+let test_mailbox_cross_pe () =
+  let mb = Kernel.mailbox "m2" in
+  let sender =
+    Kernel.program ~ctx_switch:5
+      [ Kernel.task_s "s" [ Kernel.Op (Program.Compute 300); Kernel.Send (mb, 25) ] ]
+  in
+  let receiver =
+    Kernel.program ~ctx_switch:5
+      [ Kernel.task_s "r" [ Kernel.Recv (mb, 25); Kernel.Op (Program.Mark "rx") ] ]
+  in
+  let stats = Machine.run (cfg ()) [| sender; receiver |] in
+  (match stats.Machine.marks with
+  | [ ("rx", t) ] -> Alcotest.(check bool) "after the send" true (t > 300)
+  | _ -> Alcotest.fail "message not delivered");
+  Alcotest.(check bool) "payload crossed the bus" true
+    (stats.Machine.words_transferred >= 50)
+
+let test_mailbox_capacity () =
+  (* A send to a full mailbox drops the message (bounded queue). *)
+  let mb = Kernel.mailbox ~capacity:2 "m3" in
+  let producer =
+    Kernel.task_s "p"
+      (List.concat (List.init 4 (fun _ -> [ Kernel.Send (mb, 1) ])))
+  in
+  ignore (Machine.run (cfg ()) [| Kernel.program [ producer ]; idle |]);
+  Alcotest.(check int) "capped at capacity" 2 (Kernel.mailbox_count mb)
+
+let prop_all_tasks_complete =
+  QCheck.Test.make ~name:"every task completes exactly once" ~count:30
+    QCheck.(pair (int_range 1 12) (int_range 0 50))
+    (fun (n, ctx) ->
+      let tasks =
+        List.init n (fun i ->
+            Kernel.task
+              ~priority:(i mod 3)
+              (Printf.sprintf "t%d" i)
+              [ Program.Compute (10 + i); Program.Mark (Printf.sprintf "m%d" i) ])
+      in
+      let stats =
+        Machine.run (cfg ()) [| Kernel.program ~ctx_switch:ctx tasks; idle |]
+      in
+      List.length stats.Machine.marks = n
+      && List.for_all
+           (fun i -> List.mem_assoc (Printf.sprintf "m%d" i) stats.Machine.marks)
+           (List.init n (fun i -> i)))
+
+let () =
+  Alcotest.run "rtos"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "priority order" `Quick test_priority_order;
+          Alcotest.test_case "ctx switch cost" `Quick test_ctx_switch_cost;
+          Alcotest.test_case "lock blocks task" `Quick test_lock_blocks_task_not_pe;
+          Alcotest.test_case "cross-pe lock" `Quick test_cross_pe_lock;
+          Alcotest.test_case "empty/single" `Quick test_empty_and_single;
+          Alcotest.test_case "task halt" `Quick test_task_halt_ends_task_only;
+          Alcotest.test_case "fairness" `Quick test_fairness_among_equal_priority;
+          Alcotest.test_case "time slice round robin" `Quick
+            test_time_slice_round_robin;
+          Alcotest.test_case "time slice priority" `Quick
+            test_time_slice_respects_priority;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "same pe" `Quick test_mailbox_same_pe;
+          Alcotest.test_case "cross pe" `Quick test_mailbox_cross_pe;
+          Alcotest.test_case "capacity" `Quick test_mailbox_capacity;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_all_tasks_complete ] );
+    ]

@@ -1,0 +1,319 @@
+(* Tests for the Wire Library: parsing, printing, validation, group
+   expansion and port matching — including the paper's own Example 7 and
+   Example 8 texts. *)
+
+open Busgen_wirelib
+
+(* Paper Example 7: wires between SRAM_A and MBI_SRAM in BAN A of BFBA. *)
+let example7 =
+  {|%wire ban_bfba
+w_addr 20 SRAM_A sram_addr 19 0 MBI_SRAM addr 19 0
+w_web 1 SRAM_A sram_web 0 0 MBI_SRAM web 0 0
+w_reb 1 SRAM_A sram_reb 0 0 MBI_SRAM reb 0 0
+w_csb 8 SRAM_A sram_csb 7 0 MBI_SRAM csb 7 0
+w_dq 64 SRAM_A sram_dq 63 0 MBI_SRAM dq 63 0
+%endwire
+|}
+
+(* Paper Example 8: chain of BANs plus a hardware FFT IP on BAN B. *)
+let example8 =
+  {|%wire subsys_bfba
+w_done_op_cs 2 BAN[A,B,C,D] done_op_cs_dn 1 0 BAN[A,B,C,D] done_op_cs_up 1 0
+w_done_rv_cs 2 BAN[A,B,C,D] done_rv_cs_dn 1 0 BAN[A,B,C,D] done_rv_cs_up 1 0
+w_ban_web 1 BAN[A,B,C,D] web_dn 0 0 BAN[A,B,C,D] web_up 0 0
+w_ban_reb 1 BAN[A,B,C,D] reb_dn 0 0 BAN[A,B,C,D] reb_up 0 0
+w_fifo_cs 1 BAN[A,B,C,D] fifo_cs_dn 0 0 BAN[A,B,C,D] fifo_cs_up 0 0
+w_data 64 BAN[A,B,C,D] data_dn 63 0 BAN[A,B,C,D] data_up 63 0
+w_fft_ad 12 BAN[B] addr_b 11 0 BAN[FFT] addr_fft 11 0
+w_fft_data 64 BAN[B] data_b 63 0 BAN[FFT] data_fft 63 0
+w_fft_reb 1 BAN[B] reb_b 0 0 BAN[FFT] reb_fft 0 0
+w_fft_web 1 BAN[B] web_b 0 0 BAN[FFT] web_fft 0 0
+w_fft_srt 1 BAN[B] srt_b 0 0 BAN[FFT] srt_fft 0 0
+w_fft_ack 1 BAN[B] ack_b 0 0 BAN[FFT] ack_fft 0 0
+%endwire
+|}
+
+let parse_ok s =
+  match Text.parse s with
+  | Ok lib -> lib
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_parse_example7 () =
+  let lib = parse_ok example7 in
+  Alcotest.(check int) "one entry" 1 (List.length lib);
+  let entry = List.hd lib in
+  Alcotest.(check string) "entry name" "ban_bfba" entry.Spec.lib_name;
+  Alcotest.(check int) "five wires" 5 (List.length entry.Spec.wires);
+  let w_addr = List.hd entry.Spec.wires in
+  Alcotest.(check string) "wire name" "w_addr" w_addr.Spec.w_name;
+  Alcotest.(check int) "width" 20 w_addr.Spec.w_width;
+  (match w_addr.Spec.end1.Spec.m_ref with
+  | Spec.Exact n -> Alcotest.(check string) "m1" "SRAM_A" n
+  | Spec.Group _ -> Alcotest.fail "expected exact ref");
+  Alcotest.(check string) "p1" "sram_addr" w_addr.Spec.end1.Spec.pname;
+  Alcotest.(check int) "msb" 19 w_addr.Spec.end1.Spec.wmsb;
+  Alcotest.(check int) "lsb" 0 w_addr.Spec.end1.Spec.wlsb
+
+let test_parse_example8_groups () =
+  let lib = parse_ok example8 in
+  let entry = List.hd lib in
+  Alcotest.(check int) "twelve wires" 12 (List.length entry.Spec.wires);
+  let w_data =
+    List.find (fun w -> w.Spec.w_name = "w_data") entry.Spec.wires
+  in
+  (match w_data.Spec.end1.Spec.m_ref with
+  | Spec.Group (base, members) ->
+      Alcotest.(check string) "group base" "BAN" base;
+      Alcotest.(check (list string)) "members" [ "A"; "B"; "C"; "D" ] members
+  | Spec.Exact _ -> Alcotest.fail "expected group");
+  Alcotest.(check bool) "group wire" true (Spec.is_group w_data);
+  let w_fft =
+    List.find (fun w -> w.Spec.w_name = "w_fft_ad") entry.Spec.wires
+  in
+  (* BAN[B] and BAN[FFT] differ: not a chain-group wire. *)
+  Alcotest.(check bool) "fft wire is not chain" false (Spec.is_group w_fft)
+
+let test_validation () =
+  let lib = parse_ok example7 @ parse_ok example8 in
+  (match Spec.validate lib with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "expected valid: %s" msg);
+  (* Out-of-range endpoint. *)
+  let bad =
+    {|%wire bad
+w_x 4 M1 p 7 0 M2 q 3 0
+%endwire
+|}
+  in
+  (match Text.parse bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "range error not caught");
+  (* Wrong token count. *)
+  (match Text.parse "%wire b\nw_x 4 M1 p 7\n%endwire\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "token count error not caught");
+  (* Unterminated entry. *)
+  match Text.parse "%wire b\nw 1 M1 p 0 0 M2 q 0 0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated entry not caught"
+
+let test_duplicate_detection () =
+  let dup_wire =
+    {|%wire e
+w 1 M1 p 0 0 M2 q 0 0
+w 1 M3 p 0 0 M4 q 0 0
+%endwire
+|}
+  in
+  let lib = parse_ok dup_wire in
+  (match Spec.validate lib with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate wire name not caught");
+  let dup_entry = parse_ok "%wire e\n%endwire\n%wire e\n%endwire\n" in
+  match Spec.validate dup_entry with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate entry not caught"
+
+let test_expand_chain () =
+  (* Paper Fig. 17(a): the chain A-B-C-D yields w_data_1..w_data_4, the
+     fourth wrapping from D back to A. *)
+  let entry = List.hd (parse_ok example8) in
+  let expanded = Spec.expand_groups entry in
+  let data_wires =
+    List.filter
+      (fun w ->
+        String.length w.Spec.w_name >= 7
+        && String.sub w.Spec.w_name 0 7 = "w_data_")
+      expanded.Spec.wires
+  in
+  Alcotest.(check int) "four enumerated wires" 4 (List.length data_wires);
+  let names = List.map (fun w -> w.Spec.w_name) data_wires in
+  Alcotest.(check (list string))
+    "suffixes" [ "w_data_1"; "w_data_2"; "w_data_3"; "w_data_4" ] names;
+  let w1 = List.hd data_wires in
+  (match (w1.Spec.end1.Spec.m_ref, w1.Spec.end2.Spec.m_ref) with
+  | Spec.Exact a, Spec.Exact b ->
+      Alcotest.(check string) "w_data_1 from A" "A" a;
+      Alcotest.(check string) "w_data_1 to B" "B" b
+  | _, _ -> Alcotest.fail "expected exact refs after expansion");
+  let w4 = List.nth data_wires 3 in
+  (match (w4.Spec.end1.Spec.m_ref, w4.Spec.end2.Spec.m_ref) with
+  | Spec.Exact a, Spec.Exact b ->
+      Alcotest.(check string) "w_data_4 from D" "D" a;
+      Alcotest.(check string) "w_data_4 wraps to A" "A" b
+  | _, _ -> Alcotest.fail "expected exact refs after expansion");
+  (* FFT wires survive unexpanded names but keep matching. *)
+  Alcotest.(check bool) "fft wire kept" true
+    (List.exists (fun w -> w.Spec.w_name = "w_fft_ad") expanded.Spec.wires)
+
+let test_expand_singleton_groups () =
+  (* The paper writes [BAN[B]] for "BAN B's pin" in Example 8's FFT
+     wires; expansion must normalize those to exact references while
+     leaving genuinely different multi-member groups alone. *)
+  let entry = List.hd (parse_ok example8) in
+  let expanded = Spec.expand_groups entry in
+  let fft_ad =
+    List.find (fun w -> w.Spec.w_name = "w_fft_ad") expanded.Spec.wires
+  in
+  (match (fft_ad.Spec.end1.Spec.m_ref, fft_ad.Spec.end2.Spec.m_ref) with
+  | Spec.Exact a, Spec.Exact b ->
+      Alcotest.(check string) "driver normalized" "B" a;
+      Alcotest.(check string) "sink normalized" "FFT" b
+  | _ -> Alcotest.fail "singleton groups should become exact refs");
+  (* Ring wires are enumerated, so no group refs survive at all. *)
+  Alcotest.(check bool) "no groups left" true
+    (List.for_all
+       (fun w ->
+         match (w.Spec.end1.Spec.m_ref, w.Spec.end2.Spec.m_ref) with
+         | Spec.Exact _, Spec.Exact _ -> true
+         | _ -> false)
+       expanded.Spec.wires)
+
+let test_wires_for () =
+  let entry = List.hd (parse_ok example7) in
+  let hits = Spec.wires_for entry ~instance:"SRAM_A" ~port:"sram_addr" in
+  Alcotest.(check int) "one match" 1 (List.length hits);
+  Alcotest.(check string) "matched wire" "w_addr"
+    (List.hd hits).Spec.w_name;
+  let none = Spec.wires_for entry ~instance:"SRAM_B" ~port:"sram_addr" in
+  Alcotest.(check int) "wrong instance" 0 (List.length none);
+  (* Group matching: BAN[A,B,C,D] matches any member. *)
+  let entry8 = List.hd (parse_ok example8) in
+  let hits_c = Spec.wires_for entry8 ~instance:"C" ~port:"data_dn" in
+  Alcotest.(check int) "group member matches" 1 (List.length hits_c)
+
+let test_print_roundtrip_examples () =
+  let lib = parse_ok (example7 ^ example8) in
+  let lib' = parse_ok (Text.print lib) in
+  Alcotest.(check bool) "roundtrip" true (lib = lib')
+
+let test_comments_and_blanks () =
+  let text =
+    "# a comment\n\n%wire e\n# inside too\nw 1 M1 p 0 0 M2 q 0 0\n\n%endwire\n"
+  in
+  let lib = parse_ok text in
+  Alcotest.(check int) "one wire" 1 (List.length (List.hd lib).Spec.wires)
+
+let test_multiline_wire () =
+  (* A wire split over two physical lines, as allowed by the format. *)
+  let text = "%wire e\nw_addr 20 SRAM_A sram_addr 19 0\n  MBI_SRAM addr 19 0\n%endwire\n" in
+  let lib = parse_ok text in
+  let w = List.hd (List.hd lib).Spec.wires in
+  Alcotest.(check string) "w name" "w_addr" w.Spec.w_name;
+  Alcotest.(check string) "second endpoint" "addr" w.Spec.end2.Spec.pname
+
+(* Property: print/parse roundtrip over generated libraries. *)
+let gen_ident =
+  QCheck.Gen.(
+    let letter = map (fun i -> Char.chr (Char.code 'a' + i)) (int_bound 25) in
+    map
+      (fun cs -> String.concat "" (List.map (String.make 1) cs))
+      (list_size (int_range 1 8) letter))
+
+let gen_endpoint width =
+  QCheck.Gen.(
+    let* use_group = bool in
+    let* m_ref =
+      if use_group then
+        let* base = gen_ident in
+        let* members = list_size (int_range 1 4) gen_ident in
+        return (Spec.Group (base, List.sort_uniq compare members))
+      else
+        let* n = gen_ident in
+        return (Spec.Exact n)
+    in
+    let* pname = gen_ident in
+    let* lsb = int_bound (width - 1) in
+    let* msb = int_range lsb (width - 1) in
+    return { Spec.m_ref; pname; wmsb = msb; wlsb = lsb })
+
+let gen_wire =
+  QCheck.Gen.(
+    let* w_name = gen_ident in
+    let* w_width = int_range 1 64 in
+    let* end1 = gen_endpoint w_width in
+    let* end2 = gen_endpoint w_width in
+    (* Make group wires symmetric so they validate. *)
+    let end2 =
+      match (end1.Spec.m_ref, end2.Spec.m_ref) with
+      | Spec.Group _, Spec.Group _ -> { end2 with Spec.m_ref = end1.Spec.m_ref }
+      | _, _ -> end2
+    in
+    return { Spec.w_name; w_width; end1; end2 })
+
+let arb_lib =
+  let gen =
+    QCheck.Gen.(
+      let* name = gen_ident in
+      let* wires = list_size (int_range 0 8) gen_wire in
+      (* Deduplicate wire names to satisfy validate. *)
+      let _, wires =
+        List.fold_left
+          (fun (seen, acc) w ->
+            if List.mem w.Spec.w_name seen then (seen, acc)
+            else (w.Spec.w_name :: seen, w :: acc))
+          ([], []) wires
+      in
+      return [ { Spec.lib_name = name; wires = List.rev wires } ])
+  in
+  QCheck.make ~print:Text.print gen
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:200 arb_lib (fun lib ->
+      match Text.parse (Text.print lib) with
+      | Ok lib' -> lib = lib'
+      | Error _ -> false)
+
+let prop_expansion_count =
+  QCheck.Test.make ~name:"chain expansion produces |members| wires" ~count:200
+    arb_lib (fun lib ->
+      let entry = List.hd lib in
+      match Spec.validate lib with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+          let expanded = Spec.expand_groups entry in
+          let expected =
+            List.fold_left
+              (fun acc w ->
+                acc
+                +
+                if Spec.is_group w then
+                  match w.Spec.end1.Spec.m_ref with
+                  | Spec.Group (_, ms) -> List.length ms
+                  | Spec.Exact _ -> 0
+                else 1)
+              0 entry.Spec.wires
+          in
+          List.length expanded.Spec.wires = expected)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_expansion_count ]
+
+let () =
+  Alcotest.run "wirelib"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "example 7" `Quick test_parse_example7;
+          Alcotest.test_case "example 8 groups" `Quick
+            test_parse_example8_groups;
+          Alcotest.test_case "comments/blanks" `Quick test_comments_and_blanks;
+          Alcotest.test_case "multiline wire" `Quick test_multiline_wire;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "errors" `Quick test_validation;
+          Alcotest.test_case "duplicates" `Quick test_duplicate_detection;
+        ] );
+      ( "expand",
+        [
+          Alcotest.test_case "chain (Fig 17a)" `Quick test_expand_chain;
+          Alcotest.test_case "singleton groups" `Quick
+            test_expand_singleton_groups;
+          Alcotest.test_case "wires_for" `Quick test_wires_for;
+        ] );
+      ( "roundtrip",
+        [ Alcotest.test_case "examples" `Quick test_print_roundtrip_examples ]
+      );
+      ("properties", qcheck_cases);
+    ]
