@@ -16,6 +16,26 @@ let line = String.make 78 '-'
 
 let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
 
+(* Sections selected on the command line ([] = everything), e.g.
+   `dune exec bench/main.exe -- table5 interp` for a CI smoke run. *)
+let sections = List.tl (Array.to_list Sys.argv)
+let want name = sections = [] || List.mem name sections
+
+(* Measurements accumulated for BENCH_interp.json. *)
+type interp_row = {
+  ir_circuit : string;
+  ir_cycles_per_sec : float;
+  ir_ref_cycles_per_sec : float;
+}
+
+let interp_rows : interp_row list ref = ref []
+let table_walls : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  table_walls := (name, Unix.gettimeofday () -. t0) :: !table_walls
+
 (* ------------------------------------------------------------------ *)
 (* Table II: OFDM transmitter                                          *)
 (* ------------------------------------------------------------------ *)
@@ -521,27 +541,125 @@ let bechamel_tables () =
         results)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* Interpreter micro-benchmark: slot-compiled engine vs the reference  *)
+(* string-keyed engine, on generated Table II / Table III circuits     *)
+(* ------------------------------------------------------------------ *)
+
+(* OLS nanoseconds-per-run of a single Bechamel test. *)
+let ols_ns_per_run ?(quota = 1.0) test =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.fold
+    (fun _name est acc ->
+      match Analyze.OLS.estimates est with
+      | Some [ ns_per_run ] -> Some ns_per_run
+      | Some _ | None -> acc)
+    results None
+
+let bench_interp () =
+  header
+    "Interp micro-bench - cycles/second, slot-compiled engine vs reference";
+  let open Bechamel in
+  let cycles_per_run = 50 in
+  Printf.printf "%-18s %14s %14s %9s\n" "circuit" "engine[c/s]" "ref[c/s]"
+    "speedup";
+  List.iter
+    (fun (nm, arch) ->
+      let r = G.generate arch (Bussyn.Archs.small_config ~n_pes:4) in
+      let top = r.G.generated.Bussyn.Archs.top in
+      let fast = Busgen_rtl.Interp.create top in
+      Busgen_rtl.Interp.reset fast;
+      let slow = Busgen_rtl.Interp_ref.create top in
+      Busgen_rtl.Interp_ref.reset slow;
+      let cps_of_ns ns = float_of_int cycles_per_run *. 1e9 /. ns in
+      let t_fast =
+        Test.make ~name:(nm ^ ":slot")
+          (Staged.stage (fun () -> Busgen_rtl.Interp.run fast cycles_per_run))
+      in
+      let t_slow =
+        Test.make ~name:(nm ^ ":ref")
+          (Staged.stage (fun () ->
+               Busgen_rtl.Interp_ref.run slow cycles_per_run))
+      in
+      match (ols_ns_per_run t_fast, ols_ns_per_run t_slow) with
+      | Some ns_fast, Some ns_slow ->
+          let cps = cps_of_ns ns_fast and ref_cps = cps_of_ns ns_slow in
+          Printf.printf "%-18s %14.0f %14.0f %8.1fx\n%!" nm cps ref_cps
+            (cps /. ref_cps);
+          interp_rows :=
+            { ir_circuit = nm; ir_cycles_per_sec = cps;
+              ir_ref_cycles_per_sec = ref_cps }
+            :: !interp_rows
+      | _ -> Printf.printf "%-18s (no estimate)\n%!" nm)
+    [ ("gbavi-table2", G.Gbavi); ("hybrid-table3", G.Hybrid) ]
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_interp.json: machine-readable perf trajectory across PRs      *)
+(* ------------------------------------------------------------------ *)
+
+let write_bench_json path =
+  let oc = open_out path in
+  let circuit_rows =
+    List.rev !interp_rows
+    |> List.map (fun r ->
+           Printf.sprintf
+             "    {\"name\": %S, \"cycles_per_sec\": %.1f, \
+              \"reference_cycles_per_sec\": %.1f, \"speedup\": %.2f}"
+             r.ir_circuit r.ir_cycles_per_sec r.ir_ref_cycles_per_sec
+             (r.ir_cycles_per_sec /. r.ir_ref_cycles_per_sec))
+    |> String.concat ",\n"
+  in
+  let table_rows =
+    List.rev !table_walls
+    |> List.map (fun (n, s) ->
+           Printf.sprintf "    {\"name\": %S, \"wall_s\": %.3f}" n s)
+    |> String.concat ",\n"
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"busgen-interp-bench/1\",\n\
+    \  \"circuits\": [\n%s\n  ],\n\
+    \  \"tables\": [\n%s\n  ]\n\
+     }\n"
+    circuit_rows table_rows;
+  close_out oc;
+  Printf.printf "\n[bench] wrote %s\n" path
+
 let () =
   print_string
     "BusSyn reproduction benchmarks (Ryu & Mooney, DATE 2003)\n\
      Every measured table of the paper, regenerated.\n";
-  table1 ();
-  table2 ();
-  table3 ();
-  table4 ();
-  table5 ();
-  ablation_arbiter ();
-  ablation_fifo_depth ();
-  ablation_miss_rate ();
-  ablation_handshake ();
-  ablation_arb_latency ();
-  ablation_scalability ();
-  ablation_bus_energy ();
-  ablation_bus_width ();
-  ablation_splitba_subsystems ();
-  ablation_l1_model ();
-  ablation_cache_derivation ();
-  ablation_area_by_module ();
-  ablation_depth ();
-  bechamel_tables ();
+  if sections <> [] then
+    Printf.printf "[sections: %s]\n" (String.concat " " sections);
+  let section name f = if want name then timed name f in
+  section "table1" table1;
+  section "table2" table2;
+  section "table3" table3;
+  section "table4" table4;
+  section "table5" table5;
+  if want "ablations" then begin
+    ablation_arbiter ();
+    ablation_fifo_depth ();
+    ablation_miss_rate ();
+    ablation_handshake ();
+    ablation_arb_latency ();
+    ablation_scalability ();
+    ablation_bus_energy ();
+    ablation_bus_width ();
+    ablation_splitba_subsystems ();
+    ablation_l1_model ();
+    ablation_cache_derivation ();
+    ablation_area_by_module ();
+    ablation_depth ()
+  end;
+  if want "bechamel" then bechamel_tables ();
+  if want "interp" then bench_interp ();
+  write_bench_json "BENCH_interp.json";
   print_string "\nAll benchmarks complete.\n"

@@ -1,97 +1,145 @@
-(* Bit vectors are stored little-endian in 32-bit limbs packed in OCaml
-   ints.  Invariant: the unused high bits of the top limb are zero, so
-   structural equality of the limb arrays coincides with value equality. *)
+(* Two representations behind one abstract type:
+
+   - [S (width, v)]: widths up to 62 bits live in a single immediate OCaml
+     int, [0 <= v < 2^width].  This is the dominant case in generated bus
+     circuits (control signals, addresses, counters) and makes the
+     interpreter hot path allocation-light: logic and arithmetic are one
+     machine operation plus a mask.
+   - [B (width, limbs)]: wider values fall back to little-endian 32-bit
+     limbs packed in OCaml ints.
+
+   Invariants: the representation is chosen by width alone (width <= 62
+   is always [S]), [S] values are masked to the width, and the unused
+   high bits of the top [B] limb are zero — so structural equality
+   coincides with value equality. *)
 
 let limb_bits = 32
 let limb_mask = 0xFFFFFFFF
+let small_limit = 62
 
-type t = { width : int; limbs : int array }
+type t =
+  | S of int * int
+  | B of int * int array
 
 let nlimbs width = (width + limb_bits - 1) / limb_bits
+
+(* Mask covering [w] low bits of an OCaml int, valid for 1 <= w <= 62
+   ([1 lsl 62] wraps to [min_int], minus one gives [max_int] = 2^62-1). *)
+let smask w = (1 lsl w) - 1
 
 (* Mask covering the valid bits of the top limb. *)
 let top_mask width =
   let r = width mod limb_bits in
   if r = 0 then limb_mask else (1 lsl r) - 1
 
-let normalize t =
-  let n = Array.length t.limbs in
-  if n > 0 then t.limbs.(n - 1) <- t.limbs.(n - 1) land top_mask t.width;
-  t
+let normalize_limbs width limbs =
+  let n = Array.length limbs in
+  if n > 0 then limbs.(n - 1) <- limbs.(n - 1) land top_mask width;
+  B (width, limbs)
 
 let check_width w =
   if w < 1 then invalid_arg (Printf.sprintf "Bits: width %d < 1" w)
 
+let width = function S (w, _) -> w | B (w, _) -> w
+
 let zero w =
   check_width w;
-  { width = w; limbs = Array.make (nlimbs w) 0 }
+  if w <= small_limit then S (w, 0) else B (w, Array.make (nlimbs w) 0)
 
 let of_int ~width v =
   check_width width;
-  let t = zero width in
-  let n = Array.length t.limbs in
-  (* Negative values wrap: replicate the sign bit through the high limbs. *)
-  let fill = if v < 0 then limb_mask else 0 in
-  for i = 0 to n - 1 do
-    let shift = i * limb_bits in
-    t.limbs.(i) <- (if shift >= 62 then fill else (v asr shift) land limb_mask)
-  done;
-  normalize t
+  if width <= small_limit then S (width, v land smask width)
+  else begin
+    let limbs = Array.make (nlimbs width) 0 in
+    (* Negative values wrap: replicate the sign bit through the high
+       limbs. *)
+    let fill = if v < 0 then limb_mask else 0 in
+    for i = 0 to Array.length limbs - 1 do
+      let shift = i * limb_bits in
+      limbs.(i) <- (if shift >= 62 then fill else (v asr shift) land limb_mask)
+    done;
+    normalize_limbs width limbs
+  end
 
 let one w = of_int ~width:w 1
 
 let ones w =
   check_width w;
-  normalize { width = w; limbs = Array.make (nlimbs w) limb_mask }
+  if w <= small_limit then S (w, smask w)
+  else normalize_limbs w (Array.make (nlimbs w) limb_mask)
 
-let of_bool b = of_int ~width:1 (if b then 1 else 0)
-let width t = t.width
+let of_bool b = S (1, if b then 1 else 0)
 
 let bit t i =
   if i < 0 then invalid_arg "Bits.bit: negative index";
-  if i >= t.width then false
-  else (t.limbs.(i / limb_bits) lsr (i mod limb_bits)) land 1 = 1
+  match t with
+  | S (w, v) -> i < w && (v lsr i) land 1 = 1
+  | B (w, limbs) ->
+      i < w && (limbs.(i / limb_bits) lsr (i mod limb_bits)) land 1 = 1
 
-let is_zero t = Array.for_all (fun l -> l = 0) t.limbs
+let is_zero = function
+  | S (_, v) -> v = 0
+  | B (_, limbs) -> Array.for_all (fun l -> l = 0) limbs
 
-let to_int_trunc t =
-  let v = ref 0 in
-  let n = Array.length t.limbs in
-  for i = min (n - 1) 1 downto 0 do
-    v := (!v lsl limb_bits) lor t.limbs.(i)
-  done;
-  if t.width > 62 then !v land max_int else !v
+(* Zero-extended limb access, valid for both representations. *)
+let limb t i =
+  match t with
+  | S (_, v) ->
+      if i = 0 then v land limb_mask
+      else if i = 1 then (v lsr limb_bits) land limb_mask
+      else 0
+  | B (_, limbs) -> if i < Array.length limbs then limbs.(i) else 0
+
+let to_int_trunc = function
+  | S (_, v) -> v
+  | B (_, limbs) ->
+      let v = ref 0 in
+      let n = Array.length limbs in
+      for i = min (n - 1) 1 downto 0 do
+        v := (!v lsl limb_bits) lor limbs.(i)
+      done;
+      (* B is only used for widths > 62: keep the value non-negative. *)
+      !v land max_int
 
 let to_int_exn t =
-  let fits = ref true in
-  for i = 62 to t.width - 1 do
-    if bit t i then fits := false
-  done;
-  if not !fits then invalid_arg "Bits.to_int_exn: value exceeds 62 bits";
-  to_int_trunc t
+  match t with
+  | S (_, v) -> v
+  | B (w, _) ->
+      let fits = ref true in
+      for i = 62 to w - 1 do
+        if bit t i then fits := false
+      done;
+      if not !fits then invalid_arg "Bits.to_int_exn: value exceeds 62 bits";
+      to_int_trunc t
 
-let equal a b = a.width = b.width && a.limbs = b.limbs
+let equal a b =
+  match (a, b) with
+  | S (wa, va), S (wb, vb) -> wa = wb && va = vb
+  | B (wa, la), B (wb, lb) -> wa = wb && la = lb
+  | S _, B _ | B _, S _ -> false (* widths necessarily differ *)
 
 let compare a b =
-  let na = Array.length a.limbs and nb = Array.length b.limbs in
-  let n = max na nb in
-  let limb t i = if i < Array.length t.limbs then t.limbs.(i) else 0 in
-  let rec go i =
-    if i < 0 then 0
-    else
-      let la = limb a i and lb = limb b i in
-      if la <> lb then Stdlib.compare la lb else go (i - 1)
-  in
-  go (n - 1)
+  match (a, b) with
+  | S (_, va), S (_, vb) -> Stdlib.compare va vb
+  | _ ->
+      let n = max (nlimbs (width a)) (nlimbs (width b)) in
+      let rec go i =
+        if i < 0 then 0
+        else
+          let la = limb a i and lb = limb b i in
+          if la <> lb then Stdlib.compare la lb else go (i - 1)
+      in
+      go (n - 1)
 
 let ult a b = compare a b < 0
 let ule a b = compare a b <= 0
 
 let to_binary_string t =
-  String.init t.width (fun i -> if bit t (t.width - 1 - i) then '1' else '0')
+  let w = width t in
+  String.init w (fun i -> if bit t (w - 1 - i) then '1' else '0')
 
 let to_hex_string t =
-  let digits = (t.width + 3) / 4 in
+  let digits = (width t + 3) / 4 in
   String.init digits (fun i ->
       let lo = (digits - 1 - i) * 4 in
       let v =
@@ -102,144 +150,219 @@ let to_hex_string t =
       in
       "0123456789abcdef".[v])
 
-let to_verilog_literal t = Printf.sprintf "%d'h%s" t.width (to_hex_string t)
+let to_verilog_literal t = Printf.sprintf "%d'h%s" (width t) (to_hex_string t)
 let pp fmt t = Format.pp_print_string fmt (to_verilog_literal t)
 
-let set_bit t i b =
-  if i < t.width && b then
-    t.limbs.(i / limb_bits) <-
-      t.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+let init w f =
+  check_width w;
+  if w <= small_limit then begin
+    let v = ref 0 in
+    for i = w - 1 downto 0 do
+      v := (!v lsl 1) lor (if f i then 1 else 0)
+    done;
+    S (w, !v)
+  end
+  else begin
+    let limbs = Array.make (nlimbs w) 0 in
+    for i = 0 to w - 1 do
+      if f i then
+        limbs.(i / limb_bits) <-
+          limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+    done;
+    B (w, limbs)
+  end
 
-let init width f =
-  let t = zero width in
-  for i = 0 to width - 1 do
-    set_bit t i (f i)
-  done;
-  t
+(* Gather [w <= 62] bits starting at bit [lo] of [t] into one int. *)
+let extract_small t lo w =
+  match t with
+  | S (_, v) -> (v lsr lo) land smask w
+  | B _ ->
+      let v = ref 0 in
+      let pos = ref 0 in
+      while !pos < w do
+        let idx = lo + !pos in
+        let chunk = limb t (idx / limb_bits) lsr (idx mod limb_bits) in
+        let take = min (limb_bits - (idx mod limb_bits)) (w - !pos) in
+        v := !v lor ((chunk land smask take) lsl !pos);
+        pos := !pos + take
+      done;
+      !v
 
-let concat hi lo = init (hi.width + lo.width) (fun i ->
-    if i < lo.width then bit lo i else bit hi (i - lo.width))
+let concat hi lo =
+  let wh = width hi and wl = width lo in
+  let w = wh + wl in
+  match (hi, lo) with
+  | S (_, vh), S (_, vl) when w <= small_limit -> S (w, (vh lsl wl) lor vl)
+  | _ -> init w (fun i -> if i < wl then bit lo i else bit hi (i - wl))
 
 let concat_list = function
   | [] -> invalid_arg "Bits.concat_list: empty list"
   | v :: vs -> List.fold_left (fun acc x -> concat acc x) v vs
 
 let select t hi lo =
-  if lo < 0 || hi < lo || hi >= t.width then
+  if lo < 0 || hi < lo || hi >= width t then
     invalid_arg
       (Printf.sprintf "Bits.select: [%d:%d] out of range for width %d" hi lo
-         t.width);
-  init (hi - lo + 1) (fun i -> bit t (lo + i))
+         (width t));
+  let w = hi - lo + 1 in
+  if w <= small_limit then S (w, extract_small t lo w)
+  else init w (fun i -> bit t (lo + i))
 
 let resize t w =
   check_width w;
-  init w (fun i -> bit t i)
+  if w = width t then t
+  else if w <= small_limit then S (w, extract_small t 0 (min w (width t)))
+  else init w (fun i -> bit t i)
 
 let repeat t n =
   if n < 1 then invalid_arg "Bits.repeat: count < 1";
   let rec go acc k = if k = 1 then acc else go (concat acc t) (k - 1) in
   go t n
 
-let map2 f a b =
-  if a.width <> b.width then
-    invalid_arg
-      (Printf.sprintf "Bits: width mismatch %d vs %d" a.width b.width);
-  let r = zero a.width in
-  Array.iteri (fun i la -> r.limbs.(i) <- f la b.limbs.(i) land limb_mask)
-    a.limbs;
-  normalize r
+let width_mismatch op wa wb =
+  invalid_arg (Printf.sprintf "Bits.%s: width mismatch %d vs %d" op wa wb)
 
-let logand = map2 ( land )
-let logor = map2 ( lor )
-let logxor = map2 ( lxor )
+let map2 name f a b =
+  match (a, b) with
+  | S (wa, va), S (wb, vb) ->
+      if wa <> wb then width_mismatch name wa wb;
+      (* and/or/xor of masked values stays masked. *)
+      S (wa, f va vb)
+  | B (wa, la), B (wb, lb) ->
+      if wa <> wb then width_mismatch name wa wb;
+      let r = Array.make (Array.length la) 0 in
+      Array.iteri (fun i x -> r.(i) <- f x lb.(i) land limb_mask) la;
+      normalize_limbs wa r
+  | S (wa, _), B (wb, _) | B (wa, _), S (wb, _) -> width_mismatch name wa wb
 
-let lognot t =
-  let r = zero t.width in
-  Array.iteri (fun i l -> r.limbs.(i) <- lnot l land limb_mask) t.limbs;
-  normalize r
+let logand a b = map2 "logand" ( land ) a b
+let logor a b = map2 "logor" ( lor ) a b
+let logxor a b = map2 "logxor" ( lxor ) a b
+
+let lognot = function
+  | S (w, v) -> S (w, lnot v land smask w)
+  | B (w, limbs) ->
+      let r = Array.map (fun l -> lnot l land limb_mask) limbs in
+      normalize_limbs w r
 
 let reduce_or t = not (is_zero t)
-let reduce_and t = equal t (ones t.width)
+
+let reduce_and = function
+  | S (w, v) -> v = smask w
+  | B (_, _) as t -> equal t (ones (width t))
 
 let reduce_xor t =
-  let parity = ref false in
-  for i = 0 to t.width - 1 do
-    if bit t i then parity := not !parity
-  done;
-  !parity
+  match t with
+  | S (_, v) ->
+      let x = v lxor (v lsr 32) in
+      let x = x lxor (x lsr 16) in
+      let x = x lxor (x lsr 8) in
+      let x = x lxor (x lsr 4) in
+      let x = x lxor (x lsr 2) in
+      let x = x lxor (x lsr 1) in
+      x land 1 = 1
+  | B (w, _) ->
+      let parity = ref false in
+      for i = 0 to w - 1 do
+        if bit t i then parity := not !parity
+      done;
+      !parity
 
 let add a b =
-  if a.width <> b.width then invalid_arg "Bits.add: width mismatch";
-  let r = zero a.width in
-  let carry = ref 0 in
-  Array.iteri
-    (fun i la ->
-      let s = la + b.limbs.(i) + !carry in
-      r.limbs.(i) <- s land limb_mask;
-      carry := s lsr limb_bits)
-    a.limbs;
-  normalize r
+  match (a, b) with
+  | S (wa, va), S (wb, vb) ->
+      if wa <> wb then width_mismatch "add" wa wb;
+      (* OCaml int overflow wraps, so masking the low bits is exact. *)
+      S (wa, (va + vb) land smask wa)
+  | B (wa, la), B (wb, lb) ->
+      if wa <> wb then width_mismatch "add" wa wb;
+      let r = Array.make (Array.length la) 0 in
+      let carry = ref 0 in
+      Array.iteri
+        (fun i x ->
+          let s = x + lb.(i) + !carry in
+          r.(i) <- s land limb_mask;
+          carry := s lsr limb_bits)
+        la;
+      normalize_limbs wa r
+  | S (wa, _), B (wb, _) | B (wa, _), S (wb, _) -> width_mismatch "add" wa wb
 
 let sub a b =
-  (* a - b = a + (~b) + 1, modulo 2^width *)
-  if a.width <> b.width then invalid_arg "Bits.sub: width mismatch";
-  add a (add (lognot b) (one a.width))
+  match (a, b) with
+  | S (wa, va), S (wb, vb) ->
+      if wa <> wb then width_mismatch "sub" wa wb;
+      S (wa, (va - vb) land smask wa)
+  | _ ->
+      if width a <> width b then width_mismatch "sub" (width a) (width b);
+      (* a - b = a + (~b) + 1, modulo 2^width *)
+      add a (add (lognot b) (one (width a)))
 
 let shift_left t k =
   if k < 0 then invalid_arg "Bits.shift_left: negative shift";
-  init t.width (fun i -> i >= k && bit t (i - k))
+  match t with
+  | S (w, v) -> if k >= w then S (w, 0) else S (w, (v lsl k) land smask w)
+  | B (w, _) -> init w (fun i -> i >= k && bit t (i - k))
 
 let shift_right t k =
   if k < 0 then invalid_arg "Bits.shift_right: negative shift";
-  init t.width (fun i -> bit t (i + k))
+  match t with
+  | S (w, v) -> if k >= w then S (w, 0) else S (w, v lsr k)
+  | B (w, _) -> init w (fun i -> bit t (i + k))
 
 (* Schoolbook multiplication over 16-bit half-limbs so partial products fit
-   comfortably in an OCaml int. *)
+   comfortably in an OCaml int.  Small x small products that fit 62 bits
+   are a single machine multiply. *)
 let mul a b =
-  let halves t =
-    Array.init (2 * Array.length t.limbs) (fun i ->
-        let l = t.limbs.(i / 2) in
-        if i mod 2 = 0 then l land 0xFFFF else l lsr 16)
-  in
-  let ha = halves a and hb = halves b in
-  let rw = a.width + b.width in
-  let acc = Array.make (Array.length ha + Array.length hb + 1) 0 in
-  Array.iteri
-    (fun i x ->
-      if x <> 0 then
-        Array.iteri
-          (fun j y ->
-            let p = x * y in
-            acc.(i + j) <- acc.(i + j) + (p land 0xFFFF);
-            acc.(i + j + 1) <- acc.(i + j + 1) + (p lsr 16))
-          hb)
-    ha;
-  (* Propagate carries. *)
-  let carry = ref 0 in
-  Array.iteri
-    (fun i v ->
-      let s = v + !carry in
-      acc.(i) <- s land 0xFFFF;
-      carry := s lsr 16)
-    acc;
-  init rw (fun i ->
-      let h = i / 16 in
-      h < Array.length acc && (acc.(h) lsr (i mod 16)) land 1 = 1)
+  let rw = width a + width b in
+  match (a, b) with
+  | S (_, va), S (_, vb) when rw <= small_limit -> S (rw, va * vb)
+  | _ ->
+      let halves t =
+        Array.init
+          (2 * nlimbs (width t))
+          (fun i ->
+            let l = limb t (i / 2) in
+            if i mod 2 = 0 then l land 0xFFFF else l lsr 16)
+      in
+      let ha = halves a and hb = halves b in
+      let acc = Array.make (Array.length ha + Array.length hb + 1) 0 in
+      Array.iteri
+        (fun i x ->
+          if x <> 0 then
+            Array.iteri
+              (fun j y ->
+                let p = x * y in
+                acc.(i + j) <- acc.(i + j) + (p land 0xFFFF);
+                acc.(i + j + 1) <- acc.(i + j + 1) + (p lsr 16))
+              hb)
+        ha;
+      (* Propagate carries. *)
+      let carry = ref 0 in
+      Array.iteri
+        (fun i v ->
+          let s = v + !carry in
+          acc.(i) <- s land 0xFFFF;
+          carry := s lsr 16)
+        acc;
+      init rw (fun i ->
+          let h = i / 16 in
+          h < Array.length acc && (acc.(h) lsr (i mod 16)) land 1 = 1)
 
 let smul a b =
   (* Sign-extend both operands to the result width, multiply unsigned,
      truncate: standard two's-complement product. *)
-  let rw = a.width + b.width in
+  let rw = width a + width b in
   let sext t =
-    let sign = bit t (t.width - 1) in
-    init rw (fun i -> if i < t.width then bit t i else sign)
+    let w = width t in
+    let sign = bit t (w - 1) in
+    init rw (fun i -> if i < w then bit t i else sign)
   in
   resize (mul (sext a) (sext b)) rw
 
 let to_signed_int_exn t =
-  if bit t (t.width - 1) then
+  if bit t (width t - 1) then
     (* Negative: value - 2^width, computed on the complement. *)
-    let mag = add (lognot t) (one t.width) in
+    let mag = add (lognot t) (one (width t)) in
     -to_int_exn mag
   else to_int_exn t
 

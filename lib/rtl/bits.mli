@@ -26,6 +26,9 @@ val of_int : width:int -> int -> t
 val of_bool : bool -> t
 (** [of_bool b] is a 1-bit vector. *)
 
+val init : int -> (int -> bool) -> t
+(** [init w f] is the [w]-bit vector whose bit [i] is [f i]. *)
+
 val of_string : string -> t
 (** [of_string s] parses ["<width>'b<binary>"], ["<width>'h<hex>"] or
     ["<width>'d<decimal>"] (Verilog-style, [_] separators allowed).

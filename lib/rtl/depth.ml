@@ -1,5 +1,42 @@
 type report = { levels : int; endpoint : string }
 
+exception Combinational_cycle of string list
+
+let levelize nodes =
+  let deps_of = Hashtbl.create (2 * List.length nodes) in
+  List.iter (fun (n, deps) -> Hashtbl.replace deps_of n deps) nodes;
+  let state = Hashtbl.create (2 * List.length nodes) in
+  (* name -> `Busy during the DFS, `Done level afterwards *)
+  let order = ref [] in
+  let rec visit path name =
+    match Hashtbl.find_opt deps_of name with
+    | None -> 0 (* source: input, register output, constant, memory word *)
+    | Some deps -> (
+        match Hashtbl.find_opt state name with
+        | Some (`Done l) -> l
+        | Some `Busy ->
+            (* Trim [path] to the part inside the cycle. *)
+            let rec cycle acc = function
+              | [] -> acc
+              | n :: rest -> if n = name then n :: acc else cycle (n :: acc) rest
+            in
+            raise (Combinational_cycle (cycle [ name ] path))
+        | None ->
+            Hashtbl.replace state name `Busy;
+            let l =
+              1
+              + List.fold_left
+                  (fun acc d -> max acc (visit (name :: path) d))
+                  (-1) deps
+            in
+            Hashtbl.replace state name (`Done l);
+            order := (name, l) :: !order;
+            l)
+  in
+  List.iter (fun (name, _) -> ignore (visit [] name)) nodes;
+  (* [!order] holds DFS finish order reversed (dependents first). *)
+  List.rev !order
+
 let clog2 n =
   let rec go w = if 1 lsl w >= n then w else go (w + 1) in
   if n <= 1 then 0 else go 1

@@ -20,6 +20,21 @@ type report = {
   endpoint : string;     (** flat name of the signal ending that path *)
 }
 
+exception Combinational_cycle of string list
+(** A dependency cycle among combinational nodes; the payload is the
+    node names along the cycle, in dependency order. *)
+
+val levelize : (string * string list) list -> (string * int) list
+(** [levelize nodes] topologically orders combinational [nodes], each
+    given as [(name, dependencies)].  Dependencies that are not
+    themselves nodes (inputs, registers, memory words) are sources at
+    level 0.  Returns every node paired with its level — [1 + max] of
+    its dependencies' levels — in evaluation (dependency-first) order,
+    so evaluating the returned sequence once settles the whole network
+    without any fixed-point iteration.  The traversal is deterministic
+    in the order of [nodes].
+    @raise Combinational_cycle on a dependency cycle. *)
+
 val of_circuit : Circuit.t -> report
 (** Flatten the hierarchy and return the critical path.
     @raise Invalid_argument on combinational loops. *)

@@ -1,5 +1,22 @@
-(* Flattening: every signal of every instance becomes a flat signal named
-   [prefix ^ signal]; instance boundaries become alias assignments. *)
+(* Slot-compiled evaluation engine.
+
+   [create] runs three phases once, so that the per-cycle hot path
+   ([settle] / [step]) performs zero string hashing and zero expression
+   tree traversal:
+
+   1. {b Intern}: the hierarchy is flattened (every signal of every
+      instance becomes [prefix ^ signal]; instance boundaries become
+      alias assignments) and each flat name is interned into an integer
+      slot.  Values live in one dense [Bits.t array] indexed by slot;
+      the [string -> slot] table survives only at the API boundary
+      ([set_input] / [peek] / VCD).
+   2. {b Compile}: every [Expr.t] is compiled into a closure over slot
+      indices — operator dispatch and variable resolution happen here,
+      not per cycle.
+   3. {b Levelize}: combinational assignments and memory read ports are
+      topologically ordered once ({!Depth.levelize}), so one linear
+      sweep of the schedule settles the network; combinational loops
+      are rejected at [create] time with the offending path. *)
 
 type flat_reg = {
   fr_name : string;
@@ -16,26 +33,39 @@ type flat_mem = {
   fm_reads : (string * Expr.t) list;
 }
 
-type base = {
-  widths : (string, int) Hashtbl.t;
-  top_inputs : (string, int) Hashtbl.t;
-  regs : flat_reg array;
-  mems : flat_mem array;
-  values : (string, Bits.t) Hashtbl.t;
-  arrays : (string, Bits.t array) Hashtbl.t;
-}
+(* ------------------------------------------------------------------ *)
+(* Phase 1: flatten the hierarchy and intern signal names.             *)
+(* ------------------------------------------------------------------ *)
 
 let flatten (top : Circuit.t) =
   let widths = Hashtbl.create 256 in
+  (* flat name -> instance path that declared it, for error reporting *)
+  let origins = Hashtbl.create 256 in
+  let decls = ref [] in (* (flat name, width), reversed declaration order *)
   let assigns = ref [] in
   let regs = ref [] in
   let mems = ref [] in
-  let add_width name w =
-    if Hashtbl.mem widths name then
-      invalid_arg (Printf.sprintf "Interp: duplicate flat signal %s" name);
-    Hashtbl.add widths name w
-  in
-  let rec go prefix (c : Circuit.t) =
+  let rec go prefix path (c : Circuit.t) =
+    let path_str () =
+      match path with
+      | [] -> Printf.sprintf "<top> (%s)" (Circuit.name c)
+      | _ ->
+          Printf.sprintf "%s (%s)"
+            (String.concat "." (List.rev path))
+            (Circuit.name c)
+    in
+    let add_width name w =
+      (match Hashtbl.find_opt origins name with
+      | Some first ->
+          invalid_arg
+            (Printf.sprintf
+               "Interp: duplicate flat signal %s: first declared in instance \
+                %s, collides with a declaration in instance %s"
+               name first (path_str ()))
+      | None -> Hashtbl.add origins name (path_str ()));
+      Hashtbl.add widths name w;
+      decls := (name, w) :: !decls
+    in
     let ren n = prefix ^ n in
     let rename_expr = Expr.map_vars ren in
     List.iter
@@ -84,7 +114,7 @@ let flatten (top : Circuit.t) =
     List.iter
       (fun (i : Circuit.instance) ->
         let sub_prefix = prefix ^ i.inst_name ^ "$" in
-        go sub_prefix i.sub;
+        go sub_prefix (i.inst_name :: path) i.sub;
         List.iter
           (fun (p, e) -> assigns := (sub_prefix ^ p, rename_expr e) :: !assigns)
           i.in_connections;
@@ -93,205 +123,345 @@ let flatten (top : Circuit.t) =
           i.out_connections)
       c.instances
   in
-  go "" top;
+  go "" [] top;
   let top_inputs = Hashtbl.create 16 in
   List.iter
     (fun (p : Circuit.port) -> Hashtbl.add top_inputs p.port_name p.port_width)
     (Circuit.inputs top);
-  (widths, top_inputs, List.rev !assigns, List.rev !regs, List.rev !mems)
+  ( List.rev !decls, top_inputs, List.rev !assigns, List.rev !regs,
+    List.rev !mems )
 
-(* Topologically order combinational assignments; memory reads are
-   additional combinational nodes (memory contents are state). *)
-let schedule widths assigns (mems : flat_mem list) =
-  let nodes = Hashtbl.create 256 in
-  (* target -> dependency vars *)
+(* ------------------------------------------------------------------ *)
+(* Phase 2: compile expressions to closures over the value array.      *)
+(* ------------------------------------------------------------------ *)
+
+type compiled = unit -> Bits.t
+
+let bits_true = Bits.of_bool true
+let bits_false = Bits.of_bool false
+let of_bool b = if b then bits_true else bits_false
+
+let compile_expr ~slot (values : Bits.t array) e : compiled =
+  let rec go e =
+    match e with
+    | Expr.Const b -> fun () -> b
+    | Expr.Var v ->
+        let s = slot v in
+        fun () -> Array.unsafe_get values s
+    | Expr.Select (e, hi, lo) ->
+        let c = go e in
+        fun () -> Bits.select (c ()) hi lo
+    | Expr.Concat [ a; b ] ->
+        let ca = go a and cb = go b in
+        fun () -> Bits.concat (ca ()) (cb ())
+    | Expr.Concat es ->
+        let cs = Array.of_list (List.map go es) in
+        if Array.length cs = 0 then invalid_arg "Interp: empty concat";
+        fun () ->
+          let acc = ref (cs.(0) ()) in
+          for i = 1 to Array.length cs - 1 do
+            acc := Bits.concat !acc (cs.(i) ())
+          done;
+          !acc
+    | Expr.Unop (op, e) -> (
+        let c = go e in
+        match op with
+        | Expr.Not -> fun () -> Bits.lognot (c ())
+        | Expr.Reduce_or -> fun () -> of_bool (Bits.reduce_or (c ()))
+        | Expr.Reduce_and -> fun () -> of_bool (Bits.reduce_and (c ()))
+        | Expr.Reduce_xor -> fun () -> of_bool (Bits.reduce_xor (c ())))
+    | Expr.Binop (op, a, b) -> (
+        let ca = go a and cb = go b in
+        match op with
+        | Expr.And -> fun () -> Bits.logand (ca ()) (cb ())
+        | Expr.Or -> fun () -> Bits.logor (ca ()) (cb ())
+        | Expr.Xor -> fun () -> Bits.logxor (ca ()) (cb ())
+        | Expr.Add -> fun () -> Bits.add (ca ()) (cb ())
+        | Expr.Sub -> fun () -> Bits.sub (ca ()) (cb ())
+        | Expr.Mul -> fun () -> Bits.mul (ca ()) (cb ())
+        | Expr.Smul -> fun () -> Bits.smul (ca ()) (cb ())
+        | Expr.Eq -> fun () -> of_bool (Bits.equal (ca ()) (cb ()))
+        | Expr.Neq -> fun () -> of_bool (not (Bits.equal (ca ()) (cb ())))
+        | Expr.Ult -> fun () -> of_bool (Bits.ult (ca ()) (cb ()))
+        | Expr.Ule -> fun () -> of_bool (Bits.ule (ca ()) (cb ())))
+    | Expr.Mux (c, a, b) ->
+        let cc = go c and ca = go a and cb = go b in
+        fun () -> if Bits.reduce_or (cc ()) then ca () else cb ()
+    | Expr.Shift_left (e, k) ->
+        let c = go e in
+        fun () -> Bits.shift_left (c ()) k
+    | Expr.Shift_right (e, k) ->
+        let c = go e in
+        fun () -> Bits.shift_right (c ()) k
+  in
+  go e
+
+(* ------------------------------------------------------------------ *)
+(* Runtime state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type creg = { cr_slot : int; cr_init : Bits.t; cr_next : compiled }
+
+type cwrite = { cw_we : compiled; cw_addr : compiled; cw_data : compiled }
+
+type cmem = {
+  cm_name : string;
+  cm_width : int;
+  cm_depth : int;
+  cm_init : Bits.t array; (* declared image; shorter than depth pads zero *)
+  cm_arr : Bits.t array;
+  cm_writes : cwrite array;
+  (* Pre-edge sampling buffers: writes are sampled with pre-edge values
+     for every port, then committed, without allocating per step. *)
+  cm_we_buf : bool array;
+  cm_addr_buf : int array;
+  cm_data_buf : Bits.t array;
+}
+
+type snode = { sn_slot : int; sn_eval : compiled }
+
+type t = {
+  slots : (string, int) Hashtbl.t; (* API boundary: flat name -> slot *)
+  names : string array;            (* slot -> flat name *)
+  top_inputs : (string, int) Hashtbl.t; (* input name -> slot *)
+  values : Bits.t array;           (* slot -> current value *)
+  sched : snode array;             (* levelized combinational schedule *)
+  regs : creg array;
+  mems : cmem array;
+  arrays : (string, Bits.t array) Hashtbl.t; (* mem flat name -> words *)
+  reg_next_buf : Bits.t array;     (* pre-edge samples of register nexts *)
+}
+
+let settle t =
+  let sched = t.sched and values = t.values in
+  for i = 0 to Array.length sched - 1 do
+    let n = Array.unsafe_get sched i in
+    Array.unsafe_set values n.sn_slot (n.sn_eval ())
+  done
+
+let clock_edge t =
+  (* Sample every next-state value with pre-edge signals, then commit. *)
+  let regs = t.regs and buf = t.reg_next_buf in
+  for i = 0 to Array.length regs - 1 do
+    Array.unsafe_set buf i ((Array.unsafe_get regs i).cr_next ())
+  done;
+  Array.iter
+    (fun m ->
+      for j = 0 to Array.length m.cm_writes - 1 do
+        let w = m.cm_writes.(j) in
+        let we = Bits.reduce_or (w.cw_we ()) in
+        m.cm_we_buf.(j) <- we;
+        if we then begin
+          m.cm_addr_buf.(j) <- Bits.to_int_trunc (w.cw_addr ());
+          m.cm_data_buf.(j) <- w.cw_data ()
+        end
+      done)
+    t.mems;
+  for i = 0 to Array.length regs - 1 do
+    t.values.(regs.(i).cr_slot) <- buf.(i)
+  done;
+  Array.iter
+    (fun m ->
+      for j = 0 to Array.length m.cm_writes - 1 do
+        if m.cm_we_buf.(j) then begin
+          let addr = m.cm_addr_buf.(j) in
+          if addr < m.cm_depth then m.cm_arr.(addr) <- m.cm_data_buf.(j)
+        end
+      done)
+    t.mems
+
+let create top =
+  let decls, input_widths, assigns, regs, mems = flatten top in
+  (* Intern: declaration order fixes the slot numbering. *)
+  let n = List.length decls in
+  let slots = Hashtbl.create (2 * n) in
+  let names = Array.make n "" in
+  let values = Array.make n bits_false in
+  List.iteri
+    (fun i (name, w) ->
+      Hashtbl.replace slots name i;
+      names.(i) <- name;
+      values.(i) <- Bits.zero w)
+    decls;
+  let slot name =
+    match Hashtbl.find_opt slots name with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "Interp: unknown signal %s" name)
+  in
+  let compile e = compile_expr ~slot values e in
+  (* Memory storage. *)
+  let arrays = Hashtbl.create 8 in
+  let cmems =
+    Array.of_list
+      (List.map
+         (fun m ->
+           let arr =
+             Array.init m.fm_depth (fun i ->
+                 if i < Array.length m.fm_init then m.fm_init.(i)
+                 else Bits.zero m.fm_width)
+           in
+           Hashtbl.replace arrays m.fm_name arr;
+           let writes =
+             Array.of_list
+               (List.map
+                  (fun (w : Circuit.mem_write) ->
+                    {
+                      cw_we = compile w.we;
+                      cw_addr = compile w.waddr;
+                      cw_data = compile w.wdata;
+                    })
+                  m.fm_writes)
+           in
+           let nw = Array.length writes in
+           {
+             cm_name = m.fm_name;
+             cm_width = m.fm_width;
+             cm_depth = m.fm_depth;
+             cm_init = m.fm_init;
+             cm_arr = arr;
+             cm_writes = writes;
+             cm_we_buf = Array.make (max 1 nw) false;
+             cm_addr_buf = Array.make (max 1 nw) 0;
+             cm_data_buf = Array.make (max 1 nw) bits_false;
+           })
+         mems)
+  in
+  (* Levelize: combinational assignments plus memory read ports, as one
+     dependency graph over flat names. *)
+  let node_bodies = Hashtbl.create (2 * List.length assigns) in
   List.iter
-    (fun (tgt, e) -> Hashtbl.replace nodes tgt (Expr.vars e, `Assign e))
+    (fun (tgt, e) -> Hashtbl.replace node_bodies tgt (`Assign e))
     assigns;
   List.iter
     (fun m ->
       List.iter
-        (fun (rd, a) -> Hashtbl.replace nodes rd (Expr.vars a, `Memread (m, a)))
+        (fun (rd, a) -> Hashtbl.replace node_bodies rd (`Memread (m, a)))
         m.fm_reads)
     mems;
-  ignore widths;
-  let state = Hashtbl.create 256 in
-  (* 0 = unvisited, 1 = in progress, 2 = done *)
-  let order = ref [] in
-  let rec visit path name =
-    match Hashtbl.find_opt nodes name with
-    | None -> () (* input, register or constant source: state, not comb *)
-    | Some (deps, _) -> (
-        match Hashtbl.find_opt state name with
-        | Some 2 -> ()
-        | Some 1 ->
-            let cycle = name :: List.rev (name :: path) in
-            invalid_arg
-              ("Interp: combinational loop: " ^ String.concat " -> "
-                 (List.rev cycle))
-        | Some _ | None ->
-            Hashtbl.replace state name 1;
-            List.iter (visit (name :: path)) deps;
-            Hashtbl.replace state name 2;
-            order := name :: !order)
+  let graph =
+    List.map (fun (tgt, e) -> (tgt, Expr.vars e)) assigns
+    @ List.concat_map
+        (fun m -> List.map (fun (rd, a) -> (rd, Expr.vars a)) m.fm_reads)
+        mems
   in
-  Hashtbl.iter (fun name _ -> visit [] name) nodes;
-  (* [!order] holds the DFS finish order reversed (dependents first);
-     [rev_map] restores dependency-first order. *)
-  List.rev_map
-    (fun name ->
-      match Hashtbl.find nodes name with
-      | _, `Assign e -> (name, `Assign e)
-      | _, `Memread (m, a) -> (name, `Memread (m, a)))
-    !order
-
-type sched_node = [ `Assign of Expr.t | `Memread of flat_mem * Expr.t ]
-
-type sim = { base : base; sched : (string * sched_node) array }
-
-let env sim name =
-  match Hashtbl.find_opt sim.base.values name with
-  | Some v -> v
-  | None -> invalid_arg (Printf.sprintf "Interp: unknown signal %s" name)
-
-let settle_sim sim =
-  Array.iter
-    (fun (name, node) ->
-      let v =
-        match node with
-        | `Assign e -> Expr.eval ~env:(env sim) e
-        | `Memread (m, a) ->
-            let arr = Hashtbl.find sim.base.arrays m.fm_name in
-            let addr = Bits.to_int_trunc (Expr.eval ~env:(env sim) a) in
-            if addr < m.fm_depth then arr.(addr) else Bits.zero m.fm_width
-      in
-      Hashtbl.replace sim.base.values name v)
-    sim.sched
-
-let clock_edge sim =
-  (* Sample every next-state value with pre-edge signals, then commit. *)
-  let reg_next =
-    Array.map
-      (fun r -> (r.fr_name, Expr.eval ~env:(env sim) r.fr_next))
-      sim.base.regs
+  let order =
+    try Depth.levelize graph
+    with Depth.Combinational_cycle cycle ->
+      invalid_arg
+        ("Interp: combinational loop: " ^ String.concat " -> " cycle)
   in
-  let mem_ops =
-    Array.map
-      (fun m ->
-        let ops =
-          List.filter_map
-            (fun (w : Circuit.mem_write) ->
-              if Bits.reduce_or (Expr.eval ~env:(env sim) w.we) then
-                Some
-                  ( Bits.to_int_trunc (Expr.eval ~env:(env sim) w.waddr),
-                    Expr.eval ~env:(env sim) w.wdata )
-              else None)
-            m.fm_writes
-        in
-        (m, ops))
-      sim.base.mems
+  let sched =
+    Array.of_list
+      (List.map
+         (fun (name, _level) ->
+           let eval =
+             match Hashtbl.find node_bodies name with
+             | `Assign e -> compile e
+             | `Memread (m, a) ->
+                 let caddr = compile a in
+                 let arr = Hashtbl.find arrays m.fm_name in
+                 let depth = m.fm_depth in
+                 let zero = Bits.zero m.fm_width in
+                 fun () ->
+                   let addr = Bits.to_int_trunc (caddr ()) in
+                   if addr < depth then Array.unsafe_get arr addr else zero
+           in
+           { sn_slot = slot name; sn_eval = eval })
+         order)
   in
-  Array.iter (fun (n, v) -> Hashtbl.replace sim.base.values n v) reg_next;
-  Array.iter
-    (fun (m, ops) ->
-      let arr = Hashtbl.find sim.base.arrays m.fm_name in
-      List.iter
-        (fun (addr, data) -> if addr < m.fm_depth then arr.(addr) <- data)
-        ops)
-    mem_ops
-
-type t = sim
-
-let create top =
-  let widths, top_inputs, assigns, regs, mems = flatten top in
-  let order = schedule widths assigns mems in
-  let values = Hashtbl.create 256 in
-  Hashtbl.iter (fun n w -> Hashtbl.replace values n (Bits.zero w)) widths;
-  let arrays = Hashtbl.create 8 in
-  List.iter
-    (fun m ->
-      Hashtbl.replace arrays m.fm_name
-        (Array.init m.fm_depth (fun i ->
-             if i < Array.length m.fm_init then m.fm_init.(i)
-             else Bits.zero m.fm_width)))
-    mems;
-  let base =
+  let cregs =
+    Array.of_list
+      (List.map
+         (fun r ->
+           {
+             cr_slot = slot r.fr_name;
+             cr_init = r.fr_init;
+             cr_next = compile r.fr_next;
+           })
+         regs)
+  in
+  let top_inputs = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun name _w -> Hashtbl.replace top_inputs name (slot name))
+    input_widths;
+  let t =
     {
-      widths;
+      slots;
+      names;
       top_inputs;
-      regs = Array.of_list regs;
-      mems = Array.of_list mems;
       values;
+      sched;
+      regs = cregs;
+      mems = cmems;
       arrays;
+      reg_next_buf = Array.make (max 1 (Array.length cregs)) bits_false;
     }
   in
-  let sim = { base; sched = Array.of_list order } in
-  settle_sim sim;
-  sim
+  settle t;
+  t
 
-let reset sim =
-  Array.iter
-    (fun r -> Hashtbl.replace sim.base.values r.fr_name r.fr_init)
-    sim.base.regs;
+let reset t =
+  Array.iter (fun r -> t.values.(r.cr_slot) <- r.cr_init) t.regs;
   Array.iter
     (fun m ->
-      let arr = Hashtbl.find sim.base.arrays m.fm_name in
       Array.iteri
         (fun i _ ->
-          arr.(i) <-
-            (if i < Array.length m.fm_init then m.fm_init.(i)
-             else Bits.zero m.fm_width))
-        arr)
-    sim.base.mems;
-  settle_sim sim
+          m.cm_arr.(i) <-
+            (if i < Array.length m.cm_init then m.cm_init.(i)
+             else Bits.zero m.cm_width))
+        m.cm_arr)
+    t.mems;
+  settle t
 
-let set_input sim name v =
-  match Hashtbl.find_opt sim.base.top_inputs name with
+let set_input t name v =
+  match Hashtbl.find_opt t.top_inputs name with
   | None -> invalid_arg (Printf.sprintf "Interp: %s is not a top input" name)
-  | Some w ->
+  | Some s ->
+      let w = Bits.width t.values.(s) in
       if Bits.width v <> w then
         invalid_arg
           (Printf.sprintf "Interp: input %s expects width %d, got %d" name w
              (Bits.width v));
-      Hashtbl.replace sim.base.values name v
+      t.values.(s) <- v
 
-let settle = settle_sim
-
-let step sim =
+let step t =
   (* Next-state functions sample the pre-edge combinational values; after
      the edge the combinational logic is re-settled so outputs reflect the
      new state. *)
-  settle_sim sim;
-  clock_edge sim;
-  settle_sim sim
+  settle t;
+  clock_edge t;
+  settle t
 
-let run sim n =
+let run t n =
   for _ = 1 to n do
-    step sim
+    step t
   done
 
-let peek sim name =
-  match Hashtbl.find_opt sim.base.values name with
-  | Some v -> v
+let peek t name =
+  match Hashtbl.find_opt t.slots name with
+  | Some s -> t.values.(s)
   | None -> raise Not_found
 
-let peek_int sim name = Bits.to_int_trunc (peek sim name)
+let peek_int t name = Bits.to_int_trunc (peek t name)
 
-let peek_mem sim name addr =
-  match Hashtbl.find_opt sim.base.arrays name with
+let peek_mem t name addr =
+  match Hashtbl.find_opt t.arrays name with
   | None -> raise Not_found
   | Some arr ->
       if addr < 0 || addr >= Array.length arr then
         invalid_arg "Interp.peek_mem: address out of range";
       arr.(addr)
 
-let poke_mem sim name addr v =
-  match Hashtbl.find_opt sim.base.arrays name with
+let poke_mem t name addr v =
+  match Hashtbl.find_opt t.arrays name with
   | None -> raise Not_found
   | Some arr ->
       if addr < 0 || addr >= Array.length arr then
         invalid_arg "Interp.poke_mem: address out of range";
       arr.(addr) <- v
 
-let signal_names sim =
-  Hashtbl.fold (fun n _ acc -> n :: acc) sim.base.widths [] |> List.sort compare
+let signal_names t = Array.to_list t.names |> List.sort compare
+
+let memories t =
+  Array.to_list (Array.map (fun m -> (m.cm_name, m.cm_depth)) t.mems)
+  |> List.sort compare

@@ -1,9 +1,16 @@
 (** Cycle-accurate interpreter for {!Circuit} designs.
 
-    The hierarchy is flattened at {!create} time; combinational assignments
-    are evaluated in topological order.  One {!step} = settle combinational
-    logic with the current inputs, then take one rising clock edge (latch
-    registers and memory writes). *)
+    The hierarchy is flattened at {!create} time, every flat signal is
+    interned into an integer slot of a dense value array, every
+    expression is compiled into a closure over slot indices, and the
+    combinational network is levelized once ({!Depth.levelize}) — so the
+    per-cycle hot path performs no string hashing and no expression-tree
+    traversal.  One {!step} = settle combinational logic with the
+    current inputs, then take one rising clock edge (latch registers and
+    memory writes).
+
+    {!Interp_ref} preserves the original string-keyed engine; the two
+    are held bit-equivalent by differential tests. *)
 
 type t
 
@@ -46,3 +53,7 @@ val poke_mem : t -> string -> int -> Bits.t -> unit
 
 val signal_names : t -> string list
 (** All flat signal names (diagnostics). *)
+
+val memories : t -> (string * int) list
+(** All flattened memories as [(flat name, depth)], sorted (diagnostics
+    and differential testing). *)

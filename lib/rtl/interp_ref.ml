@@ -1,0 +1,309 @@
+(* The original string-keyed evaluation engine, kept verbatim as the
+   semantic reference for the slot-compiled {!Interp}.  Every signal is
+   looked up by flat name in hashtables and every expression tree is
+   re-walked on each evaluation — slow, but simple enough to audit.
+   The differential tests in [test/test_rtl.ml] step both engines in
+   lockstep and require identical state.
+
+   Flattening: every signal of every instance becomes a flat signal named
+   [prefix ^ signal]; instance boundaries become alias assignments. *)
+
+type flat_reg = {
+  fr_name : string;
+  fr_init : Bits.t;
+  fr_next : Expr.t;
+}
+
+type flat_mem = {
+  fm_name : string;
+  fm_width : int;
+  fm_depth : int;
+  fm_init : Bits.t array;
+  fm_writes : Circuit.mem_write list; (* exprs already renamed *)
+  fm_reads : (string * Expr.t) list;
+}
+
+type base = {
+  widths : (string, int) Hashtbl.t;
+  top_inputs : (string, int) Hashtbl.t;
+  regs : flat_reg array;
+  mems : flat_mem array;
+  values : (string, Bits.t) Hashtbl.t;
+  arrays : (string, Bits.t array) Hashtbl.t;
+}
+
+let flatten (top : Circuit.t) =
+  let widths = Hashtbl.create 256 in
+  let assigns = ref [] in
+  let regs = ref [] in
+  let mems = ref [] in
+  let add_width name w =
+    if Hashtbl.mem widths name then
+      invalid_arg (Printf.sprintf "Interp: duplicate flat signal %s" name);
+    Hashtbl.add widths name w
+  in
+  let rec go prefix (c : Circuit.t) =
+    let ren n = prefix ^ n in
+    let rename_expr = Expr.map_vars ren in
+    List.iter
+      (fun (p : Circuit.port) ->
+        (* Top-level inputs keep their names; instance ports are wires. *)
+        add_width (ren p.port_name) p.port_width)
+      c.ports;
+    List.iter
+      (fun (w : Circuit.signal) -> add_width (ren w.sig_name) w.sig_width)
+      c.wires;
+    List.iter
+      (fun (r : Circuit.reg) ->
+        add_width (ren r.reg_name) r.reg_width;
+        regs :=
+          { fr_name = ren r.reg_name; fr_init = r.init;
+            fr_next = rename_expr r.next }
+          :: !regs)
+      c.regs;
+    List.iter
+      (fun (m : Circuit.memory) ->
+        List.iter (fun (rd, _) -> add_width (ren rd) m.data_width) m.reads;
+        mems :=
+          {
+            fm_name = ren m.mem_name;
+            fm_width = m.data_width;
+            fm_depth = m.depth;
+            fm_init = m.init;
+            fm_writes =
+              List.map
+                (fun (w : Circuit.mem_write) ->
+                  {
+                    Circuit.we = rename_expr w.we;
+                    waddr = rename_expr w.waddr;
+                    wdata = rename_expr w.wdata;
+                  })
+                m.writes;
+            fm_reads =
+              List.map (fun (rd, a) -> (ren rd, rename_expr a)) m.reads;
+          }
+          :: !mems)
+      c.memories;
+    List.iter
+      (fun (a : Circuit.assign) ->
+        assigns := (ren a.target, rename_expr a.expr) :: !assigns)
+      c.assigns;
+    List.iter
+      (fun (i : Circuit.instance) ->
+        let sub_prefix = prefix ^ i.inst_name ^ "$" in
+        go sub_prefix i.sub;
+        List.iter
+          (fun (p, e) -> assigns := (sub_prefix ^ p, rename_expr e) :: !assigns)
+          i.in_connections;
+        List.iter
+          (fun (p, w) -> assigns := (ren w, Expr.Var (sub_prefix ^ p)) :: !assigns)
+          i.out_connections)
+      c.instances
+  in
+  go "" top;
+  let top_inputs = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Circuit.port) -> Hashtbl.add top_inputs p.port_name p.port_width)
+    (Circuit.inputs top);
+  (widths, top_inputs, List.rev !assigns, List.rev !regs, List.rev !mems)
+
+(* Topologically order combinational assignments; memory reads are
+   additional combinational nodes (memory contents are state). *)
+let schedule widths assigns (mems : flat_mem list) =
+  let nodes = Hashtbl.create 256 in
+  (* target -> dependency vars *)
+  List.iter
+    (fun (tgt, e) -> Hashtbl.replace nodes tgt (Expr.vars e, `Assign e))
+    assigns;
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (rd, a) -> Hashtbl.replace nodes rd (Expr.vars a, `Memread (m, a)))
+        m.fm_reads)
+    mems;
+  ignore widths;
+  let state = Hashtbl.create 256 in
+  (* 0 = unvisited, 1 = in progress, 2 = done *)
+  let order = ref [] in
+  let rec visit path name =
+    match Hashtbl.find_opt nodes name with
+    | None -> () (* input, register or constant source: state, not comb *)
+    | Some (deps, _) -> (
+        match Hashtbl.find_opt state name with
+        | Some 2 -> ()
+        | Some 1 ->
+            let cycle = name :: List.rev (name :: path) in
+            invalid_arg
+              ("Interp: combinational loop: " ^ String.concat " -> "
+                 (List.rev cycle))
+        | Some _ | None ->
+            Hashtbl.replace state name 1;
+            List.iter (visit (name :: path)) deps;
+            Hashtbl.replace state name 2;
+            order := name :: !order)
+  in
+  Hashtbl.iter (fun name _ -> visit [] name) nodes;
+  (* [!order] holds the DFS finish order reversed (dependents first);
+     [rev_map] restores dependency-first order. *)
+  List.rev_map
+    (fun name ->
+      match Hashtbl.find nodes name with
+      | _, `Assign e -> (name, `Assign e)
+      | _, `Memread (m, a) -> (name, `Memread (m, a)))
+    !order
+
+type sched_node = [ `Assign of Expr.t | `Memread of flat_mem * Expr.t ]
+
+type sim = { base : base; sched : (string * sched_node) array }
+
+let env sim name =
+  match Hashtbl.find_opt sim.base.values name with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Interp: unknown signal %s" name)
+
+let settle_sim sim =
+  Array.iter
+    (fun (name, node) ->
+      let v =
+        match node with
+        | `Assign e -> Expr.eval ~env:(env sim) e
+        | `Memread (m, a) ->
+            let arr = Hashtbl.find sim.base.arrays m.fm_name in
+            let addr = Bits.to_int_trunc (Expr.eval ~env:(env sim) a) in
+            if addr < m.fm_depth then arr.(addr) else Bits.zero m.fm_width
+      in
+      Hashtbl.replace sim.base.values name v)
+    sim.sched
+
+let clock_edge sim =
+  (* Sample every next-state value with pre-edge signals, then commit. *)
+  let reg_next =
+    Array.map
+      (fun r -> (r.fr_name, Expr.eval ~env:(env sim) r.fr_next))
+      sim.base.regs
+  in
+  let mem_ops =
+    Array.map
+      (fun m ->
+        let ops =
+          List.filter_map
+            (fun (w : Circuit.mem_write) ->
+              if Bits.reduce_or (Expr.eval ~env:(env sim) w.we) then
+                Some
+                  ( Bits.to_int_trunc (Expr.eval ~env:(env sim) w.waddr),
+                    Expr.eval ~env:(env sim) w.wdata )
+              else None)
+            m.fm_writes
+        in
+        (m, ops))
+      sim.base.mems
+  in
+  Array.iter (fun (n, v) -> Hashtbl.replace sim.base.values n v) reg_next;
+  Array.iter
+    (fun (m, ops) ->
+      let arr = Hashtbl.find sim.base.arrays m.fm_name in
+      List.iter
+        (fun (addr, data) -> if addr < m.fm_depth then arr.(addr) <- data)
+        ops)
+    mem_ops
+
+type t = sim
+
+let create top =
+  let widths, top_inputs, assigns, regs, mems = flatten top in
+  let order = schedule widths assigns mems in
+  let values = Hashtbl.create 256 in
+  Hashtbl.iter (fun n w -> Hashtbl.replace values n (Bits.zero w)) widths;
+  let arrays = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      Hashtbl.replace arrays m.fm_name
+        (Array.init m.fm_depth (fun i ->
+             if i < Array.length m.fm_init then m.fm_init.(i)
+             else Bits.zero m.fm_width)))
+    mems;
+  let base =
+    {
+      widths;
+      top_inputs;
+      regs = Array.of_list regs;
+      mems = Array.of_list mems;
+      values;
+      arrays;
+    }
+  in
+  let sim = { base; sched = Array.of_list order } in
+  settle_sim sim;
+  sim
+
+let reset sim =
+  Array.iter
+    (fun r -> Hashtbl.replace sim.base.values r.fr_name r.fr_init)
+    sim.base.regs;
+  Array.iter
+    (fun m ->
+      let arr = Hashtbl.find sim.base.arrays m.fm_name in
+      Array.iteri
+        (fun i _ ->
+          arr.(i) <-
+            (if i < Array.length m.fm_init then m.fm_init.(i)
+             else Bits.zero m.fm_width))
+        arr)
+    sim.base.mems;
+  settle_sim sim
+
+let set_input sim name v =
+  match Hashtbl.find_opt sim.base.top_inputs name with
+  | None -> invalid_arg (Printf.sprintf "Interp: %s is not a top input" name)
+  | Some w ->
+      if Bits.width v <> w then
+        invalid_arg
+          (Printf.sprintf "Interp: input %s expects width %d, got %d" name w
+             (Bits.width v));
+      Hashtbl.replace sim.base.values name v
+
+let settle = settle_sim
+
+let step sim =
+  (* Next-state functions sample the pre-edge combinational values; after
+     the edge the combinational logic is re-settled so outputs reflect the
+     new state. *)
+  settle_sim sim;
+  clock_edge sim;
+  settle_sim sim
+
+let run sim n =
+  for _ = 1 to n do
+    step sim
+  done
+
+let peek sim name =
+  match Hashtbl.find_opt sim.base.values name with
+  | Some v -> v
+  | None -> raise Not_found
+
+let peek_int sim name = Bits.to_int_trunc (peek sim name)
+
+let peek_mem sim name addr =
+  match Hashtbl.find_opt sim.base.arrays name with
+  | None -> raise Not_found
+  | Some arr ->
+      if addr < 0 || addr >= Array.length arr then
+        invalid_arg "Interp.peek_mem: address out of range";
+      arr.(addr)
+
+let poke_mem sim name addr v =
+  match Hashtbl.find_opt sim.base.arrays name with
+  | None -> raise Not_found
+  | Some arr ->
+      if addr < 0 || addr >= Array.length arr then
+        invalid_arg "Interp.poke_mem: address out of range";
+      arr.(addr) <- v
+
+let signal_names sim =
+  Hashtbl.fold (fun n _ acc -> n :: acc) sim.base.widths [] |> List.sort compare
+
+let memories sim =
+  Array.to_list
+    (Array.map (fun m -> (m.fm_name, m.fm_depth)) sim.base.mems)
+  |> List.sort compare

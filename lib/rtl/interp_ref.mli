@@ -1,0 +1,35 @@
+(** Reference interpreter: the original string-keyed, tree-walking
+    evaluation engine, kept as the executable specification of the
+    simulation semantics.
+
+    {!Interp} (the slot-compiled engine that replaced this one on the
+    hot path) must agree with this module bit for bit; the differential
+    tests in [test/test_rtl.ml] enforce that on every generated bus
+    architecture.  Use {!Interp} everywhere else — this engine re-walks
+    every expression tree with hashtable lookups per signal per cycle
+    and is an order of magnitude slower. *)
+
+type t
+
+val create : Circuit.t -> t
+(** Flatten and schedule the design.
+    @raise Invalid_argument on combinational loops. *)
+
+val reset : t -> unit
+val set_input : t -> string -> Bits.t -> unit
+val settle : t -> unit
+val step : t -> unit
+val run : t -> int -> unit
+
+val peek : t -> string -> Bits.t
+(** @raise Not_found if unknown. *)
+
+val peek_int : t -> string -> int
+val peek_mem : t -> string -> int -> Bits.t
+val poke_mem : t -> string -> int -> Bits.t -> unit
+
+val signal_names : t -> string list
+(** All flat signal names, sorted. *)
+
+val memories : t -> (string * int) list
+(** All flattened memories as [(flat name, depth)], sorted. *)

@@ -866,6 +866,211 @@ let prop_accumulator_model =
           Interp.peek_int sim "sum" = !model)
         inputs)
 
+(* ------------------------------------------------------------------ *)
+(* Representation boundary: widths around the small-int limit          *)
+(* ------------------------------------------------------------------ *)
+
+let test_bits_repr_boundary () =
+  (* Width 62 is the widest single-int value; 63+ use limbs.  Arithmetic
+     must agree across the boundary. *)
+  List.iter
+    (fun w ->
+      let m = Bits.ones w in
+      Alcotest.(check bool)
+        (Printf.sprintf "ones+1 wraps at width %d" w)
+        true
+        (Bits.is_zero (Bits.add m (Bits.one w)));
+      Alcotest.(check bool)
+        (Printf.sprintf "0-1 is ones at width %d" w)
+        true
+        (Bits.equal m (Bits.sub (Bits.zero w) (Bits.one w)));
+      Alcotest.(check bool)
+        (Printf.sprintf "lognot zero at width %d" w)
+        true
+        (Bits.equal m (Bits.lognot (Bits.zero w)));
+      Alcotest.(check int)
+        (Printf.sprintf "resize roundtrip at width %d" w)
+        99
+        (Bits.to_int_exn (Bits.resize (Bits.resize (Bits.of_int ~width:w 99) 120) 30)))
+    [ 61; 62; 63; 64; 65 ];
+  (* Cross-representation unsigned compare zero-extends. *)
+  Alcotest.(check int) "small vs wide equal" 0
+    (Bits.compare (Bits.of_int ~width:20 77) (Bits.of_int ~width:100 77));
+  Alcotest.(check bool) "small < wide" true
+    (Bits.ult (Bits.of_int ~width:20 77) (Bits.shift_left (Bits.one 100) 90));
+  (* Selects that straddle limb boundaries of a wide value. *)
+  let wide = Bits.shift_left (Bits.of_int ~width:128 0xABCD) 60 in
+  Alcotest.(check int) "wide select" 0xABCD
+    (Bits.to_int_exn (Bits.select wide 79 60));
+  Alcotest.(check int) "wide select offset" 0x5E6
+    (Bits.to_int_exn (Bits.select wide 72 61));
+  (* Concat crossing the boundary in and out. *)
+  let c = Bits.concat (Bits.ones 40) (Bits.zero 30) in
+  Alcotest.(check int) "concat width" 70 (Bits.width c);
+  Alcotest.(check bool) "low clear" false (Bits.bit c 29);
+  Alcotest.(check bool) "high set" true (Bits.bit c 69);
+  Alcotest.(check int) "concat select back" 0
+    (Bits.to_int_exn (Bits.select c 29 0))
+
+(* ------------------------------------------------------------------ *)
+(* Levelize                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_levelize () =
+  (* Diamond: d depends on b and c, both depend on a; a is a source. *)
+  let nodes =
+    [ ("d", [ "b"; "c" ]); ("b", [ "a" ]); ("c", [ "a" ]); ("x", []) ]
+  in
+  let order = Depth.levelize nodes in
+  let level n = List.assoc n order in
+  Alcotest.(check int) "b level" 1 (level "b");
+  Alcotest.(check int) "c level" 1 (level "c");
+  Alcotest.(check int) "d level" 2 (level "d");
+  Alcotest.(check int) "constant level" 0 (level "x");
+  (* Dependency-first order. *)
+  let pos n =
+    let rec go i = function
+      | [] -> Alcotest.failf "%s missing from order" n
+      | (m, _) :: _ when m = n -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 order
+  in
+  Alcotest.(check bool) "b before d" true (pos "b" < pos "d");
+  Alcotest.(check bool) "c before d" true (pos "c" < pos "d");
+  (* Cycles raise with the offending path. *)
+  match Depth.levelize [ ("p", [ "q" ]); ("q", [ "p" ]) ] with
+  | exception Depth.Combinational_cycle cycle ->
+      Alcotest.(check bool) "cycle names both nodes" true
+        (List.mem "p" cycle && List.mem "q" cycle)
+  | _ -> Alcotest.fail "cycle not detected"
+
+let test_duplicate_signal_instance_path () =
+  (* A top-level wire named [u$q] collides with the flattened name of
+     signal [q] inside instance [u]; the error must name both instance
+     paths, not just the flat name. *)
+  let open Circuit.Builder in
+  let sub =
+    let b = create "leaf" in
+    let a = input b "a" 1 in
+    output b "q" 1;
+    assign b "q" a;
+    finish b
+  in
+  let b = create "colliding" in
+  let a = input b "a" 1 in
+  let w = wire b "u$q" 1 in
+  assign b "u$q" a;
+  output b "o" 1;
+  (match
+     instantiate b ~name:"u" sub ~inputs:[ ("a", a) ]
+       ~outputs:[ ("q", "uq") ]
+   with
+  | [ e ] -> assign b "o" Expr.(e &: w)
+  | _ -> assert false);
+  let top = finish b in
+  match Interp.create top with
+  | exception Invalid_argument msg ->
+      let has sub =
+        let n = String.length msg and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "names the flat signal" true
+        (has "duplicate flat signal u$q");
+      Alcotest.(check bool) "names the first declaring instance" true
+        (has "<top> (colliding)");
+      Alcotest.(check bool) "names the colliding instance" true
+        (has "u (leaf)")
+  | _ -> Alcotest.fail "duplicate flat signal accepted"
+
+let test_comb_loop_has_path () =
+  (* The loop diagnostic must list the signals on the cycle instead of
+     hanging in a fixed-point loop. *)
+  let open Circuit.Builder in
+  let b = create "looped3" in
+  let w1 = wire b "w1" 1 in
+  let w2 = wire b "w2" 1 in
+  let w3 = wire b "w3" 1 in
+  assign b "w1" Expr.(~:w3);
+  assign b "w2" Expr.(~:w1);
+  assign b "w3" Expr.(~:w2);
+  output b "o" 1;
+  assign b "o" w1;
+  let c = finish b in
+  match Interp.create c with
+  | exception Invalid_argument msg ->
+      let has sub =
+        let n = String.length msg and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "loop phrase" true (has "combinational loop");
+      Alcotest.(check bool) "path arrows" true (has " -> ");
+      Alcotest.(check bool) "path names w2" true (has "w2")
+  | _ -> Alcotest.fail "loop not detected"
+
+(* ------------------------------------------------------------------ *)
+(* Differential: slot-compiled engine vs reference engine on the       *)
+(* generated bus architectures                                         *)
+(* ------------------------------------------------------------------ *)
+
+let differential_cycles = 40
+
+let differential name top =
+  let fast = Interp.create top in
+  let slow = Interp_ref.create top in
+  Interp.reset fast;
+  Interp_ref.reset slow;
+  let inputs = Circuit.inputs top in
+  let sigs = Interp.signal_names fast in
+  Alcotest.(check (list string))
+    (name ^ ": same signal set") (Interp_ref.signal_names slow) sigs;
+  Alcotest.(check (list (pair string int)))
+    (name ^ ": same memory set")
+    (Interp_ref.memories slow) (Interp.memories fast);
+  let st = Random.State.make [| 0x5EED; String.length name |] in
+  for cycle = 1 to differential_cycles do
+    List.iter
+      (fun (p : Circuit.port) ->
+        let v = Bits.init p.Circuit.port_width (fun _ -> Random.State.bool st) in
+        Interp.set_input fast p.Circuit.port_name v;
+        Interp_ref.set_input slow p.Circuit.port_name v)
+      inputs;
+    Interp.step fast;
+    Interp_ref.step slow;
+    List.iter
+      (fun s ->
+        let a = Interp.peek fast s and b = Interp_ref.peek slow s in
+        if not (Bits.equal a b) then
+          Alcotest.failf "%s: cycle %d: signal %s diverged (%s vs %s)" name
+            cycle s
+            (Bits.to_verilog_literal a)
+            (Bits.to_verilog_literal b))
+      sigs
+  done;
+  List.iter
+    (fun (m, depth) ->
+      for a = 0 to depth - 1 do
+        if not (Bits.equal (Interp.peek_mem fast m a) (Interp_ref.peek_mem slow m a))
+        then Alcotest.failf "%s: memory %s[%d] diverged" name m a
+      done)
+    (Interp.memories fast)
+
+let test_differential_counter () =
+  differential "counter8" (counter_circuit ())
+
+let generated_top arch =
+  let r =
+    Bussyn.Generate.generate arch (Bussyn.Archs.small_config ~n_pes:4)
+  in
+  r.Bussyn.Generate.generated.Bussyn.Archs.top
+
+let test_differential_ggba () = differential "ggba" (generated_top Bussyn.Generate.Ggba)
+let test_differential_gbavi () = differential "gbavi" (generated_top Bussyn.Generate.Gbavi)
+let test_differential_hybrid () = differential "hybrid" (generated_top Bussyn.Generate.Hybrid)
+let test_differential_splitba () = differential "splitba" (generated_top Bussyn.Generate.Splitba)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -896,6 +1101,8 @@ let () =
           Alcotest.test_case "arith" `Quick test_bits_arith;
           Alcotest.test_case "logic" `Quick test_bits_logic;
           Alcotest.test_case "compare" `Quick test_bits_compare;
+          Alcotest.test_case "representation boundary" `Quick
+            test_bits_repr_boundary;
         ] );
       ( "expr",
         [
@@ -928,6 +1135,18 @@ let () =
           Alcotest.test_case "opt circuit" `Quick test_opt_circuit_equivalence;
           Alcotest.test_case "verilog hierarchy" `Quick
             test_verilog_design_hierarchy;
+          Alcotest.test_case "levelize" `Quick test_levelize;
+          Alcotest.test_case "duplicate signal path" `Quick
+            test_duplicate_signal_instance_path;
+          Alcotest.test_case "comb loop path" `Quick test_comb_loop_has_path;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "counter" `Quick test_differential_counter;
+          Alcotest.test_case "ggba" `Quick test_differential_ggba;
+          Alcotest.test_case "gbavi" `Quick test_differential_gbavi;
+          Alcotest.test_case "hybrid" `Quick test_differential_hybrid;
+          Alcotest.test_case "splitba" `Quick test_differential_splitba;
         ] );
       ("properties", qcheck_cases);
     ]
