@@ -601,6 +601,97 @@ let bench_interp () =
     [ ("gbavi-table2", G.Gbavi); ("hybrid-table3", G.Hybrid) ]
 
 (* ------------------------------------------------------------------ *)
+(* Fault model: overhead of the armed-but-silent machinery, and the    *)
+(* cost of actually injected faults (retries + watchdog stalls)        *)
+(* ------------------------------------------------------------------ *)
+
+type fault_row = {
+  fr_name : string;
+  fr_ns_per_run : float;
+  fr_cycles : int;
+  fr_words : int;
+  fr_errors : int;
+  fr_timeouts : int;
+  fr_retries : int;
+  fr_unrecovered : int;
+}
+
+let fault_rows : fault_row list ref = ref []
+
+let bench_faults () =
+  header "Fault model - OFDM/FPA on GBAVIII, disabled vs armed vs injecting";
+  let open Bechamel in
+  let variants =
+    [
+      ("disabled", None);
+      ("armed-rate0", Some (Busgen_sim.Machine.fault_config ~seed:1 ~rate:0.0 ()));
+      ("rate-2e-2", Some (Busgen_sim.Machine.fault_config ~seed:1 ~rate:0.02 ()));
+      ("rate-1e-1", Some (Busgen_sim.Machine.fault_config ~seed:1 ~rate:0.1 ()));
+    ]
+  in
+  Printf.printf "%-14s %12s %10s %8s %8s %8s\n" "variant" "ns/run" "cycles"
+    "faults" "retries" "unrec";
+  List.iter
+    (fun (nm, faults) ->
+      let go () = Ofdm.run ?faults ~packets:2 G.Gbaviii Ofdm.Fpa in
+      let r = go () in
+      let s = r.Ofdm.stats in
+      let errors, timeouts, retries, unrecovered =
+        match s.Busgen_sim.Machine.reliability with
+        | None -> (0, 0, 0, 0)
+        | Some rel ->
+            Busgen_sim.Machine.(
+              (rel.r_errors, rel.r_timeouts, rel.r_retries, rel.r_unrecovered))
+      in
+      let t =
+        Test.make ~name:("faults:" ^ nm)
+          (Staged.stage (fun () -> ignore (go ())))
+      in
+      match ols_ns_per_run t with
+      | Some ns ->
+          Printf.printf "%-14s %12.0f %10d %8d %8d %8d\n%!" nm ns
+            s.Busgen_sim.Machine.cycles (errors + timeouts) retries
+            unrecovered;
+          fault_rows :=
+            {
+              fr_name = nm;
+              fr_ns_per_run = ns;
+              fr_cycles = s.Busgen_sim.Machine.cycles;
+              fr_words = s.Busgen_sim.Machine.words_transferred;
+              fr_errors = errors;
+              fr_timeouts = timeouts;
+              fr_retries = retries;
+              fr_unrecovered = unrecovered;
+            }
+            :: !fault_rows
+      | None -> Printf.printf "%-14s (no estimate)\n%!" nm)
+    variants
+
+let write_faults_json path =
+  if !fault_rows <> [] then begin
+    let oc = open_out path in
+    let rows =
+      List.rev !fault_rows
+      |> List.map (fun r ->
+             Printf.sprintf
+               "    {\"name\": %S, \"ns_per_run\": %.1f, \"cycles\": %d, \
+                \"words\": %d, \"errors\": %d, \"timeouts\": %d, \
+                \"retries\": %d, \"unrecovered\": %d}"
+               r.fr_name r.fr_ns_per_run r.fr_cycles r.fr_words r.fr_errors
+               r.fr_timeouts r.fr_retries r.fr_unrecovered)
+      |> String.concat ",\n"
+    in
+    Printf.fprintf oc
+      "{\n\
+      \  \"schema\": \"busgen-faults-bench/1\",\n\
+      \  \"runs\": [\n%s\n  ]\n\
+       }\n"
+      rows;
+    close_out oc;
+    Printf.printf "\n[bench] wrote %s\n" path
+  end
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_interp.json: machine-readable perf trajectory across PRs      *)
 (* ------------------------------------------------------------------ *)
 
@@ -661,5 +752,7 @@ let () =
   end;
   if want "bechamel" then bechamel_tables ();
   if want "interp" then bench_interp ();
+  if want "faults" then bench_faults ();
   write_bench_json "BENCH_interp.json";
+  write_faults_json "BENCH_faults.json";
   print_string "\nAll benchmarks complete.\n"

@@ -114,8 +114,17 @@ let generate_cmd =
                 lib/core/options_text.mli for the format); overrides \
                 --arch and the width flags.")
   in
+  let protect =
+    Arg.(
+      value & flag
+      & info [ "protect" ]
+          ~doc:"Generate bus error-protection hardware: a watchdog across \
+                each bus arbiter and even-parity generator/checker pairs \
+                across the bus data lines (option 1.2, 'protection on' in \
+                options files).")
+  in
   let run arch pes out data_width mem_addr_width fifo_depth lint options
-      optimize fft testbench =
+      optimize fft testbench protect =
     let result =
       match options with
       | Some file -> (
@@ -131,6 +140,7 @@ let generate_cmd =
             if fft then { config with Bussyn.Archs.accelerator = Bussyn.Archs.Acc_fft }
             else config
           in
+          let config = { config with Bussyn.Archs.protect } in
           G.generate arch config
     in
     Format.printf "%a@." G.pp_report result;
@@ -168,15 +178,24 @@ let generate_cmd =
       let report =
         Busgen_rtl.Lint.check result.G.generated.Bussyn.Archs.top
       in
-      if Busgen_rtl.Lint.is_clean report then print_endline "lint: clean"
-      else Format.printf "%a@." Busgen_rtl.Lint.pp_report report
-    end;
-    0
+      if Busgen_rtl.Lint.is_clean report then begin
+        print_endline "lint: clean";
+        0
+      end
+      else begin
+        (* Lint errors make the exit status non-zero so scripted flows
+           (CI, make) fail instead of shipping a broken netlist. *)
+        Format.printf "%a@." Busgen_rtl.Lint.pp_report report;
+        1
+      end
+    end
+    else 0
   in
   let term =
     Term.(
       const run $ arch_arg $ pes_arg $ out_arg $ data_width $ mem_addr_width
-      $ fifo_depth $ lint $ options_arg $ optimize $ fft $ testbench)
+      $ fifo_depth $ lint $ options_arg $ optimize $ fft $ testbench
+      $ protect)
   in
   Cmd.v
     (Cmd.info "generate"
@@ -216,6 +235,32 @@ let list_cmd =
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
+let faults_conv =
+  let parse s =
+    match String.index_opt s ':' with
+    | None -> Error (`Msg "--faults expects SEED:RATE (e.g. 42:0.001)")
+    | Some i -> (
+        let seed = int_of_string_opt (String.sub s 0 i) in
+        let rate =
+          float_of_string_opt
+            (String.sub s (i + 1) (String.length s - i - 1))
+        in
+        match (seed, rate) with
+        | Some seed, Some rate when rate >= 0.0 && rate <= 1.0 ->
+            Ok (Busgen_sim.Machine.fault_config ~seed ~rate ())
+        | _ ->
+            Error
+              (`Msg
+                "--faults expects SEED:RATE with an integer seed and a \
+                 rate in [0, 1]"))
+  in
+  let print fmt (fc : Busgen_sim.Machine.fault_config) =
+    Format.fprintf fmt "%d:%g" fc.Busgen_sim.Machine.f_seed
+      (float_of_int fc.Busgen_sim.Machine.f_error_num
+      /. float_of_int fc.Busgen_sim.Machine.f_den)
+  in
+  Arg.conv (parse, print)
+
 let simulate_cmd =
   let trace_arg =
     Arg.(
@@ -241,10 +286,33 @@ let simulate_cmd =
                 records), PREFIX-util.csv (bucketed bus utilization) and \
                 PREFIX-util.gp (a gnuplot script for the latter).")
   in
-  let run arch app trace csv =
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some faults_conv) None
+      & info [ "faults" ] ~docv:"SEED:RATE"
+          ~doc:"Enable the deterministic bus fault model: every granted \
+                transaction errors with probability RATE (and times out \
+                with RATE/4) from a per-bus LCG seeded by SEED; masters \
+                retry with exponential backoff and the run reports its \
+                reliability outcome.")
+  in
+  let max_cycles_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-cycles" ] ~docv:"N"
+          ~doc:"Stop the simulation after N cycles (default 200 million); \
+                useful to bound degraded fault-injection runs.")
+  in
+  let run arch app trace csv faults max_cycles =
     let report stats =
       if trace then
         Format.printf "%a@." Busgen_sim.Analysis.pp_report stats;
+      (if not trace then
+         match Busgen_sim.Analysis.reliability stats with
+         | None -> ()
+         | Some rr ->
+             Format.printf "%a@." Busgen_sim.Analysis.pp_reliability rr);
       match csv with
       | None -> ()
       | Some prefix ->
@@ -265,7 +333,7 @@ let simulate_cmd =
         let style =
           match app with `Ofdm_ppa -> Busgen_apps.Ofdm.Ppa | _ -> Busgen_apps.Ofdm.Fpa
         in
-        match Busgen_apps.Ofdm.run ~trace arch style with
+        match Busgen_apps.Ofdm.run ~trace ?faults ?max_cycles arch style with
         | r ->
             Printf.printf "OFDM %s on %s: %.4f Mbps (%d cycles)\n"
               (Busgen_apps.Ofdm.style_name style)
@@ -273,13 +341,13 @@ let simulate_cmd =
               r.Busgen_apps.Ofdm.stats.Busgen_sim.Machine.cycles;
             report r.Busgen_apps.Ofdm.stats)
     | `Mpeg2 ->
-        let r = Busgen_apps.Mpeg2.run ~trace arch in
+        let r = Busgen_apps.Mpeg2.run ~trace ?faults ?max_cycles arch in
         Printf.printf "MPEG2 on %s: %.4f Mbps (%d cycles)\n"
           (G.arch_name arch) r.Busgen_apps.Mpeg2.throughput_mbps
           r.Busgen_apps.Mpeg2.stats.Busgen_sim.Machine.cycles;
         report r.Busgen_apps.Mpeg2.stats
     | `Database ->
-        let r = Busgen_apps.Database.run ~trace arch in
+        let r = Busgen_apps.Database.run ~trace ?faults ?max_cycles arch in
         Printf.printf "Database on %s: %.0f ns (%d tasks)\n" (G.arch_name arch)
           r.Busgen_apps.Database.execution_time_ns r.Busgen_apps.Database.tasks;
         report r.Busgen_apps.Database.stats);
@@ -289,7 +357,161 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Run an application workload on a bus architecture and report \
              its performance.")
-    Term.(const run $ arch_arg $ app_arg $ trace_arg $ csv_arg)
+    Term.(
+      const run $ arch_arg $ app_arg $ trace_arg $ csv_arg $ faults_arg
+      $ max_cycles_arg)
+
+(* ------------------------------------------------------------------ *)
+(* inject                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let inject_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Campaign seed; the same seed always draws the same faults.")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "n" ] ~docv:"COUNT" ~doc:"Number of faults to inject.")
+  in
+  let cycles_arg =
+    Arg.(
+      value & opt int 120
+      & info [ "cycles" ] ~docv:"N"
+          ~doc:"Cycles to simulate per run (fault start times are drawn \
+                within this horizon).")
+  in
+  let protect_arg =
+    Arg.(
+      value & flag
+      & info [ "protect" ]
+          ~doc:"Generate the system with bus error protection (watchdog \
+                and parity modules), so faults can be flagged by the \
+                protection signals.")
+  in
+  let run arch pes seed n cycles protect =
+    let module I = Busgen_rtl.Interp in
+    let module C = Busgen_rtl.Circuit in
+    let module B = Busgen_rtl.Bits in
+    let config =
+      { (Bussyn.Archs.small_config ~n_pes:pes) with Bussyn.Archs.protect }
+    in
+    let r = G.generate arch config in
+    let top = r.G.generated.Bussyn.Archs.top in
+    let inputs = C.inputs top in
+    let outputs =
+      List.map (fun (p : C.port) -> p.C.port_name) (C.outputs top)
+    in
+    let sim = I.create top in
+    let contains hay needle =
+      let n = String.length hay and m = String.length needle in
+      let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+      go 0
+    in
+    (* The protection strobes exported by the boundary modules (they
+       dangle into nc_ wires at the system level but remain observable
+       flat signals). *)
+    let watch =
+      List.filter
+        (fun s ->
+          contains s "parity_error" || contains s "bus_timeout"
+          || contains s "par_err" || contains s "wd_to")
+        (I.signal_names sim)
+    in
+    let observed = outputs @ watch in
+    let n_out = List.length outputs in
+    (* Deterministic input stimulus, shared by the golden and every
+       faulty run. *)
+    let lcg = ref ((seed lxor 0x5EED) land 0x3FFFFFFF) in
+    let next () =
+      lcg := ((!lcg * 1664525) + 1013904223) land 0x3FFFFFFF;
+      !lcg
+    in
+    let schedule =
+      Array.init cycles (fun _ ->
+          List.map
+            (fun (p : C.port) ->
+              ( p.C.port_name,
+                B.init p.C.port_width (fun _ -> next () land 1 = 1) ))
+            inputs)
+    in
+    let run_once () =
+      I.reset sim;
+      Array.map
+        (fun ins ->
+          List.iter (fun (nm, v) -> I.set_input sim nm v) ins;
+          I.step sim;
+          List.map (fun s -> I.peek sim s) observed)
+        schedule
+    in
+    let golden = run_once () in
+    let campaign = I.random_campaign sim ~seed ~n ~horizon:cycles in
+    let fault_name = function
+      | I.Stuck_at_0 -> "stuck-at-0"
+      | I.Stuck_at_1 -> "stuck-at-1"
+      | I.Flip b -> Printf.sprintf "flip bit %d" b
+    in
+    let detected_corrupt = ref 0
+    and silent_corrupt = ref 0
+    and detected_masked = ref 0
+    and masked = ref 0 in
+    List.iter
+      (fun (inj : I.injection) ->
+        I.clear_injections sim;
+        I.inject sim [ inj ];
+        let faulty = run_once () in
+        let corrupt = ref false and flagged = ref false in
+        Array.iteri
+          (fun cy vals ->
+            List.iteri
+              (fun i f ->
+                if not (B.equal f (List.nth golden.(cy) i)) then
+                  if i < n_out then corrupt := true else flagged := true)
+              vals)
+          faulty;
+        incr
+          (match (!corrupt, !flagged) with
+          | true, true -> detected_corrupt
+          | true, false -> silent_corrupt
+          | false, true -> detected_masked
+          | false, false -> masked);
+        Printf.printf "%-28s @%4d for %d cycle(s) on %-24s -> %s\n"
+          (fault_name inj.I.inj_fault)
+          inj.I.inj_start inj.I.inj_cycles inj.I.inj_signal
+          (match (!corrupt, !flagged) with
+          | true, true -> "corrupted outputs, flagged"
+          | true, false -> "corrupted outputs, NOT flagged"
+          | false, true -> "masked, flagged"
+          | false, false -> "masked"))
+      campaign;
+    I.clear_injections sim;
+    Printf.printf
+      "\ncampaign: %s, %d PEs, %d faults over %d cycles (seed %d%s)\n"
+      (G.arch_name arch) pes n cycles seed
+      (if protect then ", protection on" else "");
+    Printf.printf
+      "  corrupted + flagged:  %d\n  corrupted, unflagged: %d\n\
+      \  masked but flagged:   %d\n  fully masked:         %d\n"
+      !detected_corrupt !silent_corrupt !detected_masked !masked;
+    if watch = [] then
+      print_endline
+        "  (no protection signals in this design; use --protect to add \
+         watchdog/parity hardware)";
+    0
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:"Run a deterministic RTL fault-injection campaign (stuck-at, \
+             bit-flip and glitch faults on random internal signals) \
+             against a golden run of the same stimulus, and report which \
+             faults corrupted outputs and which were flagged by the \
+             generated protection hardware.")
+    Term.(
+      const run $ arch_arg $ pes_arg $ seed_arg $ n_arg $ cycles_arg
+      $ protect_arg)
 
 (* ------------------------------------------------------------------ *)
 (* wires                                                               *)
@@ -532,8 +754,8 @@ let () =
   let info = Cmd.info "bussyn_cli" ~version:"1.0" ~doc in
   let cmd =
     Cmd.group info
-      [ generate_cmd; list_cmd; simulate_cmd; wires_cmd; explore_cmd;
-        wizard_cmd ]
+      [ generate_cmd; list_cmd; simulate_cmd; inject_cmd; wires_cmd;
+        explore_cmd; wizard_cmd ]
   in
   (* Option-level rejections (bad architecture/flag combinations,
      malformed options files) are user errors, not crashes. *)

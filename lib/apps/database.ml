@@ -99,7 +99,7 @@ let var_home name =
   | Some i ->
       int_of_string (String.sub name (i + 1) (String.length name - i - 1))
 
-let run ?(clients = 40) ?config ?(trace = false) arch =
+let run ?(clients = 40) ?config ?faults ?max_cycles ?(trace = false) arch =
   let n_pes = 4 in
   let config =
     match config with
@@ -116,8 +116,11 @@ let run ?(clients = 40) ?config ?(trace = false) arch =
         in
         { base with Machine.var_home; timing; trace }
   in
+  let config =
+    match faults with None -> config | Some _ -> { config with Machine.faults }
+  in
   let programs = programs ~arch ~n_pes ~clients in
-  let stats = Machine.run config programs in
+  let stats = Machine.run ?max_cycles config programs in
   {
     stats;
     execution_time_ns = float_of_int stats.Machine.cycles *. Machine.ns_per_cycle;

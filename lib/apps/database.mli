@@ -38,7 +38,10 @@ val programs :
 val run :
   ?clients:int ->
   ?config:Busgen_sim.Machine.config ->
+  ?faults:Busgen_sim.Machine.fault_config ->
+  ?max_cycles:int ->
   ?trace:bool ->
   Bussyn.Generate.arch ->
   result
-(** Default 40 clients (41 tasks). *)
+(** Default 40 clients (41 tasks).  [faults] enables the bus fault
+    model (overrides [config.faults] when both are given). *)

@@ -545,7 +545,7 @@ let var_home name =
   | Some i ->
       int_of_string (String.sub name (i + 1) (String.length name - i - 1))
 
-let run ?(gops = 8) ?config ?(trace = false) arch =
+let run ?(gops = 8) ?config ?faults ?max_cycles ?(trace = false) arch =
   let n_pes = 4 in
   let config =
     match config with
@@ -563,8 +563,11 @@ let run ?(gops = 8) ?config ?(trace = false) arch =
         in
         { base with Machine.var_home; timing; trace }
   in
+  let config =
+    match faults with None -> config | Some _ -> { config with Machine.faults }
+  in
   let programs = programs ~arch ~n_pes ~gops in
-  let stats = Machine.run config programs in
+  let stats = Machine.run ?max_cycles config programs in
   {
     stats;
     gops;

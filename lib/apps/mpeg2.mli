@@ -72,7 +72,10 @@ val programs :
 val run :
   ?gops:int ->
   ?config:Busgen_sim.Machine.config ->
+  ?faults:Busgen_sim.Machine.fault_config ->
+  ?max_cycles:int ->
   ?trace:bool ->
   Bussyn.Generate.arch ->
   result
-(** Default 8 GOPs. *)
+(** Default 8 GOPs.  [faults] enables the bus fault model (overrides
+    [config.faults] when both are given). *)

@@ -371,7 +371,8 @@ let var_home name =
   | Some i ->
       int_of_string (String.sub name (i + 1) (String.length name - i - 1))
 
-let run ?(packets = 8) ?config ?protocol ?(trace = false) arch style =
+let run ?(packets = 8) ?config ?faults ?max_cycles ?protocol ?(trace = false)
+    arch style =
   let n_pes = 4 in
   let config =
     match config with
@@ -380,8 +381,11 @@ let run ?(packets = 8) ?config ?protocol ?(trace = false) arch style =
         { (Machine.default_config arch ~n_pes) with Machine.var_home;
           trace }
   in
+  let config =
+    match faults with None -> config | Some _ -> { config with Machine.faults }
+  in
   let programs = programs ?protocol ~arch ~style ~n_pes ~packets () in
-  let stats = Machine.run config programs in
+  let stats = Machine.run ?max_cycles config programs in
   let throughput_mbps =
     match style with
     | Fpa ->

@@ -104,10 +104,13 @@ type result = {
 val run :
   ?packets:int ->
   ?config:Busgen_sim.Machine.config ->
+  ?faults:Busgen_sim.Machine.fault_config ->
+  ?max_cycles:int ->
   ?protocol:Comm.protocol ->
   ?trace:bool ->
   Bussyn.Generate.arch ->
   style ->
   result
 (** Simulate (default 8 packets, paper Fig. 24) and report throughput at
-    the 100 MHz bus clock. *)
+    the 100 MHz bus clock.  [faults] enables the bus fault model
+    (overrides [config.faults] when both are given). *)

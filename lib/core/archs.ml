@@ -18,6 +18,7 @@ type config = {
   accelerator : accelerator;
   mem_kind : mem_kind;
   n_subsystems : int;
+  protect : bool;
 }
 
 let paper_config ~n_pes =
@@ -33,6 +34,7 @@ let paper_config ~n_pes =
     accelerator = Acc_none;
     mem_kind = Mk_sram;
     n_subsystems = 2;
+    protect = false;
   }
 
 let small_config ~n_pes =
@@ -48,6 +50,7 @@ let small_config ~n_pes =
     accelerator = Acc_none;
     mem_kind = Mk_sram;
     n_subsystems = 2;
+    protect = false;
   }
 
 type generated = {
@@ -221,6 +224,41 @@ let bififo_params c =
 
 let el name spec = { Netlist.el_name = name; el_circuit = M.Catalog.create spec }
 
+(* Bus error-protection block (generated when [config.protect]): a
+   watchdog across the bus's select/acknowledge pair plus an even-parity
+   generator/checker over the write-data lines.  The timeout, release
+   and parity-error strobes are exported on the enclosing boundary
+   module; system assembly leaves them observable (RTL fault campaigns
+   peek them as <instance>$bus_timeout etc.). *)
+let watchdog_timeout = 64
+
+let protect_elements c =
+  let dw = c.bus_data_width in
+  [
+    el "WDOG"
+      (M.Catalog.Spec_watchdog { M.Watchdog.timeout = watchdog_timeout });
+    el "PARGEN"
+      (M.Catalog.Spec_parity
+         { M.Parity.data_width = dw; role = M.Parity.Generator });
+    el "PARCHK"
+      (M.Catalog.Spec_parity
+         { M.Parity.data_width = dw; role = M.Parity.Checker });
+  ]
+
+let protect_wires c ~boundary ~sel ~ack ~data =
+  let dw = c.bus_data_width in
+  let sm, sp = sel and am, ap = ack and dm, dp = data in
+  [
+    wf "w_wd_req" 1 (sm, sp) ("WDOG", "req");
+    wf "w_wd_ack" 1 (am, ap) ("WDOG", "ack");
+    wf "w_wd_to" 1 ("WDOG", "timeout") (boundary, "bus_timeout");
+    wf "w_wd_rel" 1 ("WDOG", "force_release") (boundary, "bus_release");
+    wf "w_par_data" dw (dm, dp) ("PARGEN", "data");
+    wf "w_par_chk" dw (dm, dp) ("PARCHK", "data");
+    wf "w_par_bit" 1 ("PARGEN", "parity") ("PARCHK", "parity");
+    wf "w_par_err" 1 ("PARCHK", "error") (boundary, "parity_error");
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* BFBA / Hybrid BAN                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -283,10 +321,10 @@ let ban_bfba ?(with_fft = false) c ~with_global =
                   data_width = dw });
          ]
        else [])
-    @
-    if with_fft then
-      [ el "FADP" (M.Catalog.Spec_fft_adapter { M.Fft_adapter.data_width = dw }) ]
-    else []
+    @ (if with_fft then
+         [ el "FADP" (M.Catalog.Spec_fft_adapter { M.Fft_adapter.data_width = dw }) ]
+       else [])
+    @ (if c.protect then protect_elements c else [])
   in
   let fft_region = if with_global then 5 else 4 in
   let wires =
@@ -343,6 +381,14 @@ let ban_bfba ?(with_fft = false) c ~with_global =
           wf "w_b_q" dw ("BAN", "q_b") ("FADP", "q_b");
           wf "w_b_ack" 1 ("BAN", "ack_b") ("FADP", "ack_b");
         ]
+    else []
+  in
+  let wires =
+    wires
+    @
+    if c.protect then
+      protect_wires c ~boundary:"BAN" ~sel:("CBI", "bus_sel")
+        ~ack:("LMUX", "m_ack") ~data:("CBI", "bus_wdata")
     else []
   in
   let ties =
@@ -415,6 +461,7 @@ let ban_gbavi_like c ~with_global =
                 data_width = dw });
        ]
      else [])
+    @ (if c.protect then protect_elements c else [])
   in
   let wires =
     cpu_socket ~aw ~dw ~boundary:"BAN"
@@ -469,6 +516,11 @@ let ban_gbavi_like c ~with_global =
         wf "w_js_rdata" dw ("MBI", "rdata") ("JOIN", "s_rdata");
         wf "w_js_ack" 1 ("MBI", "ack") ("JOIN", "s_ack");
       ]
+    @
+    if c.protect then
+      protect_wires c ~boundary:"BAN" ~sel:("CBI", "bus_sel")
+        ~ack:("LMUX", "m_ack") ~data:("CBI", "bus_wdata")
+    else []
   in
   let ties =
     [ ("BB", "enable", Bits.of_bool true) ]
@@ -509,6 +561,7 @@ let ban_gbaviii c =
            { M.Gbi.bus_type = M.Gbi.Gbi_gbaviii; addr_width = aw;
              data_width = dw });
     ]
+    @ (if c.protect then protect_elements c else [])
   in
   let wires =
     cpu_socket ~aw ~dw ~boundary:"BAN"
@@ -518,6 +571,10 @@ let ban_gbaviii c =
     @ local_mem_wires c ~tag:"w_lm" ~maw
     @ bus_link ~tag:"w_r1" ~aw ~dw ("LMUX", f_mux_slave 1) ("GBI", f_pre "i")
     @ bus_link ~tag:"w_g" ~aw ~dw ("GBI", f_pre "o") ("BAN", f_pre "g")
+    @ (if c.protect then
+         protect_wires c ~boundary:"BAN" ~sel:("CBI", "bus_sel")
+           ~ack:("LMUX", "m_ack") ~data:("CBI", "bus_wdata")
+       else [])
   in
   let ties =
     [ ("GBI", "en", Bits.of_bool true) ] @ snd (local_mem_element c ~maw)
@@ -583,6 +640,7 @@ let ban_global c ~masters =
          el "DCT" (M.Catalog.Spec_dct { M.Dct_ip.data_width = dw });
        ]
      else [])
+    @ (if c.protect then protect_elements c else [])
   in
   let master_wires =
     List.concat
@@ -634,6 +692,11 @@ let ban_global c ~masters =
   let wires =
     master_wires @ arb_wires @ slave_wires
     @ mem_wires ~tag:"w_mem" ~maw:gmaw ~mdw:dw ("MBI", "MEM")
+    @ (if c.protect then
+         protect_wires c ~boundary:"BANG" ~sel:("JOIN", "s_sel")
+           ~ack:(if with_dct then ("DEMUX", "m_ack") else ("MBI", "ack"))
+           ~data:("JOIN", "s_wdata")
+       else [])
   in
   let entry = { Spec.lib_name = "ban_global"; wires } in
   let circuit, info =
@@ -984,6 +1047,7 @@ let splitba_hub c ~masters ~ss_index ~n_ss =
       el "MBI" (M.Catalog.Spec_mbi (mbi_params c ~maw:gmaw));
       el "MEM" (M.Catalog.Spec_sram (sram_params c ~maw:gmaw));
     ]
+    @ (if c.protect then protect_elements c else [])
   in
   (* Region order in DEMUX follows region base order as given. *)
   let own_region = 0 in
@@ -1031,6 +1095,10 @@ let splitba_hub c ~masters ~ss_index ~n_ss =
                ("DEMUX", f_mux_slave (1 + rank))
                ("HUB", f_pre (Printf.sprintf "outb%d" j)))
            others)
+    @ (if c.protect then
+         protect_wires c ~boundary:"HUB" ~sel:("JOIN", "s_sel")
+           ~ack:("DEMUX", "m_ack") ~data:("JOIN", "s_wdata")
+       else [])
   in
   let entry = { Spec.lib_name = Printf.sprintf "splitba_hub%d" ss_index; wires } in
   let circuit, info =
@@ -1195,6 +1263,7 @@ let ccba c =
         el "MBI_G" (M.Catalog.Spec_mbi (mbi_params c ~maw:gmaw));
         el "MEM_G" (M.Catalog.Spec_sram (sram_params c ~maw:gmaw));
       ]
+    @ (if c.protect then protect_elements c else [])
   in
   let wires =
     cpu_exports ~aw ~dw names
@@ -1235,6 +1304,10 @@ let ccba c =
                  (Printf.sprintf "MBI_%d" k, Printf.sprintf "MEM_%d" k)))
     @ bus_link ~tag:"w_slg" ~aw ~dw ("DEMUX", f_mux_slave n) ("MBI_G", f_plain)
     @ mem_wires ~tag:"w_gm" ~maw:gmaw ~mdw:dw ("MBI_G", "MEM_G")
+    @ (if c.protect then
+         protect_wires c ~boundary:"SYS" ~sel:("JOIN", "s_sel")
+           ~ack:("DEMUX", "m_ack") ~data:("JOIN", "s_wdata")
+       else [])
   in
   let entry = { Spec.lib_name = "ccba_sys"; wires } in
   let top, info =

@@ -44,6 +44,12 @@ type config = {
       (** SplitBA: number of bus subsystems (2 in the paper; the
           generator accepts any [>= 2] via the full bridge mesh);
           ignored by the other architectures *)
+  protect : bool;
+      (** instantiate bus error-protection hardware: a [WATCHDOG] across
+          each bus's select/acknowledge pair and a [PARITY_GEN] /
+          [PARITY_CHK] pair over the write-data lines, with the timeout,
+          release and parity-error strobes exported on the enclosing
+          boundary module *)
 }
 
 val paper_config : n_pes:int -> config

@@ -121,6 +121,7 @@ let config_of_options (t : Options.t) =
             accelerator;
             mem_kind;
             n_subsystems = max 2 (List.length t.Options.subsystems);
+            protect = t.Options.protection;
           }
 
 type t = {

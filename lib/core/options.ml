@@ -27,7 +27,7 @@ type bus_prop = {
 
 type subsystem_prop = { buses : bus_prop list; bans : ban_prop list }
 
-type t = { subsystems : subsystem_prop list }
+type t = { subsystems : subsystem_prop list; protection : bool }
 
 let bus_type_name = function
   | Gbavi -> "GBAVI"
@@ -118,8 +118,9 @@ let validate t =
   match List.rev !errors with [] -> Ok () | es -> Error es
 
 let pp fmt t =
-  Format.fprintf fmt "1. Bus System: %d subsystem(s)@."
-    (List.length t.subsystems);
+  Format.fprintf fmt "1. Bus System: %d subsystem(s)%s@."
+    (List.length t.subsystems)
+    (if t.protection then ", error protection ON" else "");
   List.iteri
     (fun si ss ->
       Format.fprintf fmt "2. Subsystem %d: %d BAN(s), %d bus(es)@." si

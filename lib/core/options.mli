@@ -39,7 +39,13 @@ type subsystem_prop = {
   bans : ban_prop list;           (** option 2.1 gives the length *)
 }
 
-type t = { subsystems : subsystem_prop list }
+type t = {
+  subsystems : subsystem_prop list;
+  protection : bool;
+      (** generate bus error-protection hardware per subsystem: a
+          watchdog on each bus's request/acknowledge pair plus an even
+          parity generator/checker across the write-data lines *)
+}
 
 val validate : t -> (unit, string list) result
 (** All structural constraints of the input sequence: at least one

@@ -57,6 +57,7 @@ let rec mems_of lineno acc = function
 
 let parse src =
   let lines = String.split_on_char '\n' src in
+  let protection = ref false in
   (* Accumulate subsystems in reverse; the current subsystem's buses and
      bans also in reverse. *)
   let finalize (buses, bans) =
@@ -72,7 +73,7 @@ let parse src =
         in
         match subsystems with
         | [] -> Error "no subsystems (the file needs at least one 'subsystem')"
-        | ss -> Ok { Options.subsystems = ss })
+        | ss -> Ok { Options.subsystems = ss; protection = !protection })
     | line :: rest -> (
         let line =
           match String.index_opt line '#' with
@@ -86,6 +87,19 @@ let parse src =
         in
         match words with
         | [] -> go (lineno + 1) subsystems current rest
+        | "protection" :: tail -> (
+            match tail with
+            | [] | [ "on" ] ->
+                protection := true;
+                go (lineno + 1) subsystems current rest
+            | [ "off" ] ->
+                protection := false;
+                go (lineno + 1) subsystems current rest
+            | tok :: _ ->
+                Error
+                  (Printf.sprintf
+                     "line %d: 'protection' takes 'on' or 'off', got %S" lineno
+                     tok))
         | "subsystem" :: [] ->
             let subsystems =
               match current with
@@ -163,6 +177,7 @@ let mem_name = function
 
 let print (t : Options.t) =
   let buf = Buffer.create 256 in
+  if t.Options.protection then Buffer.add_string buf "protection on\n";
   List.iter
     (fun ss ->
       Buffer.add_string buf "subsystem\n";

@@ -12,6 +12,7 @@ let single_subsystem ~buses ~n_pes =
   {
     Options.subsystems =
       [ { Options.buses; bans = List.init n_pes (fun _ -> mpc755_ban) } ];
+    protection = false;
   }
 
 let bfba_n n =
@@ -45,6 +46,7 @@ let splitba_n n =
           bans = List.init (n - half) (fun _ -> mpc755_ban);
         };
       ];
+    protection = false;
   }
 
 let bfba_4pe = bfba_n 4

@@ -138,7 +138,15 @@ let run ~read ~emit =
           in
           { Options.buses; bans })
     in
-    let t = { Options.subsystems } in
+    let protection =
+      ask "1.2 generate bus error protection (watchdog + parity)? [y/n]"
+        ~default:"n"
+        ~parse:(function
+          | "y" | "yes" | "on" -> Ok true
+          | "n" | "no" | "off" -> Ok false
+          | s -> Error (Printf.sprintf "expected y or n, got %S" s))
+    in
+    let t = { Options.subsystems; protection } in
     match Options.validate t with
     | Ok () ->
         emit "options complete and valid.";

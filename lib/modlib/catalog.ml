@@ -19,6 +19,8 @@ type spec =
   | Spec_fft of Fft_ip.params
   | Spec_fft_adapter of Fft_adapter.params
   | Spec_rom of Rom.params
+  | Spec_watchdog of Watchdog.params
+  | Spec_parity of Parity.params
 
 let module_name = function
   | Spec_sram p -> Sram.module_name p
@@ -41,6 +43,8 @@ let module_name = function
   | Spec_fft p -> Fft_ip.module_name p
   | Spec_fft_adapter p -> Fft_adapter.module_name p
   | Spec_rom p -> Rom.module_name p
+  | Spec_watchdog p -> Watchdog.module_name p
+  | Spec_parity p -> Parity.module_name p
 
 let library_name = function
   | Spec_sram { Sram.kind = Sram.Sram; _ } -> "SRAM_comp"
@@ -74,6 +78,9 @@ let library_name = function
   | Spec_fft _ -> "FFT_IP"
   | Spec_fft_adapter _ -> "IL_FFT_ADAPTER"
   | Spec_rom _ -> "ROM_comp"
+  | Spec_watchdog _ -> "WATCHDOG"
+  | Spec_parity { Parity.role = Parity.Generator; _ } -> "PARITY_GEN"
+  | Spec_parity { Parity.role = Parity.Checker; _ } -> "PARITY_CHK"
 
 let cache : (string, Busgen_rtl.Circuit.t) Hashtbl.t = Hashtbl.create 32
 
@@ -104,6 +111,8 @@ let create spec =
         | Spec_fft p -> Fft_ip.create p
         | Spec_fft_adapter p -> Fft_adapter.create p
         | Spec_rom p -> Rom.create p
+        | Spec_watchdog p -> Watchdog.create p
+        | Spec_parity p -> Parity.create p
       in
       Hashtbl.add cache key c;
       c
@@ -144,4 +153,7 @@ let available =
     "DCT_IP";
     "FFT_IP";
     "IL_FFT_ADAPTER";
+    "WATCHDOG";
+    "PARITY_GEN";
+    "PARITY_CHK";
   ]

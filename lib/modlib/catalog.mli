@@ -28,6 +28,8 @@ type spec =
   | Spec_fft of Fft_ip.params
   | Spec_fft_adapter of Fft_adapter.params
   | Spec_rom of Rom.params
+  | Spec_watchdog of Watchdog.params
+  | Spec_parity of Parity.params
 
 val module_name : spec -> string
 (** The generated module's name, e.g. [mbi_sram_a20_d64_b64]. *)

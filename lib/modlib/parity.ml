@@ -1,0 +1,30 @@
+open Busgen_rtl
+
+type role = Generator | Checker
+
+type params = { data_width : int; role : role }
+
+let module_name p =
+  Printf.sprintf "parity_%s_d%d"
+    (match p.role with Generator -> "gen" | Checker -> "chk")
+    p.data_width
+
+(* Even parity over the data lines: the generator emits the XOR
+   reduction of [data]; the checker recomputes it and flags [error] when
+   it disagrees with the received [parity] bit.  Both are combinational,
+   adding no latency to the protected bus. *)
+let create p =
+  if p.data_width < 1 then invalid_arg "Parity: data_width must be >= 1";
+  let open Circuit.Builder in
+  let b = create (module_name p) in
+  let data = input b "data" p.data_width in
+  let reduce = Expr.Unop (Expr.Reduce_xor, data) in
+  (match p.role with
+  | Generator ->
+      output b "parity" 1;
+      assign b "parity" reduce
+  | Checker ->
+      let parity = input b "parity" 1 in
+      output b "error" 1;
+      assign b "error" Expr.(reduce ^: parity));
+  finish b

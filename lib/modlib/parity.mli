@@ -1,0 +1,20 @@
+(** Even-parity generator/checker pair (library components [PARITY_GEN]
+    and [PARITY_CHK]).
+
+    The generator reduces [data] to one parity bit; the checker
+    recomputes the reduction and raises [error] when it disagrees with
+    the received bit.  Wired across the write-data lines of each
+    generated bus when the [protection] option is on.
+
+    Generator ports: input [data] (data_width), output [parity] (1).
+    Checker ports: inputs [data] (data_width), [parity] (1), output
+    [error] (1). *)
+
+type role = Generator | Checker
+
+type params = { data_width : int; role : role }
+
+val module_name : params -> string
+
+val create : params -> Busgen_rtl.Circuit.t
+(** @raise Invalid_argument if [data_width < 1]. *)

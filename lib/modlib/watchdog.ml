@@ -1,0 +1,35 @@
+open Busgen_rtl
+
+type params = { timeout : int }
+
+let module_name p = Printf.sprintf "watchdog_t%d" p.timeout
+
+(* Bus watchdog: counts cycles an asserted request ([req]) goes without
+   an acknowledge ([ack]).  When the count reaches [timeout] the module
+   fires a one-cycle [timeout] strobe and holds [force_release] so the
+   arbiter (or top-level glue) can reclaim the bus from a wedged master.
+   The counter clears whenever the request drops or is acknowledged. *)
+let create p =
+  if p.timeout < 1 then invalid_arg "Watchdog: timeout must be >= 1";
+  let open Circuit.Builder in
+  let open Expr in
+  let b = create (module_name p) in
+  let req = input b "req" 1 in
+  let ack = input b "ack" 1 in
+  output b "timeout" 1;
+  output b "force_release" 1;
+  let cw = Util.clog2 (p.timeout + 1) in
+  let cnt = reg b "cnt" cw () in
+  let fired = reg b "fired" 1 () in
+  let pending = req &: ~:ack in
+  let at_limit = cnt ==: const_int ~width:cw p.timeout in
+  (* Saturate at the limit while the request stays unanswered, so the
+     release stays asserted instead of wrapping back to quiescent. *)
+  set_next b "cnt"
+    (mux pending
+       (mux at_limit cnt (cnt +: const_int ~width:cw 1))
+       (const_int ~width:cw 0));
+  set_next b "fired" (mux pending at_limit (const_int ~width:1 0));
+  assign b "timeout" (at_limit &: ~:fired);
+  assign b "force_release" at_limit;
+  finish b

@@ -1,0 +1,17 @@
+(** Bus watchdog (library component [WATCHDOG]).
+
+    Counts the cycles an asserted request goes unacknowledged; at
+    [timeout] it fires a one-cycle [timeout] strobe and holds
+    [force_release] until the request is answered or withdrawn.  Used by
+    the generated architectures (behind the [protection] option) to
+    guarantee a wedged bus transaction cannot hang the interconnect.
+
+    Ports: inputs [req], [ack] (1 bit each); outputs [timeout] (strobe)
+    and [force_release] (level). *)
+
+type params = { timeout : int }  (** cycles a request may go unanswered *)
+
+val module_name : params -> string
+
+val create : params -> Busgen_rtl.Circuit.t
+(** @raise Invalid_argument if [timeout < 1]. *)

@@ -220,6 +220,32 @@ type cmem = {
 
 type snode = { sn_slot : int; sn_eval : compiled }
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type fault = Stuck_at_0 | Stuck_at_1 | Flip of int
+
+type injection = {
+  inj_signal : string;
+  inj_fault : fault;
+  inj_start : int;
+  inj_cycles : int;
+}
+
+(* Injection compiled against a slot.  [ci_driven] marks signals that are
+   re-evaluated every settle (combinational targets) or committed on the
+   clock edge (registers); the fault transform is applied at those points.
+   Undriven slots (top inputs, floating wires) are transformed once per
+   step, before settling. *)
+type cinj = {
+  ci_slot : int;
+  ci_fault : fault;
+  ci_start : int;
+  ci_stop : int; (* exclusive *)
+  ci_driven : bool;
+}
+
 type t = {
   slots : (string, int) Hashtbl.t; (* API boundary: flat name -> slot *)
   names : string array;            (* slot -> flat name *)
@@ -230,14 +256,43 @@ type t = {
   mems : cmem array;
   arrays : (string, Bits.t array) Hashtbl.t; (* mem flat name -> words *)
   reg_next_buf : Bits.t array;     (* pre-edge samples of register nexts *)
+  driven : bool array;             (* slot -> written by sched or a reg *)
+  mutable cycle : int;             (* steps taken since create/reset *)
+  mutable injections : cinj array;
+  active : (int, fault) Hashtbl.t; (* slot -> fault live this cycle *)
+  mutable n_active : int;
 }
 
+let apply_fault f v =
+  let w = Bits.width v in
+  match f with
+  | Stuck_at_0 -> Bits.zero w
+  | Stuck_at_1 -> Bits.ones w
+  | Flip i ->
+      if i < 0 || i >= w then v
+      else Bits.logxor v (Bits.shift_left (Bits.of_int ~width:w 1) i)
+
 let settle t =
-  let sched = t.sched and values = t.values in
-  for i = 0 to Array.length sched - 1 do
-    let n = Array.unsafe_get sched i in
-    Array.unsafe_set values n.sn_slot (n.sn_eval ())
-  done
+  if t.n_active = 0 then begin
+    let sched = t.sched and values = t.values in
+    for i = 0 to Array.length sched - 1 do
+      let n = Array.unsafe_get sched i in
+      Array.unsafe_set values n.sn_slot (n.sn_eval ())
+    done
+  end
+  else begin
+    let sched = t.sched and values = t.values and active = t.active in
+    for i = 0 to Array.length sched - 1 do
+      let n = Array.unsafe_get sched i in
+      let v = n.sn_eval () in
+      let v =
+        match Hashtbl.find_opt active n.sn_slot with
+        | None -> v
+        | Some f -> apply_fault f v
+      in
+      Array.unsafe_set values n.sn_slot v
+    done
+  end
 
 let clock_edge t =
   (* Sample every next-state value with pre-edge signals, then commit. *)
@@ -245,6 +300,12 @@ let clock_edge t =
   for i = 0 to Array.length regs - 1 do
     Array.unsafe_set buf i ((Array.unsafe_get regs i).cr_next ())
   done;
+  if t.n_active > 0 then
+    for i = 0 to Array.length regs - 1 do
+      match Hashtbl.find_opt t.active regs.(i).cr_slot with
+      | None -> ()
+      | Some f -> buf.(i) <- apply_fault f buf.(i)
+    done;
   Array.iter
     (fun m ->
       for j = 0 to Array.length m.cm_writes - 1 do
@@ -384,6 +445,9 @@ let create top =
   Hashtbl.iter
     (fun name _w -> Hashtbl.replace top_inputs name (slot name))
     input_widths;
+  let driven = Array.make n false in
+  Array.iter (fun sn -> driven.(sn.sn_slot) <- true) sched;
+  Array.iter (fun (r : creg) -> driven.(r.cr_slot) <- true) cregs;
   let t =
     {
       slots;
@@ -395,12 +459,20 @@ let create top =
       mems = cmems;
       arrays;
       reg_next_buf = Array.make (max 1 (Array.length cregs)) bits_false;
+      driven;
+      cycle = 0;
+      injections = [||];
+      active = Hashtbl.create 8;
+      n_active = 0;
     }
   in
   settle t;
   t
 
 let reset t =
+  t.cycle <- 0;
+  Hashtbl.reset t.active;
+  t.n_active <- 0;
   Array.iter (fun r -> t.values.(r.cr_slot) <- r.cr_init) t.regs;
   Array.iter
     (fun m ->
@@ -424,13 +496,37 @@ let set_input t name v =
              (Bits.width v));
       t.values.(s) <- v
 
+(* Recompute the set of faults live at [t.cycle].  Undriven slots (top
+   inputs, floating wires) are transformed here, once per step: stuck
+   faults override whatever [set_input] stored; a [Flip] is applied only
+   on its first active cycle, so a multi-cycle flip does not toggle. *)
+let refresh_active t =
+  if Array.length t.injections > 0 || t.n_active > 0 then begin
+    Hashtbl.reset t.active;
+    t.n_active <- 0;
+    Array.iter
+      (fun ci ->
+        if t.cycle >= ci.ci_start && t.cycle < ci.ci_stop then begin
+          Hashtbl.replace t.active ci.ci_slot ci.ci_fault;
+          t.n_active <- t.n_active + 1;
+          if not ci.ci_driven then begin
+            match ci.ci_fault with
+            | Flip _ when t.cycle > ci.ci_start -> ()
+            | f -> t.values.(ci.ci_slot) <- apply_fault f t.values.(ci.ci_slot)
+          end
+        end)
+      t.injections
+  end
+
 let step t =
   (* Next-state functions sample the pre-edge combinational values; after
      the edge the combinational logic is re-settled so outputs reflect the
      new state. *)
+  refresh_active t;
   settle t;
   clock_edge t;
-  settle t
+  settle t;
+  t.cycle <- t.cycle + 1
 
 let run t n =
   for _ = 1 to n do
@@ -465,3 +561,79 @@ let signal_names t = Array.to_list t.names |> List.sort compare
 let memories t =
   Array.to_list (Array.map (fun m -> (m.cm_name, m.cm_depth)) t.mems)
   |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection API                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let current_cycle t = t.cycle
+
+let inject t injs =
+  let compile_inj inj =
+    let s =
+      match Hashtbl.find_opt t.slots inj.inj_signal with
+      | Some s -> s
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Interp.inject: unknown signal %s" inj.inj_signal)
+    in
+    if inj.inj_start < 0 then
+      invalid_arg
+        (Printf.sprintf "Interp.inject: %s: negative start cycle"
+           inj.inj_signal);
+    if inj.inj_cycles < 1 then
+      invalid_arg
+        (Printf.sprintf "Interp.inject: %s: duration must be >= 1 cycle"
+           inj.inj_signal);
+    (match inj.inj_fault with
+    | Flip i ->
+        let w = Bits.width t.values.(s) in
+        if i < 0 || i >= w then
+          invalid_arg
+            (Printf.sprintf "Interp.inject: %s: flip bit %d out of range 0..%d"
+               inj.inj_signal i (w - 1))
+    | Stuck_at_0 | Stuck_at_1 -> ());
+    {
+      ci_slot = s;
+      ci_fault = inj.inj_fault;
+      ci_start = inj.inj_start;
+      ci_stop = inj.inj_start + inj.inj_cycles;
+      ci_driven = t.driven.(s);
+    }
+  in
+  t.injections <-
+    Array.append t.injections (Array.of_list (List.map compile_inj injs))
+
+let clear_injections t =
+  t.injections <- [||];
+  Hashtbl.reset t.active;
+  t.n_active <- 0
+
+(* Deterministic campaign descriptor: a small LCG (same recurrence used
+   by the transaction-level simulator) over the sorted signal-name list,
+   so a given (design, seed, n, horizon) always yields the same faults. *)
+let random_campaign t ~seed ~n ~horizon =
+  if n < 0 then invalid_arg "Interp.random_campaign: negative n";
+  if horizon < 1 then invalid_arg "Interp.random_campaign: horizon must be >= 1";
+  let names = Array.of_list (signal_names t) in
+  if Array.length names = 0 then []
+  else begin
+    let lcg = ref (seed land 0x3FFFFFFF) in
+    let next m =
+      lcg := ((!lcg * 1664525) + 1013904223) land 0x3FFFFFFF;
+      !lcg mod max 1 m
+    in
+    List.init n (fun _ ->
+        let name = names.(next (Array.length names)) in
+        let w = Bits.width t.values.(Hashtbl.find t.slots name) in
+        let fault =
+          match next 3 with
+          | 0 -> Stuck_at_0
+          | 1 -> Stuck_at_1
+          | _ -> Flip (next w)
+        in
+        let start = next horizon in
+        let cycles = 1 + next 4 in
+        { inj_signal = name; inj_fault = fault; inj_start = start;
+          inj_cycles = cycles })
+  end

@@ -57,3 +57,44 @@ val signal_names : t -> string list
 val memories : t -> (string * int) list
 (** All flattened memories as [(flat name, depth)], sorted (diagnostics
     and differential testing). *)
+
+(** {1 Fault injection}
+
+    Deterministic, cycle-scheduled fault injection on named flat
+    signals.  Injections perturb the value a signal presents to the rest
+    of the design while active: combinational targets are transformed
+    after every evaluation, registers at the clock-edge commit, and
+    undriven signals (top inputs, floating wires) once per {!step}.
+    With no injections installed the evaluation hot path is unchanged. *)
+
+type fault =
+  | Stuck_at_0      (** force every bit to 0 while active *)
+  | Stuck_at_1      (** force every bit to 1 while active *)
+  | Flip of int     (** invert one bit (LSB = 0) while active *)
+
+type injection = {
+  inj_signal : string;  (** flat signal name, as in {!signal_names} *)
+  inj_fault : fault;
+  inj_start : int;      (** first affected cycle, counted by {!step} *)
+  inj_cycles : int;     (** duration; [1] models a transient glitch *)
+}
+
+val inject : t -> injection list -> unit
+(** Install injections (cumulative with previous calls).
+    @raise Invalid_argument on an unknown signal, a negative start, a
+    non-positive duration, or an out-of-range flip bit. *)
+
+val clear_injections : t -> unit
+(** Remove every installed injection and deactivate current faults. *)
+
+val current_cycle : t -> int
+(** Number of {!step}s taken since {!create} or {!reset} ({!reset}
+    restarts the cycle counter; installed injections are kept and will
+    replay relative to the new time base). *)
+
+val random_campaign :
+  t -> seed:int -> n:int -> horizon:int -> injection list
+(** [random_campaign t ~seed ~n ~horizon] draws [n] injections over the
+    design's signals with start cycles in [0, horizon) and durations of
+    1-4 cycles, from a seeded LCG — no global RNG, no wall clock; the
+    same arguments always produce the same campaign. *)

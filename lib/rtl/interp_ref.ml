@@ -154,7 +154,40 @@ let schedule widths assigns (mems : flat_mem list) =
 
 type sched_node = [ `Assign of Expr.t | `Memread of flat_mem * Expr.t ]
 
-type sim = { base : base; sched : (string * sched_node) array }
+(* Mirror of {!Interp}'s fault injection, re-implemented independently
+   against the string-keyed engine so differential tests can hold the
+   two faulty simulations bit-equivalent. *)
+type rinj = {
+  ri_name : string;
+  ri_fault : Interp.fault;
+  ri_start : int;
+  ri_stop : int; (* exclusive *)
+  ri_driven : bool;
+}
+
+type sim = {
+  base : base;
+  sched : (string * sched_node) array;
+  mutable cycle : int;
+  mutable injections : rinj list;
+  active : (string, Interp.fault) Hashtbl.t;
+}
+
+let apply_fault (f : Interp.fault) v =
+  let w = Bits.width v in
+  match f with
+  | Interp.Stuck_at_0 -> Bits.zero w
+  | Interp.Stuck_at_1 -> Bits.ones w
+  | Interp.Flip i ->
+      if i < 0 || i >= w then v
+      else Bits.logxor v (Bits.shift_left (Bits.of_int ~width:w 1) i)
+
+let faulted sim name v =
+  if Hashtbl.length sim.active = 0 then v
+  else
+    match Hashtbl.find_opt sim.active name with
+    | None -> v
+    | Some f -> apply_fault f v
 
 let env sim name =
   match Hashtbl.find_opt sim.base.values name with
@@ -172,14 +205,14 @@ let settle_sim sim =
             let addr = Bits.to_int_trunc (Expr.eval ~env:(env sim) a) in
             if addr < m.fm_depth then arr.(addr) else Bits.zero m.fm_width
       in
-      Hashtbl.replace sim.base.values name v)
+      Hashtbl.replace sim.base.values name (faulted sim name v))
     sim.sched
 
 let clock_edge sim =
   (* Sample every next-state value with pre-edge signals, then commit. *)
   let reg_next =
     Array.map
-      (fun r -> (r.fr_name, Expr.eval ~env:(env sim) r.fr_next))
+      (fun r -> (r.fr_name, faulted sim r.fr_name (Expr.eval ~env:(env sim) r.fr_next)))
       sim.base.regs
   in
   let mem_ops =
@@ -232,11 +265,21 @@ let create top =
       arrays;
     }
   in
-  let sim = { base; sched = Array.of_list order } in
+  let sim =
+    {
+      base;
+      sched = Array.of_list order;
+      cycle = 0;
+      injections = [];
+      active = Hashtbl.create 8;
+    }
+  in
   settle_sim sim;
   sim
 
 let reset sim =
+  sim.cycle <- 0;
+  Hashtbl.reset sim.active;
   Array.iter
     (fun r -> Hashtbl.replace sim.base.values r.fr_name r.fr_init)
     sim.base.regs;
@@ -264,13 +307,32 @@ let set_input sim name v =
 
 let settle = settle_sim
 
+let refresh_active sim =
+  if sim.injections <> [] || Hashtbl.length sim.active > 0 then begin
+    Hashtbl.reset sim.active;
+    List.iter
+      (fun ri ->
+        if sim.cycle >= ri.ri_start && sim.cycle < ri.ri_stop then begin
+          Hashtbl.replace sim.active ri.ri_name ri.ri_fault;
+          if not ri.ri_driven then
+            match ri.ri_fault with
+            | Interp.Flip _ when sim.cycle > ri.ri_start -> ()
+            | f ->
+                Hashtbl.replace sim.base.values ri.ri_name
+                  (apply_fault f (env sim ri.ri_name))
+        end)
+      sim.injections
+  end
+
 let step sim =
   (* Next-state functions sample the pre-edge combinational values; after
      the edge the combinational logic is re-settled so outputs reflect the
      new state. *)
+  refresh_active sim;
   settle_sim sim;
   clock_edge sim;
-  settle_sim sim
+  settle_sim sim;
+  sim.cycle <- sim.cycle + 1
 
 let run sim n =
   for _ = 1 to n do
@@ -302,6 +364,38 @@ let poke_mem sim name addr v =
 
 let signal_names sim =
   Hashtbl.fold (fun n _ acc -> n :: acc) sim.base.widths [] |> List.sort compare
+
+let current_cycle sim = sim.cycle
+
+let inject sim injs =
+  let compile_inj (inj : Interp.injection) =
+    if not (Hashtbl.mem sim.base.widths inj.Interp.inj_signal) then
+      invalid_arg
+        (Printf.sprintf "Interp_ref.inject: unknown signal %s"
+           inj.Interp.inj_signal);
+    if inj.Interp.inj_start < 0 || inj.Interp.inj_cycles < 1 then
+      invalid_arg
+        (Printf.sprintf "Interp_ref.inject: %s: bad schedule"
+           inj.Interp.inj_signal);
+    let driven =
+      Array.exists (fun (n, _) -> n = inj.Interp.inj_signal) sim.sched
+      || Array.exists
+           (fun r -> r.fr_name = inj.Interp.inj_signal)
+           sim.base.regs
+    in
+    {
+      ri_name = inj.Interp.inj_signal;
+      ri_fault = inj.Interp.inj_fault;
+      ri_start = inj.Interp.inj_start;
+      ri_stop = inj.Interp.inj_start + inj.Interp.inj_cycles;
+      ri_driven = driven;
+    }
+  in
+  sim.injections <- sim.injections @ List.map compile_inj injs
+
+let clear_injections sim =
+  sim.injections <- [];
+  Hashtbl.reset sim.active
 
 let memories sim =
   Array.to_list

@@ -33,3 +33,13 @@ val signal_names : t -> string list
 
 val memories : t -> (string * int) list
 (** All flattened memories as [(flat name, depth)], sorted. *)
+
+val inject : t -> Interp.injection list -> unit
+(** Mirror of {!Interp.inject} (same campaign descriptors), so faulty
+    runs of both engines can be compared differentially.
+    @raise Invalid_argument on unknown signals or bad schedules. *)
+
+val clear_injections : t -> unit
+
+val current_cycle : t -> int
+(** Steps taken since [create]/[reset]. *)

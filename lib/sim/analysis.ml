@@ -134,6 +134,58 @@ let lock_contention (s : Machine.stats) =
          :: acc)
        per_lock [])
 
+(* ------------------------------------------------------------------ *)
+(* Reliability                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type reliability_report = {
+  rr_errors : int;
+  rr_timeouts : int;
+  rr_retries : int;
+  rr_recovered : int;
+  rr_unrecovered : int;
+  rr_quarantined : int list;
+  rr_fault_rate : float;       (* faults per submitted transaction *)
+  rr_words_per_kcycle : float; (* goodput under faults *)
+}
+
+let reliability (s : Machine.stats) =
+  match s.Machine.reliability with
+  | None -> None
+  | Some r ->
+      let faults = r.Machine.r_errors + r.Machine.r_timeouts in
+      Some
+        {
+          rr_errors = r.Machine.r_errors;
+          rr_timeouts = r.Machine.r_timeouts;
+          rr_retries = r.Machine.r_retries;
+          rr_recovered = r.Machine.r_recovered;
+          rr_unrecovered = r.Machine.r_unrecovered;
+          rr_quarantined = r.Machine.r_quarantined;
+          rr_fault_rate =
+            float_of_int faults
+            /. float_of_int (max 1 s.Machine.transactions);
+          rr_words_per_kcycle =
+            1000.0
+            *. float_of_int s.Machine.words_transferred
+            /. float_of_int (max 1 s.Machine.cycles);
+        }
+
+let pp_reliability fmt rr =
+  Format.fprintf fmt
+    "@[<v>faults: %d errors, %d timeouts (%.4f per txn)@,\
+     recovery: %d retries, %d recovered, %d unrecovered@,\
+     goodput: %.1f words/kcycle@,"
+    rr.rr_errors rr.rr_timeouts rr.rr_fault_rate rr.rr_retries rr.rr_recovered
+    rr.rr_unrecovered rr.rr_words_per_kcycle;
+  (match rr.rr_quarantined with
+  | [] -> Format.fprintf fmt "quarantined PEs: none@,"
+  | pes ->
+      Format.fprintf fmt "quarantined PEs: %s@,"
+        (String.concat ", "
+           (List.map (fun pe -> Printf.sprintf "pe%d" pe) pes)));
+  Format.fprintf fmt "@]"
+
 let pp_report fmt (s : Machine.stats) =
   Format.fprintf fmt "@[<v>run: %d cycles, %d transactions, %d words@,"
     s.Machine.cycles s.Machine.transactions s.Machine.words_transferred;
@@ -174,6 +226,9 @@ let pp_report fmt (s : Machine.stats) =
         Format.fprintf fmt "load %-8s |%s|@," bus
           (String.init (Array.length arr) (fun i -> glyph arr.(i))))
       (timeline s ~buckets:40);
+  (match reliability s with
+  | None -> ()
+  | Some rr -> Format.fprintf fmt "%a" pp_reliability rr);
   Format.fprintf fmt "@]"
 
 (* ------------------------------------------------------------------ *)

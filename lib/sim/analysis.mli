@@ -46,8 +46,33 @@ val lock_contention : Machine.stats -> (string * int * float) list
     acquisition polls, test-and-sets and releases — so a hot lock shows
     both its traffic and the arbitration delay around it. *)
 
+(** {1 Reliability}
+
+    Digest of {!Machine.stats.reliability} for fault-injection runs. *)
+
+type reliability_report = {
+  rr_errors : int;
+  rr_timeouts : int;
+  rr_retries : int;
+  rr_recovered : int;
+  rr_unrecovered : int;
+  rr_quarantined : int list;
+  rr_fault_rate : float;
+      (** injected faults per submitted transaction (bus and private
+          paths together; only bus grants can fault) *)
+  rr_words_per_kcycle : float;
+      (** degraded throughput: words moved per 1000 cycles, retries and
+          watchdog stalls included *)
+}
+
+val reliability : Machine.stats -> reliability_report option
+(** [Some _] exactly when the run had {!Machine.config.faults} set. *)
+
+val pp_reliability : Format.formatter -> reliability_report -> unit
+
 val pp_report : Format.formatter -> Machine.stats -> unit
-(** Human-readable summary of all of the above. *)
+(** Human-readable summary of all of the above, including the
+    reliability digest when present. *)
 
 (** {1 Export}
 

@@ -2,6 +2,40 @@ type arch = Bussyn.Generate.arch
 
 type policy = Fcfs | Fixed_priority | Round_robin
 
+(* Per-bus fault model: every granted bus transaction draws from a
+   per-bus LCG (seeded from [f_seed] and the bus index, so runs are
+   reproducible) and fails with probability [f_error_num / f_den]
+   (error response) or [f_timeout_num / f_den] (slave timeout: the bus
+   is held for [f_watchdog_cycles] more cycles until the watchdog
+   forces release).  Masters retry a failed transaction up to
+   [f_max_retries] times with exponential backoff starting at
+   [f_backoff_cycles]; a transaction that exhausts its retries is
+   unrecoverable and its PE is quarantined by the arbiter. *)
+type fault_config = {
+  f_seed : int;
+  f_error_num : int;
+  f_timeout_num : int;
+  f_den : int;
+  f_max_retries : int;
+  f_backoff_cycles : int;
+  f_watchdog_cycles : int;
+}
+
+let fault_config ?(max_retries = 8) ?(backoff_cycles = 8)
+    ?(watchdog_cycles = 64) ~seed ~rate () =
+  if rate < 0.0 || rate > 1.0 then
+    Stdlib.invalid_arg "Machine.fault_config: rate must be within [0, 1]";
+  let den = 1_000_000 in
+  {
+    f_seed = seed;
+    f_error_num = int_of_float (rate *. float_of_int den);
+    f_timeout_num = int_of_float (rate /. 4.0 *. float_of_int den);
+    f_den = den;
+    f_max_retries = max_retries;
+    f_backoff_cycles = backoff_cycles;
+    f_watchdog_cycles = watchdog_cycles;
+  }
+
 type config = {
   arch : arch;
   n_pes : int;
@@ -13,6 +47,7 @@ type config = {
   var_home : string -> int;
   initial_flags : (Program.flag * bool) list;
   trace : bool;
+  faults : fault_config option;
 }
 
 let default_config arch ~n_pes =
@@ -45,7 +80,21 @@ let default_config arch ~n_pes =
     var_home = (fun _ -> 0);
     initial_flags;
     trace = false;
+    faults = None;
   }
+
+(* Reliability outcome of a faulty run.  [r_unrecovered = 0] means every
+   transaction eventually completed correctly (possibly after retries);
+   otherwise the PEs in [r_quarantined] were halted by the arbiter after
+   exhausting their retries and the run is degraded. *)
+type reliability = {
+  r_errors : int;
+  r_timeouts : int;
+  r_retries : int;
+  r_recovered : int;
+  r_unrecovered : int;
+  r_quarantined : int list;
+}
 
 type stats = {
   cycles : int;
@@ -57,6 +106,7 @@ type stats = {
   polls : int;
   marks : (string * int) list;
   trace : txn_record list;
+  reliability : reliability option;
 }
 
 and txn_record = {
@@ -80,6 +130,16 @@ let pp_stats fmt s =
   List.iter
     (fun (name, busy) -> Format.fprintf fmt "bus %s: busy %d@," name busy)
     s.bus_busy;
+  (match s.reliability with
+  | None -> ()
+  | Some r ->
+      Format.fprintf fmt
+        "faults: %d errors, %d timeouts, %d retries, %d recovered, %d \
+         unrecovered@,"
+        r.r_errors r.r_timeouts r.r_retries r.r_recovered r.r_unrecovered;
+      if r.r_quarantined <> [] then
+        Format.fprintf fmt "quarantined PEs: %s@,"
+          (String.concat ", " (List.map string_of_int r.r_quarantined)));
   Format.fprintf fmt "@]"
 
 exception Invalid_program of string
@@ -242,11 +302,13 @@ type phase =
   | Queued
   | Local_transfer of { mutable left : int; effect : unit -> phase }
   | Sleeping of { mutable left : int; retry : Program.op }
+  | Backoff of { mutable left : int; txn : txn }
+    (* waiting out exponential backoff before resubmitting [txn] *)
   | Fifo_blocked of Program.op
   | Irq_wait
   | Halted
 
-type txn = {
+and txn = {
   t_pe : int;
   t_cycles : int;
   t_words : int;
@@ -254,8 +316,13 @@ type txn = {
   t_kind : string;
   t_label : string option;
   t_submit : int;
+  t_attempts : int; (* failed bus attempts so far *)
+  t_path : path;    (* kept so a failed transaction can be resubmitted *)
   t_effect : unit -> phase;
 }
+
+(* Outcome drawn for the bus's current transaction at grant time. *)
+type fault_outcome = F_ok | F_error | F_timeout
 
 type bus = {
   b_res : resource;
@@ -265,6 +332,8 @@ type bus = {
   mutable waiting : txn list; (* arrival order *)
   mutable busy : int;
   mutable rr_last : int;
+  mutable b_lcg : int;             (* per-bus fault-draw stream *)
+  mutable b_fault : fault_outcome; (* fate of [cur] *)
 }
 
 (* Per-PE instruction-stream model for the optional real L1: mostly
@@ -279,6 +348,17 @@ type l1_state = {
 
 let l1_footprint_words = 1 lsl 13
 let l1_run = 256
+
+(* Running reliability counters (only driven when [config.faults] is
+   set; allocated unconditionally to keep the engine branch-free). *)
+type rel = {
+  mutable rl_errors : int;
+  mutable rl_timeouts : int;
+  mutable rl_retries : int;
+  mutable rl_recovered : int;
+  mutable rl_unrecovered : int;
+  mutable rl_quarantined : int list; (* reverse order *)
+}
 
 type m = {
   c : config;
@@ -296,6 +376,8 @@ type m = {
   mutable polls : int;
   pe_busy : int array;
   pe_wait : int array;
+  ops_done : int array; (* ops fetched per PE, for stuck diagnostics *)
+  rel : rel;
   mutable activity : bool;
   mutable m_marks : (string * int) list; (* reverse order *)
   mutable m_trace : txn_record list;     (* reverse order *)
@@ -347,6 +429,8 @@ let txn_of_path ~pe ~words ?(is_poll = false) ?(kind = "mem") ?label
     t_kind = kind;
     t_label = label;
     t_submit = 0;
+    t_attempts = 0;
+    t_path = path;
     t_effect = effect;
   }
 
@@ -483,6 +567,7 @@ and fetch m pe =
   match m.programs.(pe) () with
   | Some op ->
       m.activity <- true;
+      m.ops_done.(pe) <- m.ops_done.(pe) + 1;
       exec_op m pe op
   | None ->
       m.activity <- true;
@@ -512,7 +597,71 @@ let grant_next m b =
       b.cur <- Some pick;
       b.cur_left <- pick.t_cycles;
       b.cur_grant <- m.now;
+      (match m.c.faults with
+      | None -> ()
+      | Some fc ->
+          (* Both draws always advance the LCG so the per-bus stream
+             stays aligned whatever the outcomes. *)
+          let draw num =
+            b.b_lcg <- ((b.b_lcg * 1664525) + 1013904223) land 0x3FFFFFFF;
+            (* High bits: an LCG's low bits have short periods. *)
+            num > 0 && b.b_lcg lsr 4 mod fc.f_den < num
+          in
+          let timeout = draw fc.f_timeout_num in
+          let error = draw fc.f_error_num in
+          if timeout then begin
+            (* The slave never answers: the bus is held until the
+               watchdog fires and forces release. *)
+            b.b_fault <- F_timeout;
+            b.cur_left <- b.cur_left + fc.f_watchdog_cycles
+          end
+          else if error then b.b_fault <- F_error
+          else b.b_fault <- F_ok);
       m.activity <- true
+
+(* The arbiter quarantines a PE whose transaction exhausted its
+   retries: its locks are released so peers are not wedged forever, and
+   the PE is halted in place.  The run continues degraded. *)
+let quarantine m pe =
+  let owned =
+    Hashtbl.fold
+      (fun name owner acc -> if owner = pe then name :: acc else acc)
+      m.locks []
+  in
+  List.iter (Hashtbl.remove m.locks) owned;
+  m.phase.(pe) <- Halted;
+  m.halted <- m.halted + 1;
+  m.rel.rl_quarantined <- pe :: m.rel.rl_quarantined
+
+let phase_desc = function
+  | Fetch -> "fetching"
+  | Computing cs -> Printf.sprintf "computing (%d cycles left)" cs.cleft
+  | Queued -> "queued on a bus"
+  | Local_transfer lt ->
+      Printf.sprintf "in a local transfer (%d cycles left)" lt.left
+  | Sleeping s ->
+      Printf.sprintf "sleeping before a poll retry (%d cycles left)" s.left
+  | Backoff bo ->
+      Printf.sprintf "backing off before bus retry %d" bo.txn.t_attempts
+  | Fifo_blocked _ -> "blocked on a Bi-FIFO"
+  | Irq_wait -> "waiting for a FIFO interrupt"
+  | Halted -> "halted"
+
+(* "pe1 at op #12, queued on a bus; pe3 at op #9, ..." for every PE
+   that has not halted — the payload of Deadlock diagnostics. *)
+let stuck_report m =
+  let items = ref [] in
+  Array.iteri
+    (fun pe ph ->
+      match ph with
+      | Halted -> ()
+      | ph ->
+          items :=
+            Printf.sprintf "pe%d at op #%d, %s" pe m.ops_done.(pe)
+              (phase_desc ph)
+            :: !items)
+    m.phase;
+  String.concat "; " (List.rev !items)
 
 let resources_of c =
   match c.arch with
@@ -546,10 +695,15 @@ let run ?(max_cycles = 200_000_000) c programs =
       programs;
       phase = Array.make c.n_pes Fetch;
       buses =
-        List.map
-          (fun r ->
+        List.mapi
+          (fun i r ->
             { b_res = r; cur = None; cur_left = 0; cur_grant = 0;
-              waiting = []; busy = 0; rr_last = c.n_pes - 1 })
+              waiting = []; busy = 0; rr_last = c.n_pes - 1;
+              b_lcg =
+                (match c.faults with
+                | Some fc -> (fc.f_seed + ((i + 1) * 0x27d4eb2f)) land 0x3FFFFFFF
+                | None -> 0);
+              b_fault = F_ok })
           (resources_of c);
       l1s =
         (match c.l1 with
@@ -568,6 +722,10 @@ let run ?(max_cycles = 200_000_000) c programs =
       polls = 0;
       pe_busy = Array.make c.n_pes 0;
       pe_wait = Array.make c.n_pes 0;
+      ops_done = Array.make c.n_pes 0;
+      rel =
+        { rl_errors = 0; rl_timeouts = 0; rl_retries = 0; rl_recovered = 0;
+          rl_unrecovered = 0; rl_quarantined = [] };
       activity = false;
       m_marks = [];
       m_trace = [];
@@ -577,7 +735,12 @@ let run ?(max_cycles = 200_000_000) c programs =
   List.iter (fun (f, v) -> Hashtbl.replace m.flags f v) c.initial_flags;
   let cycles = ref 0 in
   let t = c.timing in
-  while m.halted < c.n_pes && !cycles < max_cycles do
+  (* With faults on, a quarantined PE can leave peers legitimately
+     wedged (e.g. polling a flag it will never set); such runs stop and
+     report instead of raising. *)
+  let degraded () = c.faults <> None && m.rel.rl_unrecovered > 0 in
+  let stop = ref false in
+  while (not !stop) && m.halted < c.n_pes && !cycles < max_cycles do
     incr cycles;
     m.now <- !cycles;
     m.activity <- false;
@@ -594,10 +757,38 @@ let run ?(max_cycles = 200_000_000) c programs =
             b.busy <- b.busy + 1;
             b.cur_left <- b.cur_left - 1;
             if b.cur_left = 0 then begin
+              let outcome = b.b_fault in
               b.cur <- None;
+              b.b_fault <- F_ok;
               record m ~resource:(resource_name b.b_res) txn
                 ~grant:b.cur_grant;
-              m.phase.(txn.t_pe) <- txn.t_effect ()
+              match (outcome, m.c.faults) with
+              | F_ok, _ | _, None ->
+                  (* Effects run only on success: a failed transaction
+                     never silently corrupts state. *)
+                  if txn.t_attempts > 0 then
+                    m.rel.rl_recovered <- m.rel.rl_recovered + 1;
+                  m.phase.(txn.t_pe) <- txn.t_effect ()
+              | (F_error | F_timeout), Some fc ->
+                  (match outcome with
+                  | F_error -> m.rel.rl_errors <- m.rel.rl_errors + 1
+                  | F_timeout | F_ok ->
+                      m.rel.rl_timeouts <- m.rel.rl_timeouts + 1);
+                  if txn.t_attempts < fc.f_max_retries then begin
+                    m.rel.rl_retries <- m.rel.rl_retries + 1;
+                    let left =
+                      fc.f_backoff_cycles lsl min txn.t_attempts 16
+                    in
+                    m.phase.(txn.t_pe) <-
+                      Backoff
+                        { left = max 1 left;
+                          txn = { txn with t_attempts = txn.t_attempts + 1 }
+                        }
+                  end
+                  else begin
+                    m.rel.rl_unrecovered <- m.rel.rl_unrecovered + 1;
+                    quarantine m txn.t_pe
+                  end
             end
         | None -> ());
         if b.cur = None then grant_next m b)
@@ -651,8 +842,17 @@ let run ?(max_cycles = 200_000_000) c programs =
             | Computing c2 when c2 == cphase && cphase.cleft = 0 ->
                 m.phase.(pe) <- Fetch
             | Computing _ | Fetch | Queued | Local_transfer _ | Sleeping _
-            | Fifo_blocked _ | Irq_wait | Halted ->
+            | Backoff _ | Fifo_blocked _ | Irq_wait | Halted ->
                 ())
+        | Backoff bo ->
+            m.activity <- true;
+            m.pe_wait.(pe) <- m.pe_wait.(pe) + 1;
+            bo.left <- bo.left - 1;
+            if bo.left <= 0 then
+              (* Resubmission is a fresh transaction from the bus's
+                 point of view (it re-arbitrates and re-transfers), so
+                 it goes through [submit] and is counted as traffic. *)
+              submit m bo.txn.t_path bo.txn
         | Local_transfer lt ->
             m.activity <- true;
             lt.left <- lt.left - 1;
@@ -675,14 +875,20 @@ let run ?(max_cycles = 200_000_000) c programs =
         | Queued -> m.pe_wait.(pe) <- m.pe_wait.(pe) + 1
         | Fetch | Halted -> ())
       m.phase;
-    if (not m.activity) && m.halted < c.n_pes then
-      raise
-        (Deadlock
-           (Printf.sprintf "no progress at cycle %d (%d/%d PEs halted)"
-              !cycles m.halted c.n_pes))
+    if (not m.activity) && m.halted < c.n_pes then begin
+      if degraded () then stop := true
+      else
+        raise
+          (Deadlock
+             (Printf.sprintf "no progress at cycle %d (%d/%d PEs halted): %s"
+                !cycles m.halted c.n_pes (stuck_report m)))
+    end
   done;
-  if m.halted < c.n_pes then
-    raise (Deadlock (Printf.sprintf "max_cycles (%d) exceeded" max_cycles));
+  if m.halted < c.n_pes && not (degraded ()) then
+    raise
+      (Deadlock
+         (Printf.sprintf "max_cycles (%d) exceeded, %d of %d PEs not halted: %s"
+            max_cycles (c.n_pes - m.halted) c.n_pes (stuck_report m)));
   {
     cycles = !cycles;
     pe_busy = m.pe_busy;
@@ -694,4 +900,17 @@ let run ?(max_cycles = 200_000_000) c programs =
     polls = m.polls;
     marks = List.rev m.m_marks;
     trace = List.rev m.m_trace;
+    reliability =
+      (match c.faults with
+      | None -> None
+      | Some _ ->
+          Some
+            {
+              r_errors = m.rel.rl_errors;
+              r_timeouts = m.rel.rl_timeouts;
+              r_retries = m.rel.rl_retries;
+              r_recovered = m.rel.rl_recovered;
+              r_unrecovered = m.rel.rl_unrecovered;
+              r_quarantined = List.rev m.rel.rl_quarantined;
+            });
   }

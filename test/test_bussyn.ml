@@ -24,7 +24,7 @@ let test_options_errors () =
     | Error _ -> ()
     | Ok () -> Alcotest.failf "%s: expected a validation error" what
   in
-  expect_error "no subsystems" { Options.subsystems = [] };
+  expect_error "no subsystems" { Options.subsystems = []; protection = false };
   expect_error "no bans"
     {
       Options.subsystems =
@@ -32,6 +32,7 @@ let test_options_errors () =
                                 bus_addr_width = 32; bus_data_width = 64;
                                 bififo_depth = None } ];
             bans = [] } ];
+      protection = false;
     };
   expect_error "bfba without depth"
     {
@@ -40,6 +41,7 @@ let test_options_errors () =
                                 bus_addr_width = 32; bus_data_width = 64;
                                 bififo_depth = None } ];
             bans = [ Options.default_mpc755_ban Options.paper_sram_8mb ] } ];
+      protection = false;
     };
   expect_error "depth on gbavi"
     {
@@ -48,6 +50,7 @@ let test_options_errors () =
                                 bus_addr_width = 32; bus_data_width = 64;
                                 bififo_depth = Some 16 } ];
             bans = [ Options.default_mpc755_ban Options.paper_sram_8mb ] } ];
+      protection = false;
     };
   expect_error "cpu and non-cpu"
     {
@@ -59,6 +62,7 @@ let test_options_errors () =
               [ { Options.cpu = Some Options.Cpu_mpc755;
                   non_cpu = Some Options.Dct;
                   memories = [] } ] } ];
+      protection = false;
     }
 
 let test_options_pp () =
@@ -160,7 +164,38 @@ let test_options_text_errors () =
   expect "bad cpu" "subsystem\nban cpu z80\n";
   expect "bad number" "subsystem\nbus bfba addr many\n";
   expect "dangling token" "subsystem\nnonsense\n";
-  expect "bad mem arity" "subsystem\nban cpu mpc755 mem sram 20\n"
+  expect "bad mem arity" "subsystem\nban cpu mpc755 mem sram 20\n";
+  expect "bad protection value" "protection maybe\nsubsystem\nbus bfba\n"
+
+(* The protection flag survives the text form and reaches the
+   generated hardware. *)
+let test_options_text_protection () =
+  let src =
+    "protection on\n\
+     subsystem\n\
+    \  bus gbaviii addr 32 data 32\n\
+    \  ban cpu mpc755 mem sram 16 32\n\
+    \  ban cpu mpc755 mem sram 16 32\n"
+  in
+  match Options_text.parse src with
+  | Error msg -> Alcotest.fail msg
+  | Ok opts -> (
+      Alcotest.(check bool) "parsed on" true opts.Options.protection;
+      (match Options_text.parse (Options_text.print opts) with
+      | Ok opts' when opts' = opts -> ()
+      | Ok _ -> Alcotest.fail "protection roundtrip changed the options"
+      | Error msg -> Alcotest.fail msg);
+      match Generate.from_options opts with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          Alcotest.(check bool) "config protected" true
+            r.Generate.config.Archs.protect;
+          Alcotest.(check bool) "watchdog generated" true
+            (List.exists
+               (fun c ->
+                 let cn = Circuit.name c in
+                 String.length cn >= 8 && String.sub cn 0 8 = "watchdog")
+               (Circuit.sub_circuits r.Generate.generated.Archs.top)))
 
 (* ------------------------------------------------------------------ *)
 (* Address map                                                         *)
@@ -448,6 +483,42 @@ let test_archs_wire_entries_valid () =
       | Error msg -> Alcotest.failf "%s: %s" name msg)
     (Lazy.force archs_small)
 
+(* The protection option instantiates the watchdog and parity hardware
+   in every architecture — including GGBA/CCBA, which are reachable
+   only through Archs directly — and keeps the system lint-clean. *)
+let test_archs_protected () =
+  let plain = Archs.small_config ~n_pes:2 in
+  let prot = { plain with Archs.protect = true } in
+  List.iter
+    (fun (name, build) ->
+      let g = build prot in
+      let report = Lint.check g.Archs.top in
+      if not (Lint.is_clean report) then
+        Alcotest.failf "%s protected: %a" name Lint.pp_report report;
+      let prefixed prefix c =
+        let cn = Circuit.name c in
+        String.length cn >= String.length prefix
+        && String.sub cn 0 (String.length prefix) = prefix
+      in
+      let subs = Circuit.sub_circuits g.Archs.top in
+      let present prefix = List.exists (prefixed prefix) subs in
+      Alcotest.(check bool) (name ^ ": watchdog present") true
+        (present "watchdog");
+      Alcotest.(check bool) (name ^ ": parity generator present") true
+        (present "parity_gen");
+      Alcotest.(check bool) (name ^ ": parity checker present") true
+        (present "parity_chk");
+      let subs0 = Circuit.sub_circuits (build plain).Archs.top in
+      Alcotest.(check bool) (name ^ ": unprotected has no watchdog") false
+        (List.exists (prefixed "watchdog") subs0);
+      Alcotest.(check bool) (name ^ ": protection adds hardware") true
+        (List.length subs > List.length subs0))
+    [
+      ("bfba", Archs.bfba); ("gbavi", Archs.gbavi); ("gbavii", Archs.gbavii);
+      ("gbaviii", Archs.gbaviii); ("hybrid", Archs.hybrid);
+      ("splitba", Archs.splitba); ("ggba", Archs.ggba); ("ccba", Archs.ccba);
+    ]
+
 (* A tiny PE-socket driver for the generated RTL. *)
 let init_pe_inputs sim n dw =
   for k = 0 to n - 1 do
@@ -563,6 +634,7 @@ let test_dct_accelerator_option () =
               ];
           };
         ];
+      protection = false;
     }
   in
   (match Generate.config_of_options opts with
@@ -762,7 +834,8 @@ let test_wizard_retries_and_fft () =
       "banana" (* not a number: re-asked *); "32"; "512"; "3";
       "mpc755"; "sram"; "16"; "32";
       "mpc755"; "sram"; "16"; "32";
-      "fft" ]
+      "fft";
+      "maybe" (* not y/n: re-asked *); "n" ]
   in
   match wizard_with answers with
   | Error e, _ -> Alcotest.fail e
@@ -1237,6 +1310,7 @@ let test_mpeg2_ban_rejected_clearly () =
               ];
           };
         ];
+      protection = false;
     }
   in
   match Generate.from_options opts with
@@ -1394,6 +1468,7 @@ let () =
             test_options_text_roundtrip_presets;
           Alcotest.test_case "errors" `Quick test_options_text_errors;
           Alcotest.test_case "fft ban" `Quick test_options_text_fft_ban;
+          Alcotest.test_case "protection" `Quick test_options_text_protection;
         ] );
       ( "netlist",
         [
@@ -1413,6 +1488,8 @@ let () =
           Alcotest.test_case "lint clean" `Quick test_archs_lint_clean;
           Alcotest.test_case "wire entries valid" `Quick
             test_archs_wire_entries_valid;
+          Alcotest.test_case "protected generation" `Quick
+            test_archs_protected;
           Alcotest.test_case "verilog roundtrip" `Quick
             test_archs_verilog_roundtrip;
           Alcotest.test_case "bfba end-to-end" `Quick test_bfba_end_to_end;

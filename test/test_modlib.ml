@@ -1050,8 +1050,112 @@ let test_dpram_conflict () =
 (* Catalog                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Protection: watchdog and parity                                     *)
+(* ------------------------------------------------------------------ *)
+
+let make_watchdog timeout =
+  let sim = Interp.create (Watchdog.create { Watchdog.timeout }) in
+  Interp.reset sim;
+  set sim "req" (b1 false);
+  set sim "ack" (b1 false);
+  sim
+
+let test_watchdog_times_out () =
+  let sim = make_watchdog 3 in
+  set sim "req" (b1 true);
+  (* Below the limit: quiet. *)
+  Interp.step sim;
+  Interp.step sim;
+  Alcotest.(check int) "not fired yet" 0 (Interp.peek_int sim "timeout");
+  Alcotest.(check int) "no release yet" 0
+    (Interp.peek_int sim "force_release");
+  (* The limit: a one-cycle strobe plus a held release... *)
+  Interp.step sim;
+  Alcotest.(check int) "strobe fires" 1 (Interp.peek_int sim "timeout");
+  Alcotest.(check int) "release asserted" 1
+    (Interp.peek_int sim "force_release");
+  Interp.step sim;
+  Alcotest.(check int) "strobe is one cycle" 0
+    (Interp.peek_int sim "timeout");
+  Alcotest.(check int) "release holds" 1
+    (Interp.peek_int sim "force_release");
+  (* ...until the wedged transaction is finally answered. *)
+  set sim "ack" (b1 true);
+  Interp.step sim;
+  Alcotest.(check int) "release clears on ack" 0
+    (Interp.peek_int sim "force_release")
+
+let test_watchdog_ack_restarts_count () =
+  let sim = make_watchdog 3 in
+  set sim "req" (b1 true);
+  Interp.step sim;
+  Interp.step sim;
+  (* An answer just before the limit restarts the count. *)
+  set sim "ack" (b1 true);
+  Interp.step sim;
+  set sim "ack" (b1 false);
+  Interp.step sim;
+  Interp.step sim;
+  Alcotest.(check int) "no premature timeout" 0
+    (Interp.peek_int sim "timeout");
+  Interp.step sim;
+  Alcotest.(check int) "fires a full period after the ack" 1
+    (Interp.peek_int sim "timeout")
+
+let test_watchdog_validates () =
+  match Watchdog.create { Watchdog.timeout = 0 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "timeout 0 accepted"
+
+let test_parity_gen_chk () =
+  let gen =
+    Interp.create
+      (Parity.create { Parity.data_width = 8; role = Parity.Generator })
+  in
+  let chk =
+    Interp.create
+      (Parity.create { Parity.data_width = 8; role = Parity.Checker })
+  in
+  Interp.reset gen;
+  Interp.reset chk;
+  List.iter
+    (fun v ->
+      set gen "data" (bi ~w:8 v);
+      Interp.step gen;
+      let p = Interp.peek_int gen "parity" in
+      (* Matching parity: clean. *)
+      set chk "data" (bi ~w:8 v);
+      set chk "parity" (bi ~w:1 p);
+      Interp.step chk;
+      Alcotest.(check int)
+        (Printf.sprintf "0x%02x clean" v)
+        0 (Interp.peek_int chk "error");
+      (* A corrupted data bit: flagged. *)
+      set chk "data" (bi ~w:8 (v lxor 0x10));
+      Interp.step chk;
+      Alcotest.(check int)
+        (Printf.sprintf "0x%02x corrupt data" v)
+        1 (Interp.peek_int chk "error");
+      (* A corrupted parity line: also flagged. *)
+      set chk "data" (bi ~w:8 v);
+      set chk "parity" (bi ~w:1 (p lxor 1));
+      Interp.step chk;
+      Alcotest.(check int)
+        (Printf.sprintf "0x%02x corrupt parity" v)
+        1 (Interp.peek_int chk "error"))
+    [ 0x00; 0x01; 0xFF; 0xA5; 0x3C ]
+
+let test_parity_validates () =
+  match Parity.create { Parity.data_width = 0; role = Parity.Generator } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "data_width 0 accepted"
+
 let all_specs =
   [
+    Catalog.Spec_watchdog { Watchdog.timeout = 16 };
+    Catalog.Spec_parity { Parity.data_width = 16; role = Parity.Generator };
+    Catalog.Spec_parity { Parity.data_width = 16; role = Parity.Checker };
     Catalog.Spec_sram { Sram.kind = Sram.Sram; addr_width = 4; data_width = 8 };
     Catalog.Spec_sram { Sram.kind = Sram.Dram; addr_width = 4; data_width = 8 };
     Catalog.Spec_mbi
@@ -1253,6 +1357,17 @@ let () =
           Alcotest.test_case "busjoin" `Quick test_busjoin_grant_routing;
           Alcotest.test_case "hs_slave" `Quick test_hs_slave_both_sides;
           Alcotest.test_case "fifo_slave" `Quick test_fifo_slave_roundtrip;
+        ] );
+      ( "protection",
+        [
+          Alcotest.test_case "watchdog times out" `Quick
+            test_watchdog_times_out;
+          Alcotest.test_case "watchdog ack restarts" `Quick
+            test_watchdog_ack_restarts_count;
+          Alcotest.test_case "watchdog validation" `Quick
+            test_watchdog_validates;
+          Alcotest.test_case "parity gen/chk" `Quick test_parity_gen_chk;
+          Alcotest.test_case "parity validation" `Quick test_parity_validates;
         ] );
       ( "catalog",
         [

@@ -1017,11 +1017,12 @@ let test_comb_loop_has_path () =
 
 let differential_cycles = 40
 
-let differential name top =
+let differential ?(prepare = fun _ _ -> ()) name top =
   let fast = Interp.create top in
   let slow = Interp_ref.create top in
   Interp.reset fast;
   Interp_ref.reset slow;
+  prepare fast slow;
   let inputs = Circuit.inputs top in
   let sigs = Interp.signal_names fast in
   Alcotest.(check (list string))
@@ -1070,6 +1071,115 @@ let test_differential_ggba () = differential "ggba" (generated_top Bussyn.Genera
 let test_differential_gbavi () = differential "gbavi" (generated_top Bussyn.Generate.Gbavi)
 let test_differential_hybrid () = differential "hybrid" (generated_top Bussyn.Generate.Hybrid)
 let test_differential_splitba () = differential "splitba" (generated_top Bussyn.Generate.Splitba)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive the counter for [n] cycles and record "count" after each. *)
+let counter_samples ?(n = 10) sim =
+  Interp.set_input sim "enable" (Bits.one 1);
+  Array.init n (fun _ ->
+      Interp.step sim;
+      Interp.peek_int sim "count")
+
+let test_inject_flip_and_clear () =
+  let sim = Interp.create (counter_circuit ()) in
+  Interp.reset sim;
+  let golden = counter_samples sim in
+  (* A whole-run flip of count's LSB perturbs exactly that bit. *)
+  Interp.reset sim;
+  Interp.inject sim
+    [ { Interp.inj_signal = "count"; inj_fault = Interp.Flip 0;
+        inj_start = 0; inj_cycles = 10 } ];
+  let flipped = counter_samples sim in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check int)
+        (Printf.sprintf "cycle %d: LSB inverted" i)
+        (golden.(i) lxor 1) v)
+    flipped;
+  (* clear_injections + reset restores bit-identical behaviour. *)
+  Interp.clear_injections sim;
+  Interp.reset sim;
+  Alcotest.(check (array int)) "clean after clear" golden
+    (counter_samples sim)
+
+let test_inject_stuck_window () =
+  let sim = Interp.create (counter_circuit ()) in
+  Interp.reset sim;
+  Interp.inject sim
+    [ { Interp.inj_signal = "count"; inj_fault = Interp.Stuck_at_1;
+        inj_start = 3; inj_cycles = 2 } ];
+  let samples = counter_samples sim in
+  (* The counter itself never reaches 255 in 10 cycles, so all-ones
+     readings are exactly the injection window. *)
+  let stuck = Array.fold_left (fun n v -> if v = 255 then n + 1 else n) 0 samples in
+  Alcotest.(check int) "two stuck cycles" 2 stuck;
+  Alcotest.(check int) "last cycle is healthy again" 10 samples.(9)
+
+let test_inject_validation () =
+  let sim = Interp.create (counter_circuit ()) in
+  let bad name inj =
+    match Interp.inject sim [ inj ] with
+    | exception Invalid_argument _ -> ()
+    | () -> Alcotest.failf "%s accepted" name
+  in
+  bad "unknown signal"
+    { Interp.inj_signal = "nonsense"; inj_fault = Interp.Stuck_at_0;
+      inj_start = 0; inj_cycles = 1 };
+  bad "negative start"
+    { Interp.inj_signal = "count"; inj_fault = Interp.Stuck_at_0;
+      inj_start = -1; inj_cycles = 1 };
+  bad "zero duration"
+    { Interp.inj_signal = "count"; inj_fault = Interp.Stuck_at_0;
+      inj_start = 0; inj_cycles = 0 };
+  bad "flip bit out of range"
+    { Interp.inj_signal = "count"; inj_fault = Interp.Flip 8;
+      inj_start = 0; inj_cycles = 1 }
+
+let test_random_campaign_deterministic () =
+  let sim = Interp.create (generated_top Bussyn.Generate.Gbaviii) in
+  let a = Interp.random_campaign sim ~seed:11 ~n:16 ~horizon:40 in
+  let b = Interp.random_campaign sim ~seed:11 ~n:16 ~horizon:40 in
+  Alcotest.(check int) "sixteen injections" 16 (List.length a);
+  Alcotest.(check bool) "same seed, same campaign" true (a = b);
+  let c = Interp.random_campaign sim ~seed:12 ~n:16 ~horizon:40 in
+  Alcotest.(check bool) "different seed, different campaign" true (a <> c);
+  (* Every drawn injection is installable as-is. *)
+  Interp.inject sim a;
+  List.iter
+    (fun (i : Interp.injection) ->
+      Alcotest.(check bool) "start within horizon" true
+        (i.Interp.inj_start >= 0 && i.Interp.inj_start < 40);
+      Alcotest.(check bool) "duration 1-4" true
+        (i.Interp.inj_cycles >= 1 && i.Interp.inj_cycles <= 4))
+    a
+
+let test_current_cycle () =
+  let sim = Interp.create (counter_circuit ()) in
+  Interp.reset sim;
+  Alcotest.(check int) "fresh" 0 (Interp.current_cycle sim);
+  Interp.set_input sim "enable" (Bits.zero 1);
+  Interp.run sim 7;
+  Alcotest.(check int) "counts steps" 7 (Interp.current_cycle sim);
+  Interp.reset sim;
+  Alcotest.(check int) "reset restarts" 0 (Interp.current_cycle sim)
+
+(* Both engines under the same campaign must stay in lockstep: the
+   faulty differential extends the bit-exactness guarantee to runs
+   with injections active. *)
+let test_differential_faulty () =
+  differential
+    ~prepare:(fun fast slow ->
+      let campaign =
+        Interp.random_campaign fast ~seed:77 ~n:12
+          ~horizon:differential_cycles
+      in
+      Interp.inject fast campaign;
+      Interp_ref.inject slow campaign)
+    "gbaviii+faults"
+    (generated_top Bussyn.Generate.Gbaviii)
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
@@ -1147,6 +1257,16 @@ let () =
           Alcotest.test_case "gbavi" `Quick test_differential_gbavi;
           Alcotest.test_case "hybrid" `Quick test_differential_hybrid;
           Alcotest.test_case "splitba" `Quick test_differential_splitba;
+          Alcotest.test_case "gbaviii faulty" `Quick test_differential_faulty;
+        ] );
+      ( "fault injection",
+        [
+          Alcotest.test_case "flip and clear" `Quick test_inject_flip_and_clear;
+          Alcotest.test_case "stuck window" `Quick test_inject_stuck_window;
+          Alcotest.test_case "validation" `Quick test_inject_validation;
+          Alcotest.test_case "campaign deterministic" `Quick
+            test_random_campaign_deterministic;
+          Alcotest.test_case "current cycle" `Quick test_current_cycle;
         ] );
       ("properties", qcheck_cases);
     ]

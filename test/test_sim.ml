@@ -864,6 +864,201 @@ let prop_flag_handshakes_complete =
           (G.Ggba, Program.Var_flag "rdy");
           (G.Ccba, Program.Var_flag "rdy") ])
 
+(* ------------------------------------------------------------------ *)
+(* Bus fault model                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A bus-heavy workload using only locations legal on [arch], so the
+   same generator drives the campaign on every architecture. *)
+let fault_workload arch n_pes =
+  let locs = Array.of_list (legal_locations arch n_pes) in
+  Array.init n_pes (fun pe ->
+      Program.of_list
+        (List.concat
+           (List.init 30 (fun i ->
+                let loc = locs.((pe + i) mod Array.length locs) in
+                [
+                  Program.Compute ((i mod 7) + 1);
+                  (if (pe + i) mod 2 = 0 then
+                     Program.Read (loc, (i mod 9) + 1)
+                   else Program.Write (loc, (i mod 9) + 1));
+                ]))
+        @ [ Program.Halt ]))
+
+let reliability_exn name stats =
+  match stats.Machine.reliability with
+  | Some r -> r
+  | None -> Alcotest.failf "%s: expected reliability stats" name
+
+(* The headline robustness property: on every architecture, a seeded
+   fault campaign is deterministic and every run either completes or
+   reports its damage — never a hang, never a silent loss. *)
+let test_fault_campaign_all_archs () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun seed ->
+          let name = Printf.sprintf "%s seed %d" (G.arch_name arch) seed in
+          let c =
+            {
+              (cfg ~arch ~n_pes:4 ()) with
+              Machine.faults = Some (Machine.fault_config ~seed ~rate:0.02 ());
+            }
+          in
+          let go () =
+            try run ~max_cycles:2_000_000 c (fault_workload arch 4)
+            with Machine.Deadlock msg ->
+              Alcotest.failf "%s: campaign raised Deadlock: %s" name msg
+          in
+          let s1 = go () in
+          let s2 = go () in
+          let r1 = reliability_exn name s1 and r2 = reliability_exn name s2 in
+          (* Determinism: the same seed replays the same run exactly. *)
+          Alcotest.(check int) (name ^ ": cycles repeat") s1.Machine.cycles
+            s2.Machine.cycles;
+          Alcotest.(check int) (name ^ ": words repeat")
+            s1.Machine.words_transferred s2.Machine.words_transferred;
+          Alcotest.(check (list int)) (name ^ ": quarantine repeats")
+            r1.Machine.r_quarantined r2.Machine.r_quarantined;
+          Alcotest.(check int) (name ^ ": faults repeat")
+            (r1.Machine.r_errors + r1.Machine.r_timeouts)
+            (r2.Machine.r_errors + r2.Machine.r_timeouts);
+          (* Accounting: every drawn fault is either retried or given
+             up on, and a give-up quarantines exactly one PE. *)
+          Alcotest.(check int) (name ^ ": fault accounting")
+            (r1.Machine.r_errors + r1.Machine.r_timeouts)
+            (r1.Machine.r_retries + r1.Machine.r_unrecovered);
+          Alcotest.(check bool) (name ^ ": recovered <= retries") true
+            (r1.Machine.r_recovered <= r1.Machine.r_retries);
+          Alcotest.(check int) (name ^ ": quarantined = unrecovered")
+            r1.Machine.r_unrecovered
+            (List.length r1.Machine.r_quarantined);
+          (* BFBA has no shared buses, so the bus fault model is
+             vacuous there: the campaign must draw nothing. *)
+          if arch = G.Bfba then
+            Alcotest.(check int) (name ^ ": bfba fault-free") 0
+              (r1.Machine.r_errors + r1.Machine.r_timeouts))
+        [ 1; 7; 42 ])
+    all_archs
+
+(* rate = 0.0 keeps the fault machinery armed but never fires: the run
+   must be cycle-for-cycle identical to one with faults disabled. *)
+let test_fault_rate_zero_identical () =
+  let arch = G.Gbavii in
+  let base = cfg ~arch ~n_pes:4 () in
+  let s_off = run base (fault_workload arch 4) in
+  let c_on =
+    { base with
+      Machine.faults = Some (Machine.fault_config ~seed:5 ~rate:0.0 ()) }
+  in
+  let s_on = run c_on (fault_workload arch 4) in
+  Alcotest.(check int) "cycles" s_off.Machine.cycles s_on.Machine.cycles;
+  Alcotest.(check int) "transactions" s_off.Machine.transactions
+    s_on.Machine.transactions;
+  Alcotest.(check int) "words" s_off.Machine.words_transferred
+    s_on.Machine.words_transferred;
+  Alcotest.(check (array int)) "pe busy" s_off.Machine.pe_busy
+    s_on.Machine.pe_busy;
+  Alcotest.(check (array int)) "pe wait" s_off.Machine.pe_wait
+    s_on.Machine.pe_wait;
+  (match s_off.Machine.reliability with
+  | None -> ()
+  | Some _ -> Alcotest.fail "faults disabled must not report reliability");
+  let r = reliability_exn "rate zero" s_on in
+  Alcotest.(check int) "no faults drawn" 0
+    (r.Machine.r_errors + r.Machine.r_timeouts + r.Machine.r_retries
+   + r.Machine.r_unrecovered)
+
+(* Retries recover: a moderate fault rate with generous retries must
+   still complete all programs (no quarantine, words conserved). *)
+let test_fault_retries_recover () =
+  let arch = G.Gbaviii in
+  let base = cfg ~arch ~n_pes:4 () in
+  let s_clean = run base (fault_workload arch 4) in
+  let c =
+    { base with
+      Machine.faults = Some (Machine.fault_config ~seed:3 ~rate:0.05 ()) }
+  in
+  let s = run ~max_cycles:2_000_000 c (fault_workload arch 4) in
+  let r = reliability_exn "retries recover" s in
+  Alcotest.(check bool) "faults actually fired" true
+    (r.Machine.r_errors + r.Machine.r_timeouts > 0);
+  Alcotest.(check int) "all recovered" 0 r.Machine.r_unrecovered;
+  Alcotest.(check int) "recovered = retried faults" r.Machine.r_recovered
+    (r.Machine.r_errors + r.Machine.r_timeouts);
+  (* Retries resubmit real traffic, so the run can only move more
+     words and take longer than the clean one — never fewer. *)
+  Alcotest.(check bool) "words conserved" true
+    (s.Machine.words_transferred >= s_clean.Machine.words_transferred);
+  Alcotest.(check bool) "faults cost cycles" true
+    (s.Machine.cycles >= s_clean.Machine.cycles)
+
+(* Near-certain faults with no retry budget: PEs are quarantined, the
+   run still terminates and reports the damage instead of raising. *)
+let test_fault_quarantine_degrades () =
+  let c =
+    {
+      (cfg ~arch:G.Gbaviii ~n_pes:4 ()) with
+      Machine.faults =
+        Some (Machine.fault_config ~seed:9 ~rate:0.9 ~max_retries:1 ());
+    }
+  in
+  let s = run ~max_cycles:200_000 c (fault_workload G.Gbaviii 4) in
+  let r = reliability_exn "quarantine" s in
+  Alcotest.(check bool) "unrecovered faults occurred" true
+    (r.Machine.r_unrecovered > 0);
+  Alcotest.(check bool) "PEs quarantined" true (r.Machine.r_quarantined <> []);
+  Alcotest.(check int) "one quarantine per give-up" r.Machine.r_unrecovered
+    (List.length r.Machine.r_quarantined);
+  List.iter
+    (fun pe ->
+      Alcotest.(check bool) (Printf.sprintf "pe%d is a valid PE" pe) true
+        (pe >= 0 && pe < 4))
+    r.Machine.r_quarantined;
+  (* The analysis digest stays consistent with the raw counters. *)
+  match Analysis.reliability s with
+  | None -> Alcotest.fail "analysis digest missing"
+  | Some rr ->
+      Alcotest.(check int) "digest unrecovered" r.Machine.r_unrecovered
+        rr.Analysis.rr_unrecovered;
+      Alcotest.(check bool) "digest fault rate positive" true
+        (rr.Analysis.rr_fault_rate > 0.0)
+
+let test_fault_config_validates () =
+  (match Machine.fault_config ~seed:1 ~rate:2.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rate > 1 accepted");
+  match Machine.fault_config ~seed:1 ~rate:(-0.1) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative rate accepted"
+
+(* Satellite: the max_cycles diagnostic names every stuck PE with its
+   program position and phase, so a wedged run is debuggable. *)
+let test_max_cycles_diagnostic () =
+  let c = cfg ~n_pes:2 () in
+  let spin () = Some (Program.Compute 5) in
+  let programs = [| spin; Program.of_list [ Program.Halt ] |] in
+  match run ~max_cycles:2_000 c programs with
+  | exception Machine.Deadlock msg ->
+      let has sub =
+        let n = String.length sub and m = String.length msg in
+        let rec at i = i + n <= m && (String.sub msg i n = sub || at (i + 1)) in
+        at 0
+      in
+      let req sub =
+        Alcotest.(check bool)
+          (Printf.sprintf "message mentions %S (got %S)" sub msg)
+          true (has sub)
+      in
+      req "max_cycles (2000) exceeded";
+      req "1 of 2 PEs not halted";
+      req "pe0 at op #";
+      Alcotest.(check bool)
+        (Printf.sprintf "message describes pe0's phase (got %S)" msg)
+        true
+        (has "computing" || has "fetching")
+  | _ -> Alcotest.fail "expected the max_cycles diagnostic"
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_accounting; prop_throughput_monotone;
@@ -939,6 +1134,21 @@ let () =
             test_cache_lru_and_associativity;
           Alcotest.test_case "bad configs" `Quick test_cache_bad_configs;
           Alcotest.test_case "kernel shapes" `Quick test_cache_kernel_shapes;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "campaign over all architectures" `Quick
+            test_fault_campaign_all_archs;
+          Alcotest.test_case "rate zero identical" `Quick
+            test_fault_rate_zero_identical;
+          Alcotest.test_case "retries recover" `Quick
+            test_fault_retries_recover;
+          Alcotest.test_case "quarantine degrades gracefully" `Quick
+            test_fault_quarantine_degrades;
+          Alcotest.test_case "config validation" `Quick
+            test_fault_config_validates;
+          Alcotest.test_case "max_cycles diagnostic" `Quick
+            test_max_cycles_diagnostic;
         ] );
       ("properties", qcheck_cases);
     ]

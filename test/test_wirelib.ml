@@ -289,6 +289,46 @@ let prop_expansion_count =
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_expansion_count ]
 
+(* Parser error paths: every rejection carries the offending line
+   number and enough context to fix the file. *)
+let test_parse_errors () =
+  let expect content subs =
+    match Text.parse content with
+    | Ok _ -> Alcotest.failf "parse accepted %S" content
+    | Error msg ->
+        List.iter
+          (fun sub ->
+            let n = String.length msg and m = String.length sub in
+            let rec at i =
+              i + m <= n && (String.sub msg i m = sub || at (i + 1))
+            in
+            if not (at 0) then
+              Alcotest.failf "error %S does not mention %S" msg sub)
+          subs
+  in
+  expect "w_a 1 M p 0 0 N q 0 0\n" [ "line 1"; "expected %wire <name>" ];
+  expect "%wire\n%endwire\n" [ "line 1"; "%wire needs one name" ];
+  expect "%wire a b\n%endwire\n" [ "line 1"; "%wire needs one name" ];
+  expect "%wire foo\nw_a 1 M p 0 0 N q 0 0\n" [ "unterminated %wire foo" ];
+  expect "%wire foo\nw_a xx M p 0 0 N q 0 0\n%endwire\n"
+    [ "line 2"; "expected integer"; "\"xx\"" ];
+  expect "%wire foo\nw_a 1 BAN[A p 0 0 N q 0 0\n%endwire\n"
+    [ "line 2"; "malformed group" ];
+  expect "%wire foo\nw_a 1 BAN[] p 0 0 N q 0 0\n%endwire\n"
+    [ "line 2"; "empty group" ];
+  expect "%wire foo\nw_a 1 M p 0 0\n%endwire\n"
+    [ "line 2"; "wires take 10 fields" ];
+  (* Semantic validation surfaces through the same line-tagged path. *)
+  expect "%wire foo\nw_a 2 M p 7 0 N q 7 0\n%endwire\n" [ "line 2" ]
+
+let test_parse_exn_raises () =
+  (match Text.parse_exn "%wire\n" with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "prefixed" true
+        (String.length msg > 20 && String.sub msg 0 20 = "Wirelib.Text.parse: ")
+  | _ -> Alcotest.fail "parse_exn accepted garbage");
+  ignore (Text.parse_exn example7)
+
 let () =
   Alcotest.run "wirelib"
     [
@@ -299,6 +339,8 @@ let () =
             test_parse_example8_groups;
           Alcotest.test_case "comments/blanks" `Quick test_comments_and_blanks;
           Alcotest.test_case "multiline wire" `Quick test_multiline_wire;
+          Alcotest.test_case "error paths" `Quick test_parse_errors;
+          Alcotest.test_case "parse_exn" `Quick test_parse_exn_raises;
         ] );
       ( "validate",
         [
