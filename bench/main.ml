@@ -692,10 +692,98 @@ let write_faults_json path =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Property monitors: per-cycle cost of the armed standard pack        *)
+(* ------------------------------------------------------------------ *)
+
+type monitor_row = {
+  mr_arch : string;
+  mr_properties : int;
+  mr_bare_cps : float;
+  mr_armed_cps : float;
+}
+
+let monitor_rows : monitor_row list ref = ref []
+
+let bench_monitors () =
+  header
+    "Property monitors - cycles/second, bare interpreter vs armed pack";
+  Printf.printf "%-10s %6s %14s %14s %10s\n" "arch" "props" "bare[c/s]"
+    "armed[c/s]" "overhead";
+  List.iter
+    (fun (nm, arch) ->
+      let cfg =
+        { (Bussyn.Archs.small_config ~n_pes:4) with Bussyn.Archs.protect = true }
+      in
+      let top = (G.generate arch cfg).G.generated.Bussyn.Archs.top in
+      (* Paired interleaved measurement on ONE sim instance.  The delta
+         we measure (a few us per cycle) is smaller than the drift of
+         two independent multi-second runs — GC state, CPU frequency
+         and heap layout all move more than the observer cost.  So:
+         same sim, alternate bare/armed chunks, take medians. *)
+      let sim = Busgen_rtl.Interp.create top in
+      Busgen_rtl.Interp.reset sim;
+      let chunk = 1500 and rounds = 24 in
+      Busgen_rtl.Interp.run sim 2000 (* warm-up *);
+      let mon = ref None in
+      let time_chunk () =
+        let t0 = Unix.gettimeofday () in
+        Busgen_rtl.Interp.run sim chunk;
+        (Unix.gettimeofday () -. t0) /. float_of_int chunk
+      in
+      let bares = ref [] and ratios = ref [] in
+      for _ = 1 to rounds do
+        Busgen_rtl.Interp.clear_observers sim;
+        let tb = time_chunk () in
+        mon := Some (Busgen_verify.Pack.attach sim top);
+        let ta = time_chunk () in
+        bares := tb :: !bares;
+        (* overhead as a within-round ratio: clock-frequency and GC
+           drift between rounds cancels inside each adjacent pair *)
+        ratios := (ta /. tb) :: !ratios
+      done;
+      let median l = List.nth (List.sort compare l) (List.length l / 2) in
+      let b = 1.0 /. median !bares in
+      let a = b /. median !ratios in
+      let props =
+        match !mon with Some m -> Busgen_verify.Prop.property_count m | None -> 0
+      in
+      Printf.printf "%-10s %6d %14.0f %14.0f %9.1f%%\n%!" nm props b a
+        (100.0 *. (b -. a) /. b);
+      monitor_rows :=
+        { mr_arch = nm; mr_properties = props; mr_bare_cps = b; mr_armed_cps = a }
+        :: !monitor_rows)
+    [ ("bfba", G.Bfba); ("gbaviii", G.Gbaviii); ("hybrid", G.Hybrid) ]
+
+let write_monitors_json path =
+  if !monitor_rows <> [] then begin
+    let oc = open_out path in
+    let rows =
+      List.rev !monitor_rows
+      |> List.map (fun r ->
+             Printf.sprintf
+               "    {\"arch\": %S, \"properties\": %d, \
+                \"bare_cycles_per_sec\": %.1f, \"armed_cycles_per_sec\": \
+                %.1f, \"overhead_pct\": %.2f}"
+               r.mr_arch r.mr_properties r.mr_bare_cps r.mr_armed_cps
+               (100.0 *. (r.mr_bare_cps -. r.mr_armed_cps) /. r.mr_bare_cps))
+      |> String.concat ",\n"
+    in
+    Printf.fprintf oc
+      "{\n\
+      \  \"schema\": \"busgen-monitors-bench/1\",\n\
+      \  \"runs\": [\n%s\n  ]\n\
+       }\n"
+      rows;
+    close_out oc;
+    Printf.printf "\n[bench] wrote %s\n" path
+  end
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_interp.json: machine-readable perf trajectory across PRs      *)
 (* ------------------------------------------------------------------ *)
 
 let write_bench_json path =
+  if !interp_rows <> [] || !table_walls <> [] then begin
   let oc = open_out path in
   let circuit_rows =
     List.rev !interp_rows
@@ -722,6 +810,7 @@ let write_bench_json path =
     circuit_rows table_rows;
   close_out oc;
   Printf.printf "\n[bench] wrote %s\n" path
+  end
 
 let () =
   print_string
@@ -753,6 +842,8 @@ let () =
   if want "bechamel" then bechamel_tables ();
   if want "interp" then bench_interp ();
   if want "faults" then bench_faults ();
+  if want "monitors" then bench_monitors ();
   write_bench_json "BENCH_interp.json";
   write_faults_json "BENCH_faults.json";
+  write_monitors_json "BENCH_monitors.json";
   print_string "\nAll benchmarks complete.\n"

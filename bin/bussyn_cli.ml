@@ -10,20 +10,9 @@ module G = Bussyn.Generate
 
 let arch_conv =
   let parse s =
-    match String.lowercase_ascii s with
-    | "bfba" -> Ok G.Bfba
-    | "gbavi" -> Ok G.Gbavi
-    | "gbaviii" -> Ok G.Gbaviii
-    | "hybrid" -> Ok G.Hybrid
-    | "splitba" -> Ok G.Splitba
-    | "ggba" -> Ok G.Ggba
-    | "ccba" -> Ok G.Ccba
-    | _ ->
-        Error
-          (`Msg
-            (Printf.sprintf
-               "unknown architecture %S (bfba|gbavi|gbaviii|hybrid|splitba|ggba|ccba)"
-               s))
+    match G.arch_of_string s with
+    | Ok a -> Ok a
+    | Error msg -> Error (`Msg msg)
   in
   let print fmt a = Format.pp_print_string fmt (G.arch_name a) in
   Arg.conv (parse, print)
@@ -34,8 +23,8 @@ let arch_arg =
     & opt (some arch_conv) None
     & info [ "a"; "arch" ] ~docv:"ARCH"
         ~doc:
-          "Bus architecture: one of bfba, gbavi, gbaviii, hybrid, splitba \
-           (generated), or ggba, ccba (hand-designed baselines).")
+          "Bus architecture: one of bfba, gbavi, gbavii, gbaviii, hybrid, \
+           splitba (generated), or ggba, ccba (hand-designed baselines).")
 
 let pes_arg =
   Arg.(
@@ -237,22 +226,9 @@ let list_cmd =
 
 let faults_conv =
   let parse s =
-    match String.index_opt s ':' with
-    | None -> Error (`Msg "--faults expects SEED:RATE (e.g. 42:0.001)")
-    | Some i -> (
-        let seed = int_of_string_opt (String.sub s 0 i) in
-        let rate =
-          float_of_string_opt
-            (String.sub s (i + 1) (String.length s - i - 1))
-        in
-        match (seed, rate) with
-        | Some seed, Some rate when rate >= 0.0 && rate <= 1.0 ->
-            Ok (Busgen_sim.Machine.fault_config ~seed ~rate ())
-        | _ ->
-            Error
-              (`Msg
-                "--faults expects SEED:RATE with an integer seed and a \
-                 rate in [0, 1]"))
+    match Busgen_sim.Machine.fault_config_of_string s with
+    | Ok fc -> Ok fc
+    | Error msg -> Error (`Msg msg)
   in
   let print fmt (fc : Busgen_sim.Machine.fault_config) =
     Format.fprintf fmt "%d:%g" fc.Busgen_sim.Machine.f_seed
@@ -514,6 +490,193 @@ let inject_cmd =
       $ protect_arg)
 
 (* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let verify_cmd =
+  let module V = Busgen_verify in
+  let arch_opt =
+    Arg.(
+      value
+      & opt (some arch_conv) None
+      & info [ "a"; "arch" ] ~docv:"ARCH"
+          ~doc:
+            "Architecture for the monitored run (default: all eight). \
+             Ignored with --fuzz / --replay.")
+  in
+  let cycles_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "cycles" ] ~docv:"N"
+          ~doc:"Cycle horizon per monitored run.")
+  in
+  let protect_arg =
+    Arg.(
+      value & flag
+      & info [ "protect" ]
+          ~doc:"Generate the designs with bus error protection.")
+  in
+  let fuzz_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuzz" ] ~docv:"SEED"
+          ~doc:
+            "Fuzz the generator: sample option trees, lint, run the \
+             interpreter differential and the monitored simulation \
+             (alternating cases add a seeded fault campaign). \
+             Deterministic per SEED.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Number of fuzz cases to classify (with --fuzz).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay a .repro file and compare against its expect line.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "With --fuzz: shrink every fault-free failure and save it as \
+             a replayable .repro file under DIR.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print a machine-readable JSON report.")
+  in
+  let monitored_run arch ~pes ~cycles ~protect ~json =
+    let cfg =
+      { (Bussyn.Archs.small_config ~n_pes:pes) with Bussyn.Archs.protect }
+    in
+    let r = G.generate arch cfg in
+    let tb =
+      Busgen_rtl.Testbench.create r.G.generated.Bussyn.Archs.top
+    in
+    let mon =
+      V.Pack.attach (Busgen_rtl.Testbench.interp tb)
+        r.G.generated.Bussyn.Archs.top
+    in
+    let stats =
+      V.Traffic.drive tb ~arch ~config:cfg ~seed:42 ~min_cycles:cycles
+    in
+    let violations = V.Prop.violations mon in
+    if json then
+      Printf.printf
+        "{\"arch\": \"%s\", \"cycles\": %d, \"transactions\": %d, \
+         \"properties\": %d, \"mismatches\": %d, \"violations\": %d}\n"
+        (G.arch_name arch) stats.V.Traffic.cycles stats.V.Traffic.transactions
+        (V.Prop.property_count mon) stats.V.Traffic.mismatches
+        (List.length violations)
+    else begin
+      Printf.printf
+        "%-8s %6d cycles, %5d transactions, %3d properties armed: %s\n"
+        (G.arch_name arch) stats.V.Traffic.cycles stats.V.Traffic.transactions
+        (V.Prop.property_count mon)
+        (if violations = [] && stats.V.Traffic.mismatches = 0 then "clean"
+         else
+           Printf.sprintf "%d violation(s), %d mismatch(es)"
+             (List.length violations) stats.V.Traffic.mismatches);
+      List.iter
+        (fun v -> Format.printf "  %a@." V.Prop.pp_violation v)
+        violations
+    end;
+    violations = [] && stats.V.Traffic.mismatches = 0
+  in
+  let run arch pes cycles protect fuzz budget replay corpus json =
+    match replay with
+    | Some path -> (
+        match V.Fuzz.replay path with
+        | Error msg ->
+            prerr_endline ("verify: " ^ msg);
+            2
+        | Ok (res, expect) ->
+            let got = V.Fuzz.outcome_class res.V.Fuzz.r_outcome in
+            Printf.printf "%s: expect %s, got %s%s\n" path expect got
+              (if got = expect then "" else "  <-- MISMATCH");
+            if got = expect then 0 else 1)
+    | None -> (
+        match fuzz with
+        | Some seed ->
+            let report = V.Fuzz.run ~cycles ~seed ~budget () in
+            if json then print_string (V.Fuzz.report_to_json report)
+            else begin
+              let count pred =
+                List.length (List.filter pred report.V.Fuzz.f_results)
+              in
+              Printf.printf
+                "fuzz seed %d: %d cases (%d faulted), %d clean, %d \
+                 generation errors, %d failures\n"
+                seed budget
+                (count (fun r -> V.Fuzz.faulted r.V.Fuzz.r_scenario))
+                (count (fun r -> r.V.Fuzz.r_outcome = V.Fuzz.Clean))
+                (count (fun r ->
+                     match r.V.Fuzz.r_outcome with
+                     | V.Fuzz.Generation_error _ -> true
+                     | _ -> false))
+                (List.length report.V.Fuzz.f_failures);
+              List.iter
+                (fun (r : V.Fuzz.result) ->
+                  Printf.printf "  FAIL %s (options seed %d)\n"
+                    (V.Fuzz.outcome_class r.V.Fuzz.r_outcome)
+                    r.V.Fuzz.r_scenario.V.Fuzz.sc_seed)
+                report.V.Fuzz.f_failures
+            end;
+            (match corpus with
+            | None -> ()
+            | Some dir ->
+                List.iteri
+                  (fun i (r : V.Fuzz.result) ->
+                    let sc = V.Fuzz.shrink r.V.Fuzz.r_scenario r in
+                    let expect =
+                      V.Fuzz.outcome_class r.V.Fuzz.r_outcome
+                    in
+                    let path =
+                      V.Fuzz.save_repro ~dir
+                        ~name:(Printf.sprintf "fuzz_s%d_f%d" seed i)
+                        ~expect sc
+                    in
+                    Printf.printf "shrunk failure %d -> %s\n" i path)
+                  report.V.Fuzz.f_failures);
+            if report.V.Fuzz.f_failures = [] then 0 else 1
+        | None ->
+            let archs =
+              match arch with
+              | Some a -> [ a ]
+              | None ->
+                  [ G.Bfba; G.Gbavi; G.Gbavii; G.Gbaviii; G.Hybrid;
+                    G.Splitba; G.Ggba; G.Ccba ]
+            in
+            let ok =
+              List.fold_left
+                (fun acc a ->
+                  monitored_run a ~pes ~cycles ~protect ~json && acc)
+                true archs
+            in
+            if ok then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Runtime verification: attach the standard property pack \
+          (arbiter, FIFO, handshake, bridge, watchdog, parity \
+          invariants) to a monitored simulation, fuzz the generator \
+          with seeded option/fault sampling, or replay a shrunk .repro \
+          file from the corpus.")
+    Term.(
+      const run $ arch_opt $ pes_arg $ cycles_arg $ protect_arg $ fuzz_arg
+      $ budget_arg $ replay_arg $ corpus_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
 (* wires                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -754,8 +917,8 @@ let () =
   let info = Cmd.info "bussyn_cli" ~version:"1.0" ~doc in
   let cmd =
     Cmd.group info
-      [ generate_cmd; list_cmd; simulate_cmd; inject_cmd; wires_cmd;
-        explore_cmd; wizard_cmd ]
+      [ generate_cmd; list_cmd; simulate_cmd; inject_cmd; verify_cmd;
+        wires_cmd; explore_cmd; wizard_cmd ]
   in
   (* Option-level rejections (bad architecture/flag combinations,
      malformed options files) are user errors, not crashes. *)

@@ -12,6 +12,24 @@ let arch_name = function
   | Ggba -> "GGBA"
   | Ccba -> "CCBA"
 
+let arch_choices =
+  [ "bfba"; "gbavi"; "gbavii"; "gbaviii"; "hybrid"; "splitba"; "ggba"; "ccba" ]
+
+let arch_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "bfba" -> Ok Bfba
+  | "gbavi" -> Ok Gbavi
+  | "gbavii" -> Ok Gbavii
+  | "gbaviii" -> Ok Gbaviii
+  | "hybrid" -> Ok Hybrid
+  | "splitba" -> Ok Splitba
+  | "ggba" -> Ok Ggba
+  | "ccba" -> Ok Ccba
+  | _ ->
+      Error
+        (Printf.sprintf "unknown architecture %S (expected one of %s)" s
+           (String.concat ", " arch_choices))
+
 let arch_of_options (t : Options.t) =
   let bus_types ss = List.map (fun b -> b.Options.bus) ss.Options.buses in
   match t.Options.subsystems with

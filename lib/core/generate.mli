@@ -9,6 +9,13 @@ type arch = Bfba | Gbavi | Gbavii | Gbaviii | Hybrid | Splitba | Ggba | Ccba
 
 val arch_name : arch -> string
 
+val arch_choices : string list
+(** Lower-case names accepted by {!arch_of_string}, in listing order. *)
+
+val arch_of_string : string -> (arch, string) result
+(** Case-insensitive parse of an architecture name.  The error message
+    lists every valid choice, so front-ends can surface it verbatim. *)
+
 val arch_of_options : Options.t -> (arch, string) result
 (** Dispatch on the option tree: one subsystem with a single BFBA /
     GBAVI / GBAVIII bus; one subsystem with BFBA+GBAVIII buses (Hybrid,

@@ -153,3 +153,106 @@ let pp fmt t =
             ban.memories)
         ss.bans)
     t.subsystems
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic sampling (fuzzing support)                            *)
+(* ------------------------------------------------------------------ *)
+
+let sample ~seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  let rand bound =
+    state := (!state * 1664525) + 1013904223;
+    state := !state land 0x3FFFFFFF;
+    !state mod bound
+  in
+  let pick l = List.nth l (rand (List.length l)) in
+  (* 16-bit addressing cannot reach the 0x200000+ windows most
+     architectures decode; keep it rare, as a generation-error probe. *)
+  let addr_width = pick [ 24; 24; 32; 32; 16 ] in
+  let data_width = pick [ 8; 16; 32 ] in
+  let mem aw =
+    {
+      mem_type = pick [ Mem_sram; Mem_sram; Mem_dram; Mem_dpram ];
+      mem_addr_width = aw;
+      mem_data_width = data_width;
+    }
+  in
+  let cpu_ban () =
+    {
+      cpu = Some (pick [ Cpu_mpc750; Cpu_mpc755; Cpu_mpc7410; Cpu_arm9tdmi ]);
+      non_cpu = None;
+      memories = [ mem (pick [ 6; 8 ]) ];
+    }
+  in
+  let bus ?depth ty =
+    {
+      bus = ty;
+      bus_addr_width = addr_width;
+      bus_data_width = data_width;
+      bififo_depth = depth;
+    }
+  in
+  let bans n = List.init n (fun _ -> cpu_ban ()) in
+  let depth = pick [ 2; 4; 8 ] in
+  let t =
+    match rand 6 with
+    | 0 ->
+        { subsystems =
+            [ { buses = [ bus ~depth Bfba ]; bans = bans (2 + rand 3) } ];
+          protection = rand 2 = 0 }
+    | 1 ->
+        { subsystems = [ { buses = [ bus Gbavi ]; bans = bans (2 + rand 3) } ];
+          protection = rand 2 = 0 }
+    | 2 ->
+        { subsystems =
+            [ { buses = [ bus Gbaviii ]; bans = bans (2 + rand 3) } ];
+          protection = rand 2 = 0 }
+    | 3 ->
+        (* Hybrid (Example 10): BFBA + GBAVIII in one subsystem. *)
+        { subsystems =
+            [ { buses = [ bus ~depth Bfba; bus Gbaviii ];
+                bans = bans (2 + rand 3) } ];
+          protection = rand 2 = 0 }
+    | 4 ->
+        (* SplitBA: one SplitBA bus per subsystem, equal PE halves. *)
+        let per_ss = 1 + rand 2 in
+        let ss () =
+          { buses = [ bus Splitba ]; bans = bans per_ss }
+        in
+        { subsystems = [ ss (); ss () ]; protection = rand 2 = 0 }
+    | _ ->
+        (* Deliberately broken trees (~1 in 6), so downstream
+           generation-error handling stays exercised. *)
+        let base =
+          { subsystems =
+              [ { buses = [ bus Gbaviii ]; bans = bans (1 + rand 2) } ];
+            protection = false }
+        in
+        (match rand 4 with
+        | 0 ->
+            (* Bi-FIFO depth on a bus type that takes none. *)
+            { base with
+              subsystems =
+                [ { buses = [ bus ~depth Gbaviii ]; bans = bans 2 } ] }
+        | 1 -> { base with subsystems = [ { buses = []; bans = bans 2 } ] }
+        | 2 ->
+            (* Memory wider than every bus. *)
+            { base with
+              subsystems =
+                [ { buses = [ bus Gbaviii ];
+                    bans =
+                      [ { cpu = Some Cpu_mpc755;
+                          non_cpu = None;
+                          memories =
+                            [ { mem_type = Mem_sram;
+                                mem_addr_width = 8;
+                                mem_data_width = data_width * 4;
+                              } ] } ] } ] }
+        | _ ->
+            (* A bus pair no architecture implements. *)
+            { base with
+              subsystems =
+                [ { buses = [ bus Gbavi; bus ~depth Bfba ]; bans = bans 2 } ]
+            })
+  in
+  t

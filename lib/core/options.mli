@@ -71,3 +71,13 @@ val paper_sram_8mb : memory_prop
 
 val pp : Format.formatter -> t -> unit
 (** Render the option tree in the numbered style of Fig. 18. *)
+
+val sample : seed:int -> t
+(** Deterministic pseudo-random option tree for fuzzing: a seeded LCG
+    (no global RNG, no wall clock) picks one of the supported
+    architecture shapes with randomized widths, depths, PE counts and
+    the protection flag.  Roughly one tree in six is deliberately
+    invalid (missing buses, misplaced Bi-FIFO depth, over-wide
+    memories, unsupported bus pairs) so option-validation and
+    generation-error paths stay covered.  The same seed always returns
+    the same tree. *)

@@ -32,7 +32,7 @@ type spec =
   | Spec_parity of Parity.params
 
 val module_name : spec -> string
-(** The generated module's name, e.g. [mbi_sram_a20_d64_b64]. *)
+(** The generated module's name, e.g. [mbi_sram_a20_d64_ba32_b64]. *)
 
 val library_name : spec -> string
 (** The paper's library component name, e.g. [MBI_SRAM]. *)

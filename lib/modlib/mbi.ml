@@ -10,9 +10,12 @@ type params = {
 }
 
 let module_name p =
-  Printf.sprintf "mbi_%s_a%d_d%d_b%d"
+  (* Every parameter that shapes the circuit must appear in the name:
+     {!Catalog.create} memoizes by it, so an omission makes configs that
+     differ only in that parameter share one (wrong) circuit. *)
+  Printf.sprintf "mbi_%s_a%d_d%d_ba%d_b%d"
     (match p.mem_kind with Sram.Sram -> "sram" | Sram.Dram -> "dram")
-    p.mem_addr_width p.mem_data_width p.bus_data_width
+    p.mem_addr_width p.mem_data_width p.bus_addr_width p.bus_data_width
 
 let for_sram (s : Sram.params) ~bus_addr_width ~bus_data_width =
   {

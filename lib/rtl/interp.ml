@@ -261,6 +261,8 @@ type t = {
   mutable injections : cinj array;
   active : (int, fault) Hashtbl.t; (* slot -> fault live this cycle *)
   mutable n_active : int;
+  mutable observers : (int -> unit) array;
+      (* called at the per-cycle sampling point; [||] on the hot path *)
 }
 
 let apply_fault f v =
@@ -464,6 +466,7 @@ let create top =
       injections = [||];
       active = Hashtbl.create 8;
       n_active = 0;
+      observers = [||];
     }
   in
   settle t;
@@ -524,6 +527,15 @@ let step t =
      new state. *)
   refresh_active t;
   settle t;
+  (* Sampling point: observers see exactly the pre-edge values the
+     registers are about to latch — the view a synthesized assertion
+     sampled at the rising edge would have (faults included, since they
+     are already folded into the settled values). *)
+  (let obs = t.observers in
+   if Array.length obs > 0 then
+     for i = 0 to Array.length obs - 1 do
+       (Array.unsafe_get obs i) t.cycle
+     done);
   clock_edge t;
   settle t;
   t.cycle <- t.cycle + 1
@@ -557,6 +569,15 @@ let poke_mem t name addr v =
       arr.(addr) <- v
 
 let signal_names t = Array.to_list t.names |> List.sort compare
+
+let reader t name =
+  match Hashtbl.find_opt t.slots name with
+  | None -> raise Not_found
+  | Some s -> fun () -> t.values.(s)
+
+let on_cycle t f = t.observers <- Array.append t.observers [| f |]
+
+let clear_observers t = t.observers <- [||]
 
 let memories t =
   Array.to_list (Array.map (fun m -> (m.cm_name, m.cm_depth)) t.mems)

@@ -58,6 +58,29 @@ val memories : t -> (string * int) list
 (** All flattened memories as [(flat name, depth)], sorted (diagnostics
     and differential testing). *)
 
+(** {1 Observers}
+
+    Per-cycle hooks for property monitors.  Observers run at the
+    sampling point of every {!step} — after combinational settle with
+    the cycle's inputs but before the clock edge — so they see exactly
+    the values the registers are about to latch, like an assertion
+    sampled at the rising edge.  Installed fault injections are already
+    folded into the observed values.  With no observers registered the
+    evaluation hot path is unchanged. *)
+
+val on_cycle : t -> (int -> unit) -> unit
+(** Register an observer; it receives the current cycle number
+    (the value {!current_cycle} held when the {!step} began). *)
+
+val clear_observers : t -> unit
+(** Remove every registered observer. *)
+
+val reader : t -> string -> (unit -> Bits.t)
+(** Pre-resolved accessor for a flat signal: the name is looked up once,
+    each call is an array read.  Intended for observers, which must not
+    hash strings per cycle.
+    @raise Not_found if the signal is unknown. *)
+
 (** {1 Fault injection}
 
     Deterministic, cycle-scheduled fault injection on named flat

@@ -36,6 +36,30 @@ let fault_config ?(max_retries = 8) ?(backoff_cycles = 8)
     f_watchdog_cycles = watchdog_cycles;
   }
 
+let fault_config_of_string s =
+  match String.index_opt s ':' with
+  | None ->
+      Error
+        (Printf.sprintf "bad fault spec %S: expected SEED:RATE (e.g. 42:0.001)"
+           s)
+  | Some i -> (
+      let seed = int_of_string_opt (String.sub s 0 i) in
+      let rate =
+        float_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+      in
+      match (seed, rate) with
+      | Some seed, Some rate when rate >= 0.0 && rate <= 1.0 ->
+          Ok (fault_config ~seed ~rate ())
+      | Some _, Some _ ->
+          Error
+            (Printf.sprintf "bad fault spec %S: RATE must be within [0, 1]" s)
+      | _ ->
+          Error
+            (Printf.sprintf
+               "bad fault spec %S: expected an integer SEED and a float RATE \
+                (e.g. 42:0.001)"
+               s))
+
 type config = {
   arch : arch;
   n_pes : int;

@@ -51,6 +51,11 @@ val fault_config :
     backoff starting at 8 cycles, 64-cycle watchdog.
     @raise Invalid_argument unless [0 <= rate <= 1]. *)
 
+val fault_config_of_string : string -> (fault_config, string) result
+(** Parse a ["SEED:RATE"] spec (e.g. ["42:0.001"]) into the standard
+    campaign model.  Never raises; malformed specs explain the expected
+    shape and the [\[0, 1\]] rate range in the error. *)
+
 type config = {
   arch : arch;
   n_pes : int;

@@ -1,0 +1,103 @@
+(** Seeded deterministic fuzzing over the generator's option space, with
+    shrinking and replayable repro files.
+
+    A {!scenario} bundles everything one verification case needs: an
+    option tree, a traffic seed, a cycle horizon and an optional fault
+    load (explicit injections and/or a seeded random campaign).
+    {!classify} runs the full pipeline on it — generate, lint,
+    {!Busgen_rtl.Interp} vs {!Busgen_rtl.Interp_ref} differential,
+    monitored simulation under {!Pack} with {!Traffic} stimulus — and
+    reports one {!outcome}.  Everything is driven by seeds: the same
+    scenario always classifies identically. *)
+
+type scenario = {
+  sc_options : Bussyn.Options.t;
+  sc_seed : int;        (** traffic / differential stimulus seed *)
+  sc_cycles : int;      (** monitored simulation horizon, in cycles *)
+  sc_campaign : (int * int) option;
+      (** [(seed, n)]: derive [n] random injections from the generated
+          design via {!Busgen_rtl.Interp.random_campaign} *)
+  sc_faults : Busgen_rtl.Interp.injection list;
+      (** explicit injections, applied in addition to the campaign *)
+}
+
+val scenario : ?campaign:int * int -> ?faults:Busgen_rtl.Interp.injection list
+  -> ?cycles:int -> seed:int -> Bussyn.Options.t -> scenario
+(** [cycles] defaults to 1000. *)
+
+val faulted : scenario -> bool
+(** The scenario carries a campaign or explicit injections. *)
+
+type outcome =
+  | Clean
+  | Generation_error of string  (** options rejected / builder refused *)
+  | Lint_error of string        (** generated circuit fails {!Busgen_rtl.Lint} *)
+  | Engine_divergence of string (** Interp and Interp_ref disagree *)
+  | Property_violation of Prop.violation list
+      (** monitors fired during the monitored run (under faults, this is
+          the monitors *detecting* the fault load) *)
+  | Traffic_error of string
+      (** shadow-model mismatch or bus timeout that no monitor flagged *)
+
+val outcome_class : outcome -> string
+(** Stable one-word labels: [clean], [generation-error], [lint-error],
+    [engine-divergence], [property-violation], [traffic-error]. *)
+
+type result = {
+  r_scenario : scenario;
+  r_outcome : outcome;
+  r_arch : string option;   (** architecture name once generation worked *)
+  r_properties : int;       (** properties armed in the monitored run *)
+  r_detections : string list;
+      (** names of properties that fired (faulted scenarios) *)
+}
+
+val classify : scenario -> result
+(** Run the pipeline.  Deterministic; never raises on scenario content
+    (failures are folded into the outcome). *)
+
+(** {2 Fuzzing} *)
+
+type report = {
+  f_seed : int;
+  f_budget : int;
+  f_results : result list;   (** in execution order *)
+  f_failures : result list;
+      (** fault-free scenarios whose outcome is neither [Clean] nor
+          [Generation_error] (the signal the fuzzer hunts for) *)
+}
+
+val run : ?cycles:int -> seed:int -> budget:int -> unit -> report
+(** Classify [budget] scenarios sampled from
+    {!Bussyn.Options.sample}; every other valid case additionally
+    carries a seeded fault campaign.  Deterministic per [seed].
+    [cycles] bounds each monitored run (default 1000). *)
+
+val report_to_json : report -> string
+(** Machine-readable summary (class counts, per-case lines, failures). *)
+
+(** {2 Shrinking} *)
+
+val shrink : ?max_evals:int -> scenario -> result -> scenario
+(** Greedy minimization: repeatedly try to shorten the cycle horizon,
+    drop injections, remove BANs / buses / subsystems and shrink widths,
+    keeping every change that preserves [outcome_class].  [max_evals]
+    bounds the number of {!classify} calls (default 60).  Returns the
+    smallest scenario found (the original if nothing shrank). *)
+
+(** {2 Repro files} *)
+
+val repro_to_string : expect:string -> scenario -> string
+(** Serialize as a replayable repro ([# busgen-verify repro v1] header,
+    seed / cycles / expect / campaign / inject lines, then the option
+    tree in {!Bussyn.Options_text} format). *)
+
+val repro_of_string : string -> (scenario * string, string) Stdlib.result
+(** Parse a repro; returns the scenario and the expected class. *)
+
+val save_repro : dir:string -> name:string -> expect:string -> scenario -> string
+(** Write [<dir>/<name>.repro] (creating [dir]); returns the path. *)
+
+val replay : string -> (result * string, string) Stdlib.result
+(** Load a repro file, classify it, and return the result together with
+    the file's expected class (comparison is the caller's business). *)

@@ -1,0 +1,132 @@
+open Busgen_rtl
+open Prop
+
+(* Recover an integer parameter from a parametric module name: the value
+   of the first [_<key><digits>] token, e.g. [int_param "fifo_d32_n4" "n"]
+   is [Some 4]. *)
+let int_param mname key =
+  let kl = String.length key in
+  String.split_on_char '_' mname
+  |> List.find_map (fun tok ->
+         if
+           String.length tok > kl
+           && String.sub tok 0 kl = key
+           && String.for_all
+                (fun c -> c >= '0' && c <= '9')
+                (String.sub tok kl (String.length tok - kl))
+         then int_of_string_opt (String.sub tok kl (String.length tok - kl))
+         else None)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* [prefix] is the flat instance path including the trailing ["$"]
+   ([""] for the top level); [where] is the path without it, used in
+   property names. *)
+let props_for ~prefix ~where mname =
+  let s n = prefix ^ n in
+  let nm p = where ^ ":" ^ p in
+  if starts_with ~prefix:"arbiter_" mname then
+    [
+      always ~name:(nm "grant_onehot") (onehot_or_zero (s "grant"));
+      always ~name:(nm "grant_within_req") (subset_of (s "grant") (s "req"));
+      always ~name:(nm "busy_iff_grant") (iff (high (s "busy")) (high (s "grant")));
+    ]
+  else if starts_with ~prefix:"fifo_d" mname then
+    let depth = Option.value (int_param mname "n") ~default:max_int in
+    [
+      always ~name:(nm "count_bounded") (le_int (s "cnt") depth);
+      always ~name:(nm "empty_iff_zero")
+        (iff (high (s "empty")) (eq_int (s "cnt") 0));
+      always ~name:(nm "full_iff_depth")
+        (iff (high (s "full")) (eq_int (s "cnt") depth));
+      never ~name:(nm "no_pop_on_empty")
+        (conj (high (s "pop")) (high (s "empty")));
+    ]
+  else if starts_with ~prefix:"bi_fifo_d" mname then
+    (* The two embedded FIFOs are covered by the recursive walk; here we
+       pin down the threshold-interrupt condition of each direction. *)
+    let irq dst src =
+      let thr = s (src ^ "_threshold")
+      and count = s (src ^ "2" ^ dst ^ "_count") in
+      always
+        ~name:(nm ("irq_" ^ dst ^ "_iff_threshold"))
+        (iff
+           (high (s ("irq_" ^ dst)))
+           (conj (neg (eq_int thr 0)) (le_sig thr count)))
+    in
+    [ irq "b" "a"; irq "a" "b" ]
+  else if starts_with ~prefix:"hs_regs" mname then
+    let takes_effect flag =
+      let set = s (flag ^ "_set")
+      and clr = s (flag ^ "_clr")
+      and q = s (flag ^ "_q") in
+      [
+        implies_within
+          ~name:(nm (flag ^ "_set_takes_effect"))
+          ~cycles:1
+          (conj (high set) (low clr))
+          (high q);
+        implies_within
+          ~name:(nm (flag ^ "_clr_takes_effect"))
+          ~cycles:1
+          (conj (high clr) (low set))
+          (low q);
+      ]
+    in
+    takes_effect "op" @ takes_effect "rv"
+  else if starts_with ~prefix:"bb_" mname then
+    [
+      implies_within
+        ~name:(nm "forwards_request")
+        ~cycles:2
+        (conj (high (s "a_sel")) (high (s "enable")))
+        (disj (high (s "b_sel")) (high (s "done_r")));
+      implies_within
+        ~name:(nm "isolates_when_disabled")
+        ~cycles:1
+        (low (s "enable"))
+        (low (s "b_sel"));
+    ]
+  else if starts_with ~prefix:"busmux_" mname then
+    match int_param mname "n" with
+    | None | Some 0 -> []
+    | Some n ->
+        let sels = List.init n (fun i -> s (Printf.sprintf "s%d_sel" i)) in
+        [
+          always ~name:(nm "slave_select_exclusive") (at_most_one_of sels);
+          always ~name:(nm "select_implies_master")
+            (List.fold_left
+               (fun acc sel -> conj acc (subset_of sel (s "m_sel")))
+               (subset_of (List.hd sels) (s "m_sel"))
+               (List.tl sels));
+        ]
+  else if starts_with ~prefix:"watchdog_t" mname then
+    let timeout = Option.value (int_param mname "t") ~default:max_int in
+    [
+      always ~name:(nm "count_saturates") (le_int (s "cnt") timeout);
+      always ~name:(nm "timeout_implies_release")
+        (subset_of (s "timeout") (s "force_release"));
+      never ~name:(nm "no_timeout") (high (s "timeout"));
+    ]
+  else if starts_with ~prefix:"parity_chk" mname then
+    [ never ~name:(nm "no_parity_error") (high (s "error")) ]
+  else []
+
+let for_circuit (top : Circuit.t) =
+  let rec walk prefix where (c : Circuit.t) acc =
+    let acc =
+      List.rev_append (props_for ~prefix ~where (Circuit.name c)) acc
+    in
+    List.fold_left
+      (fun acc (i : Circuit.instance) ->
+        let where =
+          if where = "" then i.inst_name else where ^ "$" ^ i.inst_name
+        in
+        walk (prefix ^ i.inst_name ^ "$") where i.sub acc)
+      acc c.instances
+  in
+  List.rev (walk "" "" top [])
+
+let attach sim circuit = Prop.attach sim (for_circuit circuit)

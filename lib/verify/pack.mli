@@ -1,0 +1,40 @@
+(** The standard property pack: structural safety and bounded-liveness
+    properties derived automatically from a generated circuit.
+
+    The pack walks the design hierarchy and recognizes library module
+    families by their module-name prefix (the names are parametric, e.g.
+    [arbiter_rr_m3] or [fifo_d32_n4], so numeric parameters such as a
+    FIFO depth or a watchdog timeout are recovered from the name).  Each
+    recognized instance contributes a handful of properties over its
+    flattened signal paths:
+
+    - arbiters: the grant vector is one-hot-or-zero, every grant matches
+      a pending request, and [busy] mirrors the presence of a grant;
+    - FIFOs: the occupancy counter never exceeds the depth,
+      [empty]/[full] agree with the counter, and the environment never
+      pops an empty FIFO (protocol discipline);
+    - bi-directional FIFO pairs: each direction's interrupt fires
+      exactly when a non-zero threshold is reached;
+    - handshake registers: a set (resp. clear) pulse is reflected in the
+      flag within one cycle;
+    - bus bridges: an enabled request is forwarded to the far side
+      within two cycles, and disabling the bridge isolates it within
+      one;
+    - bus multiplexers: at most one slave select is active, and any
+      slave select implies the master select;
+    - watchdogs: the counter saturates at the configured timeout and a
+      timeout strobe implies [force_release]; fault-free protocol
+      traffic never times out;
+    - parity checkers: [error] never fires on a fault-free bus.
+
+    Property names are [<flat instance path>:<property>], so reports
+    point at the offending instance directly. *)
+
+val for_circuit : Busgen_rtl.Circuit.t -> Prop.t list
+(** Derive the pack for a design.  Unknown module families contribute
+    nothing; the result is empty for a design without recognized
+    instances. *)
+
+val attach : Busgen_rtl.Interp.t -> Busgen_rtl.Circuit.t -> Prop.monitor
+(** [attach sim circuit] = [Prop.attach sim (for_circuit circuit)] —
+    the simulator must have been created from the same circuit. *)

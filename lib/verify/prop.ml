@@ -1,0 +1,249 @@
+open Busgen_rtl
+
+type read = string -> unit -> Bits.t
+
+type pred = { pd_desc : string; pd_compile : read -> unit -> bool }
+
+let pred desc compile = { pd_desc = desc; pd_compile = compile }
+let desc p = p.pd_desc
+
+let nonzero v = Bits.reduce_or v
+
+let high s =
+  { pd_desc = s; pd_compile = (fun rd -> let r = rd s in fun () -> nonzero (r ())) }
+
+let low s =
+  { pd_desc = "!" ^ s;
+    pd_compile = (fun rd -> let r = rd s in fun () -> not (nonzero (r ()))) }
+
+let eq_int s k =
+  { pd_desc = Printf.sprintf "%s == %d" s k;
+    pd_compile =
+      (fun rd ->
+        let r = rd s in
+        let k' = lazy (Bits.of_int ~width:(Bits.width (r ())) k) in
+        fun () -> Bits.equal (r ()) (Lazy.force k')) }
+
+let le_int s k =
+  { pd_desc = Printf.sprintf "%s <= %d" s k;
+    pd_compile =
+      (fun rd ->
+        let r = rd s in
+        let k' = lazy (Bits.of_int ~width:(Bits.width (r ())) k) in
+        fun () -> Bits.ule (r ()) (Lazy.force k')) }
+
+let le_sig a b =
+  { pd_desc = Printf.sprintf "%s <= %s" a b;
+    pd_compile =
+      (fun rd ->
+        let ra = rd a and rb = rd b in
+        fun () -> Bits.ule (ra ()) (rb ())) }
+
+let onehot_or_zero s =
+  { pd_desc = "onehot0(" ^ s ^ ")";
+    pd_compile =
+      (fun rd ->
+        let r = rd s in
+        fun () ->
+          let v = r () in
+          (* v & (v - 1) = 0 iff at most one bit set; stay in native
+             ints for narrow vectors to keep the per-cycle hook
+             allocation-free *)
+          if Bits.width v <= 62 then
+            let x = Bits.to_int_trunc v in
+            x land (x - 1) = 0
+          else
+            Bits.is_zero (Bits.logand v (Bits.sub v (Bits.one (Bits.width v))))) }
+
+let subset_of a b =
+  { pd_desc = Printf.sprintf "%s within %s" a b;
+    pd_compile =
+      (fun rd ->
+        let ra = rd a and rb = rd b in
+        fun () ->
+          let va = ra () and vb = rb () in
+          if Bits.width va <= 62 && Bits.width vb <= 62 then
+            Bits.to_int_trunc va land lnot (Bits.to_int_trunc vb) = 0
+          else Bits.is_zero (Bits.logand va (Bits.lognot vb))) }
+
+let at_most_one_of names =
+  { pd_desc = "at-most-one(" ^ String.concat "," names ^ ")";
+    pd_compile =
+      (fun rd ->
+        let rs = Array.of_list (List.map rd names) in
+        fun () ->
+          let seen = ref false and ok = ref true in
+          Array.iter
+            (fun r ->
+              if nonzero (r ()) then
+                if !seen then ok := false else seen := true)
+            rs;
+          !ok) }
+
+let conj a b =
+  { pd_desc = Printf.sprintf "(%s && %s)" a.pd_desc b.pd_desc;
+    pd_compile =
+      (fun rd ->
+        let ca = a.pd_compile rd and cb = b.pd_compile rd in
+        fun () -> ca () && cb ()) }
+
+let disj a b =
+  { pd_desc = Printf.sprintf "(%s || %s)" a.pd_desc b.pd_desc;
+    pd_compile =
+      (fun rd ->
+        let ca = a.pd_compile rd and cb = b.pd_compile rd in
+        fun () -> ca () || cb ()) }
+
+let neg a =
+  { pd_desc = Printf.sprintf "!(%s)" a.pd_desc;
+    pd_compile =
+      (fun rd ->
+        let ca = a.pd_compile rd in
+        fun () -> not (ca ())) }
+
+let iff a b =
+  { pd_desc = Printf.sprintf "(%s <-> %s)" a.pd_desc b.pd_desc;
+    pd_compile =
+      (fun rd ->
+        let ca = a.pd_compile rd and cb = b.pd_compile rd in
+        fun () -> ca () = cb ()) }
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type shape =
+  | Always of pred
+  | Never of pred
+  | Implies_within of { cycles : int; trigger : pred; goal : pred }
+
+type t = { p_name : string; p_shape : shape }
+
+let always ~name p = { p_name = name; p_shape = Always p }
+let never ~name p = { p_name = name; p_shape = Never p }
+
+let implies_within ~name ~cycles trigger goal =
+  if cycles < 0 then invalid_arg "Prop.implies_within: negative bound";
+  { p_name = name; p_shape = Implies_within { cycles; trigger; goal } }
+
+(* ------------------------------------------------------------------ *)
+(* Monitors                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type violation = { v_prop : string; v_cycle : int; v_detail : string }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "cycle %d: %s: %s" v.v_cycle v.v_prop v.v_detail
+
+(* A compiled checker: internal state plus a per-cycle step function
+   returning a violation description when the property just failed. *)
+type checker = {
+  ck_name : string;
+  ck_step : int -> string option;
+  ck_reset : unit -> unit;
+}
+
+type monitor = {
+  checkers : checker array;
+  firsts : (string, violation) Hashtbl.t; (* prop name -> first violation *)
+  mutable order : string list;            (* violated props, reversed *)
+  mutable total : int;
+}
+
+let compile_checker rd (p : t) : checker =
+  match p.p_shape with
+  | Always pr ->
+      let c = pr.pd_compile rd in
+      {
+        ck_name = p.p_name;
+        ck_step =
+          (fun _ ->
+            if c () then None
+            else Some (Printf.sprintf "invariant %s does not hold" pr.pd_desc));
+        ck_reset = (fun () -> ());
+      }
+  | Never pr ->
+      let c = pr.pd_compile rd in
+      {
+        ck_name = p.p_name;
+        ck_step =
+          (fun _ ->
+            if c () then
+              Some (Printf.sprintf "forbidden condition %s holds" pr.pd_desc)
+            else None);
+        ck_reset = (fun () -> ());
+      }
+  | Implies_within { cycles; trigger; goal } ->
+      let ct = trigger.pd_compile rd and cg = goal.pd_compile rd in
+      (* [pending] is the earliest undischarged trigger cycle.  A goal
+         observation discharges every pending trigger (they all fired at
+         or before it); a deadline miss reports once and re-arms. *)
+      let pending = ref (-1) in
+      {
+        ck_name = p.p_name;
+        ck_step =
+          (fun cycle ->
+            let viol =
+              if !pending >= 0 && cycle > !pending + cycles then begin
+                let was = !pending in
+                pending := -1;
+                Some
+                  (Printf.sprintf
+                     "%s at cycle %d was not followed by %s within %d cycle(s)"
+                     trigger.pd_desc was goal.pd_desc cycles)
+              end
+              else None
+            in
+            if !pending < 0 && ct () then pending := cycle;
+            if !pending >= 0 && cg () then pending := -1;
+            viol);
+        ck_reset = (fun () -> pending := -1);
+      }
+
+let attach sim props =
+  let rd name =
+    try Interp.reader sim name
+    with Not_found ->
+      invalid_arg
+        (Printf.sprintf "Prop.attach: unknown signal %s" name)
+  in
+  let compile p =
+    try compile_checker rd p
+    with Invalid_argument msg ->
+      invalid_arg (Printf.sprintf "Prop.attach: property %s: %s" p.p_name msg)
+  in
+  let m =
+    {
+      checkers = Array.of_list (List.map compile props);
+      firsts = Hashtbl.create 16;
+      order = [];
+      total = 0;
+    }
+  in
+  Interp.on_cycle sim (fun cycle ->
+      Array.iter
+        (fun ck ->
+          match ck.ck_step cycle with
+          | None -> ()
+          | Some detail ->
+              m.total <- m.total + 1;
+              if not (Hashtbl.mem m.firsts ck.ck_name) then begin
+                Hashtbl.replace m.firsts ck.ck_name
+                  { v_prop = ck.ck_name; v_cycle = cycle; v_detail = detail };
+                m.order <- ck.ck_name :: m.order
+              end)
+        m.checkers);
+  m
+
+let violations m =
+  List.rev_map (fun name -> Hashtbl.find m.firsts name) m.order
+
+let violation_count m = m.total
+let violated_props m = List.rev m.order
+let property_count m = Array.length m.checkers
+
+let reset m =
+  Hashtbl.reset m.firsts;
+  m.order <- [];
+  m.total <- 0;
+  Array.iter (fun ck -> ck.ck_reset ()) m.checkers

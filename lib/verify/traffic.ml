@@ -1,0 +1,245 @@
+open Bussyn
+module Tb = Busgen_rtl.Testbench
+module G = Generate
+
+type stats = {
+  cycles : int;
+  transactions : int;
+  reads : int;
+  writes : int;
+  mismatches : int;
+}
+
+type driver = {
+  tb : Tb.t;
+  arch : G.arch;
+  n_pes : int;
+  depth : int;                        (* Bi-FIFO depth *)
+  n_ss : int;                         (* SplitBA subsystems *)
+  dmask : int;                        (* legal data values *)
+  mutable rng : int;
+  (* Shadow model.  Transactions are blocking, so plain tables keyed by
+     absolute (shared) or per-PE (local) address are exact. *)
+  local : (int * int, int) Hashtbl.t; (* (pe, offset) -> value *)
+  shared : (int, int) Hashtbl.t;      (* absolute address -> value *)
+  hs : int array array;               (* owner pe -> [|op; rv|], -1 unknown *)
+  queues : int Queue.t array;         (* words in flight into pe's Bi-FIFO *)
+  mutable transactions : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable mismatches : int;
+}
+
+let rand d bound =
+  d.rng <- (d.rng * 1664525) + 1013904223 land 0x3FFFFFFF;
+  d.rng <- d.rng land 0x3FFFFFFF;
+  d.rng mod bound
+
+let rand_data d = rand d (d.dmask + 1)
+let peer d pe = (pe + 1) mod d.n_pes
+let prev d pe = (pe + d.n_pes - 1) mod d.n_pes
+
+let write d ~pe ~addr v =
+  Tb.Cpu.write d.tb ~pe ~addr v;
+  d.transactions <- d.transactions + 1;
+  d.writes <- d.writes + 1
+
+let read d ~pe ~addr =
+  let v = Tb.Cpu.read d.tb ~pe ~addr in
+  d.transactions <- d.transactions + 1;
+  d.reads <- d.reads + 1;
+  v
+
+let check d ~pe ~addr want =
+  let got = read d ~pe ~addr in
+  if got <> want then d.mismatches <- d.mismatches + 1
+
+(* ------------------------------------------------------------------ *)
+(* Transaction kinds                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let local_write d pe =
+  let off = rand d 48 in
+  let v = rand_data d in
+  write d ~pe ~addr:(Addrmap.local_mem_base + off) v;
+  Hashtbl.replace d.local (pe, off) v
+
+let local_read d pe =
+  (* Read back a location this PE has written; seed one otherwise. *)
+  let known =
+    Hashtbl.fold
+      (fun (p, off) v acc -> if p = pe then (off, v) :: acc else acc)
+      d.local []
+  in
+  match known with
+  | [] -> local_write d pe
+  | l ->
+      let off, v = List.nth l (rand d (List.length l)) in
+      check d ~pe ~addr:(Addrmap.local_mem_base + off) v
+
+let shared_write d pe ~base ~span =
+  let addr = base + rand d span in
+  let v = rand_data d in
+  write d ~pe ~addr v;
+  Hashtbl.replace d.shared addr v
+
+let shared_read d pe ~base ~span =
+  let addr = base + rand d span in
+  match Hashtbl.find_opt d.shared addr with
+  | Some v -> check d ~pe ~addr v
+  | None -> shared_write d pe ~base ~span
+
+let hs_write d pe =
+  (* Flip a handshake flag, through the own-side or the peer-side port. *)
+  let idx = rand d 2 and v = rand d 2 in
+  let owner, addr =
+    if rand d 2 = 0 || d.n_pes < 2 then (pe, Addrmap.own_hs_base + idx)
+    else (peer d pe, Addrmap.peer_base + Addrmap.peer_hs_offset + idx)
+  in
+  write d ~pe ~addr v;
+  d.hs.(owner).(idx) <- v
+
+let hs_read d pe =
+  let idx = rand d 2 in
+  let owner, addr =
+    if rand d 2 = 0 || d.n_pes < 2 then (pe, Addrmap.own_hs_base + idx)
+    else (peer d pe, Addrmap.peer_base + Addrmap.peer_hs_offset + idx)
+  in
+  let want = d.hs.(owner).(idx) in
+  if want < 0 then ignore (read d ~pe ~addr) else check d ~pe ~addr want
+
+let fifo_threshold d pe =
+  (* Retarget the interrupt threshold of the peer's inbound FIFO. *)
+  let addr = Addrmap.peer_base + Addrmap.peer_fifo_offset + 1 in
+  write d ~pe ~addr (1 + rand d d.depth)
+
+let fifo_push d pe =
+  let dst = peer d pe in
+  if Queue.length d.queues.(dst) >= d.depth then local_write d pe
+  else begin
+    let v = rand_data d in
+    write d ~pe ~addr:(Addrmap.peer_base + Addrmap.peer_fifo_offset) v;
+    Queue.push v d.queues.(dst)
+  end
+
+let fifo_pop d pe =
+  if Queue.is_empty d.queues.(pe) then fifo_push d pe
+  else begin
+    let want = Queue.pop d.queues.(pe) in
+    check d ~pe ~addr:Addrmap.own_fifo_base want
+  end
+
+let prevmem_read d pe =
+  (* Read a word the upstream neighbour wrote into its local memory,
+     through this PE's bridge window. *)
+  let src = prev d pe in
+  let known =
+    Hashtbl.fold
+      (fun (p, off) v acc -> if p = src then (off, v) :: acc else acc)
+      d.local []
+  in
+  match known with
+  | [] -> local_write d pe
+  | l ->
+      let off, v = List.nth l (rand d (List.length l)) in
+      check d ~pe ~addr:(Addrmap.prevmem_base + off) v
+
+(* ------------------------------------------------------------------ *)
+(* Per-architecture menus                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gspan = 48 (* stay inside the smallest sampled memory (64 words) *)
+
+let menu d : (driver -> int -> unit) array =
+  let ring = d.n_pes >= 2 in
+  let fifo_ops =
+    if ring then [ fifo_push; fifo_push; fifo_pop; fifo_pop; fifo_threshold ]
+    else []
+  in
+  let hs_ops = [ hs_write; hs_write; hs_read ] in
+  let local_ops = [ local_write; local_write; local_read ] in
+  let global_ops =
+    [
+      (fun d pe -> shared_write d pe ~base:Addrmap.global_base ~span:gspan);
+      (fun d pe -> shared_write d pe ~base:Addrmap.global_base ~span:gspan);
+      (fun d pe -> shared_read d pe ~base:Addrmap.global_base ~span:gspan);
+    ]
+  in
+  let ops =
+    match d.arch with
+    | G.Bfba -> local_ops @ hs_ops @ fifo_ops
+    | G.Gbavi ->
+        local_ops @ hs_ops @ if ring then [ prevmem_read ] else []
+    | G.Gbavii ->
+        local_ops @ hs_ops @ global_ops
+        @ (if ring then [ prevmem_read ] else [])
+    | G.Gbaviii -> local_ops @ global_ops
+    | G.Hybrid -> local_ops @ hs_ops @ fifo_ops @ global_ops
+    | G.Splitba ->
+        (* Only the subsystem shared-memory windows are decoded. *)
+        List.init d.n_ss (fun ss ->
+            let base = Addrmap.splitba_subsystem_base ss in
+            [
+              (fun d pe -> shared_write d pe ~base ~span:gspan);
+              (fun d pe -> shared_read d pe ~base ~span:gspan);
+            ])
+        |> List.concat
+    | G.Ggba ->
+        (* One shared memory, decoded from address 0 up. *)
+        [
+          (fun d pe -> shared_write d pe ~base:0 ~span:gspan);
+          (fun d pe -> shared_write d pe ~base:0 ~span:gspan);
+          (fun d pe -> shared_read d pe ~base:0 ~span:gspan);
+        ]
+    | G.Ccba ->
+        (* Per-processor banks plus the global bank, all on one bus. *)
+        [
+          (fun d pe ->
+            shared_write d pe ~base:(Addrmap.ccba_local_base pe) ~span:48);
+          (fun d pe ->
+            let bank = rand d (d.n_pes + 1) in
+            shared_read d pe ~base:(Addrmap.ccba_local_base bank) ~span:48);
+          (fun d pe ->
+            shared_write d pe
+              ~base:(Addrmap.ccba_local_base d.n_pes)
+              ~span:48);
+        ]
+  in
+  Array.of_list ops
+
+let drive tb ~arch ~config ~seed ~min_cycles =
+  let n = config.Archs.n_pes in
+  let dw = config.Archs.bus_data_width in
+  let d =
+    {
+      tb;
+      arch;
+      n_pes = n;
+      depth = config.Archs.fifo_depth;
+      n_ss = config.Archs.n_subsystems;
+      dmask = (if dw >= 30 then 0x3FFFFFFF else (1 lsl dw) - 1);
+      rng = (seed land 0x3FFFFFFF) lxor 0x5DEECE6;
+      local = Hashtbl.create 64;
+      shared = Hashtbl.create 64;
+      hs = Array.init n (fun _ -> [| -1; -1 |]);
+      queues = Array.init n (fun _ -> Queue.create ());
+      transactions = 0;
+      reads = 0;
+      writes = 0;
+      mismatches = 0;
+    }
+  in
+  let ops = menu d in
+  let start = Tb.cycles tb in
+  while Tb.cycles tb - start < min_cycles do
+    let pe = rand d n in
+    let op = ops.(rand d (Array.length ops)) in
+    op d pe
+  done;
+  {
+    cycles = Tb.cycles tb - start;
+    transactions = d.transactions;
+    reads = d.reads;
+    writes = d.writes;
+    mismatches = d.mismatches;
+  }

@@ -1,0 +1,35 @@
+(** Deterministic, protocol-correct stimulus for monitored simulations.
+
+    Property monitors ({!Pack}) include protocol-discipline properties —
+    "never pop an empty FIFO", "fault-free traffic never times out" —
+    that only hold when the environment behaves like real IP cores, not
+    like random input wiggling.  This driver plays that environment: a
+    seeded LCG picks CPU-socket transactions from the architecture's
+    legal address menu (local memory, handshake flags, Bi-FIFO ports
+    with tracked occupancy, shared/global windows), issues them through
+    {!Busgen_rtl.Testbench.Cpu}, and checks read data against a shadow
+    model.  The same seed always produces the same transaction stream
+    and cycle count — no global RNG, no wall clock. *)
+
+type stats = {
+  cycles : int;        (** clock cycles consumed by the run *)
+  transactions : int;
+  reads : int;
+  writes : int;
+  mismatches : int;
+      (** read-back values disagreeing with the shadow model (0 on a
+          healthy fault-free run) *)
+}
+
+val drive :
+  Busgen_rtl.Testbench.t ->
+  arch:Bussyn.Generate.arch ->
+  config:Bussyn.Archs.config ->
+  seed:int ->
+  min_cycles:int ->
+  stats
+(** Issue transactions until at least [min_cycles] clock cycles have
+    elapsed on the testbench.  All transactions are blocking, so the
+    shadow model needs no concurrency story.
+    @raise Busgen_rtl.Testbench.Timeout if the bus stops answering —
+    expected under injected faults, never on a fault-free design. *)

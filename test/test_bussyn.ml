@@ -475,6 +475,33 @@ let test_archs_verilog_roundtrip () =
         (Circuit.sub_circuits top @ [ top ]))
     (Lazy.force archs_small)
 
+let test_archs_protected_verilog_roundtrip () =
+  (* Same round trip with protection on, so the watchdog and parity
+     modules (and the glue that wires them) go through emit-parse-match
+     too. *)
+  let cfg = { (Archs.small_config ~n_pes:2) with Archs.protect = true } in
+  List.iter
+    (fun (name, build) ->
+      let top = (build cfg).Archs.top in
+      List.iter
+        (fun c ->
+          match Vparse.parse_module (Verilog.of_circuit c) with
+          | Error msg ->
+              Alcotest.failf "%s/%s: parse failed: %s" name (Circuit.name c)
+                msg
+          | Ok vm -> (
+              match Vparse.matches_circuit vm c with
+              | Ok () -> ()
+              | Error es ->
+                  Alcotest.failf "%s/%s: %s" name (Circuit.name c)
+                    (String.concat "; " es)))
+        (Circuit.sub_circuits top @ [ top ]))
+    [
+      ("bfba", Archs.bfba); ("gbavi", Archs.gbavi); ("gbavii", Archs.gbavii);
+      ("gbaviii", Archs.gbaviii); ("hybrid", Archs.hybrid);
+      ("splitba", Archs.splitba); ("ggba", Archs.ggba); ("ccba", Archs.ccba);
+    ]
+
 let test_archs_wire_entries_valid () =
   List.iter
     (fun (name, g) ->
@@ -1293,6 +1320,35 @@ let test_arch_dispatch () =
   check_arch "hybrid" Preset.hybrid_4pe Generate.Hybrid;
   check_arch "splitba" Preset.splitba_4pe Generate.Splitba
 
+let test_arch_of_string () =
+  (* Every published choice parses (case-insensitively) back to a name
+     that round-trips through arch_name. *)
+  List.iter
+    (fun s ->
+      match Generate.arch_of_string (String.uppercase_ascii s) with
+      | Ok a ->
+          Alcotest.(check string) s s
+            (String.lowercase_ascii (Generate.arch_name a))
+      | Error m -> Alcotest.failf "%s: %s" s m)
+    Generate.arch_choices;
+  Alcotest.(check bool) "gbavii is a choice" true
+    (List.mem "gbavii" Generate.arch_choices);
+  match Generate.arch_of_string "banana" with
+  | Ok _ -> Alcotest.fail "parsed a nonsense architecture"
+  | Error msg ->
+      (* The error must teach the valid vocabulary. *)
+      List.iter
+        (fun s ->
+          let contains hay needle =
+            let n = String.length hay and m = String.length needle in
+            let rec go i =
+              i + m <= n && (String.sub hay i m = needle || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) ("error lists " ^ s) true (contains msg s))
+        Generate.arch_choices
+
 let test_mpeg2_ban_rejected_clearly () =
   let opts =
     {
@@ -1427,6 +1483,21 @@ let config_gen =
         mem_kind;
       })
 
+let prop_sampled_options_text_roundtrip =
+  (* Any valid tree the fuzz sampler can produce — including the
+     protection flag and multi-subsystem SplitBA shapes — survives
+     Options_text.print followed by parse, structurally intact. *)
+  QCheck.Test.make ~name:"sampled options survive print/parse" ~count:150
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let o = Options.sample ~seed in
+      match Options.validate o with
+      | Error _ -> QCheck.assume_fail () (* deliberately-broken samples *)
+      | Ok () -> (
+          match Options_text.parse (Options_text.print o) with
+          | Ok o' -> o' = o
+          | Error _ -> false))
+
 let prop_random_configs_generate_clean =
   QCheck.Test.make ~name:"random configurations generate clean systems"
     ~count:12
@@ -1492,6 +1563,8 @@ let () =
             test_archs_protected;
           Alcotest.test_case "verilog roundtrip" `Quick
             test_archs_verilog_roundtrip;
+          Alcotest.test_case "protected verilog roundtrip" `Quick
+            test_archs_protected_verilog_roundtrip;
           Alcotest.test_case "bfba end-to-end" `Quick test_bfba_end_to_end;
           Alcotest.test_case "gbavi end-to-end" `Quick test_gbavi_end_to_end;
           Alcotest.test_case "gbavii end-to-end" `Quick
@@ -1539,10 +1612,12 @@ let () =
       ( "fuzz",
         List.map QCheck_alcotest.to_alcotest
           [ prop_random_configs_generate_clean;
-            prop_optimizer_preserves_system ] );
+            prop_optimizer_preserves_system;
+            prop_sampled_options_text_roundtrip ] );
       ( "generate",
         [
           Alcotest.test_case "dispatch" `Quick test_arch_dispatch;
+          Alcotest.test_case "arch names" `Quick test_arch_of_string;
           Alcotest.test_case "from options" `Quick test_generate_from_options;
           Alcotest.test_case "mpeg2 ban rejected" `Quick
             test_mpeg2_ban_rejected_clearly;

@@ -1032,6 +1032,34 @@ let test_fault_config_validates () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "negative rate accepted"
 
+let test_fault_config_of_string () =
+  let contains hay needle =
+    let n = String.length hay and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+    go 0
+  in
+  (match Machine.fault_config_of_string "42:0.001" with
+  | Ok fc ->
+      Alcotest.(check int) "seed" 42 fc.Machine.f_seed;
+      Alcotest.(check int) "error numerator" 1000 fc.Machine.f_error_num
+  | Error m -> Alcotest.fail m);
+  (* Malformed specs explain the expected shape instead of raising. *)
+  List.iter
+    (fun (spec, hint) ->
+      match Machine.fault_config_of_string spec with
+      | Ok _ -> Alcotest.failf "%S accepted" spec
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S error mentions %S" spec hint)
+            true (contains msg hint))
+    [
+      ("42", "SEED:RATE");
+      ("x:0.1", "integer SEED");
+      ("42:boom", "integer SEED");
+      ("1:2.0", "[0, 1]");
+      ("1:-0.5", "[0, 1]");
+    ]
+
 (* Satellite: the max_cycles diagnostic names every stuck PE with its
    program position and phase, so a wedged run is debuggable. *)
 let test_max_cycles_diagnostic () =
@@ -1147,6 +1175,8 @@ let () =
             test_fault_quarantine_degrades;
           Alcotest.test_case "config validation" `Quick
             test_fault_config_validates;
+          Alcotest.test_case "SEED:RATE parsing" `Quick
+            test_fault_config_of_string;
           Alcotest.test_case "max_cycles diagnostic" `Quick
             test_max_cycles_diagnostic;
         ] );

@@ -1,0 +1,244 @@
+(* Tests for the verification subsystem: the standard property pack over
+   every architecture, monitor detection of injected faults, fuzzer
+   determinism, shrinking, and corpus replay. *)
+
+open Busgen_rtl
+open Bussyn
+open Busgen_verify
+module G = Generate
+
+let small = Archs.small_config ~n_pes:2
+
+let builders =
+  [
+    ("bfba", G.Bfba, Archs.bfba);
+    ("gbavi", G.Gbavi, Archs.gbavi);
+    ("gbavii", G.Gbavii, Archs.gbavii);
+    ("gbaviii", G.Gbaviii, Archs.gbaviii);
+    ("hybrid", G.Hybrid, Archs.hybrid);
+    ("splitba", G.Splitba, Archs.splitba);
+    ("ggba", G.Ggba, Archs.ggba);
+    ("ccba", G.Ccba, Archs.ccba);
+  ]
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+(* The small BFBA option tree used by the shrinking tests (matches the
+   seed corpus entry). *)
+let bfba_options =
+  let src =
+    "protection on\n\
+     subsystem\n\
+    \  bus bfba addr 24 data 32 depth 4\n\
+    \  ban cpu mpc755 mem sram 8 32\n\
+    \  ban cpu mpc755 mem sram 8 32\n"
+  in
+  match Options_text.parse src with
+  | Ok o -> o
+  | Error m -> failwith ("bfba_options: " ^ m)
+
+let fifo_empty_fault =
+  {
+    Interp.inj_signal = "BAN_0$BIF$fifo_a2b$empty";
+    inj_fault = Interp.Stuck_at_1;
+    inj_start = 50;
+    inj_cycles = 2000;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The pack holds fault-free on every architecture                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_pack_fault_free (name, arch, build) () =
+  let cfg = { small with Archs.protect = true } in
+  let g = build cfg in
+  let tb = Testbench.create g.Archs.top in
+  let mon = Pack.attach (Testbench.interp tb) g.Archs.top in
+  Alcotest.(check bool)
+    (name ^ " derives properties") true
+    (Prop.property_count mon > 0);
+  let stats =
+    Traffic.drive tb ~arch ~config:cfg ~seed:42 ~min_cycles:10_000
+  in
+  Alcotest.(check bool)
+    (name ^ " ran 10k cycles") true (stats.Traffic.cycles >= 10_000);
+  Alcotest.(check int) (name ^ " shadow mismatches") 0 stats.Traffic.mismatches;
+  (match Prop.violations mon with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "%s: %d violation(s), first: %a" name
+        (Prop.violation_count mon) Prop.pp_violation v);
+  Alcotest.(check int) (name ^ " fault-free violations") 0
+    (Prop.violation_count mon)
+
+(* ------------------------------------------------------------------ *)
+(* Monitors flag a fault class the protection hardware does not        *)
+(* ------------------------------------------------------------------ *)
+
+let test_monitors_flag_unflagged_fault () =
+  (* A stuck-at-1 on a Bi-FIFO empty flag corrupts data without tripping
+     the watchdog or parity strobes — the `inject` command labels this
+     class "corrupted outputs, NOT flagged".  The property pack must
+     catch it. *)
+  let cfg = { small with Archs.protect = true } in
+  let g = Archs.bfba cfg in
+  let tb = Testbench.create g.Archs.top in
+  let sim = Testbench.interp tb in
+  (* Watch PR 2's protection strobes with never-properties, so their
+     silence is recorded by the same monitor that catches the fault. *)
+  let watch =
+    List.filter
+      (fun s -> contains s "parity_error" || contains s "bus_timeout")
+      (Interp.signal_names sim)
+  in
+  Alcotest.(check bool) "protection strobes exist" true (watch <> []);
+  let watch_props =
+    List.map (fun s -> Prop.never ~name:("watch:" ^ s) (Prop.high s)) watch
+  in
+  let mon =
+    Prop.attach sim (Pack.for_circuit g.Archs.top @ watch_props)
+  in
+  Interp.inject sim
+    [
+      {
+        Interp.inj_signal = "BAN_0$BIF$fifo_a2b$empty";
+        inj_fault = Interp.Stuck_at_1;
+        inj_start = 100;
+        inj_cycles = 10_000;
+      };
+    ];
+  (* The wedged FIFO may stall or corrupt the traffic; only the
+     monitors' verdict matters here. *)
+  (try
+     ignore
+       (Traffic.drive tb ~arch:G.Bfba ~config:cfg ~seed:7 ~min_cycles:4_000)
+   with Testbench.Timeout _ | Testbench.Mismatch _ -> ());
+  let fired = Prop.violated_props mon in
+  Alcotest.(check bool) "pack detects the stuck empty flag" true
+    (List.exists (fun p -> contains p "fifo_a2b") fired);
+  Alcotest.(check bool) "watchdog/parity strobes stay silent" true
+    (not (List.exists (fun p -> contains p "watch:") fired))
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzer: deterministic per seed                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuzz_deterministic () =
+  let run () = Fuzz.run ~cycles:400 ~seed:11 ~budget:6 () in
+  let j1 = Fuzz.report_to_json (run ()) in
+  let j2 = Fuzz.report_to_json (run ()) in
+  Alcotest.(check string) "same seed, same report" j1 j2;
+  let j3 = Fuzz.report_to_json (Fuzz.run ~cycles:400 ~seed:12 ~budget:6 ()) in
+  Alcotest.(check bool) "different seed, different cases" true (j1 <> j3)
+
+let test_fuzz_classifies () =
+  (* A small budget still exercises the sampler's valid and invalid
+     shapes, and fault-free sampled designs never fail. *)
+  let report = Fuzz.run ~cycles:400 ~seed:3 ~budget:8 () in
+  Alcotest.(check int) "fault-free failures" 0
+    (List.length report.Fuzz.f_failures);
+  Alcotest.(check bool) "classified at least budget cases" true
+    (List.length report.Fuzz.f_results >= 8);
+  Alcotest.(check bool) "some cases ran faulted" true
+    (List.exists
+       (fun r -> Fuzz.faulted r.Fuzz.r_scenario)
+       report.Fuzz.f_results)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_shrink_minimizes () =
+  let sc = Fuzz.scenario ~faults:[ fifo_empty_fault ] ~cycles:3000 ~seed:9
+      bfba_options
+  in
+  let res = Fuzz.classify sc in
+  Alcotest.(check string) "synthetic failure classifies" "property-violation"
+    (Fuzz.outcome_class res.Fuzz.r_outcome);
+  let sh = Fuzz.shrink sc res in
+  Alcotest.(check bool) "cycle horizon reduced" true
+    (sh.Fuzz.sc_cycles < sc.Fuzz.sc_cycles);
+  Alcotest.(check bool) "no new faults appear" true
+    (List.length sh.Fuzz.sc_faults <= List.length sc.Fuzz.sc_faults);
+  let res' = Fuzz.classify sh in
+  Alcotest.(check string) "class preserved by shrinking" "property-violation"
+    (Fuzz.outcome_class res'.Fuzz.r_outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Repro files and the corpus                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_repro_roundtrip () =
+  let sc =
+    Fuzz.scenario ~campaign:(77, 3) ~faults:[ fifo_empty_fault ]
+      ~cycles:1234 ~seed:55 bfba_options
+  in
+  let text = Fuzz.repro_to_string ~expect:"property-violation" sc in
+  match Fuzz.repro_of_string text with
+  | Error m -> Alcotest.failf "repro reparse: %s" m
+  | Ok (sc', expect) ->
+      Alcotest.(check string) "expect" "property-violation" expect;
+      Alcotest.(check bool) "scenario survives the round trip" true
+        (sc = sc')
+
+let corpus_dir =
+  (* `dune runtest` runs in _build/default/test with the corpus dep
+     materialized one level up; `dune exec` runs from the project root. *)
+  List.find_opt
+    (fun d -> Sys.file_exists d && Sys.is_directory d)
+    [ Filename.concat Filename.parent_dir_name "corpus"; "corpus" ]
+  |> Option.value ~default:"corpus"
+
+let test_corpus_replay () =
+  let files =
+    Sys.readdir corpus_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".repro")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "corpus has repro files" true (files <> []);
+  List.iter
+    (fun f ->
+      match Fuzz.replay (Filename.concat corpus_dir f) with
+      | Error m -> Alcotest.failf "%s: %s" f m
+      | Ok (res, expect) ->
+          Alcotest.(check string) (f ^ " replays to its expect class")
+            expect
+            (Fuzz.outcome_class res.Fuzz.r_outcome))
+    files
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "property pack fault-free (10k cycles each)",
+        List.map
+          (fun ((name, _, _) as b) ->
+            Alcotest.test_case name `Slow (test_pack_fault_free b))
+          builders );
+      ( "fault detection",
+        [
+          Alcotest.test_case "monitors flag an unflagged fault class" `Quick
+            test_monitors_flag_unflagged_fault;
+        ] );
+      ( "fuzzer",
+        [
+          Alcotest.test_case "deterministic per seed" `Slow
+            test_fuzz_deterministic;
+          Alcotest.test_case "classification pipeline" `Slow
+            test_fuzz_classifies;
+        ] );
+      ( "shrinking",
+        [
+          Alcotest.test_case "minimizes a synthetic failure" `Slow
+            test_shrink_minimizes;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "repro text roundtrip" `Quick
+            test_repro_roundtrip;
+          Alcotest.test_case "replay checked-in repros" `Quick
+            test_corpus_replay;
+        ] );
+    ]

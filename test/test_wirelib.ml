@@ -286,8 +286,42 @@ let prop_expansion_count =
           in
           List.length expanded.Spec.wires = expected)
 
+(* The generator's real group patterns look like [BAN[BAN_0,BAN_1,...]]
+   — member names with underscores and digits, which gen_ident never
+   produces.  Round-trip them specifically. *)
+let prop_ban_group_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 6 in
+      let members = List.init n (Printf.sprintf "BAN_%d") in
+      let* width = int_range 1 64 in
+      let* pname = gen_ident in
+      let* pname2 = gen_ident in
+      let ep pn =
+        { Spec.m_ref = Spec.Group ("BAN", members); pname = pn;
+          wmsb = width - 1; wlsb = 0 }
+      in
+      return
+        [
+          {
+            Spec.lib_name = "ban_groups";
+            wires =
+              [
+                { Spec.w_name = "w_grp"; w_width = width; end1 = ep pname;
+                  end2 = ep pname2 };
+              ];
+          };
+        ])
+  in
+  QCheck.Test.make ~name:"BAN[...] group pattern roundtrip" ~count:100
+    (QCheck.make ~print:Text.print gen) (fun lib ->
+      match Text.parse (Text.print lib) with
+      | Ok lib' -> lib = lib'
+      | Error _ -> false)
+
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_expansion_count ]
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_roundtrip; prop_expansion_count; prop_ban_group_roundtrip ]
 
 (* Parser error paths: every rejection carries the offending line
    number and enough context to fix the file. *)
