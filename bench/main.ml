@@ -779,6 +779,150 @@ let write_monitors_json path =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Checkpointing: write cost, resume latency, soak-cadence overhead    *)
+(* ------------------------------------------------------------------ *)
+
+type soak_row = {
+  sr_arch : string;
+  sr_ckpt_bytes : int;
+  sr_save_ms : float;        (* one checkpoint: snapshot + atomic write *)
+  sr_resume_ms : float;      (* load + rebuild + import, ready to step *)
+  sr_cycles_per_sec : float; (* driven traffic, no checkpointing *)
+  sr_overhead_pct : float;   (* save cost amortized over a 100k cadence *)
+}
+
+let soak_rows : soak_row list ref = ref []
+
+let bench_soak () =
+  let module K = Busgen_ckpt.Ckpt in
+  header
+    "Checkpointing - write cost, resume latency, overhead at 100k cadence";
+  Printf.printf "%-10s %9s %9s %10s %12s %10s\n" "arch" "bytes" "save[ms]"
+    "resume[ms]" "drive[c/s]" "overhead";
+  let dir = Filename.get_temp_dir_name () in
+  List.iter
+    (fun (nm, arch) ->
+      let cfg =
+        { (Bussyn.Archs.small_config ~n_pes:4) with
+          Bussyn.Archs.protect = true }
+      in
+      let gen = G.generate arch cfg in
+      let top = gen.G.generated.Bussyn.Archs.top in
+      let tb = Busgen_rtl.Testbench.create top in
+      let sim = Busgen_rtl.Testbench.interp tb in
+      let mon = Busgen_verify.Pack.attach sim top in
+      let traffic =
+        Busgen_verify.Traffic.create tb ~arch ~config:cfg ~seed:42
+      in
+      (* Warm up into a representative mid-run state. *)
+      while Busgen_rtl.Interp.current_cycle sim < 5_000 do
+        Busgen_verify.Traffic.step traffic
+      done;
+      let snapshot () =
+        {
+          K.ck_tool = G.tool_version;
+          ck_hash = G.design_hash arch cfg;
+          ck_arch = arch;
+          ck_config = cfg;
+          ck_seed = 42;
+          ck_interp = Busgen_rtl.Interp.export_state sim;
+          ck_injections = [];
+          ck_traffic = Some (Busgen_verify.Traffic.export_state traffic);
+          ck_monitor = Some (Busgen_verify.Prop.export_state mon);
+        }
+      in
+      let path = Filename.concat dir (Printf.sprintf "bench_%s.bsck" nm) in
+      let median l = List.nth (List.sort compare l) (List.length l / 2) in
+      let rounds = 9 in
+      let saves =
+        List.init rounds (fun _ ->
+            let t0 = Unix.gettimeofday () in
+            K.save ~path (snapshot ());
+            Unix.gettimeofday () -. t0)
+      in
+      let bytes = (Unix.stat path).Unix.st_size in
+      let resumes =
+        List.init rounds (fun _ ->
+            let t0 = Unix.gettimeofday () in
+            (match K.load ~path with
+            | Error e -> failwith ("bench_soak: " ^ e)
+            | Ok snap ->
+                let sim' = Busgen_rtl.Interp.create top in
+                let mon' = Busgen_verify.Pack.attach sim' top in
+                Busgen_rtl.Interp.import_state sim' snap.K.ck_interp;
+                let tb' = Busgen_rtl.Testbench.of_interp sim' in
+                let traffic' =
+                  Busgen_verify.Traffic.create tb' ~arch ~config:cfg ~seed:42
+                in
+                (match snap.K.ck_traffic with
+                | Some ts -> Busgen_verify.Traffic.import_state traffic' ts
+                | None -> ());
+                (match snap.K.ck_monitor with
+                | Some ms -> Busgen_verify.Prop.import_state mon' ms
+                | None -> ()));
+            Unix.gettimeofday () -. t0)
+      in
+      Sys.remove path;
+      (* Drive rate without checkpointing, on the same warm instance. *)
+      let t0 = Unix.gettimeofday () in
+      let c0 = Busgen_rtl.Interp.current_cycle sim in
+      while Busgen_rtl.Interp.current_cycle sim < c0 + 20_000 do
+        Busgen_verify.Traffic.step traffic
+      done;
+      let drive_s = Unix.gettimeofday () -. t0 in
+      let cps =
+        float_of_int (Busgen_rtl.Interp.current_cycle sim - c0) /. drive_s
+      in
+      let save_s = median saves and resume_s = median resumes in
+      (* One save per 100k driven cycles, as the soak default ships. *)
+      let overhead = save_s /. (100_000.0 /. cps) *. 100.0 in
+      Printf.printf "%-10s %9d %9.2f %10.2f %12.0f %9.2f%%\n%!" nm bytes
+        (save_s *. 1e3) (resume_s *. 1e3) cps overhead;
+      soak_rows :=
+        {
+          sr_arch = nm;
+          sr_ckpt_bytes = bytes;
+          sr_save_ms = save_s *. 1e3;
+          sr_resume_ms = resume_s *. 1e3;
+          sr_cycles_per_sec = cps;
+          sr_overhead_pct = overhead;
+        }
+        :: !soak_rows)
+    [ ("bfba", G.Bfba); ("gbaviii", G.Gbaviii); ("hybrid", G.Hybrid) ];
+  List.iter
+    (fun r ->
+      if r.sr_overhead_pct >= 3.0 then
+        Printf.printf
+          "[bench] WARNING: %s checkpoint overhead %.2f%% exceeds the 3%% \
+           budget at a 100k-cycle cadence\n"
+          r.sr_arch r.sr_overhead_pct)
+    !soak_rows
+
+let write_soak_json path =
+  if !soak_rows <> [] then begin
+    let oc = open_out path in
+    let rows =
+      List.rev !soak_rows
+      |> List.map (fun r ->
+             Printf.sprintf
+               "    {\"arch\": %S, \"ckpt_bytes\": %d, \"save_ms\": %.3f, \
+                \"resume_ms\": %.3f, \"drive_cycles_per_sec\": %.1f, \
+                \"overhead_pct_100k\": %.3f}"
+               r.sr_arch r.sr_ckpt_bytes r.sr_save_ms r.sr_resume_ms
+               r.sr_cycles_per_sec r.sr_overhead_pct)
+      |> String.concat ",\n"
+    in
+    Printf.fprintf oc
+      "{\n\
+      \  \"schema\": \"busgen-soak-bench/1\",\n\
+      \  \"runs\": [\n%s\n  ]\n\
+       }\n"
+      rows;
+    close_out oc;
+    Printf.printf "\n[bench] wrote %s\n" path
+  end
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_interp.json: machine-readable perf trajectory across PRs      *)
 (* ------------------------------------------------------------------ *)
 
@@ -843,7 +987,9 @@ let () =
   if want "interp" then bench_interp ();
   if want "faults" then bench_faults ();
   if want "monitors" then bench_monitors ();
+  if want "soak" then bench_soak ();
   write_bench_json "BENCH_interp.json";
   write_faults_json "BENCH_faults.json";
   write_monitors_json "BENCH_monitors.json";
+  write_soak_json "BENCH_soak.json";
   print_string "\nAll benchmarks complete.\n"

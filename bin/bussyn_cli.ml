@@ -280,7 +280,25 @@ let simulate_cmd =
           ~doc:"Stop the simulation after N cycles (default 200 million); \
                 useful to bound degraded fault-injection runs.")
   in
-  let run arch app trace csv faults max_cycles =
+  let ckpt_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "ckpt-dir" ] ~docv:"DIR"
+          ~doc:"Write replay-mark checkpoints under DIR while simulating, \
+                and validate against the newest one on restart: the engine \
+                replays deterministically to the checkpointed cycle and its \
+                state digest must match the mark, or the run refuses to \
+                continue.")
+  in
+  let ckpt_every_arg =
+    Arg.(
+      value & opt int 500_000
+      & info [ "ckpt-every" ] ~docv:"CYCLES"
+          ~doc:"Mark cadence in simulated cycles (with --ckpt-dir).")
+  in
+  let run arch app trace csv faults max_cycles ckpt_dir ckpt_every =
+    let module M = Busgen_sim.Machine in
+    let module K = Busgen_ckpt.Ckpt in
     let report stats =
       if trace then
         Format.printf "%a@." Busgen_sim.Analysis.pp_report stats;
@@ -304,29 +322,143 @@ let simulate_cmd =
           Printf.printf "wrote %s-{trace,util}.csv and %s-util.gp\n" prefix
             prefix
     in
-    (match app with
-    | `Ofdm_ppa | `Ofdm_fpa -> (
-        let style =
-          match app with `Ofdm_ppa -> Busgen_apps.Ofdm.Ppa | _ -> Busgen_apps.Ofdm.Fpa
-        in
-        match Busgen_apps.Ofdm.run ~trace ?faults ?max_cycles arch style with
-        | r ->
-            Printf.printf "OFDM %s on %s: %.4f Mbps (%d cycles)\n"
-              (Busgen_apps.Ofdm.style_name style)
-              (G.arch_name arch) r.Busgen_apps.Ofdm.throughput_mbps
-              r.Busgen_apps.Ofdm.stats.Busgen_sim.Machine.cycles;
-            report r.Busgen_apps.Ofdm.stats)
-    | `Mpeg2 ->
-        let r = Busgen_apps.Mpeg2.run ~trace ?faults ?max_cycles arch in
-        Printf.printf "MPEG2 on %s: %.4f Mbps (%d cycles)\n"
-          (G.arch_name arch) r.Busgen_apps.Mpeg2.throughput_mbps
-          r.Busgen_apps.Mpeg2.stats.Busgen_sim.Machine.cycles;
-        report r.Busgen_apps.Mpeg2.stats
-    | `Database ->
-        let r = Busgen_apps.Database.run ~trace ?faults ?max_cycles arch in
-        Printf.printf "Database on %s: %.0f ns (%d tasks)\n" (G.arch_name arch)
-          r.Busgen_apps.Database.execution_time_ns r.Busgen_apps.Database.tasks;
-        report r.Busgen_apps.Database.stats);
+    let app_name =
+      match app with
+      | `Ofdm_ppa -> "ofdm-ppa"
+      | `Ofdm_fpa -> "ofdm-fpa"
+      | `Mpeg2 -> "mpeg2"
+      | `Database -> "database"
+    in
+    let session, print_result =
+      match app with
+      | `Ofdm_ppa | `Ofdm_fpa ->
+          let style =
+            match app with
+            | `Ofdm_ppa -> Busgen_apps.Ofdm.Ppa
+            | _ -> Busgen_apps.Ofdm.Fpa
+          in
+          let s, fin =
+            Busgen_apps.Ofdm.session ~trace ?faults ?max_cycles arch style
+          in
+          ( s,
+            fun stats ->
+              let r = fin stats in
+              Printf.printf "OFDM %s on %s: %.4f Mbps (%d cycles)\n"
+                (Busgen_apps.Ofdm.style_name style)
+                (G.arch_name arch) r.Busgen_apps.Ofdm.throughput_mbps
+                r.Busgen_apps.Ofdm.stats.M.cycles;
+              report r.Busgen_apps.Ofdm.stats )
+      | `Mpeg2 ->
+          let s, fin =
+            Busgen_apps.Mpeg2.session ~trace ?faults ?max_cycles arch
+          in
+          ( s,
+            fun stats ->
+              let r = fin stats in
+              Printf.printf "MPEG2 on %s: %.4f Mbps (%d cycles)\n"
+                (G.arch_name arch) r.Busgen_apps.Mpeg2.throughput_mbps
+                r.Busgen_apps.Mpeg2.stats.M.cycles;
+              report r.Busgen_apps.Mpeg2.stats )
+      | `Database ->
+          let s, fin =
+            Busgen_apps.Database.session ~trace ?faults ?max_cycles arch
+          in
+          ( s,
+            fun stats ->
+              let r = fin stats in
+              Printf.printf "Database on %s: %.0f ns (%d tasks)\n"
+                (G.arch_name arch) r.Busgen_apps.Database.execution_time_ns
+                r.Busgen_apps.Database.tasks;
+              report r.Busgen_apps.Database.stats )
+    in
+    let stats =
+      match ckpt_dir with
+      | None ->
+          let rec go () =
+            match M.advance session ~cycles:max_int with
+            | `Done stats -> stats
+            | `Running -> go ()
+          in
+          go ()
+      | Some dir ->
+          if ckpt_every <= 0 then failwith "--ckpt-every must be positive";
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let ident =
+            Printf.sprintf "%s/%s%s" (G.arch_name arch) app_name
+              (match faults with
+              | None -> ""
+              | Some fc ->
+                  Printf.sprintf "/faults:%d:%d/%d" fc.M.f_seed fc.M.f_error_num
+                    fc.M.f_den)
+          in
+          let found, skipped = K.latest_valid ~dir ~load:K.load_mark in
+          List.iter
+            (fun (path, reason) ->
+              Printf.printf "[ckpt] skipping %s: %s\n%!" path reason)
+            skipped;
+          (* Per-PE phases carry program closures, so a transaction-level
+             checkpoint is a replay mark: re-run deterministically to the
+             marked cycle and require the state digest to agree. *)
+          (match found with
+          | None -> ()
+          | Some (mark, _, path) ->
+              if mark.K.mk_tool <> G.tool_version then
+                failwith
+                  (Printf.sprintf "%s was written by %s; this is %s" path
+                     mark.K.mk_tool G.tool_version);
+              if mark.K.mk_ident <> ident then
+                failwith
+                  (Printf.sprintf
+                     "%s is a checkpoint of '%s'; this run is '%s' — \
+                      refusing to resume"
+                     path mark.K.mk_ident ident);
+              Printf.printf "[ckpt] replaying to cycle %d (%s)\n%!"
+                mark.K.mk_cycle path;
+              let rec to_mark () =
+                let p = M.progress session in
+                if p.M.pr_cycle < mark.K.mk_cycle && not (M.finished session)
+                then begin
+                  ignore
+                    (M.advance session
+                       ~cycles:(min ckpt_every (mark.K.mk_cycle - p.M.pr_cycle)));
+                  to_mark ()
+                end
+              in
+              to_mark ();
+              let p = M.progress session in
+              if p.M.pr_cycle <> mark.K.mk_cycle then
+                failwith
+                  (Printf.sprintf
+                     "replay ended at cycle %d, checkpoint marks cycle %d — \
+                      the workload is shorter than the checkpointed one"
+                     p.M.pr_cycle mark.K.mk_cycle);
+              if p.M.pr_digest <> mark.K.mk_digest then
+                failwith
+                  (Printf.sprintf
+                     "state digest mismatch at cycle %d (checkpoint %x, \
+                      replay %x) — the workload diverged from the \
+                      checkpointed run"
+                     mark.K.mk_cycle mark.K.mk_digest p.M.pr_digest);
+              Printf.printf "[ckpt] digest validated at cycle %d\n%!"
+                mark.K.mk_cycle);
+          let rec drive () =
+            match M.advance session ~cycles:ckpt_every with
+            | `Done stats -> stats
+            | `Running ->
+                let p = M.progress session in
+                K.save_mark ~path:(K.path_for ~dir ~cycle:p.M.pr_cycle)
+                  {
+                    K.mk_tool = G.tool_version;
+                    mk_ident = ident;
+                    mk_cycle = p.M.pr_cycle;
+                    mk_digest = p.M.pr_digest;
+                  };
+                K.prune ~dir ~keep:3;
+                drive ()
+          in
+          drive ()
+    in
+    print_result stats;
     0
   in
   Cmd.v
@@ -335,7 +467,7 @@ let simulate_cmd =
              its performance.")
     Term.(
       const run $ arch_arg $ app_arg $ trace_arg $ csv_arg $ faults_arg
-      $ max_cycles_arg)
+      $ max_cycles_arg $ ckpt_dir_arg $ ckpt_every_arg)
 
 (* ------------------------------------------------------------------ *)
 (* inject                                                              *)
@@ -490,6 +622,125 @@ let inject_cmd =
       $ protect_arg)
 
 (* ------------------------------------------------------------------ *)
+(* soak                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let soak_cmd =
+  let module S = Busgen_ckpt.Soak in
+  let campaign_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ a; b ] -> (
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some seed, Some n when n > 0 -> Ok (seed, n)
+          | _ -> Error (`Msg "expected SEED:COUNT (two integers)"))
+      | _ -> Error (`Msg "expected SEED:COUNT (e.g. 7:4)")
+    in
+    let print fmt (s, n) = Format.fprintf fmt "%d:%d" s n in
+    Arg.conv (parse, print)
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Traffic seed for the run.")
+  in
+  let cycles_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "cycles" ] ~docv:"N"
+          ~doc:"Run until at least N bus cycles have been simulated.")
+  in
+  let dir_arg =
+    Arg.(
+      value & opt string "soak_ckpt"
+      & info [ "ckpt-dir" ] ~docv:"DIR"
+          ~doc:"Checkpoint directory; re-running against it resumes from \
+                the newest valid checkpoint (a corrupt newest file is \
+                skipped in favor of the previous good one).")
+  in
+  let every_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "every" ] ~docv:"CYCLES"
+          ~doc:"Checkpoint cadence in simulated cycles (0 disables).")
+  in
+  let wall_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "every-seconds" ] ~docv:"SEC"
+          ~doc:"Also checkpoint whenever SEC wall-clock seconds have \
+                passed since the last one.")
+  in
+  let keep_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "keep" ] ~docv:"N" ~doc:"Checkpoint files retained.")
+  in
+  let campaign_arg =
+    Arg.(
+      value & opt (some campaign_conv) None
+      & info [ "faults" ] ~docv:"SEED:COUNT"
+          ~doc:"Install a random RTL fault campaign (COUNT injections \
+                drawn from SEED over the run's horizon) before driving \
+                traffic.")
+  in
+  let protect_arg =
+    Arg.(
+      value & flag
+      & info [ "protect" ]
+          ~doc:"Generate the design with bus error-protection hardware.")
+  in
+  let no_monitor_arg =
+    Arg.(
+      value & flag
+      & info [ "no-monitor" ]
+          ~doc:"Do not arm the standard property pack.")
+  in
+  let run arch pes seed cycles dir every wall keep campaign protect no_monitor
+      =
+    let config =
+      { (Bussyn.Archs.small_config ~n_pes:pes) with Bussyn.Archs.protect }
+    in
+    let cfg =
+      S.config ~cadence:every ~wall ~keep ?campaign ~monitor:(not no_monitor)
+        ~log:(fun m -> Printf.printf "[soak] %s\n%!" m)
+        ~arch ~config ~seed ~cycles ~dir ()
+    in
+    match S.run cfg with
+    | Error e ->
+        prerr_endline ("soak: " ^ e);
+        1
+    | Ok o ->
+        let module T = Busgen_verify.Traffic in
+        Printf.printf "[soak] wrote %d checkpoint(s) under %s\n" o.S.so_checkpoints
+          dir;
+        Printf.printf
+          "soak %s: %d cycles, %d transactions (%d reads, %d writes), %d \
+           mismatch(es), %d violation(s)\n"
+          (G.arch_name arch) o.S.so_cycles o.S.so_stats.T.transactions
+          o.S.so_stats.T.reads o.S.so_stats.T.writes
+          o.S.so_stats.T.mismatches
+          (List.length o.S.so_violations);
+        List.iter
+          (fun v -> Format.printf "  %a@." Busgen_verify.Prop.pp_violation v)
+          o.S.so_violations;
+        if o.S.so_stats.T.mismatches > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Supervised long co-simulation: drive deterministic traffic \
+             through the generated RTL under the property pack, writing \
+             crash-safe checkpoints on a cycle/wall-clock cadence.  \
+             Re-running with the same checkpoint directory resumes \
+             bit-exactly from the newest valid checkpoint; a heartbeat \
+             watchdog converts a wedged bus into a diagnostic naming the \
+             frozen control signals.")
+    Term.(
+      const run $ arch_arg $ pes_arg $ seed_arg $ cycles_arg $ dir_arg
+      $ every_arg $ wall_arg $ keep_arg $ campaign_arg $ protect_arg
+      $ no_monitor_arg)
+
+(* ------------------------------------------------------------------ *)
 (* verify                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -532,6 +783,15 @@ let verify_cmd =
       value & opt int 32
       & info [ "budget" ] ~docv:"N"
           ~doc:"Number of fuzz cases to classify (with --fuzz).")
+  in
+  let first_case_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "first-case" ] ~docv:"K"
+          ~doc:
+            "With --fuzz: start at case index K instead of 0, so a long \
+             campaign can be split across invocations (cases [K, \
+             K+budget) of the same seed).")
   in
   let replay_arg =
     Arg.(
@@ -592,7 +852,7 @@ let verify_cmd =
     end;
     violations = [] && stats.V.Traffic.mismatches = 0
   in
-  let run arch pes cycles protect fuzz budget replay corpus json =
+  let run arch pes cycles protect fuzz budget first_case replay corpus json =
     match replay with
     | Some path -> (
         match V.Fuzz.replay path with
@@ -607,7 +867,7 @@ let verify_cmd =
     | None -> (
         match fuzz with
         | Some seed ->
-            let report = V.Fuzz.run ~cycles ~seed ~budget () in
+            let report = V.Fuzz.run ~cycles ~seed ~budget ~first_case () in
             if json then print_string (V.Fuzz.report_to_json report)
             else begin
               let count pred =
@@ -674,7 +934,7 @@ let verify_cmd =
           file from the corpus.")
     Term.(
       const run $ arch_opt $ pes_arg $ cycles_arg $ protect_arg $ fuzz_arg
-      $ budget_arg $ replay_arg $ corpus_arg $ json_arg)
+      $ budget_arg $ first_case_arg $ replay_arg $ corpus_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* wires                                                               *)
@@ -917,8 +1177,8 @@ let () =
   let info = Cmd.info "bussyn_cli" ~version:"1.0" ~doc in
   let cmd =
     Cmd.group info
-      [ generate_cmd; list_cmd; simulate_cmd; inject_cmd; verify_cmd;
-        wires_cmd; explore_cmd; wizard_cmd ]
+      [ generate_cmd; list_cmd; simulate_cmd; inject_cmd; soak_cmd;
+        verify_cmd; wires_cmd; explore_cmd; wizard_cmd ]
   in
   (* Option-level rejections (bad architecture/flag combinations,
      malformed options files) are user errors, not crashes. *)

@@ -1,0 +1,100 @@
+(** Crash-safe checkpoint files for long co-simulations.
+
+    A checkpoint is a versioned binary container — magic ["BSCK"],
+    format version, named sections, CRC-32 trailer over everything
+    before it — written atomically (temp file in the same directory,
+    then [rename]), so a run killed mid-write can never leave a
+    half-written file under a checkpoint name.  Loading validates the
+    magic, version and CRC before decoding anything; every failure is a
+    clean [Error] naming the file and the reason.
+
+    On top of the container sit two typed snapshots:
+
+    - {!snapshot}: full RTL co-simulation state — interpreter signal
+      and memory values ({!Busgen_rtl.Interp.state}), installed fault
+      injections, the traffic driver's RNG and shadow model
+      ({!Busgen_verify.Traffic.state}), property-monitor obligations
+      ({!Busgen_verify.Prop.monitor_state}) — plus the provenance
+      needed to refuse a mismatched resume: tool version and
+      {!Bussyn.Generate.design_hash} over the architecture and config
+      (both of which are stored too, so a resume can re-generate the
+      exact circuit).
+
+    - {!mark}: a replay mark for the transaction-level engine
+      ({!Busgen_sim}), whose per-PE phases carry closures and cannot be
+      serialized.  A mark records the cycle reached and the engine's
+      state digest; restore is deterministic replay to that cycle,
+      validated against the digest. *)
+
+(** {1 Container} *)
+
+val format_version : int
+
+val write_file : string -> (string * string) list -> unit
+(** [write_file path sections] encodes and atomically replaces [path].
+    @raise Sys_error on I/O failure. *)
+
+val read_file : string -> ((string * string) list, string) result
+(** Validate magic, version and CRC, then return the sections.  Never
+    raises on file content; the [Error] is one line. *)
+
+(** {1 RTL co-simulation snapshots} *)
+
+type snapshot = {
+  ck_tool : string;           (** {!Bussyn.Generate.tool_version} of the writer *)
+  ck_hash : string;           (** {!Bussyn.Generate.design_hash} of the design *)
+  ck_arch : Bussyn.Generate.arch;
+  ck_config : Bussyn.Archs.config;
+  ck_seed : int;              (** traffic seed of the run *)
+  ck_interp : Busgen_rtl.Interp.state;
+  ck_injections : Busgen_rtl.Interp.injection list;
+  ck_traffic : Busgen_verify.Traffic.state option;
+  ck_monitor : Busgen_verify.Prop.monitor_state option;
+}
+
+val save : path:string -> snapshot -> unit
+(** Atomic write (see above). *)
+
+val load : path:string -> (snapshot, string) result
+
+val check_provenance :
+  snapshot -> arch:Bussyn.Generate.arch -> config:Bussyn.Archs.config ->
+  seed:int -> (unit, string) result
+(** Refuse a resume against a different world: the snapshot's tool
+    version, design hash and traffic seed must all match what the
+    resuming run would use.  The [Error] says which differs and how. *)
+
+(** {1 Transaction-level replay marks} *)
+
+type mark = {
+  mk_tool : string;
+  mk_ident : string;  (** free-text workload identity (arch, app, faults) *)
+  mk_cycle : int;
+  mk_digest : int;    (** {!Busgen_sim.Machine.progress} digest at [mk_cycle] *)
+}
+
+val save_mark : path:string -> mark -> unit
+val load_mark : path:string -> (mark, string) result
+
+(** {1 Checkpoint directories}
+
+    Checkpoints live in a directory as [ckpt-<cycle>.bsck], one file
+    per checkpointed cycle, newest-first recovery with graceful
+    degradation: a corrupt newest file (torn disk, bad block) is
+    skipped and the previous good one is used. *)
+
+val path_for : dir:string -> cycle:int -> string
+
+val list_files : dir:string -> (int * string) list
+(** Checkpoint files present, newest (highest cycle) first.  A missing
+    directory is an empty list. *)
+
+val latest_valid :
+  dir:string -> load:(path:string -> ('a, string) result) ->
+  ('a * int * string) option * (string * string) list
+(** Try [load] on each file, newest first; return the first success (with
+    its cycle and path) and every [(path, reason)] skipped on the way.
+    [(None, skipped)] when nothing loads. *)
+
+val prune : dir:string -> keep:int -> unit
+(** Delete all but the newest [keep] checkpoint files. *)

@@ -198,7 +198,67 @@ let from_options t =
           try Ok (generate arch config)
           with Invalid_argument msg -> Error msg))
 
-let verilog r = Verilog.of_design r.generated.Archs.top
+(* ------------------------------------------------------------------ *)
+(* Provenance: tool version and design hash                            *)
+(* ------------------------------------------------------------------ *)
+
+let tool_version = "bussyn 0.4.0"
+
+(* Canonical text of everything that determines the generated circuit.
+   Any field change (or a renamed constructor) changes the hash — which
+   is the point: a checkpoint taken against one generation must refuse
+   to resume against another. *)
+let config_text (c : Archs.config) =
+  let policy =
+    match c.Archs.arb_policy with
+    | Busgen_modlib.Arbiter.Priority -> "priority"
+    | Busgen_modlib.Arbiter.Round_robin -> "round-robin"
+    | Busgen_modlib.Arbiter.Fcfs -> "fcfs"
+  in
+  let acc =
+    match c.Archs.accelerator with
+    | Archs.Acc_none -> "none"
+    | Archs.Acc_dct -> "dct"
+    | Archs.Acc_fft -> "fft"
+  in
+  let mem =
+    match c.Archs.mem_kind with
+    | Archs.Mk_sram -> "sram"
+    | Archs.Mk_dram -> "dram"
+    | Archs.Mk_dpram -> "dpram"
+  in
+  Printf.sprintf
+    "n_pes=%d addr=%d data=%d mem_addr=%d global_mem_addr=%d fifo=%d \
+     arb=%s cpu=%s acc=%s mem=%s subsystems=%d protect=%b"
+    c.Archs.n_pes c.Archs.bus_addr_width c.Archs.bus_data_width
+    c.Archs.mem_addr_width c.Archs.global_mem_addr_width c.Archs.fifo_depth
+    policy
+    (Busgen_modlib.Cbi.pe_name c.Archs.cpu)
+    acc mem c.Archs.n_subsystems c.Archs.protect
+
+let design_hash arch config =
+  let text = arch_name arch ^ ": " ^ config_text config in
+  (* FNV-1a, 64-bit — stable across runs and OCaml versions, unlike
+     [Hashtbl.hash] which is documented to vary. *)
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code ch)))
+          0x100000001b3L)
+    text;
+  Printf.sprintf "%016Lx" !h
+
+let verilog_header r =
+  [
+    Printf.sprintf "Generated by %s" tool_version;
+    Printf.sprintf "Architecture: %s, %d PE(s)" (arch_name r.arch)
+      r.config.Archs.n_pes;
+    Printf.sprintf "Options hash: %s" (design_hash r.arch r.config);
+  ]
+
+let verilog r = Verilog.of_design ~header:(verilog_header r) r.generated.Archs.top
 
 let wire_library_text r = Busgen_wirelib.Text.print r.generated.Archs.entries
 
@@ -216,7 +276,10 @@ let pp_report fmt r =
 
 let write_output ~dir r =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let v_files = Verilog.write_design ~dir r.generated.Archs.top in
+  let v_files =
+    Verilog.write_design ~header:(verilog_header r) ~dir
+      r.generated.Archs.top
+  in
   let wires_path = Filename.concat dir "wires.txt" in
   let oc = open_out wires_path in
   output_string oc (wire_library_text r);

@@ -43,8 +43,20 @@ val generate : arch -> Archs.config -> t
 val from_options : Options.t -> (t, string) Stdlib.result
 (** Validate options, dispatch, generate. *)
 
+val tool_version : string
+(** Name and version of this generator, stamped into Verilog headers and
+    simulation checkpoints. *)
+
+val design_hash : arch -> Archs.config -> string
+(** Stable 16-hex-digit content hash (FNV-1a) over the architecture name
+    and the canonical text of every {!Archs.config} field.  Two equal
+    hashes mean the generator would produce the same circuit; Verilog
+    headers carry it and checkpoints refuse to resume across a
+    mismatch. *)
+
 val verilog : t -> string
-(** Full synthesizable Verilog for the generated system. *)
+(** Full synthesizable Verilog for the generated system, stamped with a
+    provenance header ({!tool_version}, architecture, {!design_hash}). *)
 
 val wire_library_text : t -> string
 (** The Wire Library entries used, in the paper's ASCII format. *)

@@ -630,6 +630,67 @@ let clear_injections t =
   Hashtbl.reset t.active;
   t.n_active <- 0
 
+(* ------------------------------------------------------------------ *)
+(* State snapshot                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  st_cycle : int;
+  st_values : (string * Bits.t) array;
+  st_mems : (string * Bits.t array) array;
+}
+
+let export_state t =
+  {
+    st_cycle = t.cycle;
+    st_values = Array.mapi (fun i v -> (t.names.(i), v)) t.values;
+    st_mems = Array.map (fun m -> (m.cm_name, Array.copy m.cm_arr)) t.mems;
+  }
+
+let import_state t st =
+  if st.st_cycle < 0 then invalid_arg "Interp.import_state: negative cycle";
+  if Array.length st.st_values <> Array.length t.values then
+    invalid_arg
+      (Printf.sprintf
+         "Interp.import_state: snapshot has %d signals, design has %d"
+         (Array.length st.st_values) (Array.length t.values));
+  Array.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt t.slots name with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Interp.import_state: unknown signal %s" name)
+      | Some s ->
+          let w = Bits.width t.values.(s) in
+          if Bits.width v <> w then
+            invalid_arg
+              (Printf.sprintf
+                 "Interp.import_state: %s: snapshot width %d, design width %d"
+                 name (Bits.width v) w);
+          t.values.(s) <- v)
+    st.st_values;
+  Array.iter
+    (fun (name, words) ->
+      match Hashtbl.find_opt t.arrays name with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Interp.import_state: unknown memory %s" name)
+      | Some arr ->
+          if Array.length words <> Array.length arr then
+            invalid_arg
+              (Printf.sprintf
+                 "Interp.import_state: memory %s: snapshot depth %d, design \
+                  depth %d"
+                 name (Array.length words) (Array.length arr));
+          Array.blit words 0 arr 0 (Array.length arr))
+    st.st_mems;
+  (* The snapshot was taken post-step, so every value is already settled;
+     faults live at the snapshot cycle re-arm at the next [step] via
+     [refresh_active] against whatever injections the caller installed. *)
+  Hashtbl.reset t.active;
+  t.n_active <- 0;
+  t.cycle <- st.st_cycle
+
 (* Deterministic campaign descriptor: a small LCG (same recurrence used
    by the transaction-level simulator) over the sorted signal-name list,
    so a given (design, seed, n, horizon) always yields the same faults. *)

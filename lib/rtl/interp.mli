@@ -115,6 +115,32 @@ val current_cycle : t -> int
     restarts the cycle counter; installed injections are kept and will
     replay relative to the new time base). *)
 
+(** {1 State snapshot}
+
+    Full simulation state as plain data, for checkpoint/restore.  A
+    snapshot taken after a {!step} and imported into a freshly
+    {!create}d engine of the same circuit resumes bit-exactly: running
+    N cycles straight equals snapshot-at-K + import + (N-K) cycles.
+    Installed injections are {e not} part of the state — the restoring
+    caller re-installs them (they are scheduled on absolute cycles, so
+    they re-arm correctly against the restored {!current_cycle}). *)
+
+type state = {
+  st_cycle : int;  (** {!current_cycle} at snapshot time *)
+  st_values : (string * Bits.t) array;  (** every flat signal's value *)
+  st_mems : (string * Bits.t array) array;  (** every memory's words *)
+}
+
+val export_state : t -> state
+(** Snapshot the current state (deep copies; later steps do not mutate
+    the returned value). *)
+
+val import_state : t -> state -> unit
+(** Restore a snapshot into an engine created from the same circuit.
+    @raise Invalid_argument if a signal or memory is unknown or a
+    width/depth disagrees (i.e. the snapshot was taken against a
+    different design). *)
+
 val random_campaign :
   t -> seed:int -> n:int -> horizon:int -> injection list
 (** [random_campaign t ~seed ~n ~horizon] draws [n] injections over the

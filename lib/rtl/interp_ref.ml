@@ -401,3 +401,71 @@ let memories sim =
   Array.to_list
     (Array.map (fun m -> (m.fm_name, m.fm_depth)) sim.base.mems)
   |> List.sort compare
+
+(* State snapshots share {!Interp.state} so a checkpoint written by one
+   engine can restore the other (the flattening is identical). *)
+
+let by_name (a, _) (b, _) = compare a b
+
+let export_state sim : Interp.state =
+  {
+    Interp.st_cycle = sim.cycle;
+    st_values =
+      (let l =
+         Hashtbl.fold (fun n v acc -> (n, v) :: acc) sim.base.values []
+       in
+       let a = Array.of_list l in
+       Array.sort by_name a;
+       a);
+    st_mems =
+      (let l =
+         Hashtbl.fold
+           (fun n arr acc -> (n, Array.copy arr) :: acc)
+           sim.base.arrays []
+       in
+       let a = Array.of_list l in
+       Array.sort by_name a;
+       a);
+  }
+
+let import_state sim (st : Interp.state) =
+  if st.Interp.st_cycle < 0 then
+    invalid_arg "Interp_ref.import_state: negative cycle";
+  if Array.length st.Interp.st_values <> Hashtbl.length sim.base.values then
+    invalid_arg
+      (Printf.sprintf
+         "Interp_ref.import_state: snapshot has %d signals, design has %d"
+         (Array.length st.Interp.st_values)
+         (Hashtbl.length sim.base.values));
+  Array.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt sim.base.widths name with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Interp_ref.import_state: unknown signal %s" name)
+      | Some w ->
+          if Bits.width v <> w then
+            invalid_arg
+              (Printf.sprintf
+                 "Interp_ref.import_state: %s: snapshot width %d, design \
+                  width %d"
+                 name (Bits.width v) w);
+          Hashtbl.replace sim.base.values name v)
+    st.Interp.st_values;
+  Array.iter
+    (fun (name, words) ->
+      match Hashtbl.find_opt sim.base.arrays name with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Interp_ref.import_state: unknown memory %s" name)
+      | Some arr ->
+          if Array.length words <> Array.length arr then
+            invalid_arg
+              (Printf.sprintf
+                 "Interp_ref.import_state: memory %s: snapshot depth %d, \
+                  design depth %d"
+                 name (Array.length words) (Array.length arr));
+          Array.blit words 0 arr 0 (Array.length arr))
+    st.Interp.st_mems;
+  Hashtbl.reset sim.active;
+  sim.cycle <- st.Interp.st_cycle

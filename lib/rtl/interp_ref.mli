@@ -43,3 +43,12 @@ val clear_injections : t -> unit
 
 val current_cycle : t -> int
 (** Steps taken since [create]/[reset]. *)
+
+val export_state : t -> Interp.state
+(** Snapshot the current state.  Shares {!Interp.state} so a checkpoint
+    written by one engine can restore the other — the flattening (and
+    therefore the flat-name universe) is identical. *)
+
+val import_state : t -> Interp.state -> unit
+(** Restore a snapshot into an engine created from the same circuit.
+    @raise Invalid_argument on unknown names or width/depth mismatch. *)

@@ -115,17 +115,24 @@ let of_circuit (c : Circuit.t) =
   pf "endmodule\n";
   Buffer.contents buf
 
-let of_design top =
-  let subs = Circuit.sub_circuits top in
-  String.concat "\n" (List.map of_circuit (subs @ [ top ]))
+let header_comment = function
+  | [] -> ""
+  | lines ->
+      String.concat "" (List.map (fun l -> "// " ^ l ^ "\n") lines) ^ "\n"
 
-let write_design ~dir top =
+let of_design ?(header = []) top =
+  let subs = Circuit.sub_circuits top in
+  header_comment header
+  ^ String.concat "\n" (List.map of_circuit (subs @ [ top ]))
+
+let write_design ?(header = []) ~dir top =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let subs = Circuit.sub_circuits top in
   List.map
     (fun c ->
       let path = Filename.concat dir (Circuit.name c ^ ".v") in
       let oc = open_out path in
+      output_string oc (header_comment header);
       output_string oc (of_circuit c);
       close_out oc;
       path)

@@ -7,11 +7,13 @@ val of_circuit : Circuit.t -> string
 (** Verilog source for one module (sub-circuits are referenced, not
     included). *)
 
-val of_design : Circuit.t -> string
+val of_design : ?header:string list -> Circuit.t -> string
 (** Verilog source for the whole hierarchy: every distinct sub-circuit
-    module first (deepest first), then the top module.
+    module first (deepest first), then the top module.  [header] lines
+    (e.g. tool version and options hash) are emitted as [//] comments
+    before the first module.
     @raise Invalid_argument if two different modules share a name. *)
 
-val write_design : dir:string -> Circuit.t -> string list
+val write_design : ?header:string list -> dir:string -> Circuit.t -> string list
 (** Write one [.v] file per module under [dir] (created if needed); returns
-    the file paths, top module last. *)
+    the file paths, top module last.  [header] lines open every file. *)

@@ -55,6 +55,12 @@ let lex src =
       incr i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then
+      (* line comment (e.g. the provenance header) — skip to newline,
+         which the outer loop then counts *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
     else if c >= '0' && c <= '9' then begin
       (* A number; if followed by a tick it is a sized literal. *)
       let j = ref !i in

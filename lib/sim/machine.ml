@@ -698,7 +698,17 @@ let resources_of c =
   | Bussyn.Generate.Splitba ->
       List.init (max 1 c.n_subsystems) (fun k -> Ss k)
 
-let run ?(max_cycles = 200_000_000) c programs =
+(* A resumable run: [start] builds the engine, [advance] pushes it a
+   bounded number of cycles, [progress] exposes where it is.  [run] is
+   the one-shot composition and keeps its exact historical semantics. *)
+type session = {
+  s_m : m;
+  s_max : int;                     (* max_cycles guard *)
+  mutable s_stop : bool;           (* degraded stop latched *)
+  mutable s_result : stats option; (* final stats once finished *)
+}
+
+let start ?(max_cycles = 200_000_000) c programs =
   if Array.length programs <> c.n_pes then
     Stdlib.invalid_arg "Machine.run: program count <> n_pes";
   (* Programs are stateful generators: sharing one across PEs would
@@ -757,16 +767,20 @@ let run ?(max_cycles = 200_000_000) c programs =
     }
   in
   List.iter (fun (f, v) -> Hashtbl.replace m.flags f v) c.initial_flags;
-  let cycles = ref 0 in
+  { s_m = m; s_max = max_cycles; s_stop = false; s_result = None }
+
+(* With faults on, a quarantined PE can leave peers legitimately
+   wedged (e.g. polling a flag it will never set); such runs stop and
+   report instead of raising. *)
+let degraded m = m.c.faults <> None && m.rel.rl_unrecovered > 0
+
+(* One simulator cycle.  Returns [true] when the run should stop
+   degraded (no progress, but quarantined PEs explain it). *)
+let one_cycle m =
+  let c = m.c in
   let t = c.timing in
-  (* With faults on, a quarantined PE can leave peers legitimately
-     wedged (e.g. polling a flag it will never set); such runs stop and
-     report instead of raising. *)
-  let degraded () = c.faults <> None && m.rel.rl_unrecovered > 0 in
-  let stop = ref false in
-  while (not !stop) && m.halted < c.n_pes && !cycles < max_cycles do
-    incr cycles;
-    m.now <- !cycles;
+  begin
+    m.now <- m.now + 1;
     m.activity <- false;
     (* 1. Fetch phase: pull the next op for every ready PE. *)
     Array.iteri
@@ -900,21 +914,19 @@ let run ?(max_cycles = 200_000_000) c programs =
         | Fetch | Halted -> ())
       m.phase;
     if (not m.activity) && m.halted < c.n_pes then begin
-      if degraded () then stop := true
+      if degraded m then true
       else
         raise
           (Deadlock
              (Printf.sprintf "no progress at cycle %d (%d/%d PEs halted): %s"
-                !cycles m.halted c.n_pes (stuck_report m)))
+                m.now m.halted c.n_pes (stuck_report m)))
     end
-  done;
-  if m.halted < c.n_pes && not (degraded ()) then
-    raise
-      (Deadlock
-         (Printf.sprintf "max_cycles (%d) exceeded, %d of %d PEs not halted: %s"
-            max_cycles (c.n_pes - m.halted) c.n_pes (stuck_report m)));
+    else false
+  end
+
+let stats_of m =
   {
-    cycles = !cycles;
+    cycles = m.now;
     pe_busy = m.pe_busy;
     pe_wait = m.pe_wait;
     bus_busy =
@@ -925,7 +937,7 @@ let run ?(max_cycles = 200_000_000) c programs =
     marks = List.rev m.m_marks;
     trace = List.rev m.m_trace;
     reliability =
-      (match c.faults with
+      (match m.c.faults with
       | None -> None
       | Some _ ->
           Some
@@ -938,3 +950,138 @@ let run ?(max_cycles = 200_000_000) c programs =
               r_quarantined = List.rev m.rel.rl_quarantined;
             });
   }
+
+let advance s ~cycles =
+  match s.s_result with
+  | Some st -> `Done st
+  | None ->
+      let m = s.s_m in
+      let n = m.c.n_pes in
+      let budget = ref cycles in
+      while (not s.s_stop) && m.halted < n && m.now < s.s_max && !budget > 0 do
+        decr budget;
+        if one_cycle m then s.s_stop <- true
+      done;
+      if s.s_stop || m.halted >= n || m.now >= s.s_max then begin
+        if m.halted < n && not (degraded m) then
+          raise
+            (Deadlock
+               (Printf.sprintf
+                  "max_cycles (%d) exceeded, %d of %d PEs not halted: %s"
+                  s.s_max (n - m.halted) n (stuck_report m)));
+        let st = stats_of m in
+        s.s_result <- Some st;
+        `Done st
+      end
+      else `Running
+
+let run ?max_cycles c programs =
+  let s = start ?max_cycles c programs in
+  let rec go () =
+    match advance s ~cycles:max_int with `Done st -> st | `Running -> go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Progress and state digest                                           *)
+(* ------------------------------------------------------------------ *)
+
+type progress = {
+  pr_cycle : int;
+  pr_halted : int;
+  pr_ops_done : int array;
+  pr_phases : string array;
+  pr_transactions : int;
+  pr_words : int;
+  pr_digest : int;
+}
+
+let flag_text = function
+  | Program.Hs_flag (k, name) -> Printf.sprintf "hs%d:%s" k name
+  | Program.Var_flag name -> "var:" ^ name
+
+(* FNV-style fold over every piece of serializable engine state.  The
+   per-PE phases carry closures, so a Machine run cannot be restored by
+   copying state — restore is deterministic replay to the recorded
+   cycle, and this digest is the proof that the replay reconverged on
+   the exact state the checkpoint saw. *)
+let digest_of m =
+  let h = ref 0x811C9DC5 in
+  let add x = h := ((!h lxor x) * 0x01000193) land max_int in
+  let adds s = String.iter (fun ch -> add (Char.code ch)) s in
+  let phase_sig = function
+    | Fetch -> (0, 0, 0)
+    | Computing cs -> (1, cs.cleft, cs.miss_acc)
+    | Queued -> (2, 0, 0)
+    | Local_transfer lt -> (3, lt.left, 0)
+    | Sleeping sl -> (4, sl.left, 0)
+    | Backoff bo -> (5, bo.left, bo.txn.t_attempts)
+    | Fifo_blocked _ -> (6, 0, 0)
+    | Irq_wait -> (7, 0, 0)
+    | Halted -> (8, 0, 0)
+  in
+  add m.now;
+  add m.halted;
+  add m.transactions;
+  add m.words;
+  add m.polls;
+  Array.iter add m.ops_done;
+  Array.iter add m.pe_busy;
+  Array.iter add m.pe_wait;
+  Array.iter add m.fifo_count;
+  Array.iter add m.fifo_thr;
+  Array.iter
+    (fun ph ->
+      let a, b, c = phase_sig ph in
+      add a;
+      add b;
+      add c)
+    m.phase;
+  List.iter
+    (fun b ->
+      add b.busy;
+      add b.cur_left;
+      add b.cur_grant;
+      add b.rr_last;
+      add b.b_lcg;
+      add (match b.cur with Some t -> t.t_pe + 1 | None -> 0);
+      add (List.length b.waiting);
+      List.iter (fun t -> add t.t_pe) b.waiting)
+    m.buses;
+  Hashtbl.fold (fun f v acc -> (flag_text f, v) :: acc) m.flags []
+  |> List.sort compare
+  |> List.iter (fun (s, v) ->
+         adds s;
+         add (if v then 1 else 0));
+  Hashtbl.fold (fun name owner acc -> (name, owner) :: acc) m.locks []
+  |> List.sort compare
+  |> List.iter (fun (s, owner) ->
+         adds s;
+         add owner);
+  Array.iter
+    (fun st ->
+      add st.pos;
+      add st.lcg;
+      add st.run_left)
+    m.l1s;
+  add m.rel.rl_errors;
+  add m.rel.rl_timeouts;
+  add m.rel.rl_retries;
+  add m.rel.rl_recovered;
+  add m.rel.rl_unrecovered;
+  List.iter add m.rel.rl_quarantined;
+  !h
+
+let progress s =
+  let m = s.s_m in
+  {
+    pr_cycle = m.now;
+    pr_halted = m.halted;
+    pr_ops_done = Array.copy m.ops_done;
+    pr_phases = Array.map phase_desc m.phase;
+    pr_transactions = m.transactions;
+    pr_words = m.words;
+    pr_digest = digest_of m;
+  }
+
+let finished s = s.s_result <> None

@@ -175,6 +175,7 @@ let classify sc =
 
 type report = {
   f_seed : int;
+  f_first_case : int;
   f_budget : int;
   f_results : result list;
   f_failures : result list;
@@ -189,14 +190,21 @@ let is_failure r =
   | Traffic_error _ ->
       true
 
-let run ?(cycles = 1000) ~seed ~budget () =
+let run ?(cycles = 1000) ?(first_case = 0) ~seed ~budget () =
+  if first_case < 0 then invalid_arg "Fuzz.run: negative first_case";
   let state = ref (lcg (lcg (seed land 0x3FFFFFFF))) in
   let next () =
     state := lcg !state;
     !state
   in
+  (* Every case consumes exactly three draws, so a resumed budget can
+     fast-forward the stream and continue the exact same case sequence
+     an uninterrupted run would have produced. *)
+  for _ = 1 to 3 * first_case do
+    ignore (next ())
+  done;
   let results = ref [] in
-  for case = 0 to budget - 1 do
+  for case = first_case to first_case + budget - 1 do
     let opt_seed = next () in
     let traffic_seed = next () in
     let campaign_seed = next () in
@@ -216,6 +224,7 @@ let run ?(cycles = 1000) ~seed ~budget () =
   let results = List.rev !results in
   {
     f_seed = seed;
+    f_first_case = first_case;
     f_budget = budget;
     f_results = results;
     f_failures = List.filter is_failure results;
@@ -457,7 +466,15 @@ let replay path =
   | Ok text -> (
       match repro_of_string text with
       | Error _ as e -> e
-      | Ok (sc, expect) -> Ok (classify sc, expect))
+      | Ok (sc, expect) -> (
+          (* A parseable repro can still carry content no design can
+             honor (e.g. an injection naming a signal the shrunken
+             options no longer generate).  Fold those into Error too:
+             replay must never escape with a raw exception. *)
+          match classify sc with
+          | r -> Ok (r, expect)
+          | exception (Invalid_argument msg | Failure msg) ->
+              Error ("invalid scenario: " ^ msg)))
 
 (* ------------------------------------------------------------------ *)
 (* JSON report                                                         *)
@@ -501,6 +518,8 @@ let report_to_json rep =
   in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" rep.f_seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"first_case\": %d,\n" rep.f_first_case);
   Buffer.add_string b (Printf.sprintf "  \"budget\": %d,\n" rep.f_budget);
   Buffer.add_string b
     (Printf.sprintf "  \"cases\": %d,\n" (List.length rep.f_results));

@@ -60,6 +60,7 @@ val classify : scenario -> result
 
 type report = {
   f_seed : int;
+  f_first_case : int;        (** index of the first case classified *)
   f_budget : int;
   f_results : result list;   (** in execution order *)
   f_failures : result list;
@@ -67,11 +68,18 @@ type report = {
           [Generation_error] (the signal the fuzzer hunts for) *)
 }
 
-val run : ?cycles:int -> seed:int -> budget:int -> unit -> report
+val run :
+  ?cycles:int -> ?first_case:int -> seed:int -> budget:int -> unit -> report
 (** Classify [budget] scenarios sampled from
     {!Bussyn.Options.sample}; every other valid case additionally
     carries a seeded fault campaign.  Deterministic per [seed].
-    [cycles] bounds each monitored run (default 1000). *)
+    [cycles] bounds each monitored run (default 1000).
+
+    [first_case] (default 0) makes budgets resumable: each case consumes
+    a fixed number of seed draws, so
+    [run ~seed ~first_case:a ~budget:b ()] classifies exactly the cases
+    [a, a+b) of [run ~seed ~budget:(a+b) ()] — an interrupted campaign
+    continues where it stopped with no repeated or skipped cases. *)
 
 val report_to_json : report -> string
 (** Machine-readable summary (class counts, per-case lines, failures). *)
@@ -100,4 +108,8 @@ val save_repro : dir:string -> name:string -> expect:string -> scenario -> strin
 
 val replay : string -> (result * string, string) Stdlib.result
 (** Load a repro file, classify it, and return the result together with
-    the file's expected class (comparison is the caller's business). *)
+    the file's expected class (comparison is the caller's business).
+    Never raises: a missing or unreadable file, unparseable content, or
+    a parseable scenario the pipeline cannot honor (e.g. an injection
+    naming an unknown signal) all come back as [Error] with a one-line
+    message. *)

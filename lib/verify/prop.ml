@@ -141,6 +141,8 @@ type checker = {
   ck_name : string;
   ck_step : int -> string option;
   ck_reset : unit -> unit;
+  ck_state : unit -> int;    (* hidden temporal state, as plain data *)
+  ck_restore : int -> unit;
 }
 
 type monitor = {
@@ -161,6 +163,8 @@ let compile_checker rd (p : t) : checker =
             if c () then None
             else Some (Printf.sprintf "invariant %s does not hold" pr.pd_desc));
         ck_reset = (fun () -> ());
+        ck_state = (fun () -> -1);
+        ck_restore = (fun _ -> ());
       }
   | Never pr ->
       let c = pr.pd_compile rd in
@@ -172,6 +176,8 @@ let compile_checker rd (p : t) : checker =
               Some (Printf.sprintf "forbidden condition %s holds" pr.pd_desc)
             else None);
         ck_reset = (fun () -> ());
+        ck_state = (fun () -> -1);
+        ck_restore = (fun _ -> ());
       }
   | Implies_within { cycles; trigger; goal } ->
       let ct = trigger.pd_compile rd and cg = goal.pd_compile rd in
@@ -198,6 +204,8 @@ let compile_checker rd (p : t) : checker =
             if !pending >= 0 && cg () then pending := -1;
             viol);
         ck_reset = (fun () -> pending := -1);
+        ck_state = (fun () -> !pending);
+        ck_restore = (fun p -> pending := p);
       }
 
 let attach sim props =
@@ -247,3 +255,37 @@ let reset m =
   m.order <- [];
   m.total <- 0;
   Array.iter (fun ck -> ck.ck_reset ()) m.checkers
+
+(* ------------------------------------------------------------------ *)
+(* Monitor state snapshot                                              *)
+(* ------------------------------------------------------------------ *)
+
+type monitor_state = {
+  ms_pending : int array; (* hidden checker state, in attach order *)
+  ms_firsts : violation list;
+  ms_total : int;
+}
+
+let export_state m =
+  {
+    ms_pending = Array.map (fun ck -> ck.ck_state ()) m.checkers;
+    ms_firsts = violations m;
+    ms_total = m.total;
+  }
+
+let import_state m st =
+  if Array.length st.ms_pending <> Array.length m.checkers then
+    invalid_arg
+      (Printf.sprintf
+         "Prop.import_state: snapshot has %d checkers, monitor has %d"
+         (Array.length st.ms_pending)
+         (Array.length m.checkers));
+  Array.iteri (fun i ck -> ck.ck_restore st.ms_pending.(i)) m.checkers;
+  Hashtbl.reset m.firsts;
+  m.order <- [];
+  List.iter
+    (fun v ->
+      Hashtbl.replace m.firsts v.v_prop v;
+      m.order <- v.v_prop :: m.order)
+    st.ms_firsts;
+  m.total <- st.ms_total

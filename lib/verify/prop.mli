@@ -96,3 +96,22 @@ val property_count : monitor -> int
 val reset : monitor -> unit
 (** Forget recorded violations and pending obligations (e.g. between a
     golden and a faulty run on the same interpreter). *)
+
+(** {2 Monitor state snapshot}
+
+    The hidden temporal state of a monitor (pending [implies_within]
+    obligations plus recorded violations) as plain data, so a resumed
+    checkpointed run reports exactly what an uninterrupted run would. *)
+
+type monitor_state = {
+  ms_pending : int array;
+      (** per-checker obligation state, in attach order ([-1] = none) *)
+  ms_firsts : violation list;  (** first violation per property, in order *)
+  ms_total : int;  (** total violations including repeats *)
+}
+
+val export_state : monitor -> monitor_state
+
+val import_state : monitor -> monitor_state -> unit
+(** Restore into a monitor attached with the {e same} property list.
+    @raise Invalid_argument if the checker count differs. *)

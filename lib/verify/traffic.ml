@@ -10,6 +10,8 @@ type stats = {
   mismatches : int;
 }
 
+let lspan = 48 (* local-memory offsets exercised per PE *)
+
 type driver = {
   tb : Tb.t;
   arch : G.arch;
@@ -19,16 +21,24 @@ type driver = {
   dmask : int;                        (* legal data values *)
   mutable rng : int;
   (* Shadow model.  Transactions are blocking, so plain tables keyed by
-     absolute (shared) or per-PE (local) address are exact. *)
-  local : (int * int, int) Hashtbl.t; (* (pe, offset) -> value *)
+     absolute (shared) or per-PE (local) address are exact.  Structures
+     a transaction *chooses from* (local memory) are deterministic
+     arrays, never iterated hashtables — the choice must survive a
+     checkpoint/restore round-trip bit-exactly. *)
+  local_vals : int array array;       (* pe -> offset -> value, -1 unknown *)
+  local_order : int array array;      (* pe -> written offsets, write order *)
+  local_count : int array;            (* pe -> #written offsets *)
   shared : (int, int) Hashtbl.t;      (* absolute address -> value *)
   hs : int array array;               (* owner pe -> [|op; rv|], -1 unknown *)
   queues : int Queue.t array;         (* words in flight into pe's Bi-FIFO *)
+  mutable ops : (driver -> int -> unit) array; (* per-arch menu *)
   mutable transactions : int;
   mutable reads : int;
   mutable writes : int;
   mutable mismatches : int;
 }
+
+type t = driver
 
 let rand d bound =
   d.rng <- (d.rng * 1664525) + 1013904223 land 0x3FFFFFFF;
@@ -58,24 +68,26 @@ let check d ~pe ~addr want =
 (* Transaction kinds                                                   *)
 (* ------------------------------------------------------------------ *)
 
+let local_record d pe off v =
+  if d.local_vals.(pe).(off) < 0 then begin
+    d.local_order.(pe).(d.local_count.(pe)) <- off;
+    d.local_count.(pe) <- d.local_count.(pe) + 1
+  end;
+  d.local_vals.(pe).(off) <- v
+
 let local_write d pe =
-  let off = rand d 48 in
+  let off = rand d lspan in
   let v = rand_data d in
   write d ~pe ~addr:(Addrmap.local_mem_base + off) v;
-  Hashtbl.replace d.local (pe, off) v
+  local_record d pe off v
 
 let local_read d pe =
   (* Read back a location this PE has written; seed one otherwise. *)
-  let known =
-    Hashtbl.fold
-      (fun (p, off) v acc -> if p = pe then (off, v) :: acc else acc)
-      d.local []
-  in
-  match known with
-  | [] -> local_write d pe
-  | l ->
-      let off, v = List.nth l (rand d (List.length l)) in
-      check d ~pe ~addr:(Addrmap.local_mem_base + off) v
+  if d.local_count.(pe) = 0 then local_write d pe
+  else begin
+    let off = d.local_order.(pe).(rand d d.local_count.(pe)) in
+    check d ~pe ~addr:(Addrmap.local_mem_base + off) d.local_vals.(pe).(off)
+  end
 
 let shared_write d pe ~base ~span =
   let addr = base + rand d span in
@@ -133,16 +145,11 @@ let prevmem_read d pe =
   (* Read a word the upstream neighbour wrote into its local memory,
      through this PE's bridge window. *)
   let src = prev d pe in
-  let known =
-    Hashtbl.fold
-      (fun (p, off) v acc -> if p = src then (off, v) :: acc else acc)
-      d.local []
-  in
-  match known with
-  | [] -> local_write d pe
-  | l ->
-      let off, v = List.nth l (rand d (List.length l)) in
-      check d ~pe ~addr:(Addrmap.prevmem_base + off) v
+  if d.local_count.(src) = 0 then local_write d pe
+  else begin
+    let off = d.local_order.(src).(rand d d.local_count.(src)) in
+    check d ~pe ~addr:(Addrmap.prevmem_base + off) d.local_vals.(src).(off)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Per-architecture menus                                              *)
@@ -207,7 +214,11 @@ let menu d : (driver -> int -> unit) array =
   in
   Array.of_list ops
 
-let drive tb ~arch ~config ~seed ~min_cycles =
+(* ------------------------------------------------------------------ *)
+(* Session API                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let create tb ~arch ~config ~seed =
   let n = config.Archs.n_pes in
   let dw = config.Archs.bus_data_width in
   let d =
@@ -219,27 +230,110 @@ let drive tb ~arch ~config ~seed ~min_cycles =
       n_ss = config.Archs.n_subsystems;
       dmask = (if dw >= 30 then 0x3FFFFFFF else (1 lsl dw) - 1);
       rng = (seed land 0x3FFFFFFF) lxor 0x5DEECE6;
-      local = Hashtbl.create 64;
+      local_vals = Array.init n (fun _ -> Array.make lspan (-1));
+      local_order = Array.init n (fun _ -> Array.make lspan 0);
+      local_count = Array.make n 0;
       shared = Hashtbl.create 64;
       hs = Array.init n (fun _ -> [| -1; -1 |]);
       queues = Array.init n (fun _ -> Queue.create ());
+      ops = [||];
       transactions = 0;
       reads = 0;
       writes = 0;
       mismatches = 0;
     }
   in
-  let ops = menu d in
-  let start = Tb.cycles tb in
-  while Tb.cycles tb - start < min_cycles do
-    let pe = rand d n in
-    let op = ops.(rand d (Array.length ops)) in
-    op d pe
-  done;
+  d.ops <- menu d;
+  d
+
+let step d =
+  let pe = rand d d.n_pes in
+  let op = d.ops.(rand d (Array.length d.ops)) in
+  op d pe
+
+let stats d ~cycles =
   {
-    cycles = Tb.cycles tb - start;
+    cycles;
     transactions = d.transactions;
     reads = d.reads;
     writes = d.writes;
     mismatches = d.mismatches;
   }
+
+let drive tb ~arch ~config ~seed ~min_cycles =
+  let d = create tb ~arch ~config ~seed in
+  let start = Tb.cycles tb in
+  while Tb.cycles tb - start < min_cycles do
+    step d
+  done;
+  stats d ~cycles:(Tb.cycles tb - start)
+
+(* ------------------------------------------------------------------ *)
+(* State snapshot                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  ts_rng : int;
+  ts_local : (int * int * int) list; (* (pe, off, value), write order *)
+  ts_shared : (int * int) list;      (* (address, value), sorted *)
+  ts_hs : (int * int) list;          (* per-PE (op, rv), PE order *)
+  ts_queues : int list list;         (* per-PE in-flight words, front first *)
+  ts_transactions : int;
+  ts_reads : int;
+  ts_writes : int;
+  ts_mismatches : int;
+}
+
+let export_state d =
+  {
+    ts_rng = d.rng;
+    ts_local =
+      List.concat
+        (List.init d.n_pes (fun pe ->
+             List.init d.local_count.(pe) (fun i ->
+                 let off = d.local_order.(pe).(i) in
+                 (pe, off, d.local_vals.(pe).(off)))));
+    ts_shared =
+      Hashtbl.fold (fun a v acc -> (a, v) :: acc) d.shared []
+      |> List.sort compare;
+    ts_hs = List.init d.n_pes (fun pe -> (d.hs.(pe).(0), d.hs.(pe).(1)));
+    ts_queues =
+      List.init d.n_pes (fun pe ->
+          List.rev (Queue.fold (fun acc v -> v :: acc) [] d.queues.(pe)));
+    ts_transactions = d.transactions;
+    ts_reads = d.reads;
+    ts_writes = d.writes;
+    ts_mismatches = d.mismatches;
+  }
+
+let import_state d st =
+  if List.length st.ts_hs <> d.n_pes || List.length st.ts_queues <> d.n_pes
+  then
+    invalid_arg
+      (Printf.sprintf "Traffic.import_state: snapshot is for %d PEs, not %d"
+         (List.length st.ts_hs) d.n_pes);
+  d.rng <- st.ts_rng;
+  Array.iter (fun a -> Array.fill a 0 lspan (-1)) d.local_vals;
+  Array.fill d.local_count 0 d.n_pes 0;
+  List.iter
+    (fun (pe, off, v) ->
+      if pe < 0 || pe >= d.n_pes || off < 0 || off >= lspan then
+        invalid_arg "Traffic.import_state: local entry out of range";
+      local_record d pe off v)
+    st.ts_local;
+  Hashtbl.reset d.shared;
+  List.iter (fun (a, v) -> Hashtbl.replace d.shared a v) st.ts_shared;
+  List.iteri
+    (fun pe (op, rv) ->
+      d.hs.(pe).(0) <- op;
+      d.hs.(pe).(1) <- rv)
+    st.ts_hs;
+  List.iteri
+    (fun pe words ->
+      Queue.clear d.queues.(pe);
+      List.iter (fun v -> Queue.push v d.queues.(pe)) words)
+    st.ts_queues;
+  d.transactions <- st.ts_transactions;
+  d.reads <- st.ts_reads;
+  d.writes <- st.ts_writes;
+  d.mismatches <- st.ts_mismatches

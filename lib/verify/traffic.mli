@@ -33,3 +33,50 @@ val drive :
     shadow model needs no concurrency story.
     @raise Busgen_rtl.Testbench.Timeout if the bus stops answering —
     expected under injected faults, never on a fault-free design. *)
+
+(** {2 Session API}
+
+    [drive] as resumable pieces: a driver object owning the RNG and the
+    shadow model, advanced one blocking transaction at a time, with its
+    whole state exportable as plain data.  A checkpointed-and-restored
+    driver issues exactly the transaction stream the uninterrupted one
+    would — every random choice draws from recorded structures, never
+    from hashtable iteration order. *)
+
+type t
+(** A live traffic session bound to one testbench. *)
+
+val create :
+  Busgen_rtl.Testbench.t ->
+  arch:Bussyn.Generate.arch ->
+  config:Bussyn.Archs.config ->
+  seed:int ->
+  t
+
+val step : t -> unit
+(** Issue one random blocking transaction (several bus cycles).
+    @raise Busgen_rtl.Testbench.Timeout if the bus stops answering. *)
+
+val stats : t -> cycles:int -> stats
+(** Counters so far; [cycles] is supplied by the caller (the driver does
+    not own the clock). *)
+
+type state = {
+  ts_rng : int;
+  ts_local : (int * int * int) list;
+      (** local-memory shadow: [(pe, offset, value)] in write order *)
+  ts_shared : (int * int) list;  (** shared shadow, sorted by address *)
+  ts_hs : (int * int) list;      (** handshake flags per PE *)
+  ts_queues : int list list;     (** Bi-FIFO in-flight words per PE *)
+  ts_transactions : int;
+  ts_reads : int;
+  ts_writes : int;
+  ts_mismatches : int;
+}
+
+val export_state : t -> state
+
+val import_state : t -> state -> unit
+(** Restore into a driver created with the same architecture and config.
+    @raise Invalid_argument if the snapshot disagrees with the driver's
+    shape (PE count, offset ranges). *)

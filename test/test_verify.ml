@@ -184,6 +184,99 @@ let test_repro_roundtrip () =
       Alcotest.(check bool) "scenario survives the round trip" true
         (sc = sc')
 
+(* Replay must degrade to a one-line [Error] on anything short of a
+   valid, honorable repro file — a supervising script keys off the exit
+   code, so an exception here would be a usability bug. *)
+let test_replay_missing_file () =
+  match Fuzz.replay "/nonexistent/dir/never.repro" with
+  | Ok _ -> Alcotest.fail "replaying a missing file succeeded"
+  | Error m ->
+      Alcotest.(check bool) "error names the file" true
+        (contains m "never.repro");
+      Alcotest.(check bool) "error is one line" true
+        (not (String.contains m '\n'))
+
+let test_replay_corrupt_content () =
+  let dir = Filename.temp_file "repro_corrupt" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let write name text =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    path
+  in
+  let garbage = write "garbage.repro" "\x00\xffnot a repro at all\n" in
+  let truncated =
+    let good =
+      Fuzz.repro_to_string ~expect:"clean" (Fuzz.scenario ~seed:1 bfba_options)
+    in
+    write "truncated.repro" (String.sub good 0 (String.length good / 3))
+  in
+  List.iter
+    (fun path ->
+      match Fuzz.replay path with
+      | Ok _ -> Alcotest.failf "%s: corrupt repro replayed" path
+      | Error m ->
+          Alcotest.(check bool)
+            (Filename.basename path ^ " error is one line")
+            true
+            (not (String.contains m '\n')))
+    [ garbage; truncated ]
+
+let test_replay_unknown_signal () =
+  (* Well-formed repro whose injection names a signal the generated
+     design does not have: parseable, but the pipeline cannot honor it. *)
+  let sc =
+    Fuzz.scenario
+      ~faults:
+        [
+          {
+            Interp.inj_signal = "BAN_9$NOPE$does_not_exist";
+            inj_fault = Interp.Stuck_at_1;
+            inj_start = 10;
+            inj_cycles = 100;
+          };
+        ]
+      ~cycles:200 ~seed:4 bfba_options
+  in
+  let path = Filename.temp_file "repro_unknown" ".repro" in
+  let oc = open_out path in
+  output_string oc (Fuzz.repro_to_string ~expect:"clean" sc);
+  close_out oc;
+  (match Fuzz.replay path with
+  | Ok _ -> Alcotest.fail "unknown-signal repro replayed"
+  | Error m ->
+      Alcotest.(check bool) "error mentions the signal" true
+        (contains m "does_not_exist"));
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Resumable budgets                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuzz_first_case_equivalence () =
+  let a = 3 and b = 4 in
+  let full = Fuzz.run ~cycles:300 ~seed:21 ~budget:(a + b) () in
+  let slice = Fuzz.run ~cycles:300 ~seed:21 ~first_case:a ~budget:b () in
+  let tail l n =
+    let rec drop l n = if n = 0 then l else drop (List.tl l) (n - 1) in
+    drop l (List.length l - n)
+  in
+  let expect = tail full.Fuzz.f_results (List.length slice.Fuzz.f_results) in
+  Alcotest.(check int) "slice classified the tail cases"
+    (List.length expect)
+    (List.length slice.Fuzz.f_results);
+  List.iter2
+    (fun (e : Fuzz.result) (g : Fuzz.result) ->
+      Alcotest.(check bool) "same scenario" true
+        (e.Fuzz.r_scenario = g.Fuzz.r_scenario);
+      Alcotest.(check string) "same class"
+        (Fuzz.outcome_class e.Fuzz.r_outcome)
+        (Fuzz.outcome_class g.Fuzz.r_outcome))
+    expect slice.Fuzz.f_results
+
 let corpus_dir =
   (* `dune runtest` runs in _build/default/test with the corpus dep
      materialized one level up; `dune exec` runs from the project root. *)
@@ -228,6 +321,8 @@ let () =
             test_fuzz_deterministic;
           Alcotest.test_case "classification pipeline" `Slow
             test_fuzz_classifies;
+          Alcotest.test_case "first-case budgets compose" `Slow
+            test_fuzz_first_case_equivalence;
         ] );
       ( "shrinking",
         [
@@ -240,5 +335,11 @@ let () =
             test_repro_roundtrip;
           Alcotest.test_case "replay checked-in repros" `Quick
             test_corpus_replay;
+          Alcotest.test_case "replay of a missing file errors cleanly" `Quick
+            test_replay_missing_file;
+          Alcotest.test_case "replay of corrupt content errors cleanly" `Quick
+            test_replay_corrupt_content;
+          Alcotest.test_case "replay with an unknown signal errors cleanly"
+            `Quick test_replay_unknown_signal;
         ] );
     ]
