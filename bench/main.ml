@@ -17,8 +17,18 @@ let line = String.make 78 '-'
 let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
 
 (* Sections selected on the command line ([] = everything), e.g.
-   `dune exec bench/main.exe -- table5 interp` for a CI smoke run. *)
-let sections = List.tl (Array.to_list Sys.argv)
+   `dune exec bench/main.exe -- table5 interp` for a CI smoke run.
+   `-j N` picks the worker count for the `par` section (default: every
+   core the runtime reports). *)
+let sections, par_jobs =
+  let rec go secs jobs = function
+    | [] -> (List.rev secs, jobs)
+    | "-j" :: n :: rest | "--jobs" :: n :: rest ->
+        go secs (int_of_string n) rest
+    | s :: rest -> go (s :: secs) jobs rest
+  in
+  go [] (Busgen_par.Pool.default_jobs ()) (List.tl (Array.to_list Sys.argv))
+
 let want name = sections = [] || List.mem name sections
 
 (* Measurements accumulated for BENCH_interp.json. *)
@@ -923,6 +933,81 @@ let write_soak_json path =
   end
 
 (* ------------------------------------------------------------------ *)
+(* par: worker-pool sweep scaling (BENCH_par.json)                     *)
+(* ------------------------------------------------------------------ *)
+
+type par_row = {
+  pr_jobs : int;
+  pr_wall_j1_s : float;
+  pr_wall_jn_s : float;
+  pr_speedup : float;
+  pr_identical : bool;
+}
+
+let par_row : par_row option ref = ref None
+
+let bench_par () =
+  header "Parallel sweep scaling (64-config fuzz budget, seed 2026)";
+  let module F = Busgen_verify.Fuzz in
+  let seed = 2026 and budget = 64 and cycles = 400 in
+  let time jobs =
+    let t0 = Unix.gettimeofday () in
+    let report = F.run ~cycles ~jobs ~seed ~budget () in
+    (Unix.gettimeofday () -. t0, F.report_to_json report)
+  in
+  (* Warm once so neither timed run pays generator memo-table misses. *)
+  ignore (F.run ~cycles ~seed ~budget:2 ());
+  let jobs = max 1 par_jobs in
+  let wall1, json1 = time 1 in
+  let walln, jsonn = time jobs in
+  let identical = String.equal json1 jsonn in
+  let speedup = wall1 /. walln in
+  Printf.printf "cores detected %d, -j %d\n" (Busgen_par.Pool.default_jobs ())
+    jobs;
+  Printf.printf "  -j 1  %8.3f s\n  -j %-2d %8.3f s   speedup %.2fx\n" wall1
+    jobs walln speedup;
+  Printf.printf "  reports byte-identical: %s\n"
+    (if identical then "yes" else "NO");
+  if not identical then
+    print_string
+      "[bench] WARNING: -j N report differs from -j 1 — determinism \
+       contract broken\n";
+  if jobs >= 4 && speedup < 3.0 then
+    Printf.printf
+      "[bench] WARNING: speedup %.2fx below the 3x target for -j %d\n" speedup
+      jobs;
+  par_row :=
+    Some
+      {
+        pr_jobs = jobs;
+        pr_wall_j1_s = wall1;
+        pr_wall_jn_s = walln;
+        pr_speedup = speedup;
+        pr_identical = identical;
+      }
+
+let write_par_json path =
+  match !par_row with
+  | None -> ()
+  | Some r ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema\": \"busgen-par-bench/1\",\n\
+        \  \"cores_detected\": %d,\n\
+        \  \"jobs\": %d,\n\
+        \  \"fuzz_budget\": 64,\n\
+        \  \"wall_j1_s\": %.3f,\n\
+        \  \"wall_jn_s\": %.3f,\n\
+        \  \"speedup\": %.3f,\n\
+        \  \"byte_identical\": %b\n\
+         }\n"
+        (Busgen_par.Pool.default_jobs ())
+        r.pr_jobs r.pr_wall_j1_s r.pr_wall_jn_s r.pr_speedup r.pr_identical;
+      close_out oc;
+      Printf.printf "\n[bench] wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_interp.json: machine-readable perf trajectory across PRs      *)
 (* ------------------------------------------------------------------ *)
 
@@ -988,8 +1073,10 @@ let () =
   if want "faults" then bench_faults ();
   if want "monitors" then bench_monitors ();
   if want "soak" then bench_soak ();
+  if want "par" then bench_par ();
   write_bench_json "BENCH_interp.json";
   write_faults_json "BENCH_faults.json";
   write_monitors_json "BENCH_monitors.json";
   write_soak_json "BENCH_soak.json";
+  write_par_json "BENCH_par.json";
   print_string "\nAll benchmarks complete.\n"

@@ -31,6 +31,19 @@ let pes_arg =
     value & opt int 4
     & info [ "p"; "pes" ] ~docv:"N" ~doc:"Number of processing elements.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Busgen_par.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the embarrassingly parallel legs (fuzz \
+           budgets, fault campaigns, the all-architectures matrix).  \
+           Reports, corpus files and exit codes are byte-identical for \
+           every N, including 1: job seeds are derived from (root seed, \
+           job index) and results merge in job order.  Default: the \
+           machine's recommended domain count.")
+
 let config_of ~pes ~data_width ~mem_addr_width ~fifo_depth =
   {
     (Bussyn.Archs.paper_config ~n_pes:pes) with
@@ -453,7 +466,9 @@ let simulate_cmd =
                     mk_cycle = p.M.pr_cycle;
                     mk_digest = p.M.pr_digest;
                   };
-                K.prune ~dir ~keep:3;
+                K.prune
+                  ~log:(fun m -> Printf.printf "[ckpt] %s\n%!" m)
+                  ~dir ~keep:3 ();
                 drive ()
           in
           drive ()
@@ -500,7 +515,7 @@ let inject_cmd =
                 and parity modules), so faults can be flagged by the \
                 protection signals.")
   in
-  let run arch pes seed n cycles protect =
+  let run arch pes seed n cycles protect jobs =
     let module I = Busgen_rtl.Interp in
     let module C = Busgen_rtl.Circuit in
     let module B = Busgen_rtl.Bits in
@@ -546,7 +561,7 @@ let inject_cmd =
                 B.init p.C.port_width (fun _ -> next () land 1 = 1) ))
             inputs)
     in
-    let run_once () =
+    let run_once sim =
       I.reset sim;
       Array.map
         (fun ins ->
@@ -555,33 +570,45 @@ let inject_cmd =
           List.map (fun s -> I.peek sim s) observed)
         schedule
     in
-    let golden = run_once () in
-    let campaign = I.random_campaign sim ~seed ~n ~horizon:cycles in
+    let golden = run_once sim in
+    let campaign =
+      Array.of_list (I.random_campaign sim ~seed ~n ~horizon:cycles)
+    in
     let fault_name = function
       | I.Stuck_at_0 -> "stuck-at-0"
       | I.Stuck_at_1 -> "stuck-at-1"
       | I.Flip b -> Printf.sprintf "flip bit %d" b
     in
+    (* One job per injection of the seed x arch cell: each worker runs
+       the shared stimulus schedule against its own engine instance and
+       classifies the outcome against the golden trace.  The quadrant a
+       fault lands in depends only on (circuit, schedule, injection),
+       so the merged-in-order results are identical for every -j. *)
+    let classified =
+      Busgen_par.Pool.map_exn ~jobs (Array.length campaign) (fun idx ->
+          let inj = campaign.(idx) in
+          let sim = I.create top in
+          I.inject sim [ inj ];
+          let faulty = run_once sim in
+          let corrupt = ref false and flagged = ref false in
+          Array.iteri
+            (fun cy vals ->
+              List.iteri
+                (fun i f ->
+                  if not (B.equal f (List.nth golden.(cy) i)) then
+                    if i < n_out then corrupt := true else flagged := true)
+                vals)
+            faulty;
+          (inj, !corrupt, !flagged))
+    in
     let detected_corrupt = ref 0
     and silent_corrupt = ref 0
     and detected_masked = ref 0
     and masked = ref 0 in
-    List.iter
-      (fun (inj : I.injection) ->
-        I.clear_injections sim;
-        I.inject sim [ inj ];
-        let faulty = run_once () in
-        let corrupt = ref false and flagged = ref false in
-        Array.iteri
-          (fun cy vals ->
-            List.iteri
-              (fun i f ->
-                if not (B.equal f (List.nth golden.(cy) i)) then
-                  if i < n_out then corrupt := true else flagged := true)
-              vals)
-          faulty;
+    Array.iter
+      (fun ((inj : I.injection), corrupt, flagged) ->
         incr
-          (match (!corrupt, !flagged) with
+          (match (corrupt, flagged) with
           | true, true -> detected_corrupt
           | true, false -> silent_corrupt
           | false, true -> detected_masked
@@ -589,13 +616,12 @@ let inject_cmd =
         Printf.printf "%-28s @%4d for %d cycle(s) on %-24s -> %s\n"
           (fault_name inj.I.inj_fault)
           inj.I.inj_start inj.I.inj_cycles inj.I.inj_signal
-          (match (!corrupt, !flagged) with
+          (match (corrupt, flagged) with
           | true, true -> "corrupted outputs, flagged"
           | true, false -> "corrupted outputs, NOT flagged"
           | false, true -> "masked, flagged"
           | false, false -> "masked"))
-      campaign;
-    I.clear_injections sim;
+      classified;
     Printf.printf
       "\ncampaign: %s, %d PEs, %d faults over %d cycles (seed %d%s)\n"
       (G.arch_name arch) pes n cycles seed
@@ -619,7 +645,7 @@ let inject_cmd =
              generated protection hardware.")
     Term.(
       const run $ arch_arg $ pes_arg $ seed_arg $ n_arg $ cycles_arg
-      $ protect_arg)
+      $ protect_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* soak                                                                *)
@@ -814,7 +840,11 @@ let verify_cmd =
       value & flag
       & info [ "json" ] ~doc:"Print a machine-readable JSON report.")
   in
+  (* Builds its report into a buffer instead of printing, so the
+     all-architectures matrix can run the cells on a worker pool and
+     still print byte-identical output in architecture order. *)
   let monitored_run arch ~pes ~cycles ~protect ~json =
+    let b = Buffer.create 256 in
     let cfg =
       { (Bussyn.Archs.small_config ~n_pes:pes) with Bussyn.Archs.protect }
     in
@@ -831,14 +861,14 @@ let verify_cmd =
     in
     let violations = V.Prop.violations mon in
     if json then
-      Printf.printf
+      Printf.bprintf b
         "{\"arch\": \"%s\", \"cycles\": %d, \"transactions\": %d, \
          \"properties\": %d, \"mismatches\": %d, \"violations\": %d}\n"
         (G.arch_name arch) stats.V.Traffic.cycles stats.V.Traffic.transactions
         (V.Prop.property_count mon) stats.V.Traffic.mismatches
         (List.length violations)
     else begin
-      Printf.printf
+      Printf.bprintf b
         "%-8s %6d cycles, %5d transactions, %3d properties armed: %s\n"
         (G.arch_name arch) stats.V.Traffic.cycles stats.V.Traffic.transactions
         (V.Prop.property_count mon)
@@ -847,12 +877,15 @@ let verify_cmd =
            Printf.sprintf "%d violation(s), %d mismatch(es)"
              (List.length violations) stats.V.Traffic.mismatches);
       List.iter
-        (fun v -> Format.printf "  %a@." V.Prop.pp_violation v)
+        (fun v ->
+          Buffer.add_string b
+            (Format.asprintf "  %a@." V.Prop.pp_violation v))
         violations
     end;
-    violations = [] && stats.V.Traffic.mismatches = 0
+    (violations = [] && stats.V.Traffic.mismatches = 0, Buffer.contents b)
   in
-  let run arch pes cycles protect fuzz budget first_case replay corpus json =
+  let run arch pes cycles protect fuzz budget first_case replay corpus json
+      jobs =
     match replay with
     | Some path -> (
         match V.Fuzz.replay path with
@@ -867,7 +900,9 @@ let verify_cmd =
     | None -> (
         match fuzz with
         | Some seed ->
-            let report = V.Fuzz.run ~cycles ~seed ~budget ~first_case () in
+            let report =
+              V.Fuzz.run ~cycles ~seed ~budget ~first_case ~jobs ()
+            in
             if json then print_string (V.Fuzz.report_to_json report)
             else begin
               let count pred =
@@ -911,16 +946,24 @@ let verify_cmd =
         | None ->
             let archs =
               match arch with
-              | Some a -> [ a ]
+              | Some a -> [| a |]
               | None ->
-                  [ G.Bfba; G.Gbavi; G.Gbavii; G.Gbaviii; G.Hybrid;
-                    G.Splitba; G.Ggba; G.Ccba ]
+                  [| G.Bfba; G.Gbavi; G.Gbavii; G.Gbaviii; G.Hybrid;
+                     G.Splitba; G.Ggba; G.Ccba |]
+            in
+            (* One monitored run per architecture is an independent
+               job; outputs are printed in architecture order after the
+               merge, so -j never reorders the matrix. *)
+            let cells =
+              Busgen_par.Pool.map_exn ~jobs (Array.length archs) (fun i ->
+                  monitored_run archs.(i) ~pes ~cycles ~protect ~json)
             in
             let ok =
-              List.fold_left
-                (fun acc a ->
-                  monitored_run a ~pes ~cycles ~protect ~json && acc)
-                true archs
+              Array.fold_left
+                (fun acc (ok, out) ->
+                  print_string out;
+                  ok && acc)
+                true cells
             in
             if ok then 0 else 1)
   in
@@ -934,7 +977,8 @@ let verify_cmd =
           file from the corpus.")
     Term.(
       const run $ arch_opt $ pes_arg $ cycles_arg $ protect_arg $ fuzz_arg
-      $ budget_arg $ first_case_arg $ replay_arg $ corpus_arg $ json_arg)
+      $ budget_arg $ first_case_arg $ replay_arg $ corpus_arg $ json_arg
+      $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* wires                                                               *)
@@ -965,27 +1009,40 @@ let wires_cmd =
   let run arch out check dot =
     match check with
     | Some file -> (
-        let ic = open_in file in
-        let len = in_channel_length ic in
-        let src = really_input_string ic len in
-        close_in ic;
-        match Busgen_wirelib.Text.parse src with
-        | Error msg ->
-            Printf.eprintf "parse error: %s\n" msg;
-            1
-        | Ok lib -> (
-            match Busgen_wirelib.Spec.validate lib with
+        (* Bad input — unreadable, unparsable or invalid — follows the
+           `verify --replay` convention: exit 2 with one line on
+           stderr, never a raw exception.  (The unreadable-file case
+           used to escape as an uncaught Sys_error, and the other two
+           exited 1, indistinguishable from a failed check of valid
+           input.) *)
+        match
+          let ic = open_in file in
+          let len = in_channel_length ic in
+          let src = really_input_string ic len in
+          close_in ic;
+          src
+        with
+        | exception Sys_error msg ->
+            Printf.eprintf "wires: %s\n" msg;
+            2
+        | src -> (
+            match Busgen_wirelib.Text.parse src with
             | Error msg ->
-                Printf.eprintf "invalid: %s\n" msg;
-                1
-            | Ok () ->
-                Printf.printf "%s: %d entries, %d wires, all valid\n" file
-                  (List.length lib)
-                  (List.fold_left
-                     (fun a (e : Busgen_wirelib.Spec.entry) ->
-                       a + List.length e.Busgen_wirelib.Spec.wires)
-                     0 lib);
-                0))
+                Printf.eprintf "wires: parse error: %s\n" msg;
+                2
+            | Ok lib -> (
+                match Busgen_wirelib.Spec.validate lib with
+                | Error msg ->
+                    Printf.eprintf "wires: invalid: %s\n" msg;
+                    2
+                | Ok () ->
+                    Printf.printf "%s: %d entries, %d wires, all valid\n" file
+                      (List.length lib)
+                      (List.fold_left
+                         (fun a (e : Busgen_wirelib.Spec.entry) ->
+                           a + List.length e.Busgen_wirelib.Spec.wires)
+                         0 lib);
+                    0)))
     | None ->
         let config = Bussyn.Archs.paper_config ~n_pes:4 in
         let result = G.generate arch config in
@@ -1181,11 +1238,16 @@ let () =
         verify_cmd; wires_cmd; explore_cmd; wizard_cmd ]
   in
   (* Option-level rejections (bad architecture/flag combinations,
-     malformed options files) are user errors, not crashes. *)
+     malformed or missing options files) are user errors, not crashes:
+     one line on stderr and exit 2, the same convention as
+     `verify --replay` and `wires --check`.  Exit 1 stays reserved for
+     a *check that ran and failed* (dirty lint, fuzz failures, replay
+     mismatch, soak mismatch), so scripted flows can tell "you asked
+     wrong" from "the design is wrong". *)
   let code =
     try Cmd.eval' ~catch:false cmd
-    with Invalid_argument msg | Failure msg ->
+    with Invalid_argument msg | Failure msg | Sys_error msg ->
       prerr_endline ("bussyn_cli: " ^ msg);
-      1
+      2
   in
   exit code

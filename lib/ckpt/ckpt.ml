@@ -27,7 +27,7 @@ let encode_file sections =
   Io.w_int trailer (Io.crc32 body);
   body ^ Io.contents trailer
 
-let write_file path sections =
+let write_file ?(log = fun _ -> ()) path sections =
   (* Temp file in the same directory (rename must not cross devices),
      then an atomic rename: a crash mid-write leaves at worst a stray
      temp file, never a torn checkpoint under the real name. *)
@@ -42,7 +42,13 @@ let write_file path sections =
      close_out oc
    with e ->
      close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
+     (try Sys.remove tmp with
+     | Sys_error msg ->
+         (* The write already failed and [e] carries that story; a
+            cleanup failure on top must not replace it, but it must not
+            vanish either — a stray temp file in a supervised soak dir
+            looks exactly like corruption-in-progress. *)
+         log (Printf.sprintf "could not remove temp file %s: %s" tmp msg));
      raise e);
   Sys.rename tmp path
 
@@ -321,7 +327,7 @@ let payload f v =
   f b v;
   Io.contents b
 
-let save ~path snap =
+let save ?log ~path snap =
   let meta b () =
     Io.w_string b snap.ck_tool;
     Io.w_string b snap.ck_hash;
@@ -329,7 +335,7 @@ let save ~path snap =
     w_config b snap.ck_config;
     Io.w_int b snap.ck_seed
   in
-  write_file path
+  write_file ?log path
     [
       ("meta", payload meta ());
       ("interp", payload w_interp_state snap.ck_interp);
@@ -461,7 +467,16 @@ let latest_valid ~dir ~load =
   in
   go [] (list_files ~dir)
 
-let prune ~dir ~keep =
+let prune ?(log = fun _ -> ()) ~dir ~keep () =
   list_files ~dir
   |> List.iteri (fun i (_, path) ->
-         if i >= keep then try Sys.remove path with Sys_error _ -> ())
+         if i >= keep then
+           try Sys.remove path
+           with Sys_error msg ->
+             (* Swallowing this silently made a half-pruned directory
+                (e.g. a permission flip mid-soak, or an alien entry
+                matching the checkpoint name pattern) indistinguishable
+                from corruption.  Pruning stays best-effort — recovery
+                only needs [latest_valid] — but the skip is reported
+                through the caller's reason channel. *)
+             log (Printf.sprintf "prune: skipping %s: %s" path msg))

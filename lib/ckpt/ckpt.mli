@@ -30,8 +30,11 @@
 
 val format_version : int
 
-val write_file : string -> (string * string) list -> unit
+val write_file : ?log:(string -> unit) -> string -> (string * string) list -> unit
 (** [write_file path sections] encodes and atomically replaces [path].
+    [log] (default: drop) receives a one-line report if cleaning up the
+    temp file after a failed write itself fails — the original failure
+    is still raised.
     @raise Sys_error on I/O failure. *)
 
 val read_file : string -> ((string * string) list, string) result
@@ -52,8 +55,8 @@ type snapshot = {
   ck_monitor : Busgen_verify.Prop.monitor_state option;
 }
 
-val save : path:string -> snapshot -> unit
-(** Atomic write (see above). *)
+val save : ?log:(string -> unit) -> path:string -> snapshot -> unit
+(** Atomic write (see above); [log] as in {!write_file}. *)
 
 val load : path:string -> (snapshot, string) result
 
@@ -96,5 +99,10 @@ val latest_valid :
     its cycle and path) and every [(path, reason)] skipped on the way.
     [(None, skipped)] when nothing loads. *)
 
-val prune : dir:string -> keep:int -> unit
-(** Delete all but the newest [keep] checkpoint files. *)
+val prune : ?log:(string -> unit) -> dir:string -> keep:int -> unit -> unit
+(** Delete all but the newest [keep] checkpoint files.  Removal is
+    best-effort — resume correctness rests on {!latest_valid}, not on a
+    clean directory — but a file that cannot be removed is reported as
+    a one-line [prune: skipping <path>: <reason>] through [log]
+    (default: drop) instead of being silently left behind, so a
+    supervised soak can tell a half-pruned directory from corruption. *)

@@ -187,10 +187,10 @@ let run cfg =
     let cycle = I.current_cycle live.sim in
     if cycle <> !last_ck_cycle then begin
       let path = Ckpt.path_for ~dir:cfg.sk_dir ~cycle in
-      Ckpt.save ~path (snapshot_now ());
+      Ckpt.save ~log:cfg.sk_log ~path (snapshot_now ());
       incr written;
       last_ck_cycle := cycle;
-      Ckpt.prune ~dir:cfg.sk_dir ~keep:cfg.sk_keep;
+      Ckpt.prune ~log:cfg.sk_log ~dir:cfg.sk_dir ~keep:cfg.sk_keep ();
       cfg.sk_log (Printf.sprintf "checkpoint %s" path)
     end
   in

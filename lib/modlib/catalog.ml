@@ -84,8 +84,16 @@ let library_name = function
 
 let cache : (string, Busgen_rtl.Circuit.t) Hashtbl.t = Hashtbl.create 32
 
+(* The one process-wide memo table.  Parallel sweeps (busgen_par)
+   generate designs from worker domains, and an unsynchronized Hashtbl
+   corrupts under concurrent mutation — so every lookup-or-build holds
+   this lock.  Build time is microseconds against the simulations the
+   workers run, so contention is noise. *)
+let cache_lock = Mutex.create ()
+
 let create spec =
   let key = module_name spec in
+  Mutex.protect cache_lock @@ fun () ->
   match Hashtbl.find_opt cache key with
   | Some c -> c
   | None ->

@@ -1,0 +1,49 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+exception Job_failed of { index : int; error : string }
+
+let map ?jobs n f =
+  if n < 0 then invalid_arg "Pool.map: negative job count";
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let results = Array.make n None in
+  let run_job i =
+    let r =
+      match f i with
+      | v -> Ok v
+      | exception e -> Error (Printexc.to_string e)
+    in
+    (* One writer per slot; the join below publishes the writes. *)
+    results.(i) <- Some r
+  in
+  let workers = min (max 1 jobs) n in
+  if workers <= 1 then
+    for i = 0 to n - 1 do
+      run_job i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          run_job i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    List.init workers (fun _ -> Domain.spawn worker)
+    |> List.iter Domain.join
+  end;
+  Array.map
+    (function Some r -> r | None -> assert false (* every slot ran *))
+    results
+
+let map_exn ?jobs n f =
+  let results = map ?jobs n f in
+  Array.iteri
+    (fun index -> function
+      | Ok _ -> ()
+      | Error error -> raise (Job_failed { index; error }))
+    results;
+  Array.map (function Ok v -> v | Error _ -> assert false) results

@@ -1,0 +1,36 @@
+(** Domain-based worker pool with a strict determinism contract.
+
+    [map ~jobs n f] evaluates [f 0 .. f (n-1)] on up to [jobs] worker
+    domains and returns the results {b ordered by job index}, so the
+    output is byte-identical for every [jobs], including [1].  The
+    contract the callers (fuzz budgets, fault campaigns, the verify
+    matrix, benches) rely on:
+
+    - a job's work is a pure function of its {b index} — any RNG it
+      needs is derived via {!Splitmix.derive} from [(root seed, index)],
+      never from worker identity or completion order;
+    - jobs are handed out through one atomic counter (dynamic load
+      balancing), but results are merged into an array slot per index,
+      so scheduling order is unobservable;
+    - a job that raises is captured as [Error] {b attributed to its
+      index}; sibling jobs still run to completion.
+
+    Shared mutable state reachable from [f] must be domain-safe (the
+    one process-wide memo, the Module Library catalog, is mutexed). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the [-j] default. *)
+
+val map : ?jobs:int -> int -> (int -> 'a) -> ('a, string) result array
+(** [map ~jobs n f] runs jobs [0 .. n-1]; slot [i] holds [f i]'s value,
+    or [Error] with the raised exception printed if job [i] crashed.
+    [jobs] defaults to {!default_jobs}[ ()] and is clamped to
+    [\[1, n\]]; with one effective worker everything runs in the
+    calling domain.  Raises [Invalid_argument] on negative [n]. *)
+
+exception Job_failed of { index : int; error : string }
+(** Raised by {!map_exn} for the lowest-indexed failed job. *)
+
+val map_exn : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** Like {!map}, but raises {!Job_failed} for the lowest failed index
+    after every sibling has completed. *)

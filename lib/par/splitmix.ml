@@ -1,0 +1,38 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* The murmur-style finalizer of Steele, Lea & Flood's splitmix64. *)
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = Int64.of_int seed }
+
+let derive ~root ~index =
+  (* Jump directly to substream [index]: mix the root first so that
+     roots differing in one bit do not produce overlapping gamma walks,
+     then step [index] gammas and mix again. *)
+  {
+    state =
+      mix64
+        (Int64.add (mix64 (Int64.of_int root))
+           (Int64.mul (Int64.of_int index) golden));
+  }
+
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  mix64 t.state
+
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let next_in t bound =
+  if bound <= 0 then invalid_arg "Splitmix.next_in: bound must be positive";
+  next t mod bound

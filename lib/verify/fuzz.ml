@@ -190,38 +190,41 @@ let is_failure r =
   | Traffic_error _ ->
       true
 
-let run ?(cycles = 1000) ?(first_case = 0) ~seed ~budget () =
+(* Per-case seeds come from a splitmix64 substream of (root seed, case
+   index) — shared with busgen_par's partitioning scheme.  The old
+   sequential-LCG stream had two defects: case k+1's option stream was
+   a one-step offset of case k's campaign stream (the same LCG constants
+   are consumed downstream by Options.sample and
+   Interp.random_campaign, so "different" seeds walked overlapping
+   sequences), and resuming at first_case required replaying the
+   stream.  Indexed substreams are uncorrelated across cases and O(1)
+   to reach, which is also what lets a worker pool classify cases in
+   any order while producing identical reports. *)
+let case_seeds ~seed case =
+  let g = Busgen_par.Splitmix.derive ~root:seed ~index:case in
+  let opt_seed = Busgen_par.Splitmix.next g in
+  let traffic_seed = Busgen_par.Splitmix.next g in
+  let campaign_seed = Busgen_par.Splitmix.next g in
+  (opt_seed, traffic_seed, campaign_seed)
+
+let run_case ~cycles ~seed case =
+  let opt_seed, traffic_seed, campaign_seed = case_seeds ~seed case in
+  let options = Options.sample ~seed:opt_seed in
+  let base = scenario ~cycles ~seed:traffic_seed options in
+  let r = classify base in
+  (* Every other healthy case is re-run under a random fault
+     campaign: the monitors' detections are part of the report. *)
+  if r.r_outcome = Clean && case land 1 = 0 then
+    [ r; classify { base with sc_campaign = Some (campaign_seed, 3) } ]
+  else [ r ]
+
+let run ?(cycles = 1000) ?(first_case = 0) ?(jobs = 1) ~seed ~budget () =
   if first_case < 0 then invalid_arg "Fuzz.run: negative first_case";
-  let state = ref (lcg (lcg (seed land 0x3FFFFFFF))) in
-  let next () =
-    state := lcg !state;
-    !state
+  let per_case =
+    Busgen_par.Pool.map_exn ~jobs budget (fun i ->
+        run_case ~cycles ~seed (first_case + i))
   in
-  (* Every case consumes exactly three draws, so a resumed budget can
-     fast-forward the stream and continue the exact same case sequence
-     an uninterrupted run would have produced. *)
-  for _ = 1 to 3 * first_case do
-    ignore (next ())
-  done;
-  let results = ref [] in
-  for case = first_case to first_case + budget - 1 do
-    let opt_seed = next () in
-    let traffic_seed = next () in
-    let campaign_seed = next () in
-    let options = Options.sample ~seed:opt_seed in
-    let base = scenario ~cycles ~seed:traffic_seed options in
-    let r = classify base in
-    results := r :: !results;
-    (* Every other healthy case is re-run under a random fault
-       campaign: the monitors' detections are part of the report. *)
-    if r.r_outcome = Clean && case land 1 = 0 then begin
-      let f =
-        classify { base with sc_campaign = Some (campaign_seed, 3) }
-      in
-      results := f :: !results
-    end
-  done;
-  let results = List.rev !results in
+  let results = List.concat (Array.to_list per_case) in
   {
     f_seed = seed;
     f_first_case = first_case;

@@ -68,18 +68,30 @@ type report = {
           [Generation_error] (the signal the fuzzer hunts for) *)
 }
 
+val case_seeds : seed:int -> int -> int * int * int
+(** [case_seeds ~seed case] is the [(option, traffic, campaign)] seed
+    triple of case [case]: three draws from the
+    {!Busgen_par.Splitmix.derive}d substream of [(seed, case)].  Pure
+    and O(1) in [case]; distinct cases of one root get uncorrelated
+    triples (no aliasing of two configs to one campaign). *)
+
 val run :
-  ?cycles:int -> ?first_case:int -> seed:int -> budget:int -> unit -> report
+  ?cycles:int -> ?first_case:int -> ?jobs:int -> seed:int -> budget:int ->
+  unit -> report
 (** Classify [budget] scenarios sampled from
     {!Bussyn.Options.sample}; every other valid case additionally
     carries a seeded fault campaign.  Deterministic per [seed].
     [cycles] bounds each monitored run (default 1000).
 
-    [first_case] (default 0) makes budgets resumable: each case consumes
-    a fixed number of seed draws, so
+    [first_case] (default 0) makes budgets resumable: case seeds are
+    indexed (see {!case_seeds}), so
     [run ~seed ~first_case:a ~budget:b ()] classifies exactly the cases
     [a, a+b) of [run ~seed ~budget:(a+b) ()] — an interrupted campaign
-    continues where it stopped with no repeated or skipped cases. *)
+    continues where it stopped with no repeated or skipped cases.
+
+    [jobs] (default 1) shards the budget over a {!Busgen_par.Pool} of
+    worker domains, one job per case.  The report — results, order,
+    failures, JSON — is byte-identical for every [jobs] value. *)
 
 val report_to_json : report -> string
 (** Machine-readable summary (class counts, per-case lines, failures). *)

@@ -544,11 +544,39 @@ let test_latest_valid_ordering () =
   | Some _, skipped ->
       Alcotest.failf "unexpected skips: %d" (List.length skipped)
   | None, _ -> Alcotest.fail "nothing found");
-  Ckpt.prune ~dir ~keep:1;
+  Ckpt.prune ~dir ~keep:1 ();
   Alcotest.(check (list (pair int string)))
     "prune keeps the newest"
     [ (300, Ckpt.path_for ~dir ~cycle:300) ]
     (Ckpt.list_files ~dir)
+
+let test_prune_failure_logged () =
+  let dir = fresh_dir () in
+  List.iter
+    (fun cycle ->
+      Ckpt.save_mark ~path:(Ckpt.path_for ~dir ~cycle)
+        { Ckpt.mk_tool = "t"; mk_ident = "i"; mk_cycle = cycle; mk_digest = 0 })
+    [ 200; 300 ];
+  (* A *directory* named like the oldest checkpoint: Sys.remove raises,
+     so prune must skip it with a logged reason instead of dying. *)
+  let stuck = Ckpt.path_for ~dir ~cycle:100 in
+  Sys.mkdir stuck 0o755;
+  let logged = ref [] in
+  Ckpt.prune ~log:(fun m -> logged := m :: !logged) ~dir ~keep:1 ();
+  (match !logged with
+  | [ msg ] ->
+      Alcotest.(check bool) "skip names the path" true (has_infix stuck msg);
+      Alcotest.(check bool) "skip is a prune report" true
+        (has_infix "prune: skipping" msg)
+  | l -> Alcotest.failf "expected one logged skip, got %d" (List.length l));
+  (* The kept file is the newest real one; the undeletable entry is
+     still listed but must not break recovery. *)
+  (match Ckpt.latest_valid ~dir ~load:Ckpt.load_mark with
+  | Some (m, cycle, _), _ ->
+      Alcotest.(check int) "latest_valid still resumes from newest" 300 cycle;
+      Alcotest.(check int) "payload agrees" 300 m.Ckpt.mk_cycle
+  | None, _ -> Alcotest.fail "latest_valid found nothing after failed prune");
+  Sys.rmdir stuck
 
 let () =
   Alcotest.run "busgen_ckpt"
@@ -568,6 +596,8 @@ let () =
           Alcotest.test_case "mark round-trip" `Quick test_mark_roundtrip;
           Alcotest.test_case "latest_valid picks newest; prune" `Quick
             test_latest_valid_ordering;
+          Alcotest.test_case "failed prune is logged, resume survives" `Quick
+            test_prune_failure_logged;
         ] );
       ("resume-matrix", matrix_tests);
       ( "cross-engine",

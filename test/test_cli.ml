@@ -1,0 +1,184 @@
+(* Binary-level tests of the CLI's exit-code contract and the -j
+   determinism contract.  Exit codes: 0 = clean, 1 = a check ran and
+   failed, 2 = user/input error (one line on stderr, never a raw
+   exception trace).  Sharded runs (-j N) must print byte-identical
+   output to -j 1. *)
+
+(* `dune runtest` runs us from _build/default/test; `dune exec` from
+   the project root.  Find the built CLI either way. *)
+let exe =
+  let candidates =
+    [
+      Filename.concat ".." (Filename.concat "bin" "bussyn_cli.exe");
+      Filename.concat "_build"
+        (Filename.concat "default" (Filename.concat "bin" "bussyn_cli.exe"));
+      Filename.concat "bin" "bussyn_cli.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> failwith "bussyn_cli.exe not found next to the test"
+
+let tmp_dir =
+  let d = Filename.concat (Filename.get_temp_dir_name ()) "bussyn_cli_test" in
+  if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+  d
+
+let in_tmp name = Filename.concat tmp_dir name
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Run the CLI, capturing exit code, stdout and stderr. *)
+let run args =
+  let out = in_tmp "stdout" and err = in_tmp "stderr" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s" (Filename.quote exe)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code =
+    match Sys.command cmd with
+    | c -> c
+  in
+  (code, read_file out, read_file err)
+
+let is_one_line s =
+  let t = String.trim s in
+  t <> "" && not (String.contains t '\n')
+
+let check_user_error name args ~on_stderr =
+  let code, _, err = run args in
+  Alcotest.(check int) (name ^ ": exit 2") 2 code;
+  Alcotest.(check bool) (name ^ ": one line on stderr") true
+    (is_one_line err);
+  let has needle hay =
+    let n = String.length hay and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: stderr mentions %S (got %S)" name on_stderr err)
+    true (has on_stderr err)
+
+(* ------------------------------------------------------------------ *)
+(* Exit-code convention on user errors                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_wires_check_missing () =
+  check_user_error "missing file"
+    [ "wires"; "-a"; "bfba"; "--check"; in_tmp "no_such_file.wires" ]
+    ~on_stderr:"wires:"
+
+let test_wires_check_parse_error () =
+  let f = in_tmp "garbage.wires" in
+  write_file f "this is not a wire library\n";
+  check_user_error "parse error"
+    [ "wires"; "-a"; "bfba"; "--check"; f ]
+    ~on_stderr:"parse error"
+
+let test_wires_check_invalid () =
+  (* Parses fine but fails Spec.validate: duplicate entry name. *)
+  let f = in_tmp "dup.wires" in
+  write_file f "%wire foo\n%endwire\n%wire foo\n%endwire\n";
+  check_user_error "invalid library"
+    [ "wires"; "-a"; "bfba"; "--check"; f ]
+    ~on_stderr:"invalid"
+
+let test_generate_options_missing () =
+  check_user_error "generate --options missing"
+    [ "generate"; "-a"; "bfba"; "--options"; in_tmp "no_such_options.txt";
+      "-o"; in_tmp "gen_out" ]
+    ~on_stderr:"bussyn_cli:"
+
+let test_verify_replay_missing () =
+  check_user_error "verify --replay missing"
+    [ "verify"; "--replay"; in_tmp "no_such.repro" ]
+    ~on_stderr:"verify:"
+
+let test_wires_check_valid_ok () =
+  (* The happy path still exits 0: dump a library, then validate it. *)
+  let f = in_tmp "valid.wires" in
+  let code, _, _ = run [ "wires"; "-a"; "bfba"; "-o"; f ] in
+  Alcotest.(check int) "dump exits 0" 0 code;
+  let code, out, _ = run [ "wires"; "-a"; "bfba"; "--check"; f ] in
+  Alcotest.(check int) "check exits 0" 0 code;
+  Alcotest.(check bool) "reports all valid" true
+    (let has needle hay =
+       let n = String.length hay and m = String.length needle in
+       let rec go i =
+         i + m <= n && (String.sub hay i m = needle || go (i + 1))
+       in
+       go 0
+     in
+     has "all valid" out)
+
+(* ------------------------------------------------------------------ *)
+(* -j N vs -j 1: identical bytes on stdout, identical exit codes       *)
+(* ------------------------------------------------------------------ *)
+
+let test_inject_jobs_identical () =
+  let args j =
+    [ "inject"; "-a"; "gbaviii"; "-p"; "2"; "--protect"; "--seed"; "7";
+      "-n"; "6"; "--cycles"; "60"; "-j"; string_of_int j ]
+  in
+  let c1, o1, _ = run (args 1) in
+  let c4, o4, _ = run (args 4) in
+  Alcotest.(check int) "same exit code" c1 c4;
+  Alcotest.(check string) "same stdout" o1 o4
+
+let test_verify_matrix_jobs_identical () =
+  let args j =
+    [ "verify"; "--cycles"; "300"; "--json"; "-j"; string_of_int j ]
+  in
+  let c1, o1, _ = run (args 1) in
+  let c4, o4, _ = run (args 4) in
+  Alcotest.(check int) "same exit code" c1 c4;
+  Alcotest.(check string) "same stdout" o1 o4
+
+let test_verify_fuzz_jobs_identical () =
+  let args j =
+    [ "verify"; "--fuzz"; "2026"; "--budget"; "8"; "--cycles"; "300";
+      "--json"; "-j"; string_of_int j ]
+  in
+  let c1, o1, _ = run (args 1) in
+  let c4, o4, _ = run (args 4) in
+  Alcotest.(check int) "same exit code" c1 c4;
+  Alcotest.(check string) "same stdout" o1 o4
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit codes",
+        [
+          Alcotest.test_case "wires --check missing file" `Quick
+            test_wires_check_missing;
+          Alcotest.test_case "wires --check parse error" `Quick
+            test_wires_check_parse_error;
+          Alcotest.test_case "wires --check invalid library" `Quick
+            test_wires_check_invalid;
+          Alcotest.test_case "generate --options missing file" `Quick
+            test_generate_options_missing;
+          Alcotest.test_case "verify --replay missing file" `Quick
+            test_verify_replay_missing;
+          Alcotest.test_case "wires --check valid file" `Quick
+            test_wires_check_valid_ok;
+        ] );
+      ( "sharding determinism",
+        [
+          Alcotest.test_case "inject -j 1 vs -j 4" `Slow
+            test_inject_jobs_identical;
+          Alcotest.test_case "verify matrix -j 1 vs -j 4" `Slow
+            test_verify_matrix_jobs_identical;
+          Alcotest.test_case "verify --fuzz -j 1 vs -j 4" `Slow
+            test_verify_fuzz_jobs_identical;
+        ] );
+    ]

@@ -1,0 +1,190 @@
+(* Tests for the worker-pool sweep engine: splitmix substream
+   derivation, pool scheduling and crash attribution, and the
+   determinism contract — a sharded fuzz sweep must be byte-identical
+   to the sequential one, report and repro corpus alike. *)
+
+module Sm = Busgen_par.Splitmix
+module Pool = Busgen_par.Pool
+module Fuzz = Busgen_verify.Fuzz
+
+(* ------------------------------------------------------------------ *)
+(* Splitmix                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_splitmix_deterministic () =
+  let draw () =
+    let g = Sm.create 42 in
+    List.init 8 (fun _ -> Sm.next64 g)
+  in
+  Alcotest.(check (list int64)) "same seed, same stream" (draw ()) (draw ())
+
+let test_splitmix_derive_indexed () =
+  (* derive is a pure function of (root, index): re-deriving mid-run
+     must give the same substream, independent of any other generator's
+     progress. *)
+  let a = Sm.derive ~root:7 ~index:13 in
+  let _ = Sm.next64 a in
+  let _ = Sm.next64 a in
+  let b = Sm.derive ~root:7 ~index:13 in
+  Alcotest.(check int64) "substream restarts from its head"
+    (Sm.next64 (Sm.derive ~root:7 ~index:13))
+    (Sm.next64 b);
+  (* Distinct indices give distinct heads. *)
+  let heads =
+    List.init 64 (fun i -> Sm.next64 (Sm.derive ~root:7 ~index:i))
+  in
+  let sorted = List.sort_uniq compare heads in
+  Alcotest.(check int) "64 indices, 64 distinct heads" 64
+    (List.length sorted)
+
+let test_splitmix_nonneg () =
+  let g = Sm.create (-5) in
+  for _ = 1 to 1000 do
+    let v = Sm.next g in
+    if v < 0 then Alcotest.failf "next returned negative %d" v;
+    let b = Sm.next_in g 17 in
+    if b < 0 || b >= 17 then Alcotest.failf "next_in out of range %d" b
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Seed partitioning: no collisions after the 30-bit engine mask       *)
+(* ------------------------------------------------------------------ *)
+
+let test_case_seed_collisions () =
+  (* Options.sample and Interp.random_campaign both mask their seed to
+     30 bits.  The old LCG derivation made case k+1's option stream a
+     one-step offset of case k's campaign stream; the splitmix streams
+     must keep all three roles of all cases distinct after masking. *)
+  List.iter
+    (fun root ->
+      let tbl = Hashtbl.create 4096 in
+      for case = 0 to 511 do
+        let o, t, c = Fuzz.case_seeds ~seed:root case in
+        List.iter
+          (fun (role, s) ->
+            let masked = s land 0x3FFFFFFF in
+            match Hashtbl.find_opt tbl masked with
+            | Some (case', role') ->
+                Alcotest.failf
+                  "root %d: %s seed of case %d collides with %s seed of \
+                   case %d (masked %d)"
+                  root role case role' case' masked
+            | None -> Hashtbl.add tbl masked (case, role))
+          [ ("option", o); ("traffic", t); ("campaign", c) ]
+      done)
+    [ 1; 42; 2026 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_order_and_results () =
+  List.iter
+    (fun jobs ->
+      let r = Pool.map ~jobs 37 (fun i -> i * i) in
+      Alcotest.(check int) "length" 37 (Array.length r);
+      Array.iteri
+        (fun i -> function
+          | Ok v -> Alcotest.(check int) "slot i holds f i" (i * i) v
+          | Error e -> Alcotest.failf "job %d failed: %s" i e)
+        r)
+    [ 1; 4 ]
+
+let test_pool_crash_attribution () =
+  (* A crashing job lands as Error in its own slot; siblings complete. *)
+  let r =
+    Pool.map ~jobs:4 8 (fun i ->
+        if i = 5 then failwith "boom five" else i + 100)
+  in
+  Array.iteri
+    (fun i -> function
+      | Ok v when i <> 5 ->
+          Alcotest.(check int) "sibling completed" (i + 100) v
+      | Ok _ -> Alcotest.fail "job 5 should have failed"
+      | Error e when i = 5 ->
+          if not (String.length e > 0) then Alcotest.fail "empty error";
+          Alcotest.(check bool) "error names the exception" true
+            (let rec has j =
+               j + 9 <= String.length e
+               && (String.sub e j 9 = "boom five" || has (j + 1))
+             in
+             has 0)
+      | Error e -> Alcotest.failf "job %d failed unexpectedly: %s" i e)
+    r
+
+let test_pool_map_exn_lowest_index () =
+  match Pool.map_exn ~jobs:4 8 (fun i -> if i >= 3 then failwith "x" else i) with
+  | _ -> Alcotest.fail "map_exn should raise"
+  | exception Pool.Job_failed { index; _ } ->
+      Alcotest.(check int) "lowest failed index reported" 3 index
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz sharding: -j N byte-identical to -j 1                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuzz_byte_identity () =
+  List.iter
+    (fun seed ->
+      let r1 = Fuzz.run ~cycles:300 ~jobs:1 ~seed ~budget:10 () in
+      let r4 = Fuzz.run ~cycles:300 ~jobs:4 ~seed ~budget:10 () in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: report JSON identical" seed)
+        (Fuzz.report_to_json r1) (Fuzz.report_to_json r4);
+      let repros r =
+        List.map
+          (fun f ->
+            Fuzz.repro_to_string
+              ~expect:(Fuzz.outcome_class f.Fuzz.r_outcome)
+              f.Fuzz.r_scenario)
+          r.Fuzz.f_failures
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "seed %d: repro corpus identical" seed)
+        (repros r1) (repros r4))
+    [ 3; 11; 21 ]
+
+let test_fuzz_resume_matches_sharded () =
+  (* first_case composition must hold under sharding too: the second
+     half of a sharded budget equals a fresh resumed run. *)
+  let whole = Fuzz.run ~cycles:300 ~jobs:4 ~seed:11 ~budget:8 () in
+  let tail = Fuzz.run ~cycles:300 ~jobs:4 ~seed:11 ~first_case:4 ~budget:4 () in
+  let classes r =
+    List.map (fun x -> Fuzz.outcome_class x.Fuzz.r_outcome) r.Fuzz.f_results
+  in
+  let drop n l = List.filteri (fun i _ -> i >= n) l in
+  (* Odd cases add a faulted sibling, so compare per-case class lists
+     by aligning on the case split: cases 0..3 of [whole] contribute the
+     prefix; the rest must equal [tail]. *)
+  let whole_classes = classes whole and tail_classes = classes tail in
+  let prefix_len = List.length whole_classes - List.length tail_classes in
+  Alcotest.(check (list string)) "resumed tail equals sharded tail"
+    tail_classes
+    (drop prefix_len whole_classes)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
+          Alcotest.test_case "indexed derive" `Quick test_splitmix_derive_indexed;
+          Alcotest.test_case "nonnegative draws" `Quick test_splitmix_nonneg;
+          Alcotest.test_case "no 30-bit seed collisions" `Quick
+            test_case_seed_collisions;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "ordered results" `Quick test_pool_order_and_results;
+          Alcotest.test_case "crash attribution" `Quick
+            test_pool_crash_attribution;
+          Alcotest.test_case "map_exn lowest index" `Quick
+            test_pool_map_exn_lowest_index;
+        ] );
+      ( "fuzz sharding",
+        [
+          Alcotest.test_case "j1 vs j4 byte-identity (3 seeds)" `Slow
+            test_fuzz_byte_identity;
+          Alcotest.test_case "resume composes under sharding" `Slow
+            test_fuzz_resume_matches_sharded;
+        ] );
+    ]
