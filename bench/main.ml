@@ -611,6 +611,124 @@ let bench_interp () =
     [ ("gbavi-table2", G.Gbavi); ("hybrid-table3", G.Hybrid) ]
 
 (* ------------------------------------------------------------------ *)
+(* Tape engine: flat-tape + activity skipping vs the slot engine, on   *)
+(* idle-heavy and saturated traffic (BENCH_tape.json)                  *)
+(* ------------------------------------------------------------------ *)
+
+type tape_row = {
+  tp_circuit : string;
+  tp_profile : string;
+  tp_slot_cps : float;
+  tp_tape_cps : float;
+}
+
+let tape_rows : tape_row list ref = ref []
+
+let bench_tape () =
+  header
+    "Tape engine - cycles/second vs the slot engine, idle-heavy vs \
+     saturated traffic";
+  let module E = Busgen_rtl.Engine in
+  let module C = Busgen_rtl.Circuit in
+  let module B = Busgen_rtl.Bits in
+  Printf.printf "%-18s %-10s %14s %14s %9s\n" "circuit" "profile"
+    "slot[c/s]" "tape[c/s]" "speedup";
+  List.iter
+    (fun (nm, arch) ->
+      let r = G.generate arch (Bussyn.Archs.small_config ~n_pes:4) in
+      let top = r.G.generated.Bussyn.Archs.top in
+      let inputs = C.inputs top in
+      let zeros =
+        List.map
+          (fun (p : C.port) -> (p.C.port_name, B.zero p.C.port_width))
+          inputs
+      in
+      (* Deterministic stimulus, identical for both engines: the same
+         LCG seed drives the same input bits in the same order. *)
+      let drive_burst sim lcg n =
+        for _ = 1 to n do
+          List.iter
+            (fun (p : C.port) ->
+              E.set_input sim p.C.port_name
+                (B.init p.C.port_width (fun _ ->
+                     lcg := ((!lcg * 1664525) + 1013904223) land 0x3FFFFFFF;
+                     !lcg land 1 = 1)))
+            inputs;
+          E.step sim
+        done
+      in
+      (* Both profiles drive exactly 2000 cycles per chunk. *)
+      let profiles =
+        [
+          (* 1% active: 10-cycle random bursts separated by 990 cycles
+             with the inputs held at zero — the register-stable
+             stretches the tape engine fast-forwards through. *)
+          ( "idle",
+            fun sim lcg ->
+              for _ = 1 to 2 do
+                drive_burst sim lcg 10;
+                List.iter (fun (pn, v) -> E.set_input sim pn v) zeros;
+                E.run sim 990
+              done );
+          (* Every input toggles every cycle: no idle stretches, and
+             most of the netlist is dirty — the win here is the flat
+             tape itself, not the dynamic skipping. *)
+          ("saturated", fun sim lcg -> drive_burst sim lcg 2000);
+        ]
+      in
+      let chunk_cycles = 2000.0 in
+      let median l = List.nth (List.sort compare l) (List.length l / 2) in
+      List.iter
+        (fun (profile, chunk) ->
+          let cps kind =
+            let sim = E.create ~kind top in
+            E.reset sim;
+            let lcg = ref 0x7A9E in
+            chunk sim lcg (* warm-up *);
+            let rounds = 7 in
+            let times =
+              List.init rounds (fun _ ->
+                  let t0 = Unix.gettimeofday () in
+                  chunk sim lcg;
+                  Unix.gettimeofday () -. t0)
+            in
+            chunk_cycles /. median times
+          in
+          let slot = cps E.Slot and tape = cps E.Tape in
+          Printf.printf "%-18s %-10s %14.0f %14.0f %8.1fx\n%!" nm profile
+            slot tape (tape /. slot);
+          tape_rows :=
+            { tp_circuit = nm; tp_profile = profile; tp_slot_cps = slot;
+              tp_tape_cps = tape }
+            :: !tape_rows)
+        profiles)
+    [ ("gbavi-table2", G.Gbavi); ("hybrid-table3", G.Hybrid) ]
+
+let write_tape_json path =
+  if !tape_rows <> [] then begin
+    let oc = open_out path in
+    let rows =
+      List.rev !tape_rows
+      |> List.map (fun r ->
+             Printf.sprintf
+               "    {\"circuit\": %S, \"profile\": %S, \
+                \"slot_cycles_per_sec\": %.1f, \"tape_cycles_per_sec\": \
+                %.1f, \"speedup\": %.2f}"
+               r.tp_circuit r.tp_profile r.tp_slot_cps r.tp_tape_cps
+               (r.tp_tape_cps /. r.tp_slot_cps))
+      |> String.concat ",\n"
+    in
+    Printf.fprintf oc
+      "{\n\
+      \  \"schema\": \"busgen-tape-bench/1\",\n\
+      \  \"runs\": [\n%s\n  ]\n\
+       }\n"
+      rows;
+    close_out oc;
+    Printf.printf "\n[bench] wrote %s\n" path
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Fault model: overhead of the armed-but-silent machinery, and the    *)
 (* cost of actually injected faults (retries + watchdog stalls)        *)
 (* ------------------------------------------------------------------ *)
@@ -744,7 +862,9 @@ let bench_monitors () =
       for _ = 1 to rounds do
         Busgen_rtl.Interp.clear_observers sim;
         let tb = time_chunk () in
-        mon := Some (Busgen_verify.Pack.attach sim top);
+        mon :=
+          Some
+            (Busgen_verify.Pack.attach (Busgen_rtl.Engine.of_interp sim) top);
         let ta = time_chunk () in
         bares := tb :: !bares;
         (* overhead as a within-round ratio: clock-frequency and GC
@@ -819,13 +939,13 @@ let bench_soak () =
       let gen = G.generate arch cfg in
       let top = gen.G.generated.Bussyn.Archs.top in
       let tb = Busgen_rtl.Testbench.create top in
-      let sim = Busgen_rtl.Testbench.interp tb in
+      let sim = Busgen_rtl.Testbench.engine tb in
       let mon = Busgen_verify.Pack.attach sim top in
       let traffic =
         Busgen_verify.Traffic.create tb ~arch ~config:cfg ~seed:42
       in
       (* Warm up into a representative mid-run state. *)
-      while Busgen_rtl.Interp.current_cycle sim < 5_000 do
+      while Busgen_rtl.Engine.current_cycle sim < 5_000 do
         Busgen_verify.Traffic.step traffic
       done;
       let snapshot () =
@@ -835,7 +955,7 @@ let bench_soak () =
           ck_arch = arch;
           ck_config = cfg;
           ck_seed = 42;
-          ck_interp = Busgen_rtl.Interp.export_state sim;
+          ck_interp = Busgen_rtl.Engine.export_state sim;
           ck_injections = [];
           ck_traffic = Some (Busgen_verify.Traffic.export_state traffic);
           ck_monitor = Some (Busgen_verify.Prop.export_state mon);
@@ -857,10 +977,10 @@ let bench_soak () =
             (match K.load ~path with
             | Error e -> failwith ("bench_soak: " ^ e)
             | Ok snap ->
-                let sim' = Busgen_rtl.Interp.create top in
+                let sim' = Busgen_rtl.Engine.create top in
                 let mon' = Busgen_verify.Pack.attach sim' top in
-                Busgen_rtl.Interp.import_state sim' snap.K.ck_interp;
-                let tb' = Busgen_rtl.Testbench.of_interp sim' in
+                Busgen_rtl.Engine.import_state sim' snap.K.ck_interp;
+                let tb' = Busgen_rtl.Testbench.of_engine sim' in
                 let traffic' =
                   Busgen_verify.Traffic.create tb' ~arch ~config:cfg ~seed:42
                 in
@@ -875,13 +995,13 @@ let bench_soak () =
       Sys.remove path;
       (* Drive rate without checkpointing, on the same warm instance. *)
       let t0 = Unix.gettimeofday () in
-      let c0 = Busgen_rtl.Interp.current_cycle sim in
-      while Busgen_rtl.Interp.current_cycle sim < c0 + 20_000 do
+      let c0 = Busgen_rtl.Engine.current_cycle sim in
+      while Busgen_rtl.Engine.current_cycle sim < c0 + 20_000 do
         Busgen_verify.Traffic.step traffic
       done;
       let drive_s = Unix.gettimeofday () -. t0 in
       let cps =
-        float_of_int (Busgen_rtl.Interp.current_cycle sim - c0) /. drive_s
+        float_of_int (Busgen_rtl.Engine.current_cycle sim - c0) /. drive_s
       in
       let save_s = median saves and resume_s = median resumes in
       (* One save per 100k driven cycles, as the soak default ships. *)
@@ -1070,11 +1190,13 @@ let () =
   end;
   if want "bechamel" then bechamel_tables ();
   if want "interp" then bench_interp ();
+  if want "tape" then bench_tape ();
   if want "faults" then bench_faults ();
   if want "monitors" then bench_monitors ();
   if want "soak" then bench_soak ();
   if want "par" then bench_par ();
   write_bench_json "BENCH_interp.json";
+  write_tape_json "BENCH_tape.json";
   write_faults_json "BENCH_faults.json";
   write_monitors_json "BENCH_monitors.json";
   write_soak_json "BENCH_soak.json";

@@ -44,6 +44,27 @@ let jobs_arg =
            job index) and results merge in job order.  Default: the \
            machine's recommended domain count.")
 
+let engine_arg =
+  Arg.(
+    value & opt string "tape"
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "RTL evaluation engine for the interpreter-backed legs: tape \
+           (flat-tape with activity-based skipping, the default), slot \
+           (slot-indexed closures) or ref (tree-walking reference).  All \
+           three are bit-exact; pick ref or slot to cross-check a result \
+           or to bisect a suspected tape-compiler bug.")
+
+(* Deliberately a plain string option validated here, not an
+   [Arg.conv]: cmdliner reports conversion failures as CLI errors
+   (exit 124), while an unknown engine is a user error and must exit 2
+   with one line on stderr — the `wires --check` / options-file
+   convention enforced by the handler at the bottom of this file. *)
+let engine_of_string s =
+  match Busgen_rtl.Engine.kind_of_string s with
+  | Ok k -> k
+  | Error msg -> failwith msg
+
 let config_of ~pes ~data_width ~mem_addr_width ~fifo_depth =
   {
     (Bussyn.Archs.paper_config ~n_pes:pes) with
@@ -309,7 +330,13 @@ let simulate_cmd =
       & info [ "ckpt-every" ] ~docv:"CYCLES"
           ~doc:"Mark cadence in simulated cycles (with --ckpt-dir).")
   in
-  let run arch app trace csv faults max_cycles ckpt_dir ckpt_every =
+  let run arch app trace csv faults max_cycles ckpt_dir ckpt_every engine =
+    (* The workload simulator is transaction-level (no RTL evaluation),
+       so every engine gives the same answer; the flag is still
+       validated so scripts can pass a uniform --engine to all
+       interpreter-adjacent subcommands and get the same exit-2
+       contract for a typo. *)
+    let (_ : Busgen_rtl.Engine.kind) = engine_of_string engine in
     let module M = Busgen_sim.Machine in
     let module K = Busgen_ckpt.Ckpt in
     let report stats =
@@ -482,7 +509,7 @@ let simulate_cmd =
              its performance.")
     Term.(
       const run $ arch_arg $ app_arg $ trace_arg $ csv_arg $ faults_arg
-      $ max_cycles_arg $ ckpt_dir_arg $ ckpt_every_arg)
+      $ max_cycles_arg $ ckpt_dir_arg $ ckpt_every_arg $ engine_arg)
 
 (* ------------------------------------------------------------------ *)
 (* inject                                                              *)
@@ -515,10 +542,12 @@ let inject_cmd =
                 and parity modules), so faults can be flagged by the \
                 protection signals.")
   in
-  let run arch pes seed n cycles protect jobs =
+  let run arch pes seed n cycles protect jobs engine =
     let module I = Busgen_rtl.Interp in
+    let module E = Busgen_rtl.Engine in
     let module C = Busgen_rtl.Circuit in
     let module B = Busgen_rtl.Bits in
+    let kind = engine_of_string engine in
     let config =
       { (Bussyn.Archs.small_config ~n_pes:pes) with Bussyn.Archs.protect }
     in
@@ -528,7 +557,7 @@ let inject_cmd =
     let outputs =
       List.map (fun (p : C.port) -> p.C.port_name) (C.outputs top)
     in
-    let sim = I.create top in
+    let sim = E.create ~kind top in
     let contains hay needle =
       let n = String.length hay and m = String.length needle in
       let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
@@ -542,7 +571,7 @@ let inject_cmd =
         (fun s ->
           contains s "parity_error" || contains s "bus_timeout"
           || contains s "par_err" || contains s "wd_to")
-        (I.signal_names sim)
+        (E.signal_names sim)
     in
     let observed = outputs @ watch in
     let n_out = List.length outputs in
@@ -562,17 +591,17 @@ let inject_cmd =
             inputs)
     in
     let run_once sim =
-      I.reset sim;
+      E.reset sim;
       Array.map
         (fun ins ->
-          List.iter (fun (nm, v) -> I.set_input sim nm v) ins;
-          I.step sim;
-          List.map (fun s -> I.peek sim s) observed)
+          List.iter (fun (nm, v) -> E.set_input sim nm v) ins;
+          E.step sim;
+          List.map (fun s -> E.peek sim s) observed)
         schedule
     in
     let golden = run_once sim in
     let campaign =
-      Array.of_list (I.random_campaign sim ~seed ~n ~horizon:cycles)
+      Array.of_list (E.random_campaign sim ~seed ~n ~horizon:cycles)
     in
     let fault_name = function
       | I.Stuck_at_0 -> "stuck-at-0"
@@ -587,8 +616,8 @@ let inject_cmd =
     let classified =
       Busgen_par.Pool.map_exn ~jobs (Array.length campaign) (fun idx ->
           let inj = campaign.(idx) in
-          let sim = I.create top in
-          I.inject sim [ inj ];
+          let sim = E.create ~kind top in
+          E.inject sim [ inj ];
           let faulty = run_once sim in
           let corrupt = ref false and flagged = ref false in
           Array.iteri
@@ -645,7 +674,7 @@ let inject_cmd =
              generated protection hardware.")
     Term.(
       const run $ arch_arg $ pes_arg $ seed_arg $ n_arg $ cycles_arg
-      $ protect_arg $ jobs_arg)
+      $ protect_arg $ jobs_arg $ engine_arg)
 
 (* ------------------------------------------------------------------ *)
 (* soak                                                                *)
@@ -723,12 +752,13 @@ let soak_cmd =
           ~doc:"Do not arm the standard property pack.")
   in
   let run arch pes seed cycles dir every wall keep campaign protect no_monitor
-      =
+      engine =
     let config =
       { (Bussyn.Archs.small_config ~n_pes:pes) with Bussyn.Archs.protect }
     in
     let cfg =
       S.config ~cadence:every ~wall ~keep ?campaign ~monitor:(not no_monitor)
+        ~engine:(engine_of_string engine)
         ~log:(fun m -> Printf.printf "[soak] %s\n%!" m)
         ~arch ~config ~seed ~cycles ~dir ()
     in
@@ -764,7 +794,7 @@ let soak_cmd =
     Term.(
       const run $ arch_arg $ pes_arg $ seed_arg $ cycles_arg $ dir_arg
       $ every_arg $ wall_arg $ keep_arg $ campaign_arg $ protect_arg
-      $ no_monitor_arg)
+      $ no_monitor_arg $ engine_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
@@ -843,17 +873,17 @@ let verify_cmd =
   (* Builds its report into a buffer instead of printing, so the
      all-architectures matrix can run the cells on a worker pool and
      still print byte-identical output in architecture order. *)
-  let monitored_run arch ~pes ~cycles ~protect ~json =
+  let monitored_run arch ~pes ~cycles ~protect ~json ~engine =
     let b = Buffer.create 256 in
     let cfg =
       { (Bussyn.Archs.small_config ~n_pes:pes) with Bussyn.Archs.protect }
     in
     let r = G.generate arch cfg in
     let tb =
-      Busgen_rtl.Testbench.create r.G.generated.Bussyn.Archs.top
+      Busgen_rtl.Testbench.create ~engine r.G.generated.Bussyn.Archs.top
     in
     let mon =
-      V.Pack.attach (Busgen_rtl.Testbench.interp tb)
+      V.Pack.attach (Busgen_rtl.Testbench.engine tb)
         r.G.generated.Bussyn.Archs.top
     in
     let stats =
@@ -885,7 +915,11 @@ let verify_cmd =
     (violations = [] && stats.V.Traffic.mismatches = 0, Buffer.contents b)
   in
   let run arch pes cycles protect fuzz budget first_case replay corpus json
-      jobs =
+      jobs engine =
+    (* Validated up front so `verify --engine bogus` exits 2 before any
+       generation work; the fuzz and replay legs run their own
+       three-way differential and ignore the choice. *)
+    let ekind = engine_of_string engine in
     match replay with
     | Some path -> (
         match V.Fuzz.replay path with
@@ -956,7 +990,8 @@ let verify_cmd =
                merge, so -j never reorders the matrix. *)
             let cells =
               Busgen_par.Pool.map_exn ~jobs (Array.length archs) (fun i ->
-                  monitored_run archs.(i) ~pes ~cycles ~protect ~json)
+                  monitored_run archs.(i) ~pes ~cycles ~protect ~json
+                    ~engine:ekind)
             in
             let ok =
               Array.fold_left
@@ -978,7 +1013,7 @@ let verify_cmd =
     Term.(
       const run $ arch_opt $ pes_arg $ cycles_arg $ protect_arg $ fuzz_arg
       $ budget_arg $ first_case_arg $ replay_arg $ corpus_arg $ json_arg
-      $ jobs_arg)
+      $ jobs_arg $ engine_arg)
 
 (* ------------------------------------------------------------------ *)
 (* wires                                                               *)

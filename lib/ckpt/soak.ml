@@ -1,6 +1,7 @@
 module A = Bussyn.Archs
 module G = Bussyn.Generate
 module I = Busgen_rtl.Interp
+module E = Busgen_rtl.Engine
 module Bits = Busgen_rtl.Bits
 module Tb = Busgen_rtl.Testbench
 module T = Busgen_verify.Traffic
@@ -18,12 +19,13 @@ type config = {
   sk_keep : int;
   sk_campaign : (int * int) option;
   sk_monitor : bool;
+  sk_engine : E.kind;
   sk_log : string -> unit;
 }
 
 let config ?(cadence = 10_000) ?(wall = None) ?(keep = 3) ?campaign
-    ?(monitor = true) ?(log = fun _ -> ()) ~arch ~config:cfg ~seed ~cycles ~dir
-    () =
+    ?(monitor = true) ?(engine = E.default_kind) ?(log = fun _ -> ()) ~arch
+    ~config:cfg ~seed ~cycles ~dir () =
   {
     sk_arch = arch;
     sk_config = cfg;
@@ -35,6 +37,7 @@ let config ?(cadence = 10_000) ?(wall = None) ?(keep = 3) ?campaign
     sk_keep = max 1 keep;
     sk_campaign = campaign;
     sk_monitor = monitor;
+    sk_engine = engine;
     sk_log = log;
   }
 
@@ -64,12 +67,12 @@ let diagnose sim ~at reason =
       (fun s ->
         contains s "req" || contains s "ack" || contains s "grant"
         || contains s "busy" || contains s "sel")
-      (I.signal_names sim)
+      (E.signal_names sim)
   in
-  let before = List.map (fun s -> (s, I.peek sim s)) watch in
-  (try I.run sim window with _ -> ());
+  let before = List.map (fun s -> (s, E.peek sim s)) watch in
+  (try E.run sim window with _ -> ());
   let frozen =
-    List.filter (fun (s, v) -> Bits.equal (I.peek sim s) v) before
+    List.filter (fun (s, v) -> Bits.equal (E.peek sim s) v) before
   in
   let asserted =
     List.filter_map
@@ -97,7 +100,7 @@ let ensure_dir dir =
 let ( let* ) = Result.bind
 
 type live = {
-  sim : I.t;
+  sim : E.t;
   tb : Tb.t;
   traffic : T.t;
   monitor : P.monitor option;
@@ -125,16 +128,16 @@ let run cfg =
     match found with
     | None ->
         (* Fresh run: reset, arm monitors, install the campaign. *)
-        let tb = Tb.create top in
-        let sim = Tb.interp tb in
+        let tb = Tb.create ~engine:cfg.sk_engine top in
+        let sim = Tb.engine tb in
         let monitor = if cfg.sk_monitor then Some (Pack.attach sim top) else None in
         let injections =
           match cfg.sk_campaign with
           | None -> []
           | Some (seed, n) ->
-              I.random_campaign sim ~seed ~n ~horizon:cfg.sk_cycles
+              E.random_campaign sim ~seed ~n ~horizon:cfg.sk_cycles
         in
-        if injections <> [] then I.inject sim injections;
+        if injections <> [] then E.inject sim injections;
         let traffic =
           T.create tb ~arch:cfg.sk_arch ~config:cfg.sk_config ~seed:cfg.sk_seed
         in
@@ -145,16 +148,16 @@ let run cfg =
             ~seed:cfg.sk_seed
         in
         cfg.sk_log (Printf.sprintf "resuming from %s (cycle %d)" path cycle);
-        let sim = I.create top in
+        let sim = E.create ~kind:cfg.sk_engine top in
         let monitor = if cfg.sk_monitor then Some (Pack.attach sim top) else None in
-        if snap.Ckpt.ck_injections <> [] then I.inject sim snap.Ckpt.ck_injections;
+        if snap.Ckpt.ck_injections <> [] then E.inject sim snap.Ckpt.ck_injections;
         (match
-           I.import_state sim snap.Ckpt.ck_interp
+           E.import_state sim snap.Ckpt.ck_interp
          with
         | () -> ()
         | exception Invalid_argument msg ->
             failwith ("checkpoint does not fit the regenerated design: " ^ msg));
-        let tb = Tb.of_interp sim in
+        let tb = Tb.of_engine sim in
         let traffic =
           T.create tb ~arch:cfg.sk_arch ~config:cfg.sk_config ~seed:cfg.sk_seed
         in
@@ -176,7 +179,7 @@ let run cfg =
       ck_arch = cfg.sk_arch;
       ck_config = cfg.sk_config;
       ck_seed = cfg.sk_seed;
-      ck_interp = I.export_state live.sim;
+      ck_interp = E.export_state live.sim;
       ck_injections = live.injections;
       ck_traffic = Some (T.export_state live.traffic);
       ck_monitor = Option.map P.export_state live.monitor;
@@ -184,7 +187,7 @@ let run cfg =
   in
   let last_ck_cycle = ref (-1) in
   let checkpoint () =
-    let cycle = I.current_cycle live.sim in
+    let cycle = E.current_cycle live.sim in
     if cycle <> !last_ck_cycle then begin
       let path = Ckpt.path_for ~dir:cfg.sk_dir ~cycle in
       Ckpt.save ~log:cfg.sk_log ~path (snapshot_now ());
@@ -198,7 +201,7 @@ let run cfg =
     (* First cadence boundary strictly ahead of where we start, so a
        resumed run does not immediately rewrite the checkpoint it just
        loaded. *)
-    let at = I.current_cycle live.sim in
+    let at = E.current_cycle live.sim in
     ref
       (if cfg.sk_cadence <= 0 then max_int
        else ((at / cfg.sk_cadence) + 1) * cfg.sk_cadence)
@@ -206,9 +209,9 @@ let run cfg =
   let last_wall = ref (Unix.gettimeofday ()) in
   let result =
     try
-      while I.current_cycle live.sim < cfg.sk_cycles do
+      while E.current_cycle live.sim < cfg.sk_cycles do
         T.step live.traffic;
-        let now = I.current_cycle live.sim in
+        let now = E.current_cycle live.sim in
         let due_cycles = now >= !next_ck in
         let due_wall =
           match cfg.sk_wall with
@@ -225,13 +228,13 @@ let run cfg =
       done;
       Ok ()
     with Tb.Timeout reason ->
-      Error (diagnose live.sim ~at:(I.current_cycle live.sim) reason)
+      Error (diagnose live.sim ~at:(E.current_cycle live.sim) reason)
   in
   let* () = result in
   (* A final checkpoint at the end cycle, so a later invocation with a
      larger horizon continues instead of starting over. *)
   if cfg.sk_cadence > 0 then checkpoint ();
-  let cycles = I.current_cycle live.sim in
+  let cycles = E.current_cycle live.sim in
   Ok
     {
       so_stats = T.stats live.traffic ~cycles;

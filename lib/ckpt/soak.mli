@@ -29,16 +29,20 @@ type config = {
       (** [(seed, n)]: install a random fault campaign over the design
           (see {!Busgen_rtl.Interp.random_campaign}) *)
   sk_monitor : bool;          (** arm the standard property pack *)
+  sk_engine : Busgen_rtl.Engine.kind;  (** evaluation engine *)
   sk_log : string -> unit;    (** progress lines (checkpoints, resume, skips) *)
 }
 
 val config :
   ?cadence:int -> ?wall:float option -> ?keep:int ->
-  ?campaign:int * int -> ?monitor:bool -> ?log:(string -> unit) ->
+  ?campaign:int * int -> ?monitor:bool ->
+  ?engine:Busgen_rtl.Engine.kind -> ?log:(string -> unit) ->
   arch:Bussyn.Generate.arch -> config:Bussyn.Archs.config -> seed:int ->
   cycles:int -> dir:string -> unit -> config
 (** Defaults: cadence 10_000 cycles, no wall-clock cadence, keep 3,
-    no campaign, monitors on, silent log. *)
+    no campaign, monitors on, engine {!Busgen_rtl.Engine.default_kind},
+    silent log.  Checkpoints interchange across engines: a run
+    checkpointed under one engine resumes under any other. *)
 
 type outcome = {
   so_stats : Busgen_verify.Traffic.stats;

@@ -259,10 +259,13 @@ type t = {
   driven : bool array;             (* slot -> written by sched or a reg *)
   mutable cycle : int;             (* steps taken since create/reset *)
   mutable injections : cinj array;
+  mutable inj_pending : cinj list; (* registered, not yet materialized;
+                                      newest first *)
   active : (int, fault) Hashtbl.t; (* slot -> fault live this cycle *)
   mutable n_active : int;
   mutable observers : (int -> unit) array;
       (* called at the per-cycle sampling point; [||] on the hot path *)
+  mutable obs_pending : (int -> unit) list; (* newest first *)
 }
 
 let apply_fault f v =
@@ -464,9 +467,11 @@ let create top =
       driven;
       cycle = 0;
       injections = [||];
+      inj_pending = [];
       active = Hashtbl.create 8;
       n_active = 0;
       observers = [||];
+      obs_pending = [];
     }
   in
   settle t;
@@ -499,11 +504,33 @@ let set_input t name v =
              (Bits.width v));
       t.values.(s) <- v
 
+(* Registration is O(1): new observers/injections accumulate in a list
+   and are appended to the dispatch array in one batch the next time the
+   array is consulted.  Rebuilding the array per registration was O(n²)
+   over a campaign of n injections. *)
+let materialize_observers t =
+  (match t.obs_pending with
+  | [] -> ()
+  | pending ->
+      t.observers <-
+        Array.append t.observers (Array.of_list (List.rev pending));
+      t.obs_pending <- []);
+  t.observers
+
+let materialize_injections t =
+  match t.inj_pending with
+  | [] -> ()
+  | pending ->
+      t.injections <-
+        Array.append t.injections (Array.of_list (List.rev pending));
+      t.inj_pending <- []
+
 (* Recompute the set of faults live at [t.cycle].  Undriven slots (top
    inputs, floating wires) are transformed here, once per step: stuck
    faults override whatever [set_input] stored; a [Flip] is applied only
    on its first active cycle, so a multi-cycle flip does not toggle. *)
 let refresh_active t =
+  materialize_injections t;
   if Array.length t.injections > 0 || t.n_active > 0 then begin
     Hashtbl.reset t.active;
     t.n_active <- 0;
@@ -531,7 +558,7 @@ let step t =
      registers are about to latch — the view a synthesized assertion
      sampled at the rising edge would have (faults included, since they
      are already folded into the settled values). *)
-  (let obs = t.observers in
+  (let obs = materialize_observers t in
    if Array.length obs > 0 then
      for i = 0 to Array.length obs - 1 do
        (Array.unsafe_get obs i) t.cycle
@@ -575,9 +602,11 @@ let reader t name =
   | None -> raise Not_found
   | Some s -> fun () -> t.values.(s)
 
-let on_cycle t f = t.observers <- Array.append t.observers [| f |]
+let on_cycle t f = t.obs_pending <- f :: t.obs_pending
 
-let clear_observers t = t.observers <- [||]
+let clear_observers t =
+  t.observers <- [||];
+  t.obs_pending <- []
 
 let memories t =
   Array.to_list (Array.map (fun m -> (m.cm_name, m.cm_depth)) t.mems)
@@ -622,11 +651,15 @@ let inject t injs =
       ci_driven = t.driven.(s);
     }
   in
-  t.injections <-
-    Array.append t.injections (Array.of_list (List.map compile_inj injs))
+  (* Validate (and resolve slots) eagerly so errors surface at the call,
+     but defer the array rebuild to the next [refresh_active]. *)
+  List.iter
+    (fun inj -> t.inj_pending <- compile_inj inj :: t.inj_pending)
+    injs
 
 let clear_injections t =
   t.injections <- [||];
+  t.inj_pending <- [];
   Hashtbl.reset t.active;
   t.n_active <- 0
 

@@ -147,3 +147,32 @@ val random_campaign :
     design's signals with start cycles in [0, horizon) and durations of
     1-4 cycles, from a seeded LCG — no global RNG, no wall clock; the
     same arguments always produce the same campaign. *)
+
+(**/**)
+
+(* Internal plumbing shared with {!Interp_tape}: both engines flatten
+   through this one function, so the flat-name universe, slot numbering
+   (declaration order) and snapshot layout agree by construction. *)
+
+type flat_reg = { fr_name : string; fr_init : Bits.t; fr_next : Expr.t }
+
+type flat_mem = {
+  fm_name : string;
+  fm_width : int;
+  fm_depth : int;
+  fm_init : Bits.t array;
+  fm_writes : Circuit.mem_write list;
+  fm_reads : (string * Expr.t) list;
+}
+
+val flatten :
+  Circuit.t ->
+  (string * int) list
+  * (string, int) Hashtbl.t
+  * (string * Expr.t) list
+  * flat_reg list
+  * flat_mem list
+
+val apply_fault : fault -> Bits.t -> Bits.t
+
+(**/**)

@@ -171,6 +171,7 @@ type sim = {
   mutable cycle : int;
   mutable injections : rinj list;
   active : (string, Interp.fault) Hashtbl.t;
+  mutable observers : (int -> unit) list; (* attach order *)
 }
 
 let apply_fault (f : Interp.fault) v =
@@ -272,6 +273,7 @@ let create top =
       cycle = 0;
       injections = [];
       active = Hashtbl.create 8;
+      observers = [];
     }
   in
   settle_sim sim;
@@ -330,6 +332,9 @@ let step sim =
      new state. *)
   refresh_active sim;
   settle_sim sim;
+  (* Same sampling point as {!Interp.step}: observers see the settled
+     pre-edge values the registers are about to latch. *)
+  List.iter (fun f -> f sim.cycle) sim.observers;
   clock_edge sim;
   settle_sim sim;
   sim.cycle <- sim.cycle + 1
@@ -364,6 +369,46 @@ let poke_mem sim name addr v =
 
 let signal_names sim =
   Hashtbl.fold (fun n _ acc -> n :: acc) sim.base.widths [] |> List.sort compare
+
+let on_cycle sim f = sim.observers <- sim.observers @ [ f ]
+
+let clear_observers sim = sim.observers <- []
+
+let reader sim name =
+  if not (Hashtbl.mem sim.base.values name) then raise Not_found;
+  (* [Hashtbl.replace] rebinds in place, so the lookup must happen per
+     call; this engine hashes strings everywhere anyway. *)
+  fun () -> Hashtbl.find sim.base.values name
+
+(* Mirrors {!Interp.random_campaign} bit for bit: same LCG over the same
+   sorted name list, so the two engines derive identical campaigns from
+   identical arguments. *)
+let random_campaign sim ~seed ~n ~horizon =
+  if n < 0 then invalid_arg "Interp_ref.random_campaign: negative n";
+  if horizon < 1 then
+    invalid_arg "Interp_ref.random_campaign: horizon must be >= 1";
+  let names = Array.of_list (signal_names sim) in
+  if Array.length names = 0 then []
+  else begin
+    let lcg = ref (seed land 0x3FFFFFFF) in
+    let next m =
+      lcg := ((!lcg * 1664525) + 1013904223) land 0x3FFFFFFF;
+      !lcg mod max 1 m
+    in
+    List.init n (fun _ ->
+        let name = names.(next (Array.length names)) in
+        let w = Bits.width (Hashtbl.find sim.base.values name) in
+        let fault =
+          match next 3 with
+          | 0 -> Interp.Stuck_at_0
+          | 1 -> Interp.Stuck_at_1
+          | _ -> Interp.Flip (next w)
+        in
+        let start = next horizon in
+        let cycles = 1 + next 4 in
+        { Interp.inj_signal = name; inj_fault = fault; inj_start = start;
+          inj_cycles = cycles })
+  end
 
 let current_cycle sim = sim.cycle
 

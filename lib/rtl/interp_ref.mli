@@ -34,6 +34,21 @@ val signal_names : t -> string list
 val memories : t -> (string * int) list
 (** All flattened memories as [(flat name, depth)], sorted. *)
 
+val on_cycle : t -> (int -> unit) -> unit
+(** Register a per-cycle observer.  Same sampling point as
+    {!Interp.on_cycle}: after the combinational settle with the cycle's
+    inputs, before the clock edge. *)
+
+val clear_observers : t -> unit
+
+val reader : t -> string -> unit -> Bits.t
+(** Accessor for a flat signal (hashes the name per call — this is the
+    slow engine).  @raise Not_found if the signal is unknown. *)
+
+val random_campaign : t -> seed:int -> n:int -> horizon:int -> Interp.injection list
+(** Identical stream to {!Interp.random_campaign} for the same circuit
+    and arguments (same LCG over the same sorted name list). *)
+
 val inject : t -> Interp.injection list -> unit
 (** Mirror of {!Interp.inject} (same campaign descriptors), so faulty
     runs of both engines can be compared differentially.

@@ -1,6 +1,6 @@
 type t = {
   circuit : Circuit.t option;
-  sim : Interp.t;
+  sim : Engine.t;
   widths : (string, int) Hashtbl.t; (* input ports *)
   mutable cycle_count : int;
 }
@@ -16,49 +16,51 @@ let input_widths circuit =
     (Circuit.inputs circuit);
   widths
 
-let create circuit =
-  let sim = Interp.create circuit in
-  Interp.reset sim;
+let create ?engine circuit =
+  let sim = Engine.create ?kind:engine circuit in
+  Engine.reset sim;
   let widths = input_widths circuit in
   Hashtbl.iter
-    (fun name width -> Interp.set_input sim name (Bits.zero width))
+    (fun name width -> Engine.set_input sim name (Bits.zero width))
     widths;
-  Interp.settle sim;
+  Engine.settle sim;
   { circuit = Some circuit; sim; widths; cycle_count = 0 }
 
-let of_interp sim =
+let of_engine sim =
   { circuit = None; sim; widths = Hashtbl.create 0; cycle_count = 0 }
 
-let interp t = t.sim
+let of_interp sim = of_engine (Engine.of_interp sim)
+
+let engine t = t.sim
 
 let input_width t name =
   match Hashtbl.find_opt t.widths name with
   | Some w -> w
   | None -> (
-      (* Unknown (wrapped interp): infer from the current value. *)
-      try Bits.width (Interp.peek t.sim name)
+      (* Unknown (wrapped engine): infer from the current value. *)
+      try Bits.width (Engine.peek t.sim name)
       with Not_found ->
         invalid_arg (Printf.sprintf "Testbench.drive: unknown input %s" name))
 
 let drive t name v =
-  Interp.set_input t.sim name (Bits.of_int ~width:(input_width t name) v)
+  Engine.set_input t.sim name (Bits.of_int ~width:(input_width t name) v)
 
 let drive_many t l = List.iter (fun (n, v) -> drive t n v) l
 
 let step t ?(n = 1) () =
   t.cycle_count <- t.cycle_count + n;
-  Interp.run t.sim n
+  Engine.run t.sim n
 
 let cycles t = t.cycle_count
 
-let settle t = Interp.settle t.sim
+let settle t = Engine.settle t.sim
 
-let peek t name = Interp.peek_int t.sim name
+let peek t name = Engine.peek_int t.sim name
 
-let peek_signed t name = Bits.to_signed_int_exn (Interp.peek t.sim name)
+let peek_signed t name = Bits.to_signed_int_exn (Engine.peek t.sim name)
 
 let expect t name want =
-  Interp.settle t.sim;
+  Engine.settle t.sim;
   let got = peek t name in
   if got <> want then
     raise
@@ -72,11 +74,11 @@ let wait_for t ?(timeout = 1000) name value =
            (Printf.sprintf "%s did not reach 0x%x within %d cycles" name value
               timeout))
     else begin
-      Interp.settle t.sim;
+      Engine.settle t.sim;
       if peek t name = value then ()
       else begin
         t.cycle_count <- t.cycle_count + 1;
-        Interp.step t.sim;
+        Engine.step t.sim;
         go (n + 1)
       end
     end
@@ -103,7 +105,7 @@ module Cpu = struct
        raise
          (Timeout
             (Printf.sprintf "pe%d: no acknowledge for address 0x%x" pe addr)));
-    let v = Interp.peek t.sim (p pe "rdata") in
+    let v = Engine.peek t.sim (p pe "rdata") in
     step t ();
     v
 
@@ -124,7 +126,7 @@ module Cpu = struct
               got want))
 
   let irq t ~pe =
-    match Interp.peek t.sim (p pe "irq") with
+    match Engine.peek t.sim (p pe "irq") with
     | v -> Bits.reduce_or v
     | exception Not_found -> false
 end

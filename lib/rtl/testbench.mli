@@ -1,9 +1,9 @@
-(** Self-checking testbench driver for {!Interp} simulations.
+(** Self-checking testbench driver for {!Engine} simulations.
 
-    Wraps an interpreter with named drive/expect/wait operations and
-    descriptive failures, so protocol tests read as transactions instead
-    of raw pokes.  All values are given as OCaml ints (convenient for bus
-    tests; widths are taken from the design). *)
+    Wraps an evaluation engine with named drive/expect/wait operations
+    and descriptive failures, so protocol tests read as transactions
+    instead of raw pokes.  All values are given as OCaml ints (convenient
+    for bus tests; widths are taken from the design). *)
 
 type t
 
@@ -13,13 +13,18 @@ exception Timeout of string
 exception Mismatch of string
 (** Raised by {!expect}, naming signal, got and want. *)
 
-val create : Circuit.t -> t
-(** Build the interpreter, reset it, and drive every input to zero. *)
+val create : ?engine:Engine.kind -> Circuit.t -> t
+(** Build the engine (default {!Engine.default_kind}), reset it, and
+    drive every input to zero. *)
 
-val of_interp : Interp.t -> t
+val of_engine : Engine.t -> t
 (** Wrap an existing simulation (inputs are left as they are). *)
 
-val interp : t -> Interp.t
+val of_interp : Interp.t -> t
+(** Wrap an existing slot-engine simulation (inputs are left as they
+    are). *)
+
+val engine : t -> Engine.t
 
 val drive : t -> string -> int -> unit
 (** Set an input (truncated to the port width). *)

@@ -62,17 +62,18 @@ let rand_bits state width =
 
 exception Diverged of string
 
-(* Interp vs Interp_ref lockstep on the top-level ports, with the
-   scenario's fault load installed in both engines. *)
+(* Three-way lockstep (ref vs slot vs tape) on the top-level ports, with
+   the scenario's fault load installed in every engine. *)
 let differential top ~seed ~cycles ~faults =
-  let fast = Interp.create top in
-  let slow = Interp_ref.create top in
-  Interp.reset fast;
-  Interp_ref.reset slow;
-  if faults <> [] then begin
-    Interp.inject fast faults;
-    Interp_ref.inject slow faults
-  end;
+  let sims =
+    List.map
+      (fun kind -> Engine.create ~kind top)
+      Engine.all_kinds
+  in
+  List.iter Engine.reset sims;
+  if faults <> [] then List.iter (fun s -> Engine.inject s faults) sims;
+  let reference = List.hd sims in
+  let others = List.tl sims in
   let inputs = Circuit.inputs top in
   let outputs = Circuit.outputs top in
   let state = ref (lcg (seed lxor 0x2A2A2A)) in
@@ -81,22 +82,25 @@ let differential top ~seed ~cycles ~faults =
       List.iter
         (fun (p : Circuit.port) ->
           let v = rand_bits state p.Circuit.port_width in
-          Interp.set_input fast p.Circuit.port_name v;
-          Interp_ref.set_input slow p.Circuit.port_name v)
+          List.iter (fun s -> Engine.set_input s p.Circuit.port_name v) sims)
         inputs;
-      Interp.step fast;
-      Interp_ref.step slow;
+      List.iter Engine.step sims;
       List.iter
         (fun (p : Circuit.port) ->
-          let a = Interp.peek fast p.Circuit.port_name in
-          let b = Interp_ref.peek slow p.Circuit.port_name in
-          if not (Bits.equal a b) then
-            raise
-              (Diverged
-                 (Printf.sprintf "cycle %d: output %s: %s vs %s" cycle
-                    p.Circuit.port_name
-                    (Bits.to_verilog_literal a)
-                    (Bits.to_verilog_literal b))))
+          let b = Engine.peek reference p.Circuit.port_name in
+          List.iter
+            (fun s ->
+              let a = Engine.peek s p.Circuit.port_name in
+              if not (Bits.equal a b) then
+                raise
+                  (Diverged
+                     (Printf.sprintf "cycle %d: output %s: %s %s vs %s %s"
+                        cycle p.Circuit.port_name
+                        (Engine.kind_to_string (Engine.kind s))
+                        (Bits.to_verilog_literal a)
+                        (Engine.kind_to_string (Engine.kind reference))
+                        (Bits.to_verilog_literal b))))
+            others)
         outputs
     done;
     None
@@ -144,8 +148,8 @@ let classify sc =
         | Some msg -> fail (Engine_divergence msg) 0 []
         | None -> (
             let tb = Tb.create top in
-            let mon = Pack.attach (Tb.interp tb) top in
-            if faults <> [] then Interp.inject (Tb.interp tb) faults;
+            let mon = Pack.attach (Tb.engine tb) top in
+            if faults <> [] then Engine.inject (Tb.engine tb) faults;
             let props = Prop.property_count mon in
             let traffic_err =
               try

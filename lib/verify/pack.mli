@@ -35,6 +35,6 @@ val for_circuit : Busgen_rtl.Circuit.t -> Prop.t list
     nothing; the result is empty for a design without recognized
     instances. *)
 
-val attach : Busgen_rtl.Interp.t -> Busgen_rtl.Circuit.t -> Prop.monitor
+val attach : Busgen_rtl.Engine.t -> Busgen_rtl.Circuit.t -> Prop.monitor
 (** [attach sim circuit] = [Prop.attach sim (for_circuit circuit)] —
     the simulator must have been created from the same circuit. *)

@@ -210,7 +210,7 @@ let compile_checker rd (p : t) : checker =
 
 let attach sim props =
   let rd name =
-    try Interp.reader sim name
+    try Engine.reader sim name
     with Not_found ->
       invalid_arg
         (Printf.sprintf "Prop.attach: unknown signal %s" name)
@@ -228,7 +228,7 @@ let attach sim props =
       total = 0;
     }
   in
-  Interp.on_cycle sim (fun cycle ->
+  Engine.on_cycle sim (fun cycle ->
       Array.iter
         (fun ck ->
           match ck.ck_step cycle with

@@ -1,7 +1,7 @@
 (** Property monitors: a small combinator language for safety invariants
     and bounded-liveness properties over RTL simulations, compiled to
-    per-cycle checkers that attach to {!Busgen_rtl.Interp} runs through
-    the interpreter's observer hook.
+    per-cycle checkers that attach to {!Busgen_rtl.Engine} runs through
+    the engine's observer hook.
 
     A {!pred} is a named boolean observation over the current cycle's
     sampled signal values; a property wraps predicates into a temporal
@@ -75,9 +75,9 @@ val pp_violation : Format.formatter -> violation -> unit
 
 type monitor
 
-val attach : Busgen_rtl.Interp.t -> t list -> monitor
+val attach : Busgen_rtl.Engine.t -> t list -> monitor
 (** Compile the properties against the design and register one observer
-    ({!Busgen_rtl.Interp.on_cycle}).  Only the first violation of each
+    ({!Busgen_rtl.Engine.on_cycle}).  Only the first violation of each
     property is stored; later ones are counted.
     @raise Invalid_argument if a property names an unknown signal (the
     message says which property and which signal). *)

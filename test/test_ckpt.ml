@@ -11,6 +11,7 @@
 module A = Bussyn.Archs
 module G = Bussyn.Generate
 module I = Busgen_rtl.Interp
+module E = Busgen_rtl.Engine
 module Iref = Busgen_rtl.Interp_ref
 module Bits = Busgen_rtl.Bits
 module T = Busgen_verify.Traffic
@@ -209,7 +210,7 @@ let resume_cell arch ~protect ~faulted () =
       (* A short transient on a mid-run cycle: deterministic, active
          across the checkpoint boundary's neighborhood, and drawn from
          the design itself so every architecture gets a real signal. *)
-      match I.random_campaign sim ~seed:7 ~n:2 ~horizon:10 with
+      match E.random_campaign sim ~seed:7 ~n:2 ~horizon:10 with
       | campaign ->
           List.map
             (fun (inj : I.injection) -> { inj with I.inj_start = k + 5 })
@@ -217,20 +218,20 @@ let resume_cell arch ~protect ~faulted () =
   in
   let straight () =
     let tb = Busgen_rtl.Testbench.create top in
-    let sim = Busgen_rtl.Testbench.interp tb in
+    let sim = Busgen_rtl.Testbench.engine tb in
     let mon = Busgen_verify.Pack.attach sim top in
     let inj = faults sim in
-    if inj <> [] then I.inject sim inj;
+    if inj <> [] then E.inject sim inj;
     let d = T.create tb ~arch ~config:cfg ~seed in
     (try
-       while I.current_cycle sim < total do
+       while E.current_cycle sim < total do
          T.step d
        done;
        Ok ()
      with Busgen_rtl.Testbench.Timeout m -> Error m)
     |> fun outcome ->
     ( outcome,
-      I.export_state sim,
+      E.export_state sim,
       T.export_state d,
       P.export_state mon,
       inj )
@@ -239,11 +240,11 @@ let resume_cell arch ~protect ~faulted () =
   (* Interrupted: first engine runs to K and checkpoints... *)
   let snap =
     let tb = Busgen_rtl.Testbench.create top in
-    let sim = Busgen_rtl.Testbench.interp tb in
+    let sim = Busgen_rtl.Testbench.engine tb in
     let mon = Busgen_verify.Pack.attach sim top in
-    if inj_s <> [] then I.inject sim inj_s;
+    if inj_s <> [] then E.inject sim inj_s;
     let d = T.create tb ~arch ~config:cfg ~seed in
-    while I.current_cycle sim < k do
+    while E.current_cycle sim < k do
       T.step d
     done;
     {
@@ -252,7 +253,7 @@ let resume_cell arch ~protect ~faulted () =
       ck_arch = arch;
       ck_config = cfg;
       ck_seed = seed;
-      ck_interp = I.export_state sim;
+      ck_interp = E.export_state sim;
       ck_injections = inj_s;
       ck_traffic = Some (T.export_state d);
       ck_monitor = Some (P.export_state mon);
@@ -268,11 +269,11 @@ let resume_cell arch ~protect ~faulted () =
     | Error e -> Alcotest.fail e
   in
   (* ...into a fresh engine that finishes the run. *)
-  let sim = I.create top in
+  let sim = E.create top in
   let mon = Busgen_verify.Pack.attach sim top in
-  if snap.Ckpt.ck_injections <> [] then I.inject sim snap.Ckpt.ck_injections;
-  I.import_state sim snap.Ckpt.ck_interp;
-  let tb = Busgen_rtl.Testbench.of_interp sim in
+  if snap.Ckpt.ck_injections <> [] then E.inject sim snap.Ckpt.ck_injections;
+  E.import_state sim snap.Ckpt.ck_interp;
+  let tb = Busgen_rtl.Testbench.of_engine sim in
   let d = T.create tb ~arch ~config:cfg ~seed in
   (match snap.Ckpt.ck_traffic with
   | Some ts -> T.import_state d ts
@@ -282,7 +283,7 @@ let resume_cell arch ~protect ~faulted () =
   | None -> ());
   let outcome_r =
     try
-      while I.current_cycle sim < total do
+      while E.current_cycle sim < total do
         T.step d
       done;
       Ok ()
@@ -293,7 +294,7 @@ let resume_cell arch ~protect ~faulted () =
   | Error a, Error b -> Alcotest.(check string) "same timeout" a b
   | Ok (), Error m -> Alcotest.failf "resumed run timed out (%s), straight did not" m
   | Error m, Ok () -> Alcotest.failf "straight run timed out (%s), resumed did not" m);
-  check_state_equal "final state" state_s (I.export_state sim);
+  check_state_equal "final state" state_s (E.export_state sim);
   let traffic_r = T.export_state d in
   Alcotest.(check int) "rng" traffic_s.T.ts_rng traffic_r.T.ts_rng;
   Alcotest.(check int)
@@ -340,21 +341,70 @@ let test_interp_ref_resume () =
   let cfg = A.small_config ~n_pes:2 in
   let gen = G.generate G.Gbaviii cfg in
   let top = gen.G.generated.A.top in
-  let tb = Busgen_rtl.Testbench.create top in
-  let sim = Busgen_rtl.Testbench.interp tb in
+  let tb = Busgen_rtl.Testbench.create ~engine:E.Slot top in
+  let sim = Busgen_rtl.Testbench.engine tb in
   let d = T.create tb ~arch:G.Gbaviii ~config:cfg ~seed:5 in
-  while I.current_cycle sim < 20 do
+  while E.current_cycle sim < 20 do
     T.step d
   done;
-  let st = I.export_state sim in
+  let st = E.export_state sim in
   let rf = Iref.create top in
   Iref.import_state rf st;
   check_state_equal "after import" st (Iref.export_state rf);
   (* Advance both engines in lockstep on identical inputs. *)
-  I.run sim 40;
+  E.run sim 40;
   Iref.run rf 40;
-  check_state_equal "after 40 free-running cycles" (I.export_state sim)
+  check_state_equal "after 40 free-running cycles" (E.export_state sim)
     (Iref.export_state rf)
+
+(* The full cross-engine matrix: a snapshot taken under any engine
+   restores into every other engine, and two fresh engines restored
+   from the same snapshot advance bit-exactly — free-running and under
+   an identical fault campaign.  This is the contract that lets a soak
+   run checkpointed under `--engine slot` resume under `--engine
+   tape` (and back). *)
+let test_cross_engine_resume () =
+  let cfg = A.small_config ~n_pes:2 in
+  let gen = G.generate G.Hybrid cfg in
+  let top = gen.G.generated.A.top in
+  List.iter
+    (fun src ->
+      (* Warm the source engine into a non-trivial mid-run state. *)
+      let tb = Busgen_rtl.Testbench.create ~engine:src top in
+      let sim = Busgen_rtl.Testbench.engine tb in
+      let d = T.create tb ~arch:G.Hybrid ~config:cfg ~seed:9 in
+      while E.current_cycle sim < 25 do
+        T.step d
+      done;
+      let st = E.export_state sim in
+      let campaign = E.random_campaign sim ~seed:3 ~n:6 ~horizon:80 in
+      List.iter
+        (fun dst ->
+          if dst <> src then begin
+            let what =
+              Printf.sprintf "%s -> %s" (E.kind_to_string src)
+                (E.kind_to_string dst)
+            in
+            let a = E.create ~kind:src top in
+            let b = E.create ~kind:dst top in
+            E.import_state a st;
+            E.import_state b st;
+            check_state_equal (what ^ ": after import") st (E.export_state b);
+            E.run a 40;
+            E.run b 40;
+            check_state_equal
+              (what ^ ": 40 free-running cycles")
+              (E.export_state a) (E.export_state b);
+            E.inject a campaign;
+            E.inject b campaign;
+            E.run a 40;
+            E.run b 40;
+            check_state_equal
+              (what ^ ": 40 faulted cycles")
+              (E.export_state a) (E.export_state b)
+          end)
+        E.all_kinds)
+    E.all_kinds
 
 (* ------------------------------------------------------------------ *)
 (* Provenance refusal                                                  *)
@@ -604,6 +654,8 @@ let () =
         [
           Alcotest.test_case "Interp checkpoint restores into Interp_ref"
             `Quick test_interp_ref_resume;
+          Alcotest.test_case "cross-engine restore matrix" `Quick
+            test_cross_engine_resume;
         ] );
       ( "provenance",
         [

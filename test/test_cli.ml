@@ -104,6 +104,25 @@ let test_verify_replay_missing () =
     [ "verify"; "--replay"; in_tmp "no_such.repro" ]
     ~on_stderr:"verify:"
 
+(* Unknown --engine follows the same user-error contract on every
+   subcommand that accepts the flag, including transaction-level
+   `simulate` (which validates the value even though it never
+   evaluates RTL). *)
+let test_engine_unknown () =
+  check_user_error "inject --engine bogus"
+    [ "inject"; "-a"; "bfba"; "-p"; "2"; "--engine"; "bogus" ]
+    ~on_stderr:"unknown engine";
+  check_user_error "verify --engine bogus"
+    [ "verify"; "-a"; "bfba"; "--cycles"; "100"; "--engine"; "bogus" ]
+    ~on_stderr:"unknown engine";
+  check_user_error "soak --engine bogus"
+    [ "soak"; "-a"; "bfba"; "-p"; "2"; "--cycles"; "100"; "--ckpt-dir";
+      in_tmp "soak_engine_bogus"; "--engine"; "bogus" ]
+    ~on_stderr:"unknown engine";
+  check_user_error "simulate --engine bogus"
+    [ "simulate"; "-a"; "bfba"; "-w"; "database"; "--engine"; "bogus" ]
+    ~on_stderr:"unknown engine"
+
 let test_wires_check_valid_ok () =
   (* The happy path still exits 0: dump a library, then validate it. *)
   let f = in_tmp "valid.wires" in
@@ -134,6 +153,33 @@ let test_inject_jobs_identical () =
   let c4, o4, _ = run (args 4) in
   Alcotest.(check int) "same exit code" c1 c4;
   Alcotest.(check string) "same stdout" o1 o4
+
+(* All three engines must print byte-identical campaign reports: the
+   faults drawn, the stimulus and every classification depend only on
+   (circuit, seed), never on the evaluator. *)
+let test_inject_engines_agree () =
+  let args e =
+    [ "inject"; "-a"; "gbaviii"; "-p"; "2"; "--protect"; "--seed"; "7";
+      "-n"; "4"; "--cycles"; "50"; "--engine"; e ]
+  in
+  let ct, ot, _ = run (args "tape") in
+  let cs, os, _ = run (args "slot") in
+  let cr, orf, _ = run (args "ref") in
+  Alcotest.(check int) "tape vs slot exit" ct cs;
+  Alcotest.(check int) "tape vs ref exit" ct cr;
+  Alcotest.(check string) "tape vs slot stdout" ot os;
+  Alcotest.(check string) "tape vs ref stdout" ot orf
+
+let test_inject_tape_jobs_identical () =
+  let args j =
+    [ "inject"; "-a"; "hybrid"; "-p"; "2"; "--protect"; "--seed"; "11";
+      "-n"; "6"; "--cycles"; "60"; "--engine"; "tape"; "-j";
+      string_of_int j ]
+  in
+  let c1, o1, _ = run (args 1) in
+  let c2, o2, _ = run (args 2) in
+  Alcotest.(check int) "same exit code" c1 c2;
+  Alcotest.(check string) "same stdout" o1 o2
 
 let test_verify_matrix_jobs_identical () =
   let args j =
@@ -169,8 +215,16 @@ let () =
             test_generate_options_missing;
           Alcotest.test_case "verify --replay missing file" `Quick
             test_verify_replay_missing;
+          Alcotest.test_case "unknown --engine" `Quick test_engine_unknown;
           Alcotest.test_case "wires --check valid file" `Quick
             test_wires_check_valid_ok;
+        ] );
+      ( "engine equivalence",
+        [
+          Alcotest.test_case "inject ref vs slot vs tape" `Slow
+            test_inject_engines_agree;
+          Alcotest.test_case "inject --engine tape -j 1 vs -j 2" `Slow
+            test_inject_tape_jobs_identical;
         ] );
       ( "sharding determinism",
         [

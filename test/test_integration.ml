@@ -173,15 +173,15 @@ let test_rtl_latency_ordering () =
     let tb = make_tb g in
     Testbench.Cpu.write tb ~pe:0 ~addr 1;
     (* Time a read via wait_for on ack after issuing manually. *)
-    let sim = Testbench.interp tb in
+    let sim = Testbench.engine tb in
     Testbench.drive tb "cpu0_req" 1;
     Testbench.drive tb "cpu0_rnw" 1;
     Testbench.drive tb "cpu0_addr" addr;
-    Interp.step sim;
+    Engine.step sim;
     Testbench.drive tb "cpu0_req" 0;
     let n = ref 0 in
     while Testbench.peek tb "cpu0_ack" <> 1 && !n < 500 do
-      Interp.step sim;
+      Engine.step sim;
       incr n
     done;
     !n

@@ -1011,66 +1011,128 @@ let test_comb_loop_has_path () =
   | _ -> Alcotest.fail "loop not detected"
 
 (* ------------------------------------------------------------------ *)
-(* Differential: slot-compiled engine vs reference engine on the       *)
-(* generated bus architectures                                         *)
+(* Differential: slot-compiled and tape-compiled engines vs the        *)
+(* reference engine on the generated bus architectures                 *)
 (* ------------------------------------------------------------------ *)
 
 let differential_cycles = 40
 
-let differential ?(prepare = fun _ _ -> ()) name top =
+(* Three-way lockstep: drive identical random inputs into all three
+   engines and compare every flat signal (and finally every memory
+   word) after each cycle.  [prepare] installs fault campaigns. *)
+let differential ?(prepare = fun _ _ _ -> ()) name top =
   let fast = Interp.create top in
   let slow = Interp_ref.create top in
+  let tape = Interp_tape.create top in
   Interp.reset fast;
   Interp_ref.reset slow;
-  prepare fast slow;
+  Interp_tape.reset tape;
+  prepare fast slow tape;
   let inputs = Circuit.inputs top in
   let sigs = Interp.signal_names fast in
   Alcotest.(check (list string))
     (name ^ ": same signal set") (Interp_ref.signal_names slow) sigs;
+  Alcotest.(check (list string))
+    (name ^ ": tape same signal set") (Interp_tape.signal_names tape) sigs;
   Alcotest.(check (list (pair string int)))
     (name ^ ": same memory set")
     (Interp_ref.memories slow) (Interp.memories fast);
+  Alcotest.(check (list (pair string int)))
+    (name ^ ": tape same memory set")
+    (Interp_tape.memories tape) (Interp.memories fast);
   let st = Random.State.make [| 0x5EED; String.length name |] in
   for cycle = 1 to differential_cycles do
     List.iter
       (fun (p : Circuit.port) ->
         let v = Bits.init p.Circuit.port_width (fun _ -> Random.State.bool st) in
         Interp.set_input fast p.Circuit.port_name v;
-        Interp_ref.set_input slow p.Circuit.port_name v)
+        Interp_ref.set_input slow p.Circuit.port_name v;
+        Interp_tape.set_input tape p.Circuit.port_name v)
       inputs;
     Interp.step fast;
     Interp_ref.step slow;
+    Interp_tape.step tape;
     List.iter
       (fun s ->
-        let a = Interp.peek fast s and b = Interp_ref.peek slow s in
+        let b = Interp_ref.peek slow s in
+        let a = Interp.peek fast s in
         if not (Bits.equal a b) then
-          Alcotest.failf "%s: cycle %d: signal %s diverged (%s vs %s)" name
-            cycle s
+          Alcotest.failf "%s: cycle %d: signal %s diverged (slot %s vs ref %s)"
+            name cycle s
             (Bits.to_verilog_literal a)
+            (Bits.to_verilog_literal b);
+        let c = Interp_tape.peek tape s in
+        if not (Bits.equal c b) then
+          Alcotest.failf "%s: cycle %d: signal %s diverged (tape %s vs ref %s)"
+            name cycle s
+            (Bits.to_verilog_literal c)
             (Bits.to_verilog_literal b))
       sigs
   done;
   List.iter
     (fun (m, depth) ->
       for a = 0 to depth - 1 do
-        if not (Bits.equal (Interp.peek_mem fast m a) (Interp_ref.peek_mem slow m a))
-        then Alcotest.failf "%s: memory %s[%d] diverged" name m a
+        let r = Interp_ref.peek_mem slow m a in
+        if not (Bits.equal (Interp.peek_mem fast m a) r) then
+          Alcotest.failf "%s: memory %s[%d] diverged (slot vs ref)" name m a;
+        if not (Bits.equal (Interp_tape.peek_mem tape m a) r) then
+          Alcotest.failf "%s: memory %s[%d] diverged (tape vs ref)" name m a
       done)
     (Interp.memories fast)
 
 let test_differential_counter () =
   differential "counter8" (counter_circuit ())
 
-let generated_top arch =
-  let r =
-    Bussyn.Generate.generate arch (Bussyn.Archs.small_config ~n_pes:4)
-  in
+let generated_top ?(protect = false) arch =
+  let config = Bussyn.Archs.small_config ~n_pes:4 in
+  let config = { config with Bussyn.Archs.protect } in
+  let r = Bussyn.Generate.generate arch config in
   r.Bussyn.Generate.generated.Bussyn.Archs.top
 
 let test_differential_ggba () = differential "ggba" (generated_top Bussyn.Generate.Ggba)
 let test_differential_gbavi () = differential "gbavi" (generated_top Bussyn.Generate.Gbavi)
 let test_differential_hybrid () = differential "hybrid" (generated_top Bussyn.Generate.Hybrid)
 let test_differential_splitba () = differential "splitba" (generated_top Bussyn.Generate.Splitba)
+
+(* Full three-way matrix: every architecture x protect x faults.  The
+   faulted cells replay a deterministic campaign drawn from the design
+   itself (identical stream on all three engines). *)
+let all_archs =
+  Bussyn.Generate.
+    [ Bfba; Gbavi; Gbavii; Gbaviii; Hybrid; Splitba; Ggba; Ccba ]
+
+let campaign_prepare seed fast slow tape =
+  let campaign =
+    Interp.random_campaign fast ~seed ~n:12 ~horizon:differential_cycles
+  in
+  Interp.inject fast campaign;
+  Interp_ref.inject slow campaign;
+  Interp_tape.inject tape campaign
+
+let matrix_case arch protect faulted =
+  let name =
+    Printf.sprintf "%s%s%s"
+      (Bussyn.Generate.arch_name arch)
+      (if protect then "+protect" else "")
+      (if faulted then "+faults" else "")
+  in
+  let run () =
+    let top = generated_top ~protect arch in
+    if faulted then
+      differential ~prepare:(campaign_prepare 1301) name top
+    else differential name top
+  in
+  Alcotest.test_case name `Slow run
+
+let matrix_cases =
+  List.concat_map
+    (fun arch ->
+      List.concat_map
+        (fun protect ->
+          List.map (fun faulted -> matrix_case arch protect faulted)
+            [ false; true ])
+        [ false; true ])
+    all_archs
 
 (* ------------------------------------------------------------------ *)
 (* Fault injection                                                     *)
@@ -1171,15 +1233,146 @@ let test_current_cycle () =
    with injections active. *)
 let test_differential_faulty () =
   differential
-    ~prepare:(fun fast slow ->
-      let campaign =
-        Interp.random_campaign fast ~seed:77 ~n:12
-          ~horizon:differential_cycles
-      in
-      Interp.inject fast campaign;
-      Interp_ref.inject slow campaign)
+    ~prepare:(campaign_prepare 77)
     "gbaviii+faults"
     (generated_top Bussyn.Generate.Gbaviii)
+
+(* ------------------------------------------------------------------ *)
+(* Idle-stretch batching: observers must fire at identical cycles with *)
+(* identical values whether or not [run] batches                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive a generated design through a burst of traffic followed by a
+   long idle stretch (constant inputs), recording (cycle, out-signal)
+   pairs from an observer.  The batched engine must produce exactly the
+   per-step engine's trace, and land in the same final state. *)
+let test_idle_batching_observers () =
+  let top = generated_top Bussyn.Generate.Gbavi in
+  let inputs = Circuit.inputs top in
+  let outs =
+    List.map (fun (p : Circuit.port) -> p.Circuit.port_name)
+      (Circuit.outputs top)
+  in
+  let drive sim_set sim_step sim_run =
+    (* Burst: 10 cycles of pseudo-random inputs; idle: 200 cycles with
+       everything held at zero (stepped via [run], so the tape engine
+       batches); another burst; another idle stretch. *)
+    let st = Random.State.make [| 0xBA7C4 |] in
+    let burst n =
+      for _ = 1 to n do
+        List.iter
+          (fun (p : Circuit.port) ->
+            sim_set p.Circuit.port_name
+              (Bits.init p.Circuit.port_width (fun _ -> Random.State.bool st)))
+          inputs;
+        sim_step ()
+      done
+    in
+    let idle n =
+      List.iter
+        (fun (p : Circuit.port) ->
+          sim_set p.Circuit.port_name (Bits.zero p.Circuit.port_width))
+        inputs;
+      sim_run n
+    in
+    burst 10; idle 200; burst 10; idle 200
+  in
+  (* Per-step slot engine: the unbatched truth. *)
+  let slot = Interp.create top in
+  Interp.reset slot;
+  let slot_trace = ref [] in
+  let slot_readers = List.map (fun o -> (o, Interp.reader slot o)) outs in
+  Interp.on_cycle slot (fun c ->
+      List.iter
+        (fun (o, r) -> slot_trace := (c, o, r ()) :: !slot_trace)
+        slot_readers);
+  drive (Interp.set_input slot) (fun () -> Interp.step slot)
+    (fun n -> Interp.run slot n);
+  (* Batched tape engine. *)
+  let tape = Interp_tape.create top in
+  Interp_tape.reset tape;
+  let tape_trace = ref [] in
+  let tape_readers = List.map (fun o -> (o, Interp_tape.reader tape o)) outs in
+  Interp_tape.on_cycle tape (fun c ->
+      List.iter
+        (fun (o, r) -> tape_trace := (c, o, r ()) :: !tape_trace)
+        tape_readers);
+  drive (Interp_tape.set_input tape) (fun () -> Interp_tape.step tape)
+    (fun n -> Interp_tape.run tape n);
+  Alcotest.(check int)
+    "same cycle count" (Interp.current_cycle slot)
+    (Interp_tape.current_cycle tape);
+  let slot_trace = List.rev !slot_trace and tape_trace = List.rev !tape_trace in
+  Alcotest.(check int)
+    "same number of observer firings" (List.length slot_trace)
+    (List.length tape_trace);
+  List.iter2
+    (fun (c1, o1, v1) (c2, o2, v2) ->
+      if c1 <> c2 || o1 <> o2 || not (Bits.equal v1 v2) then
+        Alcotest.failf
+          "observer trace diverged: slot (%d, %s, %s) vs tape (%d, %s, %s)" c1
+          o1
+          (Bits.to_verilog_literal v1)
+          c2 o2
+          (Bits.to_verilog_literal v2))
+    slot_trace tape_trace;
+  (* Final states bit-identical. *)
+  List.iter
+    (fun s ->
+      if not (Bits.equal (Interp.peek slot s) (Interp_tape.peek tape s)) then
+        Alcotest.failf "final state diverged on %s" s)
+    (Interp.signal_names slot);
+  List.iter
+    (fun (m, depth) ->
+      for a = 0 to depth - 1 do
+        if
+          not
+            (Bits.equal (Interp.peek_mem slot m a) (Interp_tape.peek_mem tape m a))
+        then Alcotest.failf "final memory %s[%d] diverged" m a
+      done)
+    (Interp.memories slot)
+
+(* An observer that perturbs the simulation mid-batch (re-driving an
+   input at a scheduled cycle) must break the batch at exactly that
+   cycle: the tape engine's subsequent behaviour must match a per-step
+   slot engine doing the same thing. *)
+let test_idle_batching_observer_perturbs () =
+  let top = counter_circuit () in
+  let run_engine set step_n peek on_cycle current_cycle =
+    let trace = ref [] in
+    on_cycle (fun c ->
+        if c = 57 then set "enable" (Bits.one 1);
+        if c = 58 then set "enable" (Bits.zero 1);
+        trace := (c, peek "count") :: !trace);
+    set "enable" (Bits.zero 1);
+    step_n 100;
+    ignore (current_cycle ());
+    List.rev !trace
+  in
+  let slot = Interp.create top in
+  Interp.reset slot;
+  let slot_trace =
+    run_engine (Interp.set_input slot)
+      (fun n ->
+        for _ = 1 to n do
+          Interp.step slot
+        done)
+      (Interp.peek_int slot) (Interp.on_cycle slot)
+      (fun () -> Interp.current_cycle slot)
+  in
+  let tape = Interp_tape.create top in
+  Interp_tape.reset tape;
+  let tape_trace =
+    run_engine (Interp_tape.set_input tape)
+      (fun n -> Interp_tape.run tape n)
+      (Interp_tape.peek_int tape) (Interp_tape.on_cycle tape)
+      (fun () -> Interp_tape.current_cycle tape)
+  in
+  Alcotest.(check (list (pair int int)))
+    "perturbing observer: identical traces" slot_trace tape_trace;
+  Alcotest.(check int)
+    "perturbing observer: same final count" (Interp.peek_int slot "count")
+    (Interp_tape.peek_int tape "count")
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
@@ -1258,7 +1451,12 @@ let () =
           Alcotest.test_case "hybrid" `Quick test_differential_hybrid;
           Alcotest.test_case "splitba" `Quick test_differential_splitba;
           Alcotest.test_case "gbaviii faulty" `Quick test_differential_faulty;
-        ] );
+          Alcotest.test_case "idle batching observers" `Quick
+            test_idle_batching_observers;
+          Alcotest.test_case "idle batching perturbing observer" `Quick
+            test_idle_batching_observer_perturbs;
+        ]
+        @ matrix_cases );
       ( "fault injection",
         [
           Alcotest.test_case "flip and clear" `Quick test_inject_flip_and_clear;

@@ -56,7 +56,7 @@ let test_pack_fault_free (name, arch, build) () =
   let cfg = { small with Archs.protect = true } in
   let g = build cfg in
   let tb = Testbench.create g.Archs.top in
-  let mon = Pack.attach (Testbench.interp tb) g.Archs.top in
+  let mon = Pack.attach (Testbench.engine tb) g.Archs.top in
   Alcotest.(check bool)
     (name ^ " derives properties") true
     (Prop.property_count mon > 0);
@@ -86,13 +86,13 @@ let test_monitors_flag_unflagged_fault () =
   let cfg = { small with Archs.protect = true } in
   let g = Archs.bfba cfg in
   let tb = Testbench.create g.Archs.top in
-  let sim = Testbench.interp tb in
+  let sim = Testbench.engine tb in
   (* Watch PR 2's protection strobes with never-properties, so their
      silence is recorded by the same monitor that catches the fault. *)
   let watch =
     List.filter
       (fun s -> contains s "parity_error" || contains s "bus_timeout")
-      (Interp.signal_names sim)
+      (Engine.signal_names sim)
   in
   Alcotest.(check bool) "protection strobes exist" true (watch <> []);
   let watch_props =
@@ -101,7 +101,7 @@ let test_monitors_flag_unflagged_fault () =
   let mon =
     Prop.attach sim (Pack.for_circuit g.Archs.top @ watch_props)
   in
-  Interp.inject sim
+  Engine.inject sim
     [
       {
         Interp.inj_signal = "BAN_0$BIF$fifo_a2b$empty";
