@@ -7,6 +7,53 @@
 
 open Cmdliner
 module G = Bussyn.Generate
+module Sv = Busgen_par.Supervise
+
+(* ------------------------------------------------------------------ *)
+(* Supervised-sweep plumbing shared by inject and verify               *)
+(* ------------------------------------------------------------------ *)
+
+(* Exit codes, extending the 0/1/2 convention documented at the bottom
+   of this file: 3 = the sweep ran to completion but some jobs were
+   casualties (crashed / timed out / quarantined), so the results are
+   partial; 130 = interrupted by SIGINT/SIGTERM after flushing any
+   sweep checkpoint (128 + SIGINT, the shell convention). *)
+let exit_partial = 3
+let exit_interrupted = 130
+
+(* Signals land in a flag the supervisor's monitor polls; the sweep
+   legs catch [Sv.Interrupted], flush their checkpoint and exit 130.
+   Never installed for the non-sweep subcommands — default signal
+   behavior is right for them. *)
+let interrupt_flag = Atomic.make false
+let should_stop () = Atomic.get interrupt_flag
+
+let install_interrupt_handlers () =
+  let handle = Sys.Signal_handle (fun _ -> Atomic.set interrupt_flag true) in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s handle with Sys_error _ | Invalid_argument _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-job wall-clock budget for the sharded sweeps.  A job \
+           that exceeds it is reported as timed-out in the failure \
+           summary and its worker is replaced, so one pathological \
+           design point cannot stall the sweep.  Default: no limit.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Re-run a crashed job up to N extra times (exponential \
+           backoff) before quarantining it.  Default 0: a crash is \
+           reported on the first attempt.")
 
 let arch_conv =
   let parse s =
@@ -542,12 +589,14 @@ let inject_cmd =
                 and parity modules), so faults can be flagged by the \
                 protection signals.")
   in
-  let run arch pes seed n cycles protect jobs engine =
+  let run arch pes seed n cycles protect jobs deadline retries engine =
     let module I = Busgen_rtl.Interp in
     let module E = Busgen_rtl.Engine in
     let module C = Busgen_rtl.Circuit in
     let module B = Busgen_rtl.Bits in
     let kind = engine_of_string engine in
+    let policy = Sv.policy ?deadline ~retries () in
+    install_interrupt_handlers ();
     let config =
       { (Bussyn.Archs.small_config ~n_pes:pes) with Bussyn.Archs.protect }
     in
@@ -612,9 +661,15 @@ let inject_cmd =
        the shared stimulus schedule against its own engine instance and
        classifies the outcome against the golden trace.  The quadrant a
        fault lands in depends only on (circuit, schedule, injection),
-       so the merged-in-order results are identical for every -j. *)
-    let classified =
-      Busgen_par.Pool.map_exn ~jobs (Array.length campaign) (fun idx ->
+       so the merged-in-order results are identical for every -j.
+       Supervision keeps the campaign draining past a hung or crashing
+       injection run: that row prints as NOT CLASSIFIED and the exit
+       code flips to 3 (partial). *)
+    match
+      Sv.run ~policy ~jobs
+        ~on_progress:(Sv.progress_line ~label:"inject" ())
+        ~should_stop (Array.length campaign)
+        (fun idx ->
           let inj = campaign.(idx) in
           let sim = E.create ~kind top in
           E.inject sim [ inj ];
@@ -628,42 +683,58 @@ let inject_cmd =
                     if i < n_out then corrupt := true else flagged := true)
                 vals)
             faulty;
-          (inj, !corrupt, !flagged))
-    in
-    let detected_corrupt = ref 0
-    and silent_corrupt = ref 0
-    and detected_masked = ref 0
-    and masked = ref 0 in
-    Array.iter
-      (fun ((inj : I.injection), corrupt, flagged) ->
-        incr
-          (match (corrupt, flagged) with
-          | true, true -> detected_corrupt
-          | true, false -> silent_corrupt
-          | false, true -> detected_masked
-          | false, false -> masked);
-        Printf.printf "%-28s @%4d for %d cycle(s) on %-24s -> %s\n"
-          (fault_name inj.I.inj_fault)
-          inj.I.inj_start inj.I.inj_cycles inj.I.inj_signal
-          (match (corrupt, flagged) with
-          | true, true -> "corrupted outputs, flagged"
-          | true, false -> "corrupted outputs, NOT flagged"
-          | false, true -> "masked, flagged"
-          | false, false -> "masked"))
-      classified;
-    Printf.printf
-      "\ncampaign: %s, %d PEs, %d faults over %d cycles (seed %d%s)\n"
-      (G.arch_name arch) pes n cycles seed
-      (if protect then ", protection on" else "");
-    Printf.printf
-      "  corrupted + flagged:  %d\n  corrupted, unflagged: %d\n\
-      \  masked but flagged:   %d\n  fully masked:         %d\n"
-      !detected_corrupt !silent_corrupt !detected_masked !masked;
-    if watch = [] then
-      print_endline
-        "  (no protection signals in this design; use --protect to add \
-         watchdog/parity hardware)";
-    0
+          (!corrupt, !flagged))
+    with
+    | exception Sv.Interrupted ->
+        prerr_endline "inject: interrupted";
+        exit_interrupted
+    | classified ->
+        let detected_corrupt = ref 0
+        and silent_corrupt = ref 0
+        and detected_masked = ref 0
+        and masked = ref 0
+        and casualties = ref 0 in
+        Array.iteri
+          (fun idx outcome ->
+            let inj : I.injection = campaign.(idx) in
+            let verdict =
+              match outcome with
+              | Sv.Ok (corrupt, flagged) ->
+                  incr
+                    (match (corrupt, flagged) with
+                    | true, true -> detected_corrupt
+                    | true, false -> silent_corrupt
+                    | false, true -> detected_masked
+                    | false, false -> masked);
+                  (match (corrupt, flagged) with
+                  | true, true -> "corrupted outputs, flagged"
+                  | true, false -> "corrupted outputs, NOT flagged"
+                  | false, true -> "masked, flagged"
+                  | false, false -> "masked")
+              | o ->
+                  incr casualties;
+                  "NOT CLASSIFIED: " ^ Sv.describe o
+            in
+            Printf.printf "%-28s @%4d for %d cycle(s) on %-24s -> %s\n"
+              (fault_name inj.I.inj_fault)
+              inj.I.inj_start inj.I.inj_cycles inj.I.inj_signal verdict)
+          classified;
+        Printf.printf
+          "\ncampaign: %s, %d PEs, %d faults over %d cycles (seed %d%s)\n"
+          (G.arch_name arch) pes n cycles seed
+          (if protect then ", protection on" else "");
+        Printf.printf
+          "  corrupted + flagged:  %d\n  corrupted, unflagged: %d\n\
+          \  masked but flagged:   %d\n  fully masked:         %d\n"
+          !detected_corrupt !silent_corrupt !detected_masked !masked;
+        if !casualties > 0 then
+          Printf.printf "  NOT CLASSIFIED:       %d (sweep casualties)\n"
+            !casualties;
+        if watch = [] then
+          print_endline
+            "  (no protection signals in this design; use --protect to add \
+             watchdog/parity hardware)";
+        if !casualties > 0 then exit_partial else 0
   in
   Cmd.v
     (Cmd.info "inject"
@@ -674,7 +745,7 @@ let inject_cmd =
              generated protection hardware.")
     Term.(
       const run $ arch_arg $ pes_arg $ seed_arg $ n_arg $ cycles_arg
-      $ protect_arg $ jobs_arg $ engine_arg)
+      $ protect_arg $ jobs_arg $ deadline_arg $ retries_arg $ engine_arg)
 
 (* ------------------------------------------------------------------ *)
 (* soak                                                                *)
@@ -870,6 +941,27 @@ let verify_cmd =
       value & flag
       & info [ "json" ] ~doc:"Print a machine-readable JSON report.")
   in
+  let sweep_ckpt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sweep-ckpt" ] ~docv:"DIR"
+          ~doc:
+            "With --fuzz: checkpoint sweep progress (completed-case \
+             bitmap + accumulated results) to DIR/sweep.bsck at a \
+             cadence, and resume from it if it already exists — a \
+             SIGKILLed sweep re-run with the same arguments picks up \
+             where it died and produces a byte-identical final report.")
+  in
+  let sweep_every_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "sweep-every" ] ~docv:"N"
+          ~doc:
+            "With --sweep-ckpt: rewrite the checkpoint after every N \
+             newly completed cases (it is also rewritten on a wall-clock \
+             cadence and always on exit).  Default 32.")
+  in
   (* Builds its report into a buffer instead of printing, so the
      all-architectures matrix can run the cells on a worker pool and
      still print byte-identical output in architecture order. *)
@@ -915,11 +1007,12 @@ let verify_cmd =
     (violations = [] && stats.V.Traffic.mismatches = 0, Buffer.contents b)
   in
   let run arch pes cycles protect fuzz budget first_case replay corpus json
-      jobs engine =
+      jobs deadline retries sweep_ckpt sweep_every engine =
     (* Validated up front so `verify --engine bogus` exits 2 before any
        generation work; the fuzz and replay legs run their own
        three-way differential and ignore the choice. *)
     let ekind = engine_of_string engine in
+    let policy = Sv.policy ?deadline ~retries () in
     match replay with
     | Some path -> (
         match V.Fuzz.replay path with
@@ -933,10 +1026,71 @@ let verify_cmd =
             if got = expect then 0 else 1)
     | None -> (
         match fuzz with
-        | Some seed ->
-            let report =
-              V.Fuzz.run ~cycles ~seed ~budget ~first_case ~jobs ()
+        | Some seed -> (
+            install_interrupt_handlers ();
+            let module Sweep = Busgen_ckpt.Sweep in
+            (* The checkpoint is keyed on everything that determines the
+               case set; resuming with different arguments must refuse,
+               not silently mix two sweeps. *)
+            let sweep =
+              match sweep_ckpt with
+              | None -> None
+              | Some dir -> (
+                  let ident =
+                    Printf.sprintf "fuzz/seed=%d/first=%d/budget=%d/cycles=%d"
+                      seed first_case budget cycles
+                  in
+                  match
+                    Sweep.load ~log:prerr_endline ~every:sweep_every ~dir
+                      ~ident ~total:budget ()
+                  with
+                  | Error msg -> failwith msg (* user error: exit 2 *)
+                  | Ok t ->
+                      let done_ = Sweep.completed t in
+                      if done_ > 0 then
+                        Printf.eprintf
+                          "[sweep] resuming: %d/%d cases already complete\n%!"
+                          done_ budget;
+                      Some t)
             in
+            let skip =
+              Option.map
+                (fun t i ->
+                  match Sweep.lookup t i with
+                  | None -> None
+                  | Some payload -> (
+                      match Sweep.decode_fuzz_results payload with
+                      | Ok rs -> Some rs
+                      | Error why ->
+                          Printf.eprintf
+                            "[sweep] case %d: corrupt payload (%s); \
+                             re-running\n\
+                             %!"
+                            (first_case + i) why;
+                          None))
+                sweep
+            in
+            let on_case =
+              Option.map
+                (fun t i rs -> Sweep.note t i (Sweep.encode_fuzz_results rs))
+                sweep
+            in
+            match
+              V.Fuzz.run ~cycles ~seed ~budget ~first_case ~jobs ~policy
+                ~on_progress:(Sv.progress_line ~label:"fuzz" ())
+                ?on_case ?skip ~should_stop ()
+            with
+            | exception Sv.Interrupted ->
+                (match (sweep, sweep_ckpt) with
+                | Some t, Some dir ->
+                    Sweep.save t;
+                    Printf.eprintf
+                      "verify: interrupted — sweep checkpoint flushed to %s\n%!"
+                      dir
+                | _ -> prerr_endline "verify: interrupted");
+                exit_interrupted
+            | report ->
+            (match sweep with None -> () | Some t -> Sweep.save t);
             if json then print_string (V.Fuzz.report_to_json report)
             else begin
               let count pred =
@@ -958,7 +1112,16 @@ let verify_cmd =
                   Printf.printf "  FAIL %s (options seed %d)\n"
                     (V.Fuzz.outcome_class r.V.Fuzz.r_outcome)
                     r.V.Fuzz.r_scenario.V.Fuzz.sc_seed)
-                report.V.Fuzz.f_failures
+                report.V.Fuzz.f_failures;
+              if report.V.Fuzz.f_casualties <> [] then begin
+                Printf.printf
+                  "supervision: %d of %d cases did not complete\n"
+                  (List.length report.V.Fuzz.f_casualties)
+                  budget;
+                List.iter
+                  (fun line -> Printf.printf "  %s\n" line)
+                  (V.Fuzz.casualty_lines report)
+              end
             end;
             (match corpus with
             | None -> ()
@@ -976,7 +1139,9 @@ let verify_cmd =
                     in
                     Printf.printf "shrunk failure %d -> %s\n" i path)
                   report.V.Fuzz.f_failures);
-            if report.V.Fuzz.f_failures = [] then 0 else 1
+            if report.V.Fuzz.f_casualties <> [] then exit_partial
+            else if report.V.Fuzz.f_failures = [] then 0
+            else 1)
         | None ->
             let archs =
               match arch with
@@ -987,20 +1152,54 @@ let verify_cmd =
             in
             (* One monitored run per architecture is an independent
                job; outputs are printed in architecture order after the
-               merge, so -j never reorders the matrix. *)
-            let cells =
-              Busgen_par.Pool.map_exn ~jobs (Array.length archs) (fun i ->
+               merge, so -j never reorders the matrix.  A cell the
+               supervisor cannot complete prints as a casualty row in
+               its slot and flips the exit code to 3. *)
+            install_interrupt_handlers ();
+            match
+              Sv.run ~policy ~jobs
+                ~on_progress:(Sv.progress_line ~label:"verify" ())
+                ~should_stop (Array.length archs)
+                (fun i ->
                   monitored_run archs.(i) ~pes ~cycles ~protect ~json
                     ~engine:ekind)
-            in
-            let ok =
-              Array.fold_left
-                (fun acc (ok, out) ->
-                  print_string out;
-                  ok && acc)
-                true cells
-            in
-            if ok then 0 else 1)
+            with
+            | exception Sv.Interrupted ->
+                prerr_endline "verify: interrupted";
+                exit_interrupted
+            | cells ->
+                let ok = ref true and partial = ref false in
+                Array.iteri
+                  (fun i cell ->
+                    match cell with
+                    | Sv.Ok (cell_ok, out) ->
+                        print_string out;
+                        if not cell_ok then ok := false
+                    | o ->
+                        partial := true;
+                        let why = Sv.describe o in
+                        if json then begin
+                          let esc s =
+                            String.concat ""
+                              (List.map
+                                 (function
+                                   | '"' -> "\\\""
+                                   | '\\' -> "\\\\"
+                                   | '\n' -> "\\n"
+                                   | c -> String.make 1 c)
+                                 (List.init (String.length s) (String.get s)))
+                          in
+                          Printf.printf
+                            "{\"arch\": \"%s\", \"sweep_casualty\": \"%s\"}\n"
+                            (G.arch_name archs.(i))
+                            (esc why)
+                        end
+                        else
+                          Printf.printf "%-8s SWEEP CASUALTY: %s\n"
+                            (G.arch_name archs.(i))
+                            why)
+                  cells;
+                if !partial then exit_partial else if !ok then 0 else 1)
   in
   Cmd.v
     (Cmd.info "verify"
@@ -1013,7 +1212,8 @@ let verify_cmd =
     Term.(
       const run $ arch_opt $ pes_arg $ cycles_arg $ protect_arg $ fuzz_arg
       $ budget_arg $ first_case_arg $ replay_arg $ corpus_arg $ json_arg
-      $ jobs_arg $ engine_arg)
+      $ jobs_arg $ deadline_arg $ retries_arg $ sweep_ckpt_arg
+      $ sweep_every_arg $ engine_arg)
 
 (* ------------------------------------------------------------------ *)
 (* wires                                                               *)

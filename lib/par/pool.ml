@@ -2,10 +2,25 @@ let default_jobs () = Domain.recommended_domain_count ()
 
 exception Job_failed of { index : int; error : string }
 
-let map ?jobs n f =
+let map ?jobs ?on_progress n f =
   if n < 0 then invalid_arg "Pool.map: negative job count";
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let results = Array.make n None in
+  (* Completion counting only exists when someone listens; the hook is
+     serialized under its own mutex (workers race to report) and must
+     not take the sweep down — a throwing progress printer is dropped,
+     not propagated out of a worker domain. *)
+  let progress_mutex = Mutex.create () in
+  let done_count = ref 0 in
+  let note_done () =
+    match on_progress with
+    | None -> ()
+    | Some hook ->
+        Mutex.lock progress_mutex;
+        incr done_count;
+        (try hook ~done_:!done_count ~total:n with _ -> ());
+        Mutex.unlock progress_mutex
+  in
   let run_job i =
     let r =
       match f i with
@@ -13,7 +28,8 @@ let map ?jobs n f =
       | exception e -> Error (Printexc.to_string e)
     in
     (* One writer per slot; the join below publishes the writes. *)
-    results.(i) <- Some r
+    results.(i) <- Some r;
+    note_done ()
   in
   let workers = min (max 1 jobs) n in
   if workers <= 1 then
@@ -32,15 +48,27 @@ let map ?jobs n f =
       in
       loop ()
     in
-    List.init workers (fun _ -> Domain.spawn worker)
-    |> List.iter Domain.join
+    (* Spawn under a guard: if a spawn fails partway (domain limit,
+       resource exhaustion), the workers already running would be
+       leaked, never joined.  The survivors drain the whole counter, so
+       joining them first is always finite; only then does the spawn
+       failure propagate. *)
+    let spawned = ref [] in
+    (try
+       for _ = 1 to workers do
+         spawned := Domain.spawn worker :: !spawned
+       done
+     with e ->
+       List.iter (fun d -> try Domain.join d with _ -> ()) !spawned;
+       raise e);
+    List.iter Domain.join !spawned
   end;
   Array.map
     (function Some r -> r | None -> assert false (* every slot ran *))
     results
 
-let map_exn ?jobs n f =
-  let results = map ?jobs n f in
+let map_exn ?jobs ?on_progress n f =
+  let results = map ?jobs ?on_progress n f in
   Array.iteri
     (fun index -> function
       | Ok _ -> ()

@@ -16,21 +16,37 @@
       index}; sibling jobs still run to completion.
 
     Shared mutable state reachable from [f] must be domain-safe (the
-    one process-wide memo, the Module Library catalog, is mutexed). *)
+    one process-wide memo, the Module Library catalog, is mutexed).
+
+    The pool has no notion of time: a job that never returns stalls the
+    sweep forever, and a crashing job is never retried.  {!Supervise}
+    layers per-job deadlines, bounded retry and quarantine on top of the
+    same contract. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the [-j] default. *)
 
-val map : ?jobs:int -> int -> (int -> 'a) -> ('a, string) result array
+val map :
+  ?jobs:int ->
+  ?on_progress:(done_:int -> total:int -> unit) ->
+  int -> (int -> 'a) -> ('a, string) result array
 (** [map ~jobs n f] runs jobs [0 .. n-1]; slot [i] holds [f i]'s value,
     or [Error] with the raised exception printed if job [i] crashed.
     [jobs] defaults to {!default_jobs}[ ()] and is clamped to
     [\[1, n\]]; with one effective worker everything runs in the
-    calling domain.  Raises [Invalid_argument] on negative [n]. *)
+    calling domain.  Raises [Invalid_argument] on negative [n].
+
+    [on_progress] is called after every job completes with the number
+    of jobs finished so far (completion order, not index order) and the
+    total; calls are serialized across workers, and an exception it
+    raises is swallowed — observability must not sink the sweep. *)
 
 exception Job_failed of { index : int; error : string }
 (** Raised by {!map_exn} for the lowest-indexed failed job. *)
 
-val map_exn : ?jobs:int -> int -> (int -> 'a) -> 'a array
+val map_exn :
+  ?jobs:int ->
+  ?on_progress:(done_:int -> total:int -> unit) ->
+  int -> (int -> 'a) -> 'a array
 (** Like {!map}, but raises {!Job_failed} for the lowest failed index
     after every sibling has completed. *)

@@ -1,0 +1,380 @@
+(* Supervision layer over the Domain worker pool: per-job wall-clock
+   deadlines, bounded retry with exponential backoff, quarantine of
+   jobs that exhaust their retries, and graceful completion — the sweep
+   always drains, and every job ends in exactly one outcome.
+
+   The mechanics, in one paragraph: jobs are handed out through one
+   atomic counter exactly as in Pool; each worker advertises the job it
+   is on (index, attempt, start time) in a state record shared under
+   one mutex; when a deadline or a stop predicate is armed, the calling
+   domain becomes a monitor that polls those records, commits
+   [Timed_out] for overdue jobs (first committer wins — if the hung
+   attempt later returns, its value is dropped), marks the worker
+   abandoned and spawns a replacement so the sweep keeps draining.  An
+   abandoned domain cannot be cancelled (OCaml domains are not
+   killable), so it is never joined: it parks until the process exits,
+   or, if its job eventually returns, notices it was abandoned and
+   terminates itself.  Determinism: for a run in which no deadline
+   fires, the outcome array is a pure function of the job function —
+   byte-identical for every [jobs], including 1. *)
+
+type policy = {
+  sv_deadline : float option;
+  sv_retries : int;
+  sv_backoff : float;
+  sv_max_respawns : int;
+  sv_poll : float;
+}
+
+let default_policy =
+  {
+    sv_deadline = None;
+    sv_retries = 0;
+    sv_backoff = 0.05;
+    sv_max_respawns = 32;
+    sv_poll = 0.02;
+  }
+
+let policy ?deadline ?(retries = 0) ?(backoff = 0.05) ?(max_respawns = 32)
+    ?(poll = 0.02) () =
+  if retries < 0 then invalid_arg "Supervise.policy: negative retries";
+  (match deadline with
+  | Some d when d <= 0. -> invalid_arg "Supervise.policy: non-positive deadline"
+  | _ -> ());
+  if backoff < 0. then invalid_arg "Supervise.policy: negative backoff";
+  if poll <= 0. then invalid_arg "Supervise.policy: non-positive poll";
+  {
+    sv_deadline = deadline;
+    sv_retries = retries;
+    sv_backoff = backoff;
+    sv_max_respawns = max_respawns;
+    sv_poll = poll;
+  }
+
+type 'a outcome =
+  | Ok of 'a
+  | Crashed of { error : string; attempts : int }
+  | Timed_out of { deadline : float; attempts : int }
+  | Quarantined of { error : string; attempts : int }
+
+let outcome_class = function
+  | Ok _ -> "ok"
+  | Crashed _ -> "crashed"
+  | Timed_out _ -> "timed-out"
+  | Quarantined _ -> "quarantined"
+
+(* Deterministic by construction: the deadline comes from the policy,
+   never from a measured elapsed time, so failure summaries built from
+   these strings satisfy the j1 ≡ jN byte-identity contract whenever
+   the underlying outcomes match. *)
+let describe = function
+  | Ok _ -> "ok"
+  | Crashed { error; attempts = _ } -> "crashed: " ^ error
+  | Timed_out { deadline; attempts } ->
+      if attempts = 0 then
+        Printf.sprintf "timed out before starting (deadline %gs, all workers hung)"
+          deadline
+      else Printf.sprintf "timed out (deadline %gs, attempt %d)" deadline attempts
+  | Quarantined { error; attempts } ->
+      Printf.sprintf "quarantined after %d attempt(s): %s" attempts error
+
+let casualties outcomes =
+  let acc = ref [] in
+  Array.iteri
+    (fun i o -> match o with Ok _ -> () | o -> acc := (i, describe o) :: !acc)
+    outcomes;
+  List.rev !acc
+
+exception Interrupted
+
+let sleepf s =
+  if s > 0. then
+    try Unix.sleepf s with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+type worker_state = {
+  mutable ws_job : int;  (* index being attempted, -1 between jobs *)
+  mutable ws_started : float;
+  mutable ws_attempt : int;
+  mutable ws_abandoned : bool;  (* monitor gave up on this domain *)
+  mutable ws_exited : bool;  (* worker loop ran to completion *)
+}
+
+let run (type a) ?(policy = default_policy) ?jobs ?on_progress ?on_result
+    ?skip ?should_stop n (f : int -> a) : a outcome array =
+  if n < 0 then invalid_arg "Supervise.run: negative job count";
+  if n = 0 then [||]
+  else begin
+    let p = policy in
+    let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+    let workers = min (max 1 jobs) n in
+    let results : a outcome option array = Array.make n None in
+    let m = Mutex.create () in
+    let committed = ref 0 in
+    (* User hooks run under the commit mutex (so they see a consistent
+       done-count and are serialized across domains).  A hook that
+       raises must not kill a worker domain mid-sweep: the first error
+       is remembered, later hook calls are suppressed, and the error
+       re-raises in the calling domain once the sweep has drained. *)
+    let hook_error = ref None in
+    let call_hooks i o =
+      if !hook_error = None then
+        try
+          (match on_result with None -> () | Some h -> h i o);
+          match on_progress with
+          | None -> ()
+          | Some h -> h ~done_:!committed ~total:n
+        with e -> hook_error := Some e
+    in
+    (* Exactly one outcome per slot; first committer wins.  The losing
+       race is a worker settling a job the monitor already ruled
+       [Timed_out] — its value is dropped. *)
+    let commit_locked i o =
+      match results.(i) with
+      | Some _ -> ()
+      | None ->
+          results.(i) <- Some o;
+          incr committed;
+          call_hooks i o
+    in
+    let commit i o =
+      Mutex.lock m;
+      commit_locked i o;
+      Mutex.unlock m
+    in
+    (* Pre-commit already-completed jobs (sweep-checkpoint resume)
+       before any worker exists: Domain.spawn publishes these writes to
+       every worker, so the unlocked [results.(i)] peek below is safe
+       for them. *)
+    (match skip with
+    | None -> ()
+    | Some sk ->
+        for i = 0 to n - 1 do
+          match sk i with Some v -> commit i (Ok v) | None -> ()
+        done);
+    let next = Atomic.make 0 in
+    let worker ws () =
+      let rec loop () =
+        let abandoned =
+          Mutex.lock m;
+          let a = ws.ws_abandoned in
+          Mutex.unlock m;
+          a
+        in
+        if abandoned then finish ()
+        else begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then finish ()
+          else begin
+            let already =
+              Mutex.lock m;
+              let a = results.(i) <> None in
+              Mutex.unlock m;
+              a
+            in
+            if not already then attempt i 1;
+            loop ()
+          end
+        end
+      and attempt i k =
+        Mutex.lock m;
+        ws.ws_job <- i;
+        ws.ws_attempt <- k;
+        ws.ws_started <- Unix.gettimeofday ();
+        Mutex.unlock m;
+        let settle o =
+          Mutex.lock m;
+          ws.ws_job <- -1;
+          commit_locked i o;
+          Mutex.unlock m
+        in
+        match f i with
+        | v -> settle (Ok v)
+        | exception e ->
+            let error = Printexc.to_string e in
+            if k <= p.sv_retries then begin
+              (* Possibly transient: back off and retry — unless the
+                 monitor already ruled on this job (a slow crash can
+                 race its own deadline). *)
+              Mutex.lock m;
+              ws.ws_job <- -1;
+              let ruled = results.(i) <> None || ws.ws_abandoned in
+              Mutex.unlock m;
+              if not ruled then begin
+                sleepf (p.sv_backoff *. (2. ** float_of_int (k - 1)));
+                attempt i (k + 1)
+              end
+            end
+            else
+              settle
+                (if p.sv_retries = 0 then Crashed { error; attempts = k }
+                 else Quarantined { error; attempts = k })
+      and finish () =
+        Mutex.lock m;
+        ws.ws_exited <- true;
+        Mutex.unlock m
+      in
+      loop ()
+    in
+    let new_state () =
+      {
+        ws_job = -1;
+        ws_started = 0.;
+        ws_attempt = 0;
+        ws_abandoned = false;
+        ws_exited = false;
+      }
+    in
+    let need_monitor = p.sv_deadline <> None || should_stop <> None in
+    if workers <= 1 && not need_monitor then
+      (* Inline: retries, hooks and skip without any domain machinery —
+         and exactly the byte-identity baseline the parallel path must
+         reproduce. *)
+      worker (new_state ()) ()
+    else begin
+      let states = ref [] in
+      let domains = ref [] in
+      let spawn_one () =
+        let ws = new_state () in
+        let d = Domain.spawn (worker ws) in
+        Mutex.lock m;
+        states := ws :: !states;
+        Mutex.unlock m;
+        domains := (ws, d) :: !domains
+      in
+      (* Initial crew.  If a spawn fails partway (domain limit), the
+         sweep degrades to however many workers came up instead of
+         aborting; zero workers is a real error. *)
+      let spawn_failed = ref None in
+      for _ = 1 to workers do
+        match spawn_one () with () -> () | exception e -> spawn_failed := Some e
+      done;
+      (match (!domains, !spawn_failed) with
+      | [], Some e -> raise e
+      | [], None -> assert false (* workers >= 1 *)
+      | _ -> ());
+      let monitor_exn = ref None in
+      if need_monitor then begin
+        let stop_requested () =
+          match should_stop with None -> false | Some f -> f ()
+        in
+        let respawns = ref 0 in
+        let live_locked () =
+          List.exists (fun ws -> (not ws.ws_abandoned) && not ws.ws_exited) !states
+        in
+        let rec watch () =
+          Mutex.lock m;
+          let now = Unix.gettimeofday () in
+          let to_replace = ref 0 in
+          (match p.sv_deadline with
+          | None -> ()
+          | Some d ->
+              List.iter
+                (fun ws ->
+                  if
+                    (not ws.ws_abandoned) && ws.ws_job >= 0
+                    && now -. ws.ws_started > d
+                  then begin
+                    commit_locked ws.ws_job
+                      (Timed_out { deadline = d; attempts = ws.ws_attempt });
+                    ws.ws_abandoned <- true;
+                    incr to_replace
+                  end)
+                !states);
+          let done_ = !committed in
+          Mutex.unlock m;
+          (* Replace abandoned workers so the sweep keeps draining.  A
+             replacement that cannot be spawned (domain limit) is
+             dropped; the starvation sweep below guarantees termination
+             even with zero live workers. *)
+          for _ = 1 to !to_replace do
+            if !respawns < p.sv_max_respawns then begin
+              incr respawns;
+              try spawn_one () with _ -> ()
+            end
+          done;
+          if done_ >= n then ()
+          else if stop_requested () then raise Interrupted
+          else begin
+            let live =
+              Mutex.lock m;
+              let l = live_locked () in
+              Mutex.unlock m;
+              l
+            in
+            if not live then begin
+              (* Every worker is hung-and-abandoned and no replacement
+                 could be spawned: jobs never handed out would wait
+                 forever.  Drain the counter and mark them (attempt 0 =
+                 never started) so the sweep completes with a truthful
+                 report instead of deadlocking. *)
+              let d = Option.value p.sv_deadline ~default:0. in
+              let rec drain () =
+                let i = Atomic.fetch_and_add next 1 in
+                if i < n then begin
+                  commit i (Timed_out { deadline = d; attempts = 0 });
+                  drain ()
+                end
+              in
+              drain ();
+              let done_ =
+                Mutex.lock m;
+                let c = !committed in
+                Mutex.unlock m;
+                c
+              in
+              if done_ >= n then ()
+              else begin
+                sleepf p.sv_poll;
+                watch ()
+              end
+            end
+            else begin
+              sleepf p.sv_poll;
+              watch ()
+            end
+          end
+        in
+        match watch () with
+        | () -> ()
+        | exception e -> monitor_exn := Some e
+      end;
+      (match !monitor_exn with
+      | Some e ->
+          (* Interrupted (or a monitor bug): abandon the whole crew —
+             workers may be hung, so joining could block forever.  The
+             caller is expected to flush checkpoints and exit; process
+             exit reaps the domains. *)
+          raise e
+      | None -> ());
+      (* Normal completion: every job committed.  Join only the workers
+         that were never abandoned — those are between jobs (or about
+         to notice the exhausted counter) and terminate promptly.
+         Abandoned domains are leaked by design; see the module
+         comment. *)
+      List.iter (fun (ws, d) -> if not ws.ws_abandoned then Domain.join d)
+        !domains
+    end;
+    (match !hook_error with Some e -> raise e | None -> ());
+    Mutex.lock m;
+    let out =
+      Array.map
+        (function Some o -> o | None -> assert false (* all committed *))
+        results
+    in
+    Mutex.unlock m;
+    out
+  end
+
+let progress_line ?(min_interval = 0.25) ~label () =
+  let tty = try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false in
+  if not tty then fun ~done_:_ ~total:_ -> ()
+  else begin
+    let last = ref neg_infinity in
+    fun ~done_ ~total ->
+      let now = Unix.gettimeofday () in
+      if done_ >= total || now -. !last >= min_interval then begin
+        last := now;
+        Printf.eprintf "\r%s: %d/%d jobs done%s%!" label done_ total
+          (if done_ >= total then "\n" else "")
+      end
+  end

@@ -1,0 +1,112 @@
+(** Supervision layer over the {!Pool} worker domains: per-job
+    wall-clock deadlines, bounded retry with exponential backoff,
+    quarantine of jobs that exhaust retries, and graceful completion —
+    a sweep containing hung and crashing jobs still drains to the end
+    and reports every job's fate.
+
+    Determinism contract: as long as no deadline fires, the outcome
+    array is a pure function of the job function, byte-identical for
+    every [jobs] including 1 (the {!Pool} contract).  Deadline firings
+    depend on wall-clock scheduling and are inherently
+    non-deterministic, but the {b rendering} of a [Timed_out] outcome
+    is deterministic: it carries the configured deadline, never a
+    measured elapsed time.
+
+    Abandoned-domain caveat: OCaml domains cannot be cancelled.  A
+    worker whose job exceeds its deadline is {e abandoned} — marked
+    dead to the scheduler and replaced — but the underlying domain
+    keeps running until its job returns (its result is then discarded)
+    or the process exits.  Supervised sweeps with deadlines therefore
+    belong in short-lived processes (the CLI), not in a long-running
+    daemon loop without process recycling. *)
+
+type policy = {
+  sv_deadline : float option;
+      (** Per-attempt wall-clock budget in seconds; [None] = no limit. *)
+  sv_retries : int;  (** Extra attempts after a crash (0 = fail fast). *)
+  sv_backoff : float;
+      (** Base sleep before retry [k] is [backoff * 2^(k-1)] seconds. *)
+  sv_max_respawns : int;
+      (** Cap on replacement workers spawned after abandonments. *)
+  sv_poll : float;  (** Monitor polling interval in seconds. *)
+}
+
+val default_policy : policy
+(** No deadline, no retries, backoff 0.05 s, 32 respawns, 20 ms poll. *)
+
+val policy :
+  ?deadline:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?max_respawns:int ->
+  ?poll:float ->
+  unit ->
+  policy
+(** Validating constructor over {!default_policy}.  Raises
+    [Invalid_argument] on negative [retries]/[backoff] or non-positive
+    [deadline]/[poll]. *)
+
+type 'a outcome =
+  | Ok of 'a  (** The job returned a value (possibly after retries). *)
+  | Crashed of { error : string; attempts : int }
+      (** Raised with retries disabled; [attempts = 1]. *)
+  | Timed_out of { deadline : float; attempts : int }
+      (** An attempt exceeded the deadline; the worker was abandoned.
+          [attempts = 0] means the job was never started (every worker
+          was hung and no replacement could be spawned). *)
+  | Quarantined of { error : string; attempts : int }
+      (** Crashed on every attempt with retries enabled; [error] is
+          from the final attempt. *)
+
+val outcome_class : _ outcome -> string
+(** ["ok"] | ["crashed"] | ["timed-out"] | ["quarantined"]. *)
+
+val describe : _ outcome -> string
+(** One deterministic human line, e.g.
+    ["timed out (deadline 30s, attempt 1)"]. *)
+
+val casualties : 'a outcome array -> (int * string) list
+(** Non-[Ok] slots as [(index, describe)] pairs in index order — the
+    deterministic failure-summary feed. *)
+
+exception Interrupted
+(** Raised out of {!run} when [should_stop] returns [true].  Worker
+    domains are {b not} joined (they may be hung); the caller is
+    expected to flush state and exit the process promptly. *)
+
+val run :
+  ?policy:policy ->
+  ?jobs:int ->
+  ?on_progress:(done_:int -> total:int -> unit) ->
+  ?on_result:(int -> 'a outcome -> unit) ->
+  ?skip:(int -> 'a option) ->
+  ?should_stop:(unit -> bool) ->
+  int ->
+  (int -> 'a) ->
+  'a outcome array
+(** [run ~policy ~jobs n f] evaluates [f 0 .. f (n-1)] under
+    supervision and returns one outcome per index.  [jobs] defaults to
+    {!Pool.default_jobs}[ ()], clamped to [\[1, n\]]; with one worker
+    and no deadline / stop predicate everything runs inline in the
+    calling domain.  Otherwise the calling domain acts as monitor:
+    it commits [Timed_out] for overdue jobs, abandons and replaces
+    their workers, and drains never-started jobs as
+    [Timed_out {attempts = 0}] if the whole crew hangs, so the call
+    always terminates.
+
+    [skip i = Some v] pre-completes slot [i] with [Ok v] before any
+    worker starts ([f] is not called for it) — the resume hook for
+    sweep checkpoints.  [on_result] fires exactly once per index as its
+    outcome commits (completion order); [on_progress] fires after it
+    with the running done-count.  Both run serialized under the
+    scheduler lock; the first exception one of them raises is re-raised
+    from [run] after the sweep drains, and later hook calls are
+    suppressed.  [should_stop] is polled by the monitor; [true] raises
+    {!Interrupted}.  Raises [Invalid_argument] on negative [n]. *)
+
+val progress_line :
+  ?min_interval:float -> label:string -> unit -> done_:int -> total:int -> unit
+(** A ready-made [on_progress] hook: rewrites a
+    ["label: k/n jobs done"] line on stderr, rate-limited to one update
+    per [min_interval] (default 0.25 s) plus a final newline-terminated
+    update.  No-op when stderr is not a TTY. *)

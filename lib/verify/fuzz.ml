@@ -1,6 +1,7 @@
 open Busgen_rtl
 open Bussyn
 module Tb = Testbench
+module Supervise = Busgen_par.Supervise
 
 (* ------------------------------------------------------------------ *)
 (* Scenarios                                                           *)
@@ -177,12 +178,20 @@ let classify sc =
 (* Fuzz loop                                                           *)
 (* ------------------------------------------------------------------ *)
 
+type casualty = {
+  c_case : int;
+  c_class : string;
+  c_detail : string;
+  c_attempts : int;
+}
+
 type report = {
   f_seed : int;
   f_first_case : int;
   f_budget : int;
   f_results : result list;
   f_failures : result list;
+  f_casualties : casualty list;
 }
 
 let is_failure r =
@@ -222,20 +231,63 @@ let run_case ~cycles ~seed case =
     [ r; classify { base with sc_campaign = Some (campaign_seed, 3) } ]
   else [ r ]
 
-let run ?(cycles = 1000) ?(first_case = 0) ?(jobs = 1) ~seed ~budget () =
+let run ?(cycles = 1000) ?(first_case = 0) ?(jobs = 1) ?policy ?on_progress
+    ?on_case ?skip ?should_stop ~seed ~budget () =
   if first_case < 0 then invalid_arg "Fuzz.run: negative first_case";
-  let per_case =
-    Busgen_par.Pool.map_exn ~jobs budget (fun i ->
-        run_case ~cycles ~seed (first_case + i))
+  (* Hook indices are job indices (0 .. budget-1): that is what a sweep
+     checkpoint keys on, and it composes with [first_case] shifts. *)
+  let on_result =
+    match on_case with
+    | None -> None
+    | Some h ->
+        Some
+          (fun i (o : result list Supervise.outcome) ->
+            match o with Supervise.Ok rs -> h i rs | _ -> ())
   in
-  let results = List.concat (Array.to_list per_case) in
+  let outcomes =
+    Supervise.run ?policy ~jobs ?on_progress ?on_result ?skip ?should_stop
+      budget (fun i -> run_case ~cycles ~seed (first_case + i))
+  in
+  let results =
+    List.concat
+      (Array.to_list
+         (Array.map
+            (function Supervise.Ok rs -> rs | _ -> [])
+            outcomes))
+  in
+  let casualties = ref [] in
+  Array.iteri
+    (fun i o ->
+      let mk c_class c_detail c_attempts =
+        casualties :=
+          { c_case = first_case + i; c_class; c_detail; c_attempts }
+          :: !casualties
+      in
+      match (o : _ Supervise.outcome) with
+      | Supervise.Ok _ -> ()
+      | Supervise.Crashed { error; attempts } -> mk "crashed" error attempts
+      | Supervise.Timed_out { deadline; attempts } ->
+          (* The configured deadline, never a measured elapsed time —
+             the printed report stays deterministic. *)
+          mk "timed-out" (Printf.sprintf "deadline %gs" deadline) attempts
+      | Supervise.Quarantined { error; attempts } ->
+          mk "quarantined" error attempts)
+    outcomes;
   {
     f_seed = seed;
     f_first_case = first_case;
     f_budget = budget;
     f_results = results;
     f_failures = List.filter is_failure results;
+    f_casualties = List.rev !casualties;
   }
+
+let casualty_lines rep =
+  List.map
+    (fun c ->
+      Printf.sprintf "case %d: %s (%s; attempts %d)" c.c_case c.c_class
+        c.c_detail c.c_attempts)
+    rep.f_casualties
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking                                                           *)
@@ -559,7 +611,7 @@ let report_to_json rep =
   Buffer.add_string b
     (Printf.sprintf "  \"fault_detections\": %d,\n" detections);
   Buffer.add_string b
-    (Printf.sprintf "  \"failures\": [%s]\n"
+    (Printf.sprintf "  \"failures\": [%s],\n"
        (String.concat ", "
           (List.map
              (fun r ->
@@ -568,5 +620,15 @@ let report_to_json rep =
                  (json_escape (Option.value r.r_arch ~default:"?"))
                  (json_escape (outcome_detail r.r_outcome)))
              rep.f_failures)));
+  Buffer.add_string b
+    (Printf.sprintf "  \"casualties\": [%s]\n"
+       (String.concat ", "
+          (List.map
+             (fun c ->
+               Printf.sprintf
+                 "{ \"case\": %d, \"class\": \"%s\", \"detail\": \"%s\", \"attempts\": %d }"
+                 c.c_case (json_escape c.c_class) (json_escape c.c_detail)
+                 c.c_attempts)
+             rep.f_casualties)));
   Buffer.add_string b "}\n";
   Buffer.contents b

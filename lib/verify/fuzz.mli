@@ -58,6 +58,18 @@ val classify : scenario -> result
 
 (** {2 Fuzzing} *)
 
+type casualty = {
+  c_case : int;       (** absolute case index ([first_case] + job) *)
+  c_class : string;   (** {!Busgen_par.Supervise.outcome_class} label *)
+  c_detail : string;  (** deterministic detail (error, or configured
+                          deadline — never a measured elapsed time) *)
+  c_attempts : int;
+}
+(** A case the supervisor could not complete: it crashed, timed out, or
+    was quarantined.  Casualties are {e not} failures — a failure is a
+    verification signal from a completed case; a casualty is a hole in
+    the sweep. *)
+
 type report = {
   f_seed : int;
   f_first_case : int;        (** index of the first case classified *)
@@ -66,6 +78,8 @@ type report = {
   f_failures : result list;
       (** fault-free scenarios whose outcome is neither [Clean] nor
           [Generation_error] (the signal the fuzzer hunts for) *)
+  f_casualties : casualty list;  (** in case-index order; [[]] = the
+                                     sweep completed every case *)
 }
 
 val case_seeds : seed:int -> int -> int * int * int
@@ -76,7 +90,13 @@ val case_seeds : seed:int -> int -> int * int * int
     triples (no aliasing of two configs to one campaign). *)
 
 val run :
-  ?cycles:int -> ?first_case:int -> ?jobs:int -> seed:int -> budget:int ->
+  ?cycles:int -> ?first_case:int -> ?jobs:int ->
+  ?policy:Busgen_par.Supervise.policy ->
+  ?on_progress:(done_:int -> total:int -> unit) ->
+  ?on_case:(int -> result list -> unit) ->
+  ?skip:(int -> result list option) ->
+  ?should_stop:(unit -> bool) ->
+  seed:int -> budget:int ->
   unit -> report
 (** Classify [budget] scenarios sampled from
     {!Bussyn.Options.sample}; every other valid case additionally
@@ -89,12 +109,29 @@ val run :
     [a, a+b) of [run ~seed ~budget:(a+b) ()] — an interrupted campaign
     continues where it stopped with no repeated or skipped cases.
 
-    [jobs] (default 1) shards the budget over a {!Busgen_par.Pool} of
-    worker domains, one job per case.  The report — results, order,
-    failures, JSON — is byte-identical for every [jobs] value. *)
+    [jobs] (default 1) shards the budget over supervised
+    {!Busgen_par.Supervise} worker domains, one job per case.  The
+    report — results, order, failures, JSON — is byte-identical for
+    every [jobs] value as long as no deadline fires.
+
+    [policy] arms per-case deadlines / retry / quarantine
+    (default {!Busgen_par.Supervise.default_policy}: none of them);
+    cases the supervisor cannot complete land in [f_casualties] instead
+    of sinking the sweep.  The remaining hooks are {b job}-indexed
+    ([0 .. budget-1], add [first_case] for the absolute case):
+    [on_case i rs] fires once per completed job with its results (the
+    sweep-checkpoint feed), [skip i = Some rs] pre-completes a job with
+    previously checkpointed results, [on_progress] is the live counter
+    and [should_stop] the interrupt poll (raises
+    {!Busgen_par.Supervise.Interrupted}). *)
+
+val casualty_lines : report -> string list
+(** [f_casualties] rendered one deterministic line each, in case-index
+    order: ["case 17: timed-out (deadline 30s; attempts 1)"]. *)
 
 val report_to_json : report -> string
-(** Machine-readable summary (class counts, per-case lines, failures). *)
+(** Machine-readable summary (class counts, per-case lines, failures,
+    casualties). *)
 
 (** {2 Shrinking} *)
 

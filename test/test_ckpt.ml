@@ -628,6 +628,115 @@ let test_prune_failure_logged () =
   | None, _ -> Alcotest.fail "latest_valid found nothing after failed prune");
   Sys.rmdir stuck
 
+(* ------------------------------------------------------------------ *)
+(* Sweep checkpoints                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Sweep = Busgen_ckpt.Sweep
+module Fz = Busgen_verify.Fuzz
+
+let sweep_load ?log ?every ?wall ~dir ~ident ~total () =
+  match Sweep.load ?log ?every ?wall ~dir ~ident ~total () with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "sweep load refused: %s" msg
+
+let test_sweep_roundtrip () =
+  let dir = fresh_dir () in
+  let t = sweep_load ~dir ~ident:"sweep-a" ~total:10 () in
+  Alcotest.(check int) "fresh is empty" 0 (Sweep.completed t);
+  Sweep.note t 3 "payload-three";
+  Sweep.note t 7 "payload-seven";
+  Sweep.note t 3 "duplicate ignored";
+  Sweep.save t;
+  let t' = sweep_load ~dir ~ident:"sweep-a" ~total:10 () in
+  Alcotest.(check int) "two jobs recorded" 2 (Sweep.completed t');
+  Alcotest.(check (option string)) "payload survives"
+    (Some "payload-three") (Sweep.lookup t' 3);
+  Alcotest.(check (option string)) "first note wins"
+    (Some "payload-three") (Sweep.lookup t' 3);
+  Alcotest.(check (option string)) "missing job is None" None
+    (Sweep.lookup t' 4)
+
+let test_sweep_refuses_other_sweep () =
+  let dir = fresh_dir () in
+  let t = sweep_load ~dir ~ident:"sweep-a" ~total:10 () in
+  Sweep.note t 0 "x";
+  Sweep.save t;
+  (match Sweep.load ~dir ~ident:"sweep-b" ~total:10 () with
+  | Error msg ->
+      Alcotest.(check bool) "refusal names both idents" true
+        (has_infix "sweep-a" msg && has_infix "sweep-b" msg)
+  | Ok _ -> Alcotest.fail "mismatched ident must refuse");
+  match Sweep.load ~dir ~ident:"sweep-a" ~total:11 () with
+  | Error msg ->
+      Alcotest.(check bool) "refusal mentions totals" true
+        (has_infix "10" msg && has_infix "11" msg)
+  | Ok _ -> Alcotest.fail "mismatched total must refuse"
+
+let test_sweep_corrupt_starts_fresh () =
+  let dir = fresh_dir () in
+  let t = sweep_load ~dir ~ident:"sweep-a" ~total:10 () in
+  Sweep.note t 5 "x";
+  Sweep.save t;
+  let path = Filename.concat dir "sweep.bsck" in
+  let s = read_bytes path in
+  let b = Bytes.of_string s in
+  let mid = Bytes.length b / 2 in
+  Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0xFF));
+  write_bytes path (Bytes.to_string b);
+  let logged = ref [] in
+  let t' =
+    sweep_load
+      ~log:(fun m -> logged := m :: !logged)
+      ~dir ~ident:"sweep-a" ~total:10 ()
+  in
+  Alcotest.(check int) "corrupt file degrades to fresh" 0
+    (Sweep.completed t');
+  match !logged with
+  | [ msg ] ->
+      Alcotest.(check bool) "log names the file" true (has_infix path msg)
+  | l -> Alcotest.failf "expected one logged skip, got %d" (List.length l)
+
+let test_sweep_autosave_cadence () =
+  let dir = fresh_dir () in
+  (* wall is huge, so only the count cadence can trigger: the file must
+     appear exactly at the [every]-th note with no explicit save. *)
+  let t = sweep_load ~every:2 ~wall:1e9 ~dir ~ident:"sweep-a" ~total:10 () in
+  Sweep.note t 0 "a";
+  let on_disk () =
+    Sweep.completed (sweep_load ~dir ~ident:"sweep-a" ~total:10 ())
+  in
+  Alcotest.(check int) "one note: nothing flushed yet" 0 (on_disk ());
+  Sweep.note t 1 "b";
+  Alcotest.(check int) "second note autosaves" 2 (on_disk ())
+
+let test_sweep_fuzz_payload_roundtrip () =
+  (* The codec must reproduce the report byte-for-byte: encode every
+     job's results, decode them, rebuild the report and compare JSON.
+     Budget 4 covers faulted siblings (even cases) and, on most seeds,
+     at least one generation error. *)
+  let per_job = Array.make 4 [] in
+  let rep =
+    Fz.run ~cycles:200 ~seed:2026 ~budget:4
+      ~on_case:(fun i rs -> per_job.(i) <- rs)
+      ()
+  in
+  let decoded =
+    Array.to_list per_job
+    |> List.map (fun rs ->
+           match Sweep.decode_fuzz_results (Sweep.encode_fuzz_results rs) with
+           | Ok rs' -> rs'
+           | Error msg -> Alcotest.failf "decode failed: %s" msg)
+    |> List.concat
+  in
+  let rebuilt = { rep with Fz.f_results = decoded } in
+  Alcotest.(check string) "report JSON survives the codec"
+    (Fz.report_to_json rep)
+    (Fz.report_to_json rebuilt);
+  match Sweep.decode_fuzz_results "garbage not a payload" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage payload must not decode"
+
 let () =
   Alcotest.run "busgen_ckpt"
     [
@@ -646,6 +755,16 @@ let () =
           Alcotest.test_case "mark round-trip" `Quick test_mark_roundtrip;
           Alcotest.test_case "latest_valid picks newest; prune" `Quick
             test_latest_valid_ordering;
+          Alcotest.test_case "sweep: note/save/load round-trip" `Quick
+            test_sweep_roundtrip;
+          Alcotest.test_case "sweep: refuses a different sweep's file" `Quick
+            test_sweep_refuses_other_sweep;
+          Alcotest.test_case "sweep: corrupt file starts fresh" `Quick
+            test_sweep_corrupt_starts_fresh;
+          Alcotest.test_case "sweep: autosave cadence" `Quick
+            test_sweep_autosave_cadence;
+          Alcotest.test_case "sweep: fuzz payload codec round-trip" `Slow
+            test_sweep_fuzz_payload_roundtrip;
           Alcotest.test_case "failed prune is logged, resume survives" `Quick
             test_prune_failure_logged;
         ] );

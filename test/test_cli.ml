@@ -200,6 +200,51 @@ let test_verify_fuzz_jobs_identical () =
   Alcotest.(check int) "same exit code" c1 c4;
   Alcotest.(check string) "same stdout" o1 o4
 
+(* ------------------------------------------------------------------ *)
+(* Sweep checkpoints                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let test_verify_fuzz_sweep_resume () =
+  (* A completed checkpoint replays to byte-identical output: the
+     second run classifies nothing, yet prints the same report with the
+     same exit code. *)
+  let dir = in_tmp "sweep_resume" in
+  rm_rf dir;
+  let args =
+    [ "verify"; "--fuzz"; "2026"; "--budget"; "6"; "--cycles"; "300";
+      "--json"; "-j"; "2"; "--sweep-ckpt"; dir; "--sweep-every"; "2" ]
+  in
+  let c1, o1, _ = run args in
+  let c2, o2, err2 = run args in
+  Alcotest.(check int) "same exit code" c1 c2;
+  Alcotest.(check string) "same stdout from checkpoint replay" o1 o2;
+  let has needle hay =
+    let n = String.length hay and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "second run announces the resume" true
+    (has "resuming: 6/6" err2)
+
+let test_verify_fuzz_sweep_mismatch_refused () =
+  let dir = in_tmp "sweep_mismatch" in
+  rm_rf dir;
+  let args seed =
+    [ "verify"; "--fuzz"; seed; "--budget"; "4"; "--cycles"; "300";
+      "--sweep-ckpt"; dir ]
+  in
+  let c1, _, _ = run (args "2026") in
+  Alcotest.(check int) "first sweep completes" 0 c1;
+  check_user_error "mismatched sweep identity"
+    (args "999")
+    ~on_stderr:"sweep-ckpt"
+
 let () =
   Alcotest.run "cli"
     [
@@ -234,5 +279,12 @@ let () =
             test_verify_matrix_jobs_identical;
           Alcotest.test_case "verify --fuzz -j 1 vs -j 4" `Slow
             test_verify_fuzz_jobs_identical;
+        ] );
+      ( "sweep checkpoints",
+        [
+          Alcotest.test_case "fuzz --sweep-ckpt replays byte-identically"
+            `Slow test_verify_fuzz_sweep_resume;
+          Alcotest.test_case "mismatched sweep identity refused" `Slow
+            test_verify_fuzz_sweep_mismatch_refused;
         ] );
     ]

@@ -5,6 +5,7 @@
 
 module Sm = Busgen_par.Splitmix
 module Pool = Busgen_par.Pool
+module Sv = Busgen_par.Supervise
 module Fuzz = Busgen_verify.Fuzz
 
 (* ------------------------------------------------------------------ *)
@@ -118,6 +119,164 @@ let test_pool_map_exn_lowest_index () =
   | exception Pool.Job_failed { index; _ } ->
       Alcotest.(check int) "lowest failed index reported" 3 index
 
+let test_pool_progress_monotone () =
+  let seen = ref [] in
+  let _ =
+    Pool.map ~jobs:4
+      ~on_progress:(fun ~done_ ~total ->
+        Alcotest.(check int) "total is n" 23 total;
+        seen := done_ :: !seen)
+      23
+      (fun i -> i)
+  in
+  let seq = List.rev !seen in
+  Alcotest.(check int) "one call per job" 23 (List.length seq);
+  Alcotest.(check (list int)) "done counts are 1..n in order"
+    (List.init 23 (fun i -> i + 1))
+    seq
+
+(* ------------------------------------------------------------------ *)
+(* Supervision: deadlines, retry, quarantine, determinism              *)
+(* ------------------------------------------------------------------ *)
+
+let test_supervise_clean_matches_pool () =
+  (* With no pathology the supervised sweep is the pool: every slot Ok,
+     values identical for every -j including the inline path. *)
+  List.iter
+    (fun jobs ->
+      let r = Sv.run ~jobs 31 (fun i -> (i * 7) + 1) in
+      Alcotest.(check int) "length" 31 (Array.length r);
+      Array.iteri
+        (fun i -> function
+          | Sv.Ok v -> Alcotest.(check int) "slot value" ((i * 7) + 1) v
+          | o -> Alcotest.failf "job %d not Ok: %s" i (Sv.describe o))
+        r)
+    [ 1; 4 ]
+
+let test_supervise_timeout_spares_siblings () =
+  (* One job hangs until released; with a deadline armed the monitor
+     must rule it Timed_out while every sibling completes.  The hang is
+     a polling loop on an atomic (not a real infinite loop) so the
+     abandoned domain exits once the test releases it — no leaked
+     domain outlives the test binary's exit. *)
+  let release = Atomic.make false in
+  let outcomes =
+    Sv.run
+      ~policy:(Sv.policy ~deadline:0.3 ~poll:0.01 ())
+      ~jobs:2 6
+      (fun i ->
+        if i = 2 then
+          while not (Atomic.get release) do
+            Unix.sleepf 0.02
+          done;
+        i * 10)
+  in
+  Atomic.set release true;
+  Array.iteri
+    (fun i o ->
+      match (i, o) with
+      | 2, Sv.Timed_out { deadline; attempts } ->
+          Alcotest.(check (float 1e-9)) "configured deadline recorded" 0.3
+            deadline;
+          Alcotest.(check int) "first attempt timed out" 1 attempts
+      | 2, o -> Alcotest.failf "hung job ruled %s" (Sv.describe o)
+      | _, Sv.Ok v -> Alcotest.(check int) "sibling value" (i * 10) v
+      | _, o -> Alcotest.failf "sibling %d ruled %s" i (Sv.describe o))
+    outcomes
+
+let test_supervise_retry_succeeds () =
+  (* Each flaky job crashes on its first two attempts and succeeds on
+     the third; with retries:2 every slot must end Ok. *)
+  let attempts = Array.init 8 (fun _ -> Atomic.make 0) in
+  let outcomes =
+    Sv.run
+      ~policy:(Sv.policy ~retries:2 ~backoff:0.005 ())
+      ~jobs:4 8
+      (fun i ->
+        let k = 1 + Atomic.fetch_and_add attempts.(i) 1 in
+        if k < 3 then failwith "transient" else i + 50)
+  in
+  Array.iteri
+    (fun i -> function
+      | Sv.Ok v -> Alcotest.(check int) "value after retries" (i + 50) v
+      | o -> Alcotest.failf "job %d ruled %s" i (Sv.describe o))
+    outcomes;
+  Array.iteri
+    (fun i a ->
+      Alcotest.(check int)
+        (Printf.sprintf "job %d ran exactly 3 attempts" i)
+        3 (Atomic.get a))
+    attempts
+
+let test_supervise_quarantine_and_crash () =
+  (* A job that always crashes: with retries it is Quarantined after
+     1 + retries attempts; with retries:0 it is Crashed on attempt 1. *)
+  let q =
+    Sv.run ~policy:(Sv.policy ~retries:2 ~backoff:0.005 ()) ~jobs:2 3
+      (fun i -> if i = 1 then failwith "hopeless" else i)
+  in
+  (match q.(1) with
+  | Sv.Quarantined { attempts; error } ->
+      Alcotest.(check int) "1 + retries attempts" 3 attempts;
+      Alcotest.(check bool) "error names the exception" true
+        (String.length error > 0)
+  | o -> Alcotest.failf "expected quarantine, got %s" (Sv.describe o));
+  let c = Sv.run ~jobs:2 3 (fun i -> if i = 1 then failwith "nope" else i) in
+  match c.(1) with
+  | Sv.Crashed { attempts; _ } ->
+      Alcotest.(check int) "single attempt" 1 attempts
+  | o -> Alcotest.failf "expected crash, got %s" (Sv.describe o)
+
+let test_supervise_skip_and_on_result () =
+  (* skip pre-completes even slots: f must not run for them, and
+     on_result must still fire exactly once per index. *)
+  let ran = Array.make 10 false in
+  let reported = Array.make 10 0 in
+  let outcomes =
+    Sv.run ~jobs:3
+      ~skip:(fun i -> if i mod 2 = 0 then Some (i * 100) else None)
+      ~on_result:(fun i _ -> reported.(i) <- reported.(i) + 1)
+      10
+      (fun i ->
+        ran.(i) <- true;
+        i * 100)
+  in
+  Array.iteri
+    (fun i -> function
+      | Sv.Ok v -> Alcotest.(check int) "slot value" (i * 100) v
+      | o -> Alcotest.failf "job %d ruled %s" i (Sv.describe o))
+    outcomes;
+  Array.iteri
+    (fun i r ->
+      if i mod 2 = 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "f skipped for pre-completed job %d" i)
+          false r)
+    ran;
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check int)
+        (Printf.sprintf "on_result fired once for job %d" i)
+        1 n)
+    reported
+
+let test_supervise_casualties_byte_identity () =
+  (* A deterministic crasher must produce the same failure-summary
+     lines for every -j: the j1 ≡ jN contract extends to failures. *)
+  let sweep jobs =
+    Sv.run ~jobs 20 (fun i ->
+        if i mod 5 = 3 then failwith (Printf.sprintf "bad point %d" i)
+        else i)
+  in
+  let lines jobs =
+    List.map
+      (fun (i, why) -> Printf.sprintf "%d: %s" i why)
+      (Sv.casualties (sweep jobs))
+  in
+  let l1 = lines 1 in
+  Alcotest.(check int) "four casualties" 4 (List.length l1);
+  Alcotest.(check (list string)) "j1 vs j4 casualty lines" l1 (lines 4)
+
 (* ------------------------------------------------------------------ *)
 (* Fuzz sharding: -j N byte-identical to -j 1                          *)
 (* ------------------------------------------------------------------ *)
@@ -179,6 +338,23 @@ let () =
             test_pool_crash_attribution;
           Alcotest.test_case "map_exn lowest index" `Quick
             test_pool_map_exn_lowest_index;
+          Alcotest.test_case "progress hook monotone" `Quick
+            test_pool_progress_monotone;
+        ] );
+      ( "supervise",
+        [
+          Alcotest.test_case "clean run matches pool" `Quick
+            test_supervise_clean_matches_pool;
+          Alcotest.test_case "timeout spares siblings" `Quick
+            test_supervise_timeout_spares_siblings;
+          Alcotest.test_case "retry succeeds on flaky job" `Quick
+            test_supervise_retry_succeeds;
+          Alcotest.test_case "quarantine and crash attempts" `Quick
+            test_supervise_quarantine_and_crash;
+          Alcotest.test_case "skip and on_result" `Quick
+            test_supervise_skip_and_on_result;
+          Alcotest.test_case "j1 vs j4 casualty byte-identity" `Quick
+            test_supervise_casualties_byte_identity;
         ] );
       ( "fuzz sharding",
         [
