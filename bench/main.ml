@@ -1220,6 +1220,141 @@ let write_supervise_json path =
       Printf.printf "\n[bench] wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Process-isolation overhead: fork + framed protocol vs domain pool   *)
+(* (BENCH_procpool.json)                                               *)
+(* ------------------------------------------------------------------ *)
+
+type procpool_row = {
+  pp_jobs : int;
+  pp_perjob_us : float;
+  pp_domain_jn_s : float;
+  pp_proc_jn_s : float;
+  pp_overhead_jn_pct : float;
+  pp_domain_j1_s : float;
+  pp_proc_j1_s : float;
+  pp_overhead_j1_pct : float;
+}
+
+let procpool_row : procpool_row option ref = ref None
+
+let bench_procpool () =
+  header "Process-isolation overhead (--isolate proc vs domain pool)";
+  let module Sv = Busgen_par.Supervise in
+  let module P = Busgen_par.Procpool in
+  let module Bio = Busgen_binio.Io in
+  let spec =
+    {
+      P.sp_config = P.default_config;
+      sp_encode =
+        (fun v ->
+          let w = Bio.writer () in
+          Bio.w_int w v;
+          Bio.contents w);
+      sp_decode = (fun s -> Bio.r_int (Bio.reader s));
+    }
+  in
+  let jobs = max 1 par_jobs in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  (* Fork safety pins the measurement order: every process-backend run
+     happens before the first domain spawns (a fork in a multi-domain
+     process is undefined), so proc timings come first even though the
+     domain pool is the baseline. *)
+  (* (1) Per-job protocol cost: 64 no-op jobs through one worker.  The
+     wall is almost purely fork + frame encode/decode + select. *)
+  let trivial_n = 64 in
+  let trivial_s =
+    time (fun () ->
+        Sv.run ~backend:(Sv.Processes spec) ~jobs:1 trivial_n (fun i -> i))
+  in
+  let perjob_us = trivial_s /. float_of_int trivial_n *. 1e6 in
+  (* (2) Realistic jobs: 16 x ~100 ms wall-spins, where isolation
+     overhead should amortize below the 10% target. *)
+  let heavy_n = 16 and job_ms = 100. in
+  let heavy _ =
+    let t0 = Unix.gettimeofday () in
+    let acc = ref 0 in
+    while (Unix.gettimeofday () -. t0) *. 1000. < job_ms do
+      acc := Sys.opaque_identity (!acc + 1)
+    done;
+    !acc
+  in
+  let proc_jn_s =
+    time (fun () -> Sv.run ~backend:(Sv.Processes spec) ~jobs heavy_n heavy)
+  in
+  let proc_j1_s =
+    time (fun () -> Sv.run ~backend:(Sv.Processes spec) ~jobs:1 heavy_n heavy)
+  in
+  (* Domain-pool baselines: from here on this process has spawned
+     domains, so no further forks happen in this section. *)
+  ignore (Sv.run ~jobs heavy_n (fun _ -> 0));
+  let domain_jn_s = time (fun () -> Sv.run ~jobs heavy_n heavy) in
+  let domain_j1_s = time (fun () -> Sv.run ~jobs:1 heavy_n heavy) in
+  let pct proc domain = (proc -. domain) /. domain *. 100.0 in
+  let overhead_jn_pct = pct proc_jn_s domain_jn_s in
+  let overhead_j1_pct = pct proc_j1_s domain_j1_s in
+  Printf.printf "  protocol cost      %8.1f us/job (%d no-op jobs, 1 worker)\n"
+    perjob_us trivial_n;
+  Printf.printf "  %d x %.0f ms jobs:\n" heavy_n job_ms;
+  Printf.printf "    domain -j %-2d %8.3f s    proc -j %-2d %8.3f s   \
+                 overhead %+.2f%%\n"
+    jobs domain_jn_s jobs proc_jn_s overhead_jn_pct;
+  Printf.printf "    domain -j 1  %8.3f s    proc -j 1  %8.3f s   \
+                 overhead %+.2f%%\n"
+    domain_j1_s proc_j1_s overhead_j1_pct;
+  if overhead_jn_pct > 10.0 then
+    Printf.printf
+      "[bench] WARNING: process-isolation overhead %.2f%% above the 10%% \
+       target for -j %d\n"
+      overhead_jn_pct jobs;
+  if jobs < 2 then
+    print_string
+      "[bench] note: single core — the -j N and -j 1 columns coincide; \
+       the honest 1-core cost is the -j 1 overhead column\n";
+  procpool_row :=
+    Some
+      {
+        pp_jobs = jobs;
+        pp_perjob_us = perjob_us;
+        pp_domain_jn_s = domain_jn_s;
+        pp_proc_jn_s = proc_jn_s;
+        pp_overhead_jn_pct = overhead_jn_pct;
+        pp_domain_j1_s = domain_j1_s;
+        pp_proc_j1_s = proc_j1_s;
+        pp_overhead_j1_pct = overhead_j1_pct;
+      }
+
+let write_procpool_json path =
+  match !procpool_row with
+  | None -> ()
+  | Some r ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema\": \"busgen-procpool-bench/1\",\n\
+        \  \"jobs\": %d,\n\
+        \  \"trivial_jobs\": 64,\n\
+        \  \"protocol_perjob_us\": %.1f,\n\
+        \  \"heavy_jobs\": 16,\n\
+        \  \"heavy_job_ms\": 100,\n\
+        \  \"domain_jn_s\": %.3f,\n\
+        \  \"proc_jn_s\": %.3f,\n\
+        \  \"overhead_jn_pct\": %.2f,\n\
+        \  \"domain_j1_s\": %.3f,\n\
+        \  \"proc_j1_s\": %.3f,\n\
+        \  \"overhead_j1_pct\": %.2f,\n\
+        \  \"target_pct\": 10.0\n\
+         }\n"
+        r.pp_jobs r.pp_perjob_us r.pp_domain_jn_s r.pp_proc_jn_s
+        r.pp_overhead_jn_pct r.pp_domain_j1_s r.pp_proc_j1_s
+        r.pp_overhead_j1_pct;
+      close_out oc;
+      Printf.printf "\n[bench] wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_interp.json: machine-readable perf trajectory across PRs      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1286,6 +1421,9 @@ let () =
   if want "faults" then bench_faults ();
   if want "monitors" then bench_monitors ();
   if want "soak" then bench_soak ();
+  (* procpool must precede any domain-spawning section: its process
+     backend forks, and fork in a multi-domain process is undefined. *)
+  if want "procpool" then bench_procpool ();
   if want "par" then bench_par ();
   if want "supervise" then bench_supervise ();
   write_bench_json "BENCH_interp.json";
@@ -1295,4 +1433,5 @@ let () =
   write_soak_json "BENCH_soak.json";
   write_par_json "BENCH_par.json";
   write_supervise_json "BENCH_supervise.json";
+  write_procpool_json "BENCH_procpool.json";
   print_string "\nAll benchmarks complete.\n"

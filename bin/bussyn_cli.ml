@@ -8,6 +8,8 @@
 open Cmdliner
 module G = Bussyn.Generate
 module Sv = Busgen_par.Supervise
+module Procpool = Busgen_par.Procpool
+module Bio = Busgen_binio.Io
 
 (* ------------------------------------------------------------------ *)
 (* Supervised-sweep plumbing shared by inject and verify               *)
@@ -35,25 +37,64 @@ let install_interrupt_handlers () =
       try Sys.set_signal s handle with Sys_error _ | Invalid_argument _ -> ())
     [ Sys.sigint; Sys.sigterm ]
 
+(* --job-deadline / --job-retries / --worker-* are plain strings
+   validated in the handlers (see the --engine comment below): a bad
+   value is a user error and must exit 2 with one line on stderr, not
+   cmdliner's exit 124. *)
 let deadline_arg =
   Arg.(
     value
-    & opt (some float) None
-    & info [ "deadline" ] ~docv:"SECONDS"
+    & opt (some string) None
+    & info [ "job-deadline"; "deadline" ] ~docv:"SECONDS"
         ~doc:
-          "Per-job wall-clock budget for the sharded sweeps.  A job \
-           that exceeds it is reported as timed-out in the failure \
-           summary and its worker is replaced, so one pathological \
+          "Per-job wall-clock budget in seconds for the sharded sweeps.  \
+           A job that exceeds it is reported as timed-out in the failure \
+           summary and its worker is replaced (--isolate domain) or \
+           SIGKILLed and reaped (--isolate proc), so one pathological \
            design point cannot stall the sweep.  Default: no limit.")
 
 let retries_arg =
   Arg.(
-    value & opt int 0
-    & info [ "retries" ] ~docv:"N"
+    value & opt string "0"
+    & info [ "job-retries"; "retries" ] ~docv:"N"
         ~doc:
           "Re-run a crashed job up to N extra times (exponential \
            backoff) before quarantining it.  Default 0: a crash is \
            reported on the first attempt.")
+
+let isolate_arg =
+  Arg.(
+    value & opt string "domain"
+    & info [ "isolate" ] ~docv:"BACKEND"
+        ~doc:
+          "Worker isolation for the sharded sweeps: domain (worker \
+           domains inside this process, the default — lowest overhead) \
+           or proc (forked worker processes — a hung job is SIGKILLed \
+           at its deadline, a crashing job fails alone instead of \
+           taking down the sweep, and --worker-mem-mb / --worker-cpu-s \
+           cap each worker).  Reports, corpus files and exit codes are \
+           byte-identical across backends and -j values.")
+
+let worker_mem_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "worker-mem-mb" ] ~docv:"MB"
+        ~doc:
+          "With --isolate proc: cap each worker process's address space \
+           at MB megabytes (RLIMIT_AS).  A job that allocates past the \
+           cap fails alone and is reported in the failure summary.")
+
+let worker_cpu_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "worker-cpu-s" ] ~docv:"SEC"
+        ~doc:
+          "With --isolate proc: cap each worker process's CPU time at \
+           SEC seconds (RLIMIT_CPU; the kernel delivers SIGXCPU at the \
+           limit).  Catches spin loops that a wall-clock deadline alone \
+           would let burn a core until the sweep ends.")
 
 let arch_conv =
   let parse s =
@@ -111,6 +152,64 @@ let engine_of_string s =
   match Busgen_rtl.Engine.kind_of_string s with
   | Ok k -> k
   | Error msg -> failwith msg
+
+let parse_job_deadline = function
+  | None -> None
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some d when d > 0. && Float.is_finite d -> Some d
+      | _ ->
+          failwith
+            (Printf.sprintf
+               "invalid --job-deadline %S (expected a positive number of \
+                seconds)"
+               s))
+
+let parse_job_retries s =
+  match int_of_string_opt s with
+  | Some r when r >= 0 -> r
+  | _ ->
+      failwith
+        (Printf.sprintf
+           "invalid --job-retries %S (expected a non-negative integer)" s)
+
+let parse_positive_int ~flag = function
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some v when v > 0 -> Some v
+      | _ ->
+          failwith
+            (Printf.sprintf "invalid %s %S (expected a positive integer)" flag
+               s))
+
+(* Validates the isolation flags up front (so a bad value exits 2
+   before any generation work); the per-leg [backend_for] then pairs
+   the choice with that leg's result codec. *)
+let isolation_of ~isolate ~worker_mem_mb ~worker_cpu_s =
+  let mem = parse_positive_int ~flag:"--worker-mem-mb" worker_mem_mb in
+  let cpu = parse_positive_int ~flag:"--worker-cpu-s" worker_cpu_s in
+  match isolate with
+  | "domain" ->
+      if mem <> None || cpu <> None then
+        failwith "--worker-mem-mb and --worker-cpu-s require --isolate proc";
+      `Domain
+  | "proc" ->
+      `Proc
+        (Procpool.config ?cpu_seconds:cpu
+           ?mem_bytes:(Option.map (fun mb -> mb * 1024 * 1024) mem)
+           ~recycle_after:256 ())
+  | s ->
+      failwith
+        (Printf.sprintf
+           "unknown isolation backend %S (expected domain or proc)" s)
+
+let backend_for iso ~encode ~decode =
+  match iso with
+  | `Domain -> Sv.Domains
+  | `Proc config ->
+      Sv.Processes
+        { Procpool.sp_config = config; sp_encode = encode; sp_decode = decode }
 
 let config_of ~pes ~data_width ~mem_addr_width ~fifo_depth =
   {
@@ -589,13 +688,35 @@ let inject_cmd =
                 and parity modules), so faults can be flagged by the \
                 protection signals.")
   in
-  let run arch pes seed n cycles protect jobs deadline retries engine =
+  let run arch pes seed n cycles protect jobs deadline retries isolate
+      worker_mem_mb worker_cpu_s engine =
     let module I = Busgen_rtl.Interp in
     let module E = Busgen_rtl.Engine in
     let module C = Busgen_rtl.Circuit in
     let module B = Busgen_rtl.Bits in
     let kind = engine_of_string engine in
-    let policy = Sv.policy ?deadline ~retries () in
+    let policy =
+      Sv.policy
+        ?deadline:(parse_job_deadline deadline)
+        ~retries:(parse_job_retries retries) ()
+    in
+    let iso = isolation_of ~isolate ~worker_mem_mb ~worker_cpu_s in
+    (* Classification verdicts cross the worker-process boundary as two
+       booleans; the codec is lossless, so --isolate proc keeps the
+       byte-identity contract. *)
+    let backend =
+      backend_for iso
+        ~encode:(fun (corrupt, flagged) ->
+          let w = Bio.writer () in
+          Bio.w_bool w corrupt;
+          Bio.w_bool w flagged;
+          Bio.contents w)
+        ~decode:(fun s ->
+          let r = Bio.reader s in
+          let corrupt = Bio.r_bool r in
+          let flagged = Bio.r_bool r in
+          (corrupt, flagged))
+    in
     install_interrupt_handlers ();
     let config =
       { (Bussyn.Archs.small_config ~n_pes:pes) with Bussyn.Archs.protect }
@@ -666,7 +787,7 @@ let inject_cmd =
        injection run: that row prints as NOT CLASSIFIED and the exit
        code flips to 3 (partial). *)
     match
-      Sv.run ~policy ~jobs
+      Sv.run ~policy ~backend ~jobs
         ~on_progress:(Sv.progress_line ~label:"inject" ())
         ~should_stop (Array.length campaign)
         (fun idx ->
@@ -745,7 +866,8 @@ let inject_cmd =
              generated protection hardware.")
     Term.(
       const run $ arch_arg $ pes_arg $ seed_arg $ n_arg $ cycles_arg
-      $ protect_arg $ jobs_arg $ deadline_arg $ retries_arg $ engine_arg)
+      $ protect_arg $ jobs_arg $ deadline_arg $ retries_arg $ isolate_arg
+      $ worker_mem_arg $ worker_cpu_arg $ engine_arg)
 
 (* ------------------------------------------------------------------ *)
 (* soak                                                                *)
@@ -1007,12 +1129,19 @@ let verify_cmd =
     (violations = [] && stats.V.Traffic.mismatches = 0, Buffer.contents b)
   in
   let run arch pes cycles protect fuzz budget first_case replay corpus json
-      jobs deadline retries sweep_ckpt sweep_every engine =
-    (* Validated up front so `verify --engine bogus` exits 2 before any
-       generation work; the fuzz and replay legs run their own
-       three-way differential and ignore the choice. *)
+      jobs deadline retries isolate worker_mem_mb worker_cpu_s sweep_ckpt
+      sweep_every engine =
+    (* Validated up front so `verify --engine bogus` (or a bad
+       --job-deadline / --isolate) exits 2 before any generation work;
+       the fuzz and replay legs run their own three-way differential
+       and ignore the engine choice. *)
     let ekind = engine_of_string engine in
-    let policy = Sv.policy ?deadline ~retries () in
+    let policy =
+      Sv.policy
+        ?deadline:(parse_job_deadline deadline)
+        ~retries:(parse_job_retries retries) ()
+    in
+    let iso = isolation_of ~isolate ~worker_mem_mb ~worker_cpu_s in
     match replay with
     | Some path -> (
         match V.Fuzz.replay path with
@@ -1075,8 +1204,19 @@ let verify_cmd =
                 (fun t i rs -> Sweep.note t i (Sweep.encode_fuzz_results rs))
                 sweep
             in
+            (* Case results cross the worker-process boundary through
+               the sweep-checkpoint codec — already proven lossless by
+               the resume byte-identity tests. *)
+            let backend =
+              backend_for iso ~encode:Sweep.encode_fuzz_results
+                ~decode:(fun s ->
+                  match Sweep.decode_fuzz_results s with
+                  | Ok rs -> rs
+                  | Error why -> failwith ("fuzz result decode: " ^ why))
+            in
             match
               V.Fuzz.run ~cycles ~seed ~budget ~first_case ~jobs ~policy
+                ~backend
                 ~on_progress:(Sv.progress_line ~label:"fuzz" ())
                 ?on_case ?skip ~should_stop ()
             with
@@ -1156,8 +1296,22 @@ let verify_cmd =
                supervisor cannot complete prints as a casualty row in
                its slot and flips the exit code to 3. *)
             install_interrupt_handlers ();
+            (* A matrix cell is (clean?, buffered report text). *)
+            let backend =
+              backend_for iso
+                ~encode:(fun (ok, out) ->
+                  let w = Bio.writer () in
+                  Bio.w_bool w ok;
+                  Bio.w_string w out;
+                  Bio.contents w)
+                ~decode:(fun s ->
+                  let r = Bio.reader s in
+                  let ok = Bio.r_bool r in
+                  let out = Bio.r_string r in
+                  (ok, out))
+            in
             match
-              Sv.run ~policy ~jobs
+              Sv.run ~policy ~backend ~jobs
                 ~on_progress:(Sv.progress_line ~label:"verify" ())
                 ~should_stop (Array.length archs)
                 (fun i ->
@@ -1212,8 +1366,8 @@ let verify_cmd =
     Term.(
       const run $ arch_opt $ pes_arg $ cycles_arg $ protect_arg $ fuzz_arg
       $ budget_arg $ first_case_arg $ replay_arg $ corpus_arg $ json_arg
-      $ jobs_arg $ deadline_arg $ retries_arg $ sweep_ckpt_arg
-      $ sweep_every_arg $ engine_arg)
+      $ jobs_arg $ deadline_arg $ retries_arg $ isolate_arg $ worker_mem_arg
+      $ worker_cpu_arg $ sweep_ckpt_arg $ sweep_every_arg $ engine_arg)
 
 (* ------------------------------------------------------------------ *)
 (* wires                                                               *)

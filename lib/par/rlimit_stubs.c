@@ -1,0 +1,50 @@
+/* setrlimit(2) bindings for process-pool worker children.
+ *
+ * The OCaml Unix library exposes getrlimit/setrlimit on no platform,
+ * so the two limits the pool needs are bound here directly.  Called in
+ * the forked child before it starts taking jobs; the OCaml side maps
+ *   0 -> RLIMIT_CPU  (seconds of CPU time; SIGXCPU at the soft limit)
+ *   1 -> RLIMIT_AS   (bytes of address space; allocations fail)
+ * Both soft and hard limits are set so a child cannot raise them back.
+ * For RLIMIT_CPU the hard limit sits a few seconds above the soft one:
+ * Linux checks the hard limit first and sends SIGKILL there, so with
+ * soft == hard the child would die to an anonymous SIGKILL instead of
+ * the diagnosable SIGXCPU the soft limit delivers.
+ */
+
+#include <caml/mlvalues.h>
+
+#ifdef _WIN32
+
+/* No rlimits on Windows; report failure and let the pool run without
+ * limits rather than refusing to work at all. */
+CAMLprim value busgen_par_setrlimit(value which, value limit)
+{
+  (void)which;
+  (void)limit;
+  return Val_false;
+}
+
+#else
+
+#include <sys/resource.h>
+
+CAMLprim value busgen_par_setrlimit(value which, value limit)
+{
+  struct rlimit rl;
+  int resource;
+
+  switch (Int_val(which)) {
+  case 0: resource = RLIMIT_CPU; break;
+  case 1: resource = RLIMIT_AS; break;
+  default: return Val_false;
+  }
+
+  rl.rlim_cur = (rlim_t)Long_val(limit);
+  rl.rlim_max = (rlim_t)Long_val(limit);
+  if (resource == RLIMIT_CPU)
+    rl.rlim_max += 5; /* SIGKILL backstop if SIGXCPU is not fatal */
+  return setrlimit(resource, &rl) == 0 ? Val_true : Val_false;
+}
+
+#endif

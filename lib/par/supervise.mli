@@ -1,24 +1,23 @@
-(** Supervision layer over the {!Pool} worker domains: per-job
-    wall-clock deadlines, bounded retry with exponential backoff,
-    quarantine of jobs that exhaust retries, and graceful completion —
-    a sweep containing hung and crashing jobs still drains to the end
-    and reports every job's fate.
+(** Supervision layer over the worker backends: per-job wall-clock
+    deadlines, bounded retry with exponential backoff, quarantine of
+    jobs that exhaust retries, and graceful completion — a sweep
+    containing hung and crashing jobs still drains to the end and
+    reports every job's fate.
 
-    Determinism contract: as long as no deadline fires, the outcome
-    array is a pure function of the job function, byte-identical for
-    every [jobs] including 1 (the {!Pool} contract).  Deadline firings
-    depend on wall-clock scheduling and are inherently
-    non-deterministic, but the {b rendering} of a [Timed_out] outcome
-    is deterministic: it carries the configured deadline, never a
-    measured elapsed time.
+    Two backends, one policy (see {!backend}): worker {b domains}
+    (cheap, shared memory, but not cancellable — an overdue job's
+    domain is abandoned and replaced), or worker {b processes}
+    ({!Procpool}: an overdue job's worker is SIGKILLed and reaped, a
+    worker dying to SIGSEGV/OOM surfaces as that one job's [Crashed],
+    and per-worker rlimits bound CPU and memory).
 
-    Abandoned-domain caveat: OCaml domains cannot be cancelled.  A
-    worker whose job exceeds its deadline is {e abandoned} — marked
-    dead to the scheduler and replaced — but the underlying domain
-    keeps running until its job returns (its result is then discarded)
-    or the process exits.  Supervised sweeps with deadlines therefore
-    belong in short-lived processes (the CLI), not in a long-running
-    daemon loop without process recycling. *)
+    Determinism contract: as long as no deadline fires and no worker
+    dies, the outcome array is a pure function of the job function,
+    byte-identical for every [jobs] including 1 and for either backend
+    (the {!Pool} contract).  Deadline firings depend on wall-clock
+    scheduling and are inherently non-deterministic, but the
+    {b rendering} of a [Timed_out] outcome is deterministic: it
+    carries the configured deadline, never a measured elapsed time. *)
 
 type policy = {
   sv_deadline : float option;
@@ -27,7 +26,9 @@ type policy = {
   sv_backoff : float;
       (** Base sleep before retry [k] is [backoff * 2^(k-1)] seconds. *)
   sv_max_respawns : int;
-      (** Cap on replacement workers spawned after abandonments. *)
+      (** Cap on replacement workers spawned after abandonments
+          (domain backend only — process workers are reaped, so their
+          replacements are not rationed). *)
   sv_poll : float;  (** Monitor polling interval in seconds. *)
 }
 
@@ -49,14 +50,33 @@ val policy :
 type 'a outcome =
   | Ok of 'a  (** The job returned a value (possibly after retries). *)
   | Crashed of { error : string; attempts : int }
-      (** Raised with retries disabled; [attempts = 1]. *)
+      (** Raised with retries disabled; [attempts = 1].  Under the
+          process backend this also covers a worker killed by a signal
+          mid-job ([error] names it, e.g. ["worker killed by SIGSEGV"])
+          and rlimit trips. *)
   | Timed_out of { deadline : float; attempts : int }
-      (** An attempt exceeded the deadline; the worker was abandoned.
-          [attempts = 0] means the job was never started (every worker
-          was hung and no replacement could be spawned). *)
+      (** An attempt exceeded the deadline.  Domain backend: the worker
+          was abandoned; [attempts = 0] means the job was never started
+          (every worker was hung and no replacement could be spawned).
+          Process backend: the worker was SIGKILLed and reaped. *)
   | Quarantined of { error : string; attempts : int }
       (** Crashed on every attempt with retries enabled; [error] is
           from the final attempt. *)
+
+type 'a backend =
+  | Domains
+      (** Worker domains ({!Pool}-style).  Lowest overhead; jobs share
+          the parent's heap.  A job exceeding its deadline cannot be
+          cancelled — its domain is abandoned (it parks until process
+          exit) and replaced, rationed by [sv_max_respawns]. *)
+  | Processes of 'a Procpool.spec
+      (** Forked worker processes.  True cancellation (SIGKILL + reap,
+          zero zombies), crash containment (a dying worker fails only
+          its own job), per-worker rlimits and recycling — the backend
+          for hostile jobs and long-lived services.  Results cross the
+          process boundary through the spec's codec, which must be
+          lossless for byte-identity to hold.  Spawn only from a
+          process with no live domains. *)
 
 val outcome_class : _ outcome -> string
 (** ["ok"] | ["crashed"] | ["timed-out"] | ["quarantined"]. *)
@@ -70,12 +90,23 @@ val casualties : 'a outcome array -> (int * string) list
     deterministic failure-summary feed. *)
 
 exception Interrupted
-(** Raised out of {!run} when [should_stop] returns [true].  Worker
-    domains are {b not} joined (they may be hung); the caller is
-    expected to flush state and exit the process promptly. *)
+(** Raised out of {!run} when [should_stop] returns [true].  Domain
+    backend: workers are {b not} joined (they may be hung) but do
+    notice the stop between jobs and inside backoff sleeps.  Process
+    backend: every worker is SIGKILLed and reaped first.  Either way
+    the caller is expected to flush state and exit promptly. *)
+
+val interruptible_sleep : abort:(unit -> bool) -> float -> bool
+(** [interruptible_sleep ~abort seconds] sleeps in small chunks,
+    checking [abort] between chunks; returns [true] when cut short.
+    This is what keeps retry backoffs from delaying an interrupt: a
+    SIGINT arriving mid-backoff is noticed within one chunk (50 ms),
+    not after the full exponential wait.  A raising [abort] counts as
+    an abort. *)
 
 val run :
   ?policy:policy ->
+  ?backend:'a backend ->
   ?jobs:int ->
   ?on_progress:(done_:int -> total:int -> unit) ->
   ?on_result:(int -> 'a outcome -> unit) ->
@@ -85,23 +116,24 @@ val run :
   (int -> 'a) ->
   'a outcome array
 (** [run ~policy ~jobs n f] evaluates [f 0 .. f (n-1)] under
-    supervision and returns one outcome per index.  [jobs] defaults to
-    {!Pool.default_jobs}[ ()], clamped to [\[1, n\]]; with one worker
-    and no deadline / stop predicate everything runs inline in the
-    calling domain.  Otherwise the calling domain acts as monitor:
-    it commits [Timed_out] for overdue jobs, abandons and replaces
-    their workers, and drains never-started jobs as
-    [Timed_out {attempts = 0}] if the whole crew hangs, so the call
-    always terminates.
+    supervision and returns one outcome per index.  [backend] defaults
+    to [Domains]; under [Processes] each [f i] runs in a forked worker
+    child and only its encoded result returns (side effects on parent
+    state stay in the child).  [jobs] defaults to
+    {!Pool.default_jobs}[ ()], clamped to [\[1, n\]]; with one domain
+    worker and no deadline / stop predicate everything runs inline in
+    the calling domain, while the process backend always forks (so
+    [-j 1] keeps crash containment).
 
     [skip i = Some v] pre-completes slot [i] with [Ok v] before any
     worker starts ([f] is not called for it) — the resume hook for
     sweep checkpoints.  [on_result] fires exactly once per index as its
     outcome commits (completion order); [on_progress] fires after it
-    with the running done-count.  Both run serialized under the
-    scheduler lock; the first exception one of them raises is re-raised
-    from [run] after the sweep drains, and later hook calls are
-    suppressed.  [should_stop] is polled by the monitor; [true] raises
+    with the running done-count.  Both run serialized in the
+    supervising domain; the first exception one of them raises is
+    re-raised from [run] after the sweep drains, and later hook calls
+    are suppressed.  [should_stop] is polled by the monitor (and, under
+    domains, by workers between jobs and during backoff); [true] raises
     {!Interrupted}.  Raises [Invalid_argument] on negative [n]. *)
 
 val progress_line :

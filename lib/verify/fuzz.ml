@@ -231,8 +231,8 @@ let run_case ~cycles ~seed case =
     [ r; classify { base with sc_campaign = Some (campaign_seed, 3) } ]
   else [ r ]
 
-let run ?(cycles = 1000) ?(first_case = 0) ?(jobs = 1) ?policy ?on_progress
-    ?on_case ?skip ?should_stop ~seed ~budget () =
+let run ?(cycles = 1000) ?(first_case = 0) ?(jobs = 1) ?policy ?backend
+    ?on_progress ?on_case ?skip ?should_stop ~seed ~budget () =
   if first_case < 0 then invalid_arg "Fuzz.run: negative first_case";
   (* Hook indices are job indices (0 .. budget-1): that is what a sweep
      checkpoint keys on, and it composes with [first_case] shifts. *)
@@ -245,8 +245,8 @@ let run ?(cycles = 1000) ?(first_case = 0) ?(jobs = 1) ?policy ?on_progress
             match o with Supervise.Ok rs -> h i rs | _ -> ())
   in
   let outcomes =
-    Supervise.run ?policy ~jobs ?on_progress ?on_result ?skip ?should_stop
-      budget (fun i -> run_case ~cycles ~seed (first_case + i))
+    Supervise.run ?policy ?backend ~jobs ?on_progress ?on_result ?skip
+      ?should_stop budget (fun i -> run_case ~cycles ~seed (first_case + i))
   in
   let results =
     List.concat

@@ -92,6 +92,7 @@ val case_seeds : seed:int -> int -> int * int * int
 val run :
   ?cycles:int -> ?first_case:int -> ?jobs:int ->
   ?policy:Busgen_par.Supervise.policy ->
+  ?backend:result list Busgen_par.Supervise.backend ->
   ?on_progress:(done_:int -> total:int -> unit) ->
   ?on_case:(int -> result list -> unit) ->
   ?skip:(int -> result list option) ->
@@ -110,9 +111,13 @@ val run :
     continues where it stopped with no repeated or skipped cases.
 
     [jobs] (default 1) shards the budget over supervised
-    {!Busgen_par.Supervise} worker domains, one job per case.  The
-    report — results, order, failures, JSON — is byte-identical for
-    every [jobs] value as long as no deadline fires.
+    {!Busgen_par.Supervise} workers, one job per case; [backend]
+    selects domains (default) or forked worker processes — for the
+    latter supply a lossless codec for [result list] (the sweep
+    checkpoint codec in [Busgen_ckpt.Sweep] is one).  The report —
+    results, order, failures, JSON — is byte-identical for every
+    [jobs] value and either backend as long as no deadline fires and
+    no worker dies.
 
     [policy] arms per-case deadlines / retry / quarantine
     (default {!Busgen_par.Supervise.default_policy}: none of them);

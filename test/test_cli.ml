@@ -123,6 +123,31 @@ let test_engine_unknown () =
     [ "simulate"; "-a"; "bfba"; "-w"; "database"; "--engine"; "bogus" ]
     ~on_stderr:"unknown engine"
 
+(* The supervision and isolation flags follow the same user-error
+   contract: a bad value is one line on stderr and exit 2, never a
+   stack trace.  Negative numbers must use the = form — cmdliner eats a
+   bare "-3" as an unknown option (exit 124), which is its contract,
+   not ours. *)
+let test_supervision_flag_validation () =
+  check_user_error "invalid --job-deadline"
+    [ "verify"; "--cycles"; "100"; "--job-deadline"; "nope" ]
+    ~on_stderr:"invalid --job-deadline";
+  check_user_error "negative --job-deadline"
+    [ "verify"; "--cycles"; "100"; "--job-deadline=-2" ]
+    ~on_stderr:"invalid --job-deadline";
+  check_user_error "invalid --job-retries"
+    [ "inject"; "-a"; "bfba"; "-p"; "2"; "--job-retries"; "2.5" ]
+    ~on_stderr:"invalid --job-retries";
+  check_user_error "negative --job-retries"
+    [ "inject"; "-a"; "bfba"; "-p"; "2"; "--job-retries=-3" ]
+    ~on_stderr:"invalid --job-retries";
+  check_user_error "unknown --isolate"
+    [ "verify"; "--cycles"; "100"; "--isolate"; "bogus" ]
+    ~on_stderr:"unknown isolation backend";
+  check_user_error "worker limits need proc isolation"
+    [ "verify"; "--cycles"; "100"; "--worker-mem-mb"; "512" ]
+    ~on_stderr:"require --isolate proc"
+
 let test_wires_check_valid_ok () =
   (* The happy path still exits 0: dump a library, then validate it. *)
   let f = in_tmp "valid.wires" in
@@ -201,6 +226,47 @@ let test_verify_fuzz_jobs_identical () =
   Alcotest.(check string) "same stdout" o1 o4
 
 (* ------------------------------------------------------------------ *)
+(* Process isolation: --isolate proc must change nothing but the       *)
+(* failure domain                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_inject_isolate_proc_identical () =
+  let args rest =
+    [ "inject"; "-a"; "gbaviii"; "-p"; "2"; "--protect"; "--seed"; "7";
+      "-n"; "6"; "--cycles"; "60" ]
+    @ rest
+  in
+  let cd, od, _ = run (args [ "-j"; "1" ]) in
+  let c1, o1, _ = run (args [ "--isolate"; "proc"; "-j"; "1" ]) in
+  let c2, o2, _ = run (args [ "--isolate"; "proc"; "-j"; "2" ]) in
+  Alcotest.(check int) "proc -j 1 exit matches domain" cd c1;
+  Alcotest.(check int) "proc -j 2 exit matches domain" cd c2;
+  Alcotest.(check string) "proc -j 1 stdout matches domain" od o1;
+  Alcotest.(check string) "proc -j 2 stdout matches domain" od o2
+
+let test_verify_fuzz_isolate_proc_identical () =
+  (* Fuzz reports cross the process boundary through the sweep codec;
+     worker rlimits must not perturb the bytes either. *)
+  let args rest =
+    [ "verify"; "--fuzz"; "2026"; "--budget"; "8"; "--cycles"; "300";
+      "--json" ]
+    @ rest
+  in
+  let cd, od, _ = run (args [ "-j"; "1" ]) in
+  let c1, o1, _ = run (args [ "--isolate"; "proc"; "-j"; "1" ]) in
+  let c3, o3, _ =
+    run
+      (args
+         [ "--isolate"; "proc"; "-j"; "3"; "--worker-mem-mb"; "2048";
+           "--worker-cpu-s"; "60" ])
+  in
+  Alcotest.(check int) "proc -j 1 exit matches domain" cd c1;
+  Alcotest.(check int) "proc -j 3 exit matches domain" cd c3;
+  Alcotest.(check string) "proc -j 1 stdout matches domain" od o1;
+  Alcotest.(check string) "proc -j 3 (with rlimits) stdout matches domain" od
+    o3
+
+(* ------------------------------------------------------------------ *)
 (* Sweep checkpoints                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -232,6 +298,78 @@ let test_verify_fuzz_sweep_resume () =
   Alcotest.(check bool) "second run announces the resume" true
     (has "resuming: 6/6" err2)
 
+let test_sigint_flushes_sweep_ckpt () =
+  (* Interrupt a live process-isolated sweep with a real SIGINT: the
+     supervisor must flush the sweep checkpoint, reap its workers and
+     exit 130 promptly; a rerun must resume from the flushed state. *)
+  let dir = in_tmp "sweep_sigint" in
+  rm_rf dir;
+  let out = in_tmp "sigint_stdout" and err = in_tmp "sigint_stderr" in
+  let argv =
+    [| exe; "verify"; "--fuzz"; "2026"; "--budget"; "200"; "--cycles"; "300";
+       "--json"; "-j"; "2"; "--isolate"; "proc"; "--sweep-every"; "1";
+       "--sweep-ckpt"; dir |]
+  in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let out_fd = Unix.openfile out [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  let err_fd = Unix.openfile err [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  let pid = Unix.create_process exe argv devnull out_fd err_fd in
+  List.iter Unix.close [ devnull; out_fd; err_fd ];
+  (* Wait for the first checkpoint flush before pulling the trigger, so
+     the interrupt provably lands mid-sweep with state on disk. *)
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let progressed () =
+    Sys.file_exists dir && Array.length (Sys.readdir dir) > 0
+  in
+  while (not (progressed ())) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.05
+  done;
+  Alcotest.(check bool) "sweep made checkpointed progress" true (progressed ());
+  Unix.kill pid Sys.sigint;
+  let t_kill = Unix.gettimeofday () in
+  let rec reap () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if Unix.gettimeofday () -. t_kill > 30.0 then begin
+          Unix.kill pid Sys.sigkill;
+          ignore (Unix.waitpid [] pid);
+          Alcotest.fail "CLI did not exit within 30s of SIGINT"
+        end
+        else begin
+          Unix.sleepf 0.05;
+          reap ()
+        end
+    | _, status -> status
+  in
+  (match reap () with
+  | Unix.WEXITED 130 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "expected exit 130, got exit %d" n
+  | Unix.WSIGNALED s -> Alcotest.failf "CLI died to signal %d" s
+  | Unix.WSTOPPED _ -> Alcotest.fail "CLI stopped unexpectedly");
+  Alcotest.(check bool)
+    (Printf.sprintf "exited promptly after SIGINT (%.1fs)"
+       (Unix.gettimeofday () -. t_kill))
+    true
+    (Unix.gettimeofday () -. t_kill < 15.0);
+  Alcotest.(check bool) "checkpoint survives the interrupt" true
+    (progressed ());
+  (* The flushed checkpoint is usable: the rerun announces a resume. *)
+  let code, _, err2 =
+    run
+      [ "verify"; "--fuzz"; "2026"; "--budget"; "200"; "--cycles"; "300";
+        "--json"; "-j"; "2"; "--isolate"; "proc"; "--sweep-ckpt"; dir ]
+  in
+  Alcotest.(check int) "resumed sweep completes" 0 code;
+  let has needle hay =
+    let n = String.length hay and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "rerun resumes from flushed state (stderr: %s)"
+       (String.trim err2))
+    true (has "resuming:" err2)
+
 let test_verify_fuzz_sweep_mismatch_refused () =
   let dir = in_tmp "sweep_mismatch" in
   rm_rf dir;
@@ -261,6 +399,8 @@ let () =
           Alcotest.test_case "verify --replay missing file" `Quick
             test_verify_replay_missing;
           Alcotest.test_case "unknown --engine" `Quick test_engine_unknown;
+          Alcotest.test_case "supervision flag validation" `Quick
+            test_supervision_flag_validation;
           Alcotest.test_case "wires --check valid file" `Quick
             test_wires_check_valid_ok;
         ] );
@@ -280,11 +420,20 @@ let () =
           Alcotest.test_case "verify --fuzz -j 1 vs -j 4" `Slow
             test_verify_fuzz_jobs_identical;
         ] );
+      ( "process isolation",
+        [
+          Alcotest.test_case "inject --isolate proc -j 1 vs -j 2" `Slow
+            test_inject_isolate_proc_identical;
+          Alcotest.test_case "verify --fuzz --isolate proc -j 1 vs -j 3"
+            `Slow test_verify_fuzz_isolate_proc_identical;
+        ] );
       ( "sweep checkpoints",
         [
           Alcotest.test_case "fuzz --sweep-ckpt replays byte-identically"
             `Slow test_verify_fuzz_sweep_resume;
           Alcotest.test_case "mismatched sweep identity refused" `Slow
             test_verify_fuzz_sweep_mismatch_refused;
+          Alcotest.test_case "SIGINT flushes sweep checkpoint, exit 130"
+            `Slow test_sigint_flushes_sweep_ckpt;
         ] );
     ]

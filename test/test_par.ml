@@ -277,6 +277,47 @@ let test_supervise_casualties_byte_identity () =
   Alcotest.(check int) "four casualties" 4 (List.length l1);
   Alcotest.(check (list string)) "j1 vs j4 casualty lines" l1 (lines 4)
 
+let test_interruptible_sleep () =
+  (* Abort flag raised from the start: the sleep must return almost
+     immediately and report it was cut short. *)
+  let t0 = Unix.gettimeofday () in
+  let cut = Sv.interruptible_sleep ~abort:(fun () -> true) 30.0 in
+  Alcotest.(check bool) "reports interruption" true cut;
+  Alcotest.(check bool) "returns promptly" true
+    (Unix.gettimeofday () -. t0 < 1.0);
+  (* No abort: the full (tiny) duration elapses and it reports a
+     complete sleep. *)
+  let t0 = Unix.gettimeofday () in
+  let cut = Sv.interruptible_sleep ~abort:(fun () -> false) 0.12 in
+  let slept = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "reports completion" false cut;
+  Alcotest.(check bool)
+    (Printf.sprintf "slept the full duration (%.3fs)" slept)
+    true
+    (slept >= 0.1)
+
+let test_supervise_interrupt_mid_backoff () =
+  (* Regression: retry backoff used to be a dead [sleepf], so a SIGINT
+     arriving mid-backoff waited out the full exponential delay before
+     the sweep noticed.  With every job crashing into a 10 s backoff
+     and the stop flag raised at 0.3 s, the sweep must abandon within a
+     couple of seconds, not after the backoff expires. *)
+  let t0 = Unix.gettimeofday () in
+  (match
+     Sv.run
+       ~policy:(Sv.policy ~retries:5 ~backoff:10.0 ())
+       ~jobs:2
+       ~should_stop:(fun () -> Unix.gettimeofday () -. t0 > 0.3)
+       4
+       (fun _ -> failwith "crash into backoff")
+   with
+  | _ -> Alcotest.fail "expected Interrupted"
+  | exception Sv.Interrupted -> ());
+  let wall = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "interrupt beat the backoff (%.2fs)" wall)
+    true (wall < 5.0)
+
 (* ------------------------------------------------------------------ *)
 (* Fuzz sharding: -j N byte-identical to -j 1                          *)
 (* ------------------------------------------------------------------ *)
@@ -355,6 +396,10 @@ let () =
             test_supervise_skip_and_on_result;
           Alcotest.test_case "j1 vs j4 casualty byte-identity" `Quick
             test_supervise_casualties_byte_identity;
+          Alcotest.test_case "interruptible_sleep" `Quick
+            test_interruptible_sleep;
+          Alcotest.test_case "interrupt cuts retry backoff short" `Quick
+            test_supervise_interrupt_mid_backoff;
         ] );
       ( "fuzz sharding",
         [
