@@ -1355,6 +1355,170 @@ let write_procpool_json path =
       Printf.printf "\n[bench] wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* serve: daemon request throughput, latency, journaling overhead      *)
+(* (BENCH_serve.json)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type serve_row = {
+  se_pipelined_jobs : int;
+  se_journal_reqs_per_s : float;
+  se_nojournal_reqs_per_s : float;
+  se_journal_overhead_pct : float;
+  se_serial_requests : int;
+  se_serial_p50_ms : float;
+  se_serial_p99_ms : float;
+}
+
+let serve_row : serve_row option ref = ref None
+
+let bench_serve () =
+  header "Daemon serving (bussyn_cli serve --stdio)";
+  let exe =
+    List.find_opt Sys.file_exists
+      [
+        "_build/default/bin/bussyn_cli.exe";
+        Filename.concat ".." (Filename.concat "bin" "bussyn_cli.exe");
+        "bin/bussyn_cli.exe";
+      ]
+  in
+  match exe with
+  | None ->
+      print_string
+        "  [bench] bussyn_cli.exe not built; skipping the serve section\n"
+  | Some exe ->
+      let fresh_dir =
+        let n = ref 0 in
+        fun () ->
+          incr n;
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "bussyn_bench_serve-%d-%d" (Unix.getpid ()) !n)
+      in
+      let start args =
+        let r_in, w_in = Unix.pipe ~cloexec:true () in
+        let r_out, w_out = Unix.pipe ~cloexec:true () in
+        let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+        let argv = Array.of_list (exe :: "serve" :: "--stdio" :: args) in
+        let pid = Unix.create_process exe argv r_in w_out devnull in
+        Unix.close r_in;
+        Unix.close w_out;
+        Unix.close devnull;
+        (pid, w_in, r_out)
+      in
+      let write_all fd s =
+        let b = Bytes.unsafe_of_string s in
+        let n = Bytes.length b in
+        let off = ref 0 in
+        while !off < n do
+          off := !off + Unix.write fd b !off (n - !off)
+        done
+      in
+      let read_lines fd want =
+        (* Count newlines until [want] replies arrived. *)
+        let b = Bytes.create 65536 in
+        let got = ref 0 in
+        while !got < want do
+          match Unix.read fd b 0 (Bytes.length b) with
+          | 0 -> failwith "serve bench: server closed stdout early"
+          | n ->
+              for i = 0 to n - 1 do
+                if Bytes.get b i = '\n' then incr got
+              done
+        done
+      in
+      let finish pid w_in r_out =
+        Unix.close w_in;
+        let b = Bytes.create 65536 in
+        let rec drain () = if Unix.read r_out b 0 65536 > 0 then drain () in
+        (try drain () with Unix.Unix_error _ -> ());
+        Unix.close r_out;
+        ignore (Unix.waitpid [] pid)
+      in
+      (* The sleep-0 debug job is the protocol no-op: one fork, one
+         journal append pair, one reply — the daemon's fixed costs with
+         no simulation work hiding them. *)
+      let req i =
+        Printf.sprintf "{\"id\":\"b%04d\",\"kind\":\"sleep\",\"params\":{\"ms\":0}}\n" i
+      in
+      let pipelined_jobs = 64 in
+      let pipelined args =
+        let pid, w_in, r_out = start ("--debug-kinds" :: "--jobs" :: "1" :: args) in
+        let batch = String.concat "" (List.init pipelined_jobs req) in
+        let t0 = Unix.gettimeofday () in
+        write_all w_in batch;
+        read_lines r_out pipelined_jobs;
+        let dt = Unix.gettimeofday () -. t0 in
+        finish pid w_in r_out;
+        float_of_int pipelined_jobs /. dt
+      in
+      let journal_rps = pipelined [ "--journal"; fresh_dir () ] in
+      let nojournal_rps = pipelined [ "--no-journal" ] in
+      let overhead_pct = (nojournal_rps -. journal_rps) /. journal_rps *. 100. in
+      (* Serial round trips for the latency distribution. *)
+      let serial_requests = 50 in
+      let pid, w_in, r_out =
+        start [ "--debug-kinds"; "--jobs"; "1"; "--journal"; fresh_dir () ]
+      in
+      let lat =
+        Array.init serial_requests (fun i ->
+            let t0 = Unix.gettimeofday () in
+            write_all w_in (req i);
+            read_lines r_out 1;
+            (Unix.gettimeofday () -. t0) *. 1000.)
+      in
+      finish pid w_in r_out;
+      Array.sort compare lat;
+      let pick q =
+        lat.(min (serial_requests - 1)
+               (int_of_float (ceil (q *. float_of_int serial_requests)) - 1))
+      in
+      let p50 = pick 0.50 and p99 = pick 0.99 in
+      Printf.printf "  pipelined (%d sleep-0 jobs, -j 1):\n" pipelined_jobs;
+      Printf.printf "    journaled    %8.1f req/s\n" journal_rps;
+      Printf.printf "    no journal   %8.1f req/s   journaling overhead %+.2f%%\n"
+        nojournal_rps overhead_pct;
+      Printf.printf "  serial round trips (%d): p50 %.2f ms, p99 %.2f ms\n"
+        serial_requests p50 p99;
+      if overhead_pct > 5.0 then
+        Printf.printf
+          "[bench] WARNING: journaling overhead %.2f%% above the 5%% target\n"
+          overhead_pct;
+      serve_row :=
+        Some
+          {
+            se_pipelined_jobs = pipelined_jobs;
+            se_journal_reqs_per_s = journal_rps;
+            se_nojournal_reqs_per_s = nojournal_rps;
+            se_journal_overhead_pct = overhead_pct;
+            se_serial_requests = serial_requests;
+            se_serial_p50_ms = p50;
+            se_serial_p99_ms = p99;
+          }
+
+let write_serve_json path =
+  match !serve_row with
+  | None -> ()
+  | Some r ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema\": \"busgen-serve-bench/1\",\n\
+        \  \"pipelined_jobs\": %d,\n\
+        \  \"journal_reqs_per_s\": %.1f,\n\
+        \  \"nojournal_reqs_per_s\": %.1f,\n\
+        \  \"journal_overhead_pct\": %.2f,\n\
+        \  \"serial_requests\": %d,\n\
+        \  \"serial_p50_ms\": %.2f,\n\
+        \  \"serial_p99_ms\": %.2f,\n\
+        \  \"target_overhead_pct\": 5.0\n\
+         }\n"
+        r.se_pipelined_jobs r.se_journal_reqs_per_s r.se_nojournal_reqs_per_s
+        r.se_journal_overhead_pct r.se_serial_requests r.se_serial_p50_ms
+        r.se_serial_p99_ms;
+      close_out oc;
+      Printf.printf "\n[bench] wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_interp.json: machine-readable perf trajectory across PRs      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1421,8 +1585,9 @@ let () =
   if want "faults" then bench_faults ();
   if want "monitors" then bench_monitors ();
   if want "soak" then bench_soak ();
-  (* procpool must precede any domain-spawning section: its process
-     backend forks, and fork in a multi-domain process is undefined. *)
+  (* serve and procpool must precede any domain-spawning section: both
+     fork, and fork in a multi-domain process is undefined. *)
+  if want "serve" then bench_serve ();
   if want "procpool" then bench_procpool ();
   if want "par" then bench_par ();
   if want "supervise" then bench_supervise ();
@@ -1434,4 +1599,5 @@ let () =
   write_par_json "BENCH_par.json";
   write_supervise_json "BENCH_supervise.json";
   write_procpool_json "BENCH_procpool.json";
+  write_serve_json "BENCH_serve.json";
   print_string "\nAll benchmarks complete.\n"

@@ -23,19 +23,13 @@ module Bio = Busgen_binio.Io
 let exit_partial = 3
 let exit_interrupted = 130
 
-(* Signals land in a flag the supervisor's monitor polls; the sweep
-   legs catch [Sv.Interrupted], flush their checkpoint and exit 130.
-   Never installed for the non-sweep subcommands — default signal
-   behavior is right for them. *)
-let interrupt_flag = Atomic.make false
-let should_stop () = Atomic.get interrupt_flag
-
-let install_interrupt_handlers () =
-  let handle = Sys.Signal_handle (fun _ -> Atomic.set interrupt_flag true) in
-  List.iter
-    (fun s ->
-      try Sys.set_signal s handle with Sys_error _ | Invalid_argument _ -> ())
-    [ Sys.sigint; Sys.sigterm ]
+(* Signals land in the shared Busgen_par.Intr counter, which the
+   supervisor's monitor polls; the sweep legs catch [Sv.Interrupted],
+   flush their checkpoint and exit 130 (see intr.mli for the flush
+   semantics).  Never installed for the non-sweep subcommands —
+   default signal behavior is right for them. *)
+let should_stop () = Busgen_par.Intr.requested ()
+let install_interrupt_handlers () = Busgen_par.Intr.install ()
 
 (* --job-deadline / --job-retries / --worker-* are plain strings
    validated in the handlers (see the --engine comment below): a bad
@@ -1615,6 +1609,216 @@ let explore_cmd =
              print the performance/area Pareto front.")
     Term.(const run $ workload_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let module Server = Busgen_serve.Server in
+  let stdio_arg =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve on stdin/stdout instead of a Unix socket: one client, \
+             EOF on stdin drains and exits.  The transport the protocol \
+             tests and the CI chaos step drive.")
+  in
+  let socket_arg =
+    Arg.(
+      value & opt string "bussyn.sock"
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Unix-domain socket path to listen on (or to connect to, for \
+             --ping / --send).  A stale socket left by a SIGKILLed server \
+             is replaced; a live one is a user error (exit 2).")
+  in
+  let journal_arg =
+    Arg.(
+      value & opt string "serve-journal"
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Journal directory.  Every accepted job is appended here \
+             before it is queued, so a crashed or SIGKILLed server re-runs \
+             accepted-but-unfinished jobs exactly once on restart.")
+  in
+  let no_journal_arg =
+    Arg.(
+      value & flag
+      & info [ "no-journal" ]
+          ~doc:
+            "Run with a volatile queue: no write-ahead journal, no crash \
+             recovery.  For benchmarking the journaling overhead.")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value & opt string "256"
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Backpressure bound: cap on accepted-but-unfinished jobs.  \
+             Past it new jobs are rejected with an immediate $(i,overloaded) \
+             reply instead of growing the queue without bound.")
+  in
+  let inflight_arg =
+    Arg.(
+      value & opt string "64"
+      & info [ "client-inflight" ] ~docv:"N"
+          ~doc:
+            "Per-client cap on unfinished jobs, so one greedy client \
+             cannot monopolize the queue; past it that client gets \
+             $(i,overloaded) while others are still admitted.")
+  in
+  let max_frame_arg =
+    Arg.(
+      value & opt string "1024"
+      & info [ "max-frame-kb" ] ~docv:"KB"
+          ~doc:
+            "Request-line byte cap in KiB.  An oversized line gets one \
+             $(i,oversized) error reply and is discarded; the connection \
+             keeps serving.")
+  in
+  let circuit_cache_arg =
+    Arg.(
+      value & opt string "64"
+      & info [ "circuit-cache" ] ~docv:"N"
+          ~doc:
+            "Bounded LRU cap on memoized generated circuits (keyed by \
+             design hash).  Hit/miss/eviction counters are in the \
+             $(i,stats) reply.")
+  in
+  let tape_cache_arg =
+    Arg.(
+      value & opt string "8"
+      & info [ "tape-cache" ] ~docv:"N"
+          ~doc:
+            "Bounded LRU cap on memoized compiled simulation engines \
+             (keyed by design hash and engine kind).")
+  in
+  let debug_kinds_arg =
+    Arg.(
+      value & flag
+      & info [ "debug-kinds" ]
+          ~doc:
+            "Also accept the supervision-exercise job kinds (sleep, spin, \
+             crash, fail).  For tests and operators probing the deadline / \
+             quarantine machinery; off by default.")
+  in
+  let ping_arg =
+    Arg.(
+      value & flag
+      & info [ "ping" ]
+          ~doc:
+            "Client mode: connect to --socket, send a health request, \
+             print the one-line reply and exit 0; exit 2 with one line on \
+             stderr if no server answers.")
+  in
+  let send_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "send" ] ~docv:"FILE"
+          ~doc:
+            "Client mode: send every line of FILE (- for stdin) to \
+             --socket as a request and print each reply line to stdout.")
+  in
+  let dump_journal_arg =
+    Arg.(
+      value & flag
+      & info [ "dump-journal" ]
+          ~doc:
+            "Offline: print every --journal record as one JSON line plus \
+             a summary (corrupt/torn counts), then exit.")
+  in
+  let dump_replies_arg =
+    Arg.(
+      value & flag
+      & info [ "dump-replies" ]
+          ~doc:
+            "Offline: print the reply line of every resolved job in the \
+             --journal, sorted by request id — the view the CI chaos step \
+             byte-diffs across a SIGKILL/restart.")
+  in
+  let parse_count ~flag ~min s =
+    match int_of_string_opt s with
+    | Some v when v >= min -> v
+    | _ ->
+        failwith
+          (Printf.sprintf "invalid %s %S (expected an integer >= %d)" flag s
+             min)
+  in
+  let run stdio socket journal no_journal queue_depth inflight max_frame_kb
+      circuit_cache tape_cache debug_kinds ping send dump_journal dump_replies
+      jobs deadline retries worker_mem_mb worker_cpu_s =
+    if ping then (
+      match Server.ping ~socket with
+      | Ok line ->
+          print_endline line;
+          0
+      | Error e -> failwith e)
+    else
+      match send with
+      | Some path -> (
+          match Server.send_file ~socket ~path () with
+          | Ok _replies -> 0
+          | Error e -> failwith e)
+      | None ->
+          if dump_journal then (
+            match Server.dump_journal ~dir:journal with
+            | Ok () -> 0
+            | Error e -> failwith e)
+          else if dump_replies then (
+            match Server.dump_replies ~dir:journal with
+            | Ok () -> 0
+            | Error e -> failwith e)
+          else begin
+            let policy =
+              Sv.policy
+                ~deadline:
+                  (Option.value (parse_job_deadline deadline) ~default:30.)
+                ~retries:(parse_job_retries retries) ()
+            in
+            let mem = parse_positive_int ~flag:"--worker-mem-mb" worker_mem_mb in
+            let cpu = parse_positive_int ~flag:"--worker-cpu-s" worker_cpu_s in
+            let limits =
+              Procpool.config ?cpu_seconds:cpu
+                ?mem_bytes:(Option.map (fun mb -> mb * 1024 * 1024) mem)
+                ~recycle_after:256 ()
+            in
+            let cfg =
+              Server.config
+                ~journal:(if no_journal then None else Some journal)
+                ~queue_depth:
+                  (parse_count ~flag:"--queue-depth" ~min:1 queue_depth)
+                ~client_inflight:
+                  (parse_count ~flag:"--client-inflight" ~min:1 inflight)
+                ~policy ~jobs ~limits
+                ~max_frame:
+                  (1024 * parse_count ~flag:"--max-frame-kb" ~min:1 max_frame_kb)
+                ~debug_kinds
+                ~circuit_cap:
+                  (parse_count ~flag:"--circuit-cache" ~min:1 circuit_cache)
+                ~tape_cap:(parse_count ~flag:"--tape-cache" ~min:1 tape_cache)
+                (if stdio then Server.Stdio else Server.Socket socket)
+            in
+            Server.run cfg
+          end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run BusSyn as a persistent daemon: newline-delimited JSON \
+          requests (generate, simulate, verify, fuzz, inject, health, \
+          drain) over a Unix socket or stdio, with a write-ahead journaled \
+          queue (SIGKILL-safe exactly-once execution), supervised worker \
+          processes, bounded-queue backpressure and graceful drain on \
+          SIGTERM.")
+    Term.(
+      const run $ stdio_arg $ socket_arg $ journal_arg $ no_journal_arg
+      $ queue_depth_arg $ inflight_arg $ max_frame_arg $ circuit_cache_arg
+      $ tape_cache_arg $ debug_kinds_arg $ ping_arg $ send_arg
+      $ dump_journal_arg $ dump_replies_arg $ jobs_arg $ deadline_arg
+      $ retries_arg $ worker_mem_arg $ worker_cpu_arg)
+
 let () =
   let doc =
     "BusSyn: automated bus generation for multiprocessor SoC design \
@@ -1624,7 +1828,7 @@ let () =
   let cmd =
     Cmd.group info
       [ generate_cmd; list_cmd; simulate_cmd; inject_cmd; soak_cmd;
-        verify_cmd; wires_cmd; explore_cmd; wizard_cmd ]
+        verify_cmd; wires_cmd; explore_cmd; wizard_cmd; serve_cmd ]
   in
   (* Option-level rejections (bad architecture/flag combinations,
      malformed or missing options files) are user errors, not crashes:

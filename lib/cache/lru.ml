@@ -1,0 +1,133 @@
+(* Bounded mutex-protected LRU: a hashtable over an intrusive
+   doubly-linked recency list.  All list surgery is O(1); the mutex
+   makes every public operation atomic, including the builder run in
+   [find_or_add] (at-most-once build per residency — see the .mli for
+   the re-entrancy caveat that buys). *)
+
+type ('k, 'v) node = {
+  nd_key : 'k;
+  nd_value : 'v;
+  mutable nd_prev : ('k, 'v) node option;  (* toward MRU *)
+  mutable nd_next : ('k, 'v) node option;  (* toward LRU *)
+}
+
+type ('k, 'v) t = {
+  mutable cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable mru : ('k, 'v) node option;
+  mutable lru : ('k, 'v) node option;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  st_size : int;
+  st_cap : int;
+  st_hits : int;
+  st_misses : int;
+  st_evictions : int;
+}
+
+let create ~cap () =
+  if cap < 1 then invalid_arg "Lru.create: cap must be >= 1";
+  {
+    cap;
+    tbl = Hashtbl.create (min cap 64);
+    mru = None;
+    lru = None;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+(* --- recency list surgery (caller holds the lock) --- *)
+
+let unlink t n =
+  (match n.nd_prev with
+  | Some p -> p.nd_next <- n.nd_next
+  | None -> t.mru <- n.nd_next);
+  (match n.nd_next with
+  | Some s -> s.nd_prev <- n.nd_prev
+  | None -> t.lru <- n.nd_prev);
+  n.nd_prev <- None;
+  n.nd_next <- None
+
+let push_front t n =
+  n.nd_prev <- None;
+  n.nd_next <- t.mru;
+  (match t.mru with Some m -> m.nd_prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let touch t n =
+  if t.mru != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let evict_to_cap t =
+  while Hashtbl.length t.tbl > t.cap do
+    match t.lru with
+    | None -> assert false
+    | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.nd_key;
+      t.evictions <- t.evictions + 1
+  done
+
+(* --- public API --- *)
+
+let find_or_add t key build =
+  Mutex.protect t.lock @@ fun () ->
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    touch t n;
+    n.nd_value
+  | None ->
+    t.misses <- t.misses + 1;
+    let v = build () in
+    let n = { nd_key = key; nd_value = v; nd_prev = None; nd_next = None } in
+    Hashtbl.replace t.tbl key n;
+    push_front t n;
+    evict_to_cap t;
+    v
+
+let find_opt t key =
+  Mutex.protect t.lock @@ fun () ->
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    touch t n;
+    Some n.nd_value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let mem t key = Mutex.protect t.lock @@ fun () -> Hashtbl.mem t.tbl key
+
+let resize t ~cap =
+  if cap < 1 then invalid_arg "Lru.resize: cap must be >= 1";
+  Mutex.protect t.lock @@ fun () ->
+  t.cap <- cap;
+  evict_to_cap t
+
+let clear t =
+  Mutex.protect t.lock @@ fun () ->
+  Hashtbl.reset t.tbl;
+  t.mru <- None;
+  t.lru <- None
+
+let stats t =
+  Mutex.protect t.lock @@ fun () ->
+  {
+    st_size = Hashtbl.length t.tbl;
+    st_cap = t.cap;
+    st_hits = t.hits;
+    st_misses = t.misses;
+    st_evictions = t.evictions;
+  }
+
+let size t = Mutex.protect t.lock @@ fun () -> Hashtbl.length t.tbl

@@ -1,0 +1,55 @@
+(** Bounded, mutex-protected LRU memo table.
+
+    This is the shared cache substrate: the module-library memo
+    ({!Busgen_modlib.Catalog}) and the serve daemon's circuit/tape
+    caches are both instances of it.  The design center is a memo
+    table for deterministic builders — [find_or_add] either returns
+    the cached value or runs the builder and caches the result — with
+    a hard size cap so a long-lived process cannot grow without bound,
+    plus hit/miss/eviction counters cheap enough to leave on forever.
+
+    Concurrency: every operation takes the table's internal mutex, and
+    [find_or_add] runs the builder {e while holding it}.  That is
+    deliberate — it guarantees a given key is built at most once per
+    residency, which matters when the value is an expensive compiled
+    artifact — but it means builders must not re-enter the same table,
+    and a slow builder serializes other callers.  Both users build
+    pure, self-contained values, so neither caveat bites. *)
+
+type ('k, 'v) t
+
+type stats = {
+  st_size : int;  (** entries currently resident *)
+  st_cap : int;  (** maximum resident entries *)
+  st_hits : int;  (** lookups answered from the table *)
+  st_misses : int;  (** lookups that ran the builder (or returned None) *)
+  st_evictions : int;  (** entries dropped to respect the cap *)
+}
+
+val create : cap:int -> unit -> ('k, 'v) t
+(** [create ~cap ()] makes an empty table holding at most [cap]
+    entries.  Raises [Invalid_argument] if [cap < 1]. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** Memoized lookup: a hit refreshes the entry's recency and returns
+    it; a miss runs the builder under the lock, inserts the result as
+    most-recent, and evicts the least-recently-used entry if the table
+    is over cap.  A builder that raises caches nothing (the miss is
+    still counted). *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Counted lookup without insertion; a hit refreshes recency. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Uncounted presence probe; does not touch recency. *)
+
+val resize : ('k, 'v) t -> cap:int -> unit
+(** Change the cap, evicting oldest entries as needed to fit.
+    Raises [Invalid_argument] if [cap < 1]. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry.  Counters are kept (cleared entries are not
+    counted as evictions). *)
+
+val stats : ('k, 'v) t -> stats
+val size : ('k, 'v) t -> int

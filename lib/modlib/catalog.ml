@@ -82,22 +82,28 @@ let library_name = function
   | Spec_parity { Parity.role = Parity.Generator; _ } -> "PARITY_GEN"
   | Spec_parity { Parity.role = Parity.Checker; _ } -> "PARITY_CHK"
 
-let cache : (string, Busgen_rtl.Circuit.t) Hashtbl.t = Hashtbl.create 32
-
 (* The one process-wide memo table.  Parallel sweeps (busgen_par)
-   generate designs from worker domains, and an unsynchronized Hashtbl
-   corrupts under concurrent mutation — so every lookup-or-build holds
-   this lock.  Build time is microseconds against the simulations the
-   workers run, so contention is noise. *)
-let cache_lock = Mutex.create ()
+   generate designs from worker domains, so every lookup-or-build goes
+   through the LRU's internal lock; build time is microseconds against
+   the simulations the workers run, so contention is noise.  The table
+   is bounded so a long-lived process (the serve daemon) cannot grow it
+   without limit: the default cap comfortably holds every distinct
+   module a one-shot CLI run or full sweep instantiates (the complete
+   library is ~35 templates; distinct parameterizations per run number
+   in the dozens), so one-shot behavior is identical to the old
+   unbounded table — eviction only ever fires on daemon-scale
+   churn across many unrelated configs. *)
+let default_cap = 512
+let cache : (string, Busgen_rtl.Circuit.t) Busgen_cache.Lru.t =
+  Busgen_cache.Lru.create ~cap:default_cap ()
+
+let cache_stats () = Busgen_cache.Lru.stats cache
+let set_cache_cap cap = Busgen_cache.Lru.resize cache ~cap
 
 let create spec =
   let key = module_name spec in
-  Mutex.protect cache_lock @@ fun () ->
-  match Hashtbl.find_opt cache key with
-  | Some c -> c
-  | None ->
-      let c =
+  Busgen_cache.Lru.find_or_add cache key @@ fun () ->
+      (
         match spec with
         | Spec_sram p -> Sram.create p
         | Spec_mbi p -> Mbi.create p
@@ -121,9 +127,7 @@ let create spec =
         | Spec_rom p -> Rom.create p
         | Spec_watchdog p -> Watchdog.create p
         | Spec_parity p -> Parity.create p
-      in
-      Hashtbl.add cache key c;
-      c
+      )
 
 let pe_catalog = [ "MPC750"; "MPC755"; "MPC7410"; "ARM9TDMI" ]
 

@@ -39,7 +39,21 @@ val library_name : spec -> string
 
 val create : spec -> Busgen_rtl.Circuit.t
 (** Instantiate the template with its parameters.  Results are memoized
-    per parameter vector, so repeated BANs share module definitions. *)
+    per parameter vector in a bounded LRU (cap {!set_cache_cap}, default
+    512 — far above what any single run instantiates), so repeated BANs
+    share module definitions and a long-lived server cannot grow the
+    table without bound. *)
+
+val default_cap : int
+(** The memo table's default capacity (512). *)
+
+val cache_stats : unit -> Busgen_cache.Lru.stats
+(** Hit/miss/eviction counters of the memo table, for the daemon's
+    [stats] reply and diagnostics. *)
+
+val set_cache_cap : int -> unit
+(** Rebound the memo table, evicting least-recently-used entries if
+    needed.  Raises [Invalid_argument] if the cap is [< 1]. *)
 
 val pe_catalog : string list
 (** Supported PE cores ([MPC750], [MPC755], [MPC7410], [ARM9TDMI]). *)

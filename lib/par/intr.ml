@@ -1,0 +1,27 @@
+(* See intr.mli for the contract.  The handler body is just an atomic
+   increment: anything heavier (IO, kills, exits) belongs in the
+   polling loop, which runs it from straight-line code where in-flight
+   state is consistent. *)
+
+let signals_seen = Atomic.make 0
+let installed = Atomic.make false
+
+let install () =
+  if not (Atomic.exchange installed true) then begin
+    let handle = Sys.Signal_handle (fun _ -> Atomic.incr signals_seen) in
+    List.iter
+      (fun s ->
+        try Sys.set_signal s handle
+        with Sys_error _ | Invalid_argument _ -> ())
+      [ Sys.sigint; Sys.sigterm ]
+  end
+
+let count () = Atomic.get signals_seen
+let requested () = count () > 0
+let hard_requested () = count () > 1
+let reset () = Atomic.set signals_seen 0
+
+let restore_defaults () =
+  List.iter
+    (fun s -> try Sys.set_signal s Sys.Signal_default with _ -> ())
+    [ Sys.sigint; Sys.sigterm; Sys.sigpipe ]

@@ -1,0 +1,46 @@
+(** Consolidated SIGINT/SIGTERM handling for every long-running leg —
+    supervised sweeps, soak runs, the procpool scheduler, and the serve
+    daemon — replacing the per-caller handler installs that used to be
+    duplicated across them.
+
+    Contract ("flush semantics"): the handler itself only counts the
+    signal into an atomic — it never writes files, kills workers, or
+    exits, because none of those are async-signal-safe things to do to
+    in-flight state.  The long-running loop is responsible for polling
+    {!requested} at its natural cadence (the supervisor polls it every
+    scheduler iteration, ≤ its [sv_poll]) and then performing an
+    orderly stop from {e straight-line code}: flush sweep checkpoints
+    or the request journal, reap workers, and exit.  Conventions
+    layered on the count:
+
+    - {b first} signal ({!requested}): graceful — stop admitting new
+      work, finish or checkpoint what is in flight, flush, exit
+      (sweeps exit 130; the daemon drains and exits 0).
+    - {b second} signal ({!hard_requested}): impatient — abandon
+      in-flight work (procpool workers are SIGKILLed and reaped, the
+      journal keeps the jobs for the next run) and exit 130.
+
+    Installation is idempotent and narrow: only SIGINT and SIGTERM are
+    touched, and procpool worker children undo it with
+    {!restore_defaults} right after the fork so a signal aimed at a
+    child kills the child, not sets the parent's flag. *)
+
+val install : unit -> unit
+(** Install the counting handler for SIGINT and SIGTERM (idempotent;
+    signals that cannot be trapped are skipped silently). *)
+
+val requested : unit -> bool
+(** At least one SIGINT/SIGTERM has arrived since {!reset}. *)
+
+val hard_requested : unit -> bool
+(** At least two have arrived: the user is past waiting for a drain. *)
+
+val count : unit -> int
+(** Exact number of signals received since {!reset}. *)
+
+val reset : unit -> unit
+(** Zero the counter (handlers stay installed).  For tests. *)
+
+val restore_defaults : unit -> unit
+(** Reset SIGINT, SIGTERM and SIGPIPE to [Signal_default] — what a
+    freshly forked worker child must do before running jobs. *)

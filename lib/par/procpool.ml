@@ -229,9 +229,7 @@ let spawn ~limits ~run others =
           close_quiet o.w_job_w;
           close_quiet o.w_res_r)
         others;
-      List.iter
-        (fun s -> try Sys.set_signal s Sys.Signal_default with _ -> ())
-        [ Sys.sigint; Sys.sigterm; Sys.sigpipe ];
+      Intr.restore_defaults ();
       apply_limits limits;
       child_loop ~job_r ~res_w ~run
   | pid ->

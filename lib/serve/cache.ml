@@ -1,0 +1,90 @@
+module Lru = Busgen_cache.Lru
+module G = Bussyn.Generate
+module E = Busgen_rtl.Engine
+module C = Busgen_rtl.Circuit
+module B = Busgen_rtl.Bits
+module Io = Busgen_binio.Io
+
+type snap = { sn_circuits : Lru.stats; sn_tapes : Lru.stats }
+
+let circuits : (string, G.t) Lru.t ref = ref (Lru.create ~cap:64 ())
+let tapes : (string, E.t) Lru.t ref = ref (Lru.create ~cap:8 ())
+
+let configure ?circuit_cap ?tape_cap () =
+  Option.iter (fun cap -> Lru.resize !circuits ~cap) circuit_cap;
+  Option.iter (fun cap -> Lru.resize !tapes ~cap) tape_cap
+
+let circuit arch config =
+  let key = G.design_hash arch config in
+  Lru.find_or_add !circuits key (fun () -> G.generate arch config)
+
+(* Checkout: make a cached (possibly dirty) engine indistinguishable
+   from the one Testbench.create would build fresh — same observer set
+   (none), same injections (none), same register/memory state (reset),
+   same input values (zero), settled. *)
+let checkout e top =
+  E.clear_observers e;
+  E.clear_injections e;
+  E.reset e;
+  List.iter
+    (fun (p : C.port) -> E.set_input e p.C.port_name (B.zero p.C.port_width))
+    (C.inputs top);
+  E.settle e;
+  e
+
+let engine ~kind ~hash ~top =
+  let key = hash ^ ":" ^ E.kind_to_string kind in
+  let e = Lru.find_or_add !tapes key (fun () -> E.create ~kind top) in
+  checkout e top
+
+let snapshot () =
+  { sn_circuits = Lru.stats !circuits; sn_tapes = Lru.stats !tapes }
+
+let map2 f (a : Lru.stats) (b : Lru.stats) : Lru.stats =
+  {
+    a with
+    Lru.st_hits = f a.Lru.st_hits b.Lru.st_hits;
+    st_misses = f a.Lru.st_misses b.Lru.st_misses;
+    st_evictions = f a.Lru.st_evictions b.Lru.st_evictions;
+  }
+
+let sub after before =
+  {
+    sn_circuits = map2 ( - ) after.sn_circuits before.sn_circuits;
+    sn_tapes = map2 ( - ) after.sn_tapes before.sn_tapes;
+  }
+
+let add a b =
+  {
+    sn_circuits = map2 ( + ) a.sn_circuits b.sn_circuits;
+    sn_tapes = map2 ( + ) a.sn_tapes b.sn_tapes;
+  }
+
+let zero_stats : Lru.stats =
+  { Lru.st_size = 0; st_cap = 0; st_hits = 0; st_misses = 0; st_evictions = 0 }
+
+let zero = { sn_circuits = zero_stats; sn_tapes = zero_stats }
+
+let encode_stats w (s : Lru.stats) =
+  Io.w_int w s.Lru.st_size;
+  Io.w_int w s.Lru.st_cap;
+  Io.w_int w s.Lru.st_hits;
+  Io.w_int w s.Lru.st_misses;
+  Io.w_int w s.Lru.st_evictions
+
+let decode_stats r =
+  let st_size = Io.r_int r in
+  let st_cap = Io.r_int r in
+  let st_hits = Io.r_int r in
+  let st_misses = Io.r_int r in
+  let st_evictions = Io.r_int r in
+  { Lru.st_size; st_cap; st_hits; st_misses; st_evictions }
+
+let encode w s =
+  encode_stats w s.sn_circuits;
+  encode_stats w s.sn_tapes
+
+let decode r =
+  let sn_circuits = decode_stats r in
+  let sn_tapes = decode_stats r in
+  { sn_circuits; sn_tapes }

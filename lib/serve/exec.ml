@@ -1,0 +1,480 @@
+(* See exec.mli: parse/validate in the parent, execute in a worker
+   child, reply bytes a pure function of the request. *)
+
+module G = Bussyn.Generate
+module A = Bussyn.Archs
+module E = Busgen_rtl.Engine
+module C = Busgen_rtl.Circuit
+module B = Busgen_rtl.Bits
+module I = Busgen_rtl.Interp
+module Tb = Busgen_rtl.Testbench
+module V_pack = Busgen_verify.Pack
+module V_prop = Busgen_verify.Prop
+module V_traffic = Busgen_verify.Traffic
+module V_fuzz = Busgen_verify.Fuzz
+module Io = Busgen_binio.Io
+
+let job_kinds = [ "generate"; "simulate"; "verify"; "fuzz"; "inject" ]
+let debug_kinds = [ "sleep"; "spin"; "crash"; "fail" ]
+
+(* ------------------------------------------------------------------ *)
+(* Parameter parsing (raises Failure; validate catches)                *)
+(* ------------------------------------------------------------------ *)
+
+let bad fmt = Printf.ksprintf failwith fmt
+
+let p_int params name ~default ~min ~max =
+  match Json.member name params with
+  | None -> default
+  | Some j -> (
+    match Json.get_int j with
+    | Some v when v >= min && v <= max -> v
+    | Some v -> bad "\"%s\" = %d out of range [%d, %d]" name v min max
+    | None -> bad "\"%s\" must be an integer" name)
+
+let p_bool params name ~default =
+  match Json.member name params with
+  | None -> default
+  | Some j -> (
+    match Json.get_bool j with
+    | Some b -> b
+    | None -> bad "\"%s\" must be a boolean" name)
+
+let p_string_opt params name =
+  match Json.member name params with
+  | None -> None
+  | Some j -> (
+    match Json.get_string j with
+    | Some s -> Some s
+    | None -> bad "\"%s\" must be a string" name)
+
+let p_arch params =
+  match p_string_opt params "arch" with
+  | None -> bad "missing \"arch\""
+  | Some s -> (
+    match G.arch_of_string s with Ok a -> a | Error e -> failwith e)
+
+let p_engine params =
+  match p_string_opt params "engine" with
+  | None -> E.default_kind
+  | Some s -> (
+    match E.kind_of_string s with Ok k -> k | Error e -> failwith e)
+
+(* Bounds: generous enough for every documented workload, tight enough
+   that an admitted job is bounded work (the supervisor's deadline is
+   the real backstop; these keep the parent-side warm cheap too). *)
+let p_pes params = p_int params "pes" ~default:2 ~min:1 ~max:16
+let p_protect params = p_bool params "protect" ~default:false
+
+type workload = W_ofdm_ppa | W_ofdm_fpa | W_mpeg2 | W_database
+
+let workload_name = function
+  | W_ofdm_ppa -> "ofdm-ppa"
+  | W_ofdm_fpa -> "ofdm-fpa"
+  | W_mpeg2 -> "mpeg2"
+  | W_database -> "database"
+
+let p_workload params =
+  match p_string_opt params "workload" with
+  | None -> bad "missing \"workload\""
+  | Some "ofdm-ppa" -> W_ofdm_ppa
+  | Some "ofdm-fpa" -> W_ofdm_fpa
+  | Some "mpeg2" -> W_mpeg2
+  | Some "database" -> W_database
+  | Some s ->
+    bad "unknown workload %S (expected ofdm-ppa, ofdm-fpa, mpeg2 or database)"
+      s
+
+type job =
+  | J_generate of { arch : G.arch; config : A.config; emit_verilog : bool }
+  | J_simulate of { arch : G.arch; workload : workload; max_cycles : int }
+  | J_verify of {
+      arch : G.arch;
+      config : A.config;
+      cycles : int;
+      kind : E.kind;
+    }
+  | J_fuzz of { seed : int; budget : int; cycles : int; first_case : int }
+  | J_inject of {
+      arch : G.arch;
+      config : A.config;
+      seed : int;
+      n : int;
+      cycles : int;
+      kind : E.kind;
+    }
+  | J_sleep of int  (** milliseconds *)
+  | J_spin
+  | J_crash of int  (** signal to die by *)
+  | J_fail of string  (** deterministic exception text *)
+
+let small_config params =
+  { (A.small_config ~n_pes:(p_pes params)) with A.protect = p_protect params }
+
+let parse_job ~allow_debug (rq : Proto.request) =
+  let params = rq.Proto.rq_params in
+  match rq.Proto.rq_kind with
+  | "generate" ->
+    let pes = p_pes params in
+    let config =
+      {
+        (A.paper_config ~n_pes:pes) with
+        A.bus_data_width = p_int params "data_width" ~default:64 ~min:8 ~max:256;
+        mem_addr_width =
+          p_int params "mem_addr_width" ~default:20 ~min:4 ~max:32;
+        global_mem_addr_width =
+          p_int params "mem_addr_width" ~default:20 ~min:4 ~max:32;
+        fifo_depth = p_int params "fifo_depth" ~default:64 ~min:2 ~max:4096;
+        protect = p_protect params;
+      }
+    in
+    J_generate
+      {
+        arch = p_arch params;
+        config;
+        emit_verilog = p_bool params "verilog" ~default:false;
+      }
+  | "simulate" ->
+    let arch = p_arch params in
+    let workload = p_workload params in
+    let supported =
+      match workload with
+      | W_ofdm_ppa -> Busgen_apps.Ofdm.supported arch Busgen_apps.Ofdm.Ppa
+      | W_ofdm_fpa -> Busgen_apps.Ofdm.supported arch Busgen_apps.Ofdm.Fpa
+      | W_mpeg2 -> Busgen_apps.Mpeg2.supported arch
+      | W_database -> Busgen_apps.Database.supported arch
+    in
+    if not supported then
+      bad "workload %s is not supported on %s" (workload_name workload)
+        (G.arch_name arch);
+    J_simulate
+      {
+        arch;
+        workload;
+        max_cycles =
+          p_int params "max_cycles" ~default:20_000_000 ~min:1
+            ~max:200_000_000;
+      }
+  | "verify" ->
+    J_verify
+      {
+        arch = p_arch params;
+        config = small_config params;
+        cycles = p_int params "cycles" ~default:1000 ~min:1 ~max:1_000_000;
+        kind = p_engine params;
+      }
+  | "fuzz" ->
+    J_fuzz
+      {
+        seed = p_int params "seed" ~default:1 ~min:0 ~max:max_int;
+        budget = p_int params "budget" ~default:8 ~min:1 ~max:4096;
+        cycles = p_int params "cycles" ~default:600 ~min:1 ~max:100_000;
+        first_case = p_int params "first_case" ~default:0 ~min:0 ~max:max_int;
+      }
+  | "inject" ->
+    J_inject
+      {
+        arch = p_arch params;
+        config = small_config params;
+        seed = p_int params "seed" ~default:1 ~min:0 ~max:max_int;
+        n = p_int params "n" ~default:8 ~min:1 ~max:4096;
+        cycles = p_int params "cycles" ~default:120 ~min:1 ~max:100_000;
+        kind = p_engine params;
+      }
+  | ("sleep" | "spin" | "crash" | "fail") as kind when not allow_debug ->
+    bad "debug kind %S requires the server to run with --debug-kinds" kind
+  | "sleep" -> J_sleep (p_int params "ms" ~default:100 ~min:0 ~max:600_000)
+  | "spin" -> J_spin
+  | "crash" ->
+    let s =
+      match p_string_opt params "signal" with
+      | None | Some "KILL" -> Sys.sigkill
+      | Some "ABRT" -> Sys.sigabrt
+      | Some "TERM" -> Sys.sigterm
+      | Some "SEGV" -> Sys.sigsegv
+      | Some s -> bad "unknown signal %S (expected KILL, ABRT, TERM, SEGV)" s
+    in
+    J_crash s
+  | "fail" -> (
+    match p_string_opt params "error" with
+    | None -> J_fail "deterministic failure (debug kind)"
+    | Some e -> J_fail e)
+  | kind ->
+    bad "unknown kind %S (expected %s)" kind (String.concat ", " job_kinds)
+
+let validate ~allow_debug rq =
+  match parse_job ~allow_debug rq with
+  | (_ : job) -> Ok ()
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let warm rq =
+  match parse_job ~allow_debug:true rq with
+  | J_generate { arch; config; _ }
+  | J_verify { arch; config; _ }
+  | J_inject { arch; config; _ } -> (
+    try ignore (Cache.circuit arch config) with _ -> ())
+  | J_simulate _ | J_fuzz _ | J_sleep _ | J_spin | J_crash _ | J_fail _ -> ()
+  | exception _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let generate_result ~emit_verilog (r : G.t) =
+  let base =
+    [
+      ("kind", Json.String "generate");
+      ("arch", Json.String (G.arch_name r.G.arch));
+      ("design_hash", Json.String (G.design_hash r.G.arch r.G.config));
+      ("gate_count", Json.Int r.G.gate_count);
+      ("register_bits", Json.Int r.G.register_bits);
+      ("memory_bits", Json.Int r.G.memory_bits);
+      ("module_count", Json.Int r.G.module_count);
+      ("depth_levels", Json.Int r.G.depth_levels);
+    ]
+  in
+  Json.Obj
+    (if emit_verilog then base @ [ ("verilog", Json.String (G.verilog r)) ]
+     else base)
+
+let simulate_result arch workload max_cycles =
+  let module M = Busgen_sim.Machine in
+  let common name cycles extra =
+    Json.Obj
+      ([
+         ("kind", Json.String "simulate");
+         ("arch", Json.String (G.arch_name arch));
+         ("workload", Json.String name);
+         ("cycles", Json.Int cycles);
+       ]
+      @ extra)
+  in
+  match workload with
+  | W_ofdm_ppa | W_ofdm_fpa ->
+    let style =
+      match workload with
+      | W_ofdm_ppa -> Busgen_apps.Ofdm.Ppa
+      | _ -> Busgen_apps.Ofdm.Fpa
+    in
+    let r = Busgen_apps.Ofdm.run ~max_cycles arch style in
+    common (workload_name workload) r.Busgen_apps.Ofdm.stats.M.cycles
+      [
+        ("packets", Json.Int r.Busgen_apps.Ofdm.packets);
+        ("throughput_mbps", Json.Float r.Busgen_apps.Ofdm.throughput_mbps);
+      ]
+  | W_mpeg2 ->
+    let r = Busgen_apps.Mpeg2.run ~max_cycles arch in
+    common "mpeg2" r.Busgen_apps.Mpeg2.stats.M.cycles
+      [
+        ("gops", Json.Int r.Busgen_apps.Mpeg2.gops);
+        ("throughput_mbps", Json.Float r.Busgen_apps.Mpeg2.throughput_mbps);
+      ]
+  | W_database ->
+    let r = Busgen_apps.Database.run ~max_cycles arch in
+    common "database" r.Busgen_apps.Database.stats.M.cycles
+      [
+        ("tasks", Json.Int r.Busgen_apps.Database.tasks);
+        ( "execution_time_ns",
+          Json.Float r.Busgen_apps.Database.execution_time_ns );
+      ]
+
+let verify_result arch config cycles kind =
+  let r = Cache.circuit arch config in
+  let top = r.G.generated.A.top in
+  let hash = G.design_hash arch config in
+  let e = Cache.engine ~kind ~hash ~top in
+  let tb = Tb.of_engine e in
+  let mon = V_pack.attach e top in
+  let stats = V_traffic.drive tb ~arch ~config ~seed:42 ~min_cycles:cycles in
+  let violations = V_prop.violations mon in
+  (* Leave the engine observer-free for its next checkout. *)
+  E.clear_observers e;
+  Json.Obj
+    [
+      ("kind", Json.String "verify");
+      ("arch", Json.String (G.arch_name arch));
+      ("cycles", Json.Int stats.V_traffic.cycles);
+      ("transactions", Json.Int stats.V_traffic.transactions);
+      ("properties", Json.Int (V_prop.property_count mon));
+      ("mismatches", Json.Int stats.V_traffic.mismatches);
+      ("violations", Json.Int (List.length violations));
+      ( "violation_names",
+        Json.List
+          (List.map (fun v -> Json.String v.V_prop.v_prop) violations) );
+      ( "clean",
+        Json.Bool (violations = [] && stats.V_traffic.mismatches = 0) );
+    ]
+
+let fuzz_result seed budget cycles first_case =
+  let report = V_fuzz.run ~cycles ~first_case ~jobs:1 ~seed ~budget () in
+  let count pred = List.length (List.filter pred report.V_fuzz.f_results) in
+  Json.Obj
+    [
+      ("kind", Json.String "fuzz");
+      ("seed", Json.Int seed);
+      ("budget", Json.Int budget);
+      ("first_case", Json.Int first_case);
+      ( "faulted",
+        Json.Int (count (fun r -> V_fuzz.faulted r.V_fuzz.r_scenario)) );
+      ( "clean",
+        Json.Int (count (fun r -> r.V_fuzz.r_outcome = V_fuzz.Clean)) );
+      ( "generation_errors",
+        Json.Int
+          (count (fun r ->
+               match r.V_fuzz.r_outcome with
+               | V_fuzz.Generation_error _ -> true
+               | _ -> false)) );
+      ( "failures",
+        Json.List
+          (List.map
+             (fun (r : V_fuzz.result) ->
+               Json.Obj
+                 [
+                   ( "class",
+                     Json.String (V_fuzz.outcome_class r.V_fuzz.r_outcome) );
+                   ("seed", Json.Int r.V_fuzz.r_scenario.V_fuzz.sc_seed);
+                 ])
+             report.V_fuzz.f_failures) );
+      ("casualties", Json.Int (List.length report.V_fuzz.f_casualties));
+    ]
+
+(* The CLI inject campaign, run serially against one checked-out
+   engine: golden run first, then each injection against the same
+   stimulus schedule, classified into the protection quadrants. *)
+let inject_result arch config seed n cycles kind =
+  let r = Cache.circuit arch config in
+  let top = r.G.generated.A.top in
+  let hash = G.design_hash arch config in
+  let sim = Cache.engine ~kind ~hash ~top in
+  let inputs = C.inputs top in
+  let outputs = List.map (fun (p : C.port) -> p.C.port_name) (C.outputs top) in
+  let contains hay needle =
+    let n = String.length hay and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+    go 0
+  in
+  let watch =
+    List.filter
+      (fun s ->
+        contains s "parity_error" || contains s "bus_timeout"
+        || contains s "par_err" || contains s "wd_to")
+      (E.signal_names sim)
+  in
+  let observed = outputs @ watch in
+  let n_out = List.length outputs in
+  let lcg = ref ((seed lxor 0x5EED) land 0x3FFFFFFF) in
+  let next () =
+    lcg := ((!lcg * 1664525) + 1013904223) land 0x3FFFFFFF;
+    !lcg
+  in
+  let schedule =
+    Array.init cycles (fun _ ->
+        List.map
+          (fun (p : C.port) ->
+            (p.C.port_name, B.init p.C.port_width (fun _ -> next () land 1 = 1)))
+          inputs)
+  in
+  let run_once () =
+    E.reset sim;
+    Array.map
+      (fun ins ->
+        List.iter (fun (nm, v) -> E.set_input sim nm v) ins;
+        E.step sim;
+        List.map (fun s -> E.peek sim s) observed)
+      schedule
+  in
+  let golden = run_once () in
+  let campaign = E.random_campaign sim ~seed ~n ~horizon:cycles in
+  let detected_corrupt = ref 0
+  and silent_corrupt = ref 0
+  and detected_masked = ref 0
+  and masked = ref 0 in
+  List.iter
+    (fun inj ->
+      E.clear_injections sim;
+      E.inject sim [ inj ];
+      let faulty = run_once () in
+      let corrupt = ref false and flagged = ref false in
+      Array.iteri
+        (fun cy vals ->
+          List.iteri
+            (fun i f ->
+              if not (B.equal f (List.nth golden.(cy) i)) then
+                if i < n_out then corrupt := true else flagged := true)
+            vals)
+        faulty;
+      incr
+        (match (!corrupt, !flagged) with
+        | true, true -> detected_corrupt
+        | true, false -> silent_corrupt
+        | false, true -> detected_masked
+        | false, false -> masked))
+    campaign;
+  E.clear_injections sim;
+  Json.Obj
+    [
+      ("kind", Json.String "inject");
+      ("arch", Json.String (G.arch_name arch));
+      ("seed", Json.Int seed);
+      ("n", Json.Int (List.length campaign));
+      ("cycles", Json.Int cycles);
+      ("protected", Json.Bool (watch <> []));
+      ("corrupted_flagged", Json.Int !detected_corrupt);
+      ("corrupted_unflagged", Json.Int !silent_corrupt);
+      ("masked_flagged", Json.Int !detected_masked);
+      ("masked", Json.Int !masked);
+    ]
+
+let run (rq : Proto.request) =
+  let before = Cache.snapshot () in
+  let reply =
+    match
+      match parse_job ~allow_debug:true rq with
+      | J_generate { arch; config; emit_verilog } ->
+        generate_result ~emit_verilog (Cache.circuit arch config)
+      | J_simulate { arch; workload; max_cycles } ->
+        simulate_result arch workload max_cycles
+      | J_verify { arch; config; cycles; kind } ->
+        verify_result arch config cycles kind
+      | J_fuzz { seed; budget; cycles; first_case } ->
+        fuzz_result seed budget cycles first_case
+      | J_inject { arch; config; seed; n; cycles; kind } ->
+        inject_result arch config seed n cycles kind
+      | J_sleep ms ->
+        Unix.sleepf (float_of_int ms /. 1000.);
+        Json.Obj [ ("kind", Json.String "sleep"); ("slept_ms", Json.Int ms) ]
+      | J_spin ->
+        while true do
+          ignore (Sys.opaque_identity 0)
+        done;
+        assert false
+      | J_crash signal ->
+        Unix.kill (Unix.getpid ()) signal;
+        (* SIGKILL/SIGSEGV never return; give stragglers a beat. *)
+        Unix.sleepf 1.0;
+        Json.Null
+      | J_fail msg -> failwith msg
+    with
+    | result -> Proto.ok_reply ~id:rq.Proto.rq_id result
+    | exception Failure msg ->
+      Proto.err_reply ~id:rq.Proto.rq_id ~code:Proto.code_crashed msg
+    | exception Invalid_argument msg ->
+      Proto.err_reply ~id:rq.Proto.rq_id ~code:Proto.code_crashed msg
+    | exception Tb.Timeout msg ->
+      Proto.err_reply ~id:rq.Proto.rq_id ~code:Proto.code_crashed
+        ("bus timeout: " ^ msg)
+  in
+  (reply, Cache.sub (Cache.snapshot ()) before)
+
+let encode_result (reply, snap) =
+  let w = Io.writer () in
+  Io.w_string w reply;
+  Cache.encode w snap;
+  Io.contents w
+
+let decode_result s =
+  let r = Io.reader s in
+  let reply = Io.r_string r in
+  let snap = Cache.decode r in
+  (reply, snap)

@@ -1206,6 +1206,28 @@ let test_catalog_memoizes () =
   let s = Catalog.Spec_fifo { Fifo.data_width = 8; depth = 4 } in
   Alcotest.(check bool) "same instance" true (Catalog.create s == Catalog.create s)
 
+let test_catalog_cache_bounded () =
+  (* The memo is a bounded LRU with live counters: repeated creation
+     hits, and shrinking the cap evicts down to it (then restore the
+     default so later tests keep their memoization assumptions). *)
+  let module Lru = Busgen_cache.Lru in
+  let s = Catalog.Spec_fifo { Fifo.data_width = 8; depth = 4 } in
+  let before = Catalog.cache_stats () in
+  ignore (Catalog.create s);
+  ignore (Catalog.create s);
+  let after = Catalog.cache_stats () in
+  Alcotest.(check bool) "create hits the cache" true
+    (after.Lru.st_hits > before.Lru.st_hits);
+  Fun.protect
+    ~finally:(fun () -> Catalog.set_cache_cap Catalog.default_cap)
+    (fun () ->
+      Catalog.set_cache_cap 2;
+      let shrunk = Catalog.cache_stats () in
+      Alcotest.(check bool)
+        (Printf.sprintf "cap shrink evicts (size %d)" shrunk.Lru.st_size)
+        true
+        (shrunk.Lru.st_size <= 2 && shrunk.Lru.st_cap = 2))
+
 let test_catalog_names () =
   Alcotest.(check string) "library name" "MBI_SRAM"
     (Catalog.library_name
@@ -1373,6 +1395,7 @@ let () =
         [
           Alcotest.test_case "lint clean" `Quick test_catalog_all_lint_clean;
           Alcotest.test_case "memoizes" `Quick test_catalog_memoizes;
+          Alcotest.test_case "cache bounded" `Quick test_catalog_cache_bounded;
           Alcotest.test_case "names" `Quick test_catalog_names;
           Alcotest.test_case "verilog" `Quick test_catalog_verilog_emits;
           Alcotest.test_case "verilog roundtrip" `Quick
