@@ -1128,6 +1128,136 @@ let write_par_json path =
       Printf.printf "\n[bench] wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* explore: design-space exploration throughput (BENCH_explore.json)   *)
+(* ------------------------------------------------------------------ *)
+
+type explore_row = {
+  xr_candidates : int;
+  xr_jobs : int;
+  xr_wall_j1_s : float;
+  xr_wall_jn_s : float;
+  xr_cands_per_s_j1 : float;
+  xr_cands_per_s_jn : float;
+  xr_ckpt_overhead_pct : float;
+  xr_identical : bool;
+}
+
+let explore_row : explore_row option ref = ref None
+
+let bench_explore () =
+  header "Design-space exploration (bussyn_cli explore)";
+  let module X = Busgen_explore.Explore in
+  let module Xp = Busgen_explore.Profile in
+  let module Sweep = Busgen_ckpt.Sweep in
+  let module Json = Busgen_json.Json in
+  let p =
+    match
+      Xp.parse
+        "seed = 42\n\
+         transactions = 25\n\
+         archs = bfba, gbavi, gbaviii, splitba, ggba, ccba\n\
+         widths = 16, 32\n\
+         depths = 4, 8\n\
+         arbs = priority\n"
+    with
+    | Ok p -> p
+    | Error e -> failwith ("bench explore profile: " ^ e)
+  in
+  let total = Xp.n_candidates p in
+  let front r = Json.to_string (X.front_json r) in
+  (* Warm the generator memo tables once. *)
+  ignore (X.run ~jobs:1 { p with Xp.transactions = 1 });
+  let time jobs =
+    let t0 = Unix.gettimeofday () in
+    let r = X.run ~jobs p in
+    (Unix.gettimeofday () -. t0, front r)
+  in
+  let jobs = max 1 par_jobs in
+  let wall1, f1 = time 1 in
+  let walln, fn = time jobs in
+  let identical = String.equal f1 fn in
+  (* Checkpoint overhead: same -j 1 sweep, noting and saving every 4
+     scores to a fresh on-disk checkpoint. *)
+  let ckpt_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bussyn_bench_explore-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists ckpt_dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat ckpt_dir f))
+      (Sys.readdir ckpt_dir);
+  let wall_ckpt =
+    let t0 = Unix.gettimeofday () in
+    match
+      Sweep.load ~every:4 ~dir:ckpt_dir
+        ~ident:(Printf.sprintf "explore/profile=%s" (Xp.hash p))
+        ~total ()
+    with
+    | Error e -> failwith ("bench explore ckpt: " ^ e)
+    | Ok t ->
+        let r =
+          X.run ~jobs:1 ~on_case:(fun i s -> Sweep.note t i (X.encode_score s))
+            p
+        in
+        Sweep.save t;
+        ignore (front r);
+        Unix.gettimeofday () -. t0
+  in
+  let overhead_pct = (wall_ckpt -. wall1) /. wall1 *. 100.0 in
+  Printf.printf "grid: %d candidates, %d transactions each\n" total
+    p.Xp.transactions;
+  Printf.printf "  -j 1  %8.3f s   %6.1f candidates/s\n" wall1
+    (float_of_int total /. wall1);
+  Printf.printf "  -j %-2d %8.3f s   %6.1f candidates/s   speedup %.2fx\n"
+    jobs walln
+    (float_of_int total /. walln)
+    (wall1 /. walln);
+  Printf.printf "  fronts byte-identical: %s\n"
+    (if identical then "yes" else "NO");
+  if not identical then
+    print_string
+      "[bench] WARNING: -j N front differs from -j 1 — determinism \
+       contract broken\n";
+  Printf.printf "  sweep-ckpt (every 4): %8.3f s   overhead %+.1f%%\n"
+    wall_ckpt overhead_pct;
+  explore_row :=
+    Some
+      {
+        xr_candidates = total;
+        xr_jobs = jobs;
+        xr_wall_j1_s = wall1;
+        xr_wall_jn_s = walln;
+        xr_cands_per_s_j1 = float_of_int total /. wall1;
+        xr_cands_per_s_jn = float_of_int total /. walln;
+        xr_ckpt_overhead_pct = overhead_pct;
+        xr_identical = identical;
+      }
+
+let write_explore_json path =
+  match !explore_row with
+  | None -> ()
+  | Some r ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema\": \"busgen-explore-bench/1\",\n\
+        \  \"candidates\": %d,\n\
+        \  \"jobs\": %d,\n\
+        \  \"wall_j1_s\": %.3f,\n\
+        \  \"wall_jn_s\": %.3f,\n\
+        \  \"candidates_per_s_j1\": %.1f,\n\
+        \  \"candidates_per_s_jn\": %.1f,\n\
+        \  \"ckpt_overhead_pct\": %.2f,\n\
+        \  \"byte_identical\": %b\n\
+         }\n"
+        r.xr_candidates r.xr_jobs r.xr_wall_j1_s r.xr_wall_jn_s
+        r.xr_cands_per_s_j1 r.xr_cands_per_s_jn r.xr_ckpt_overhead_pct
+        r.xr_identical;
+      close_out oc;
+      Printf.printf "\n[bench] wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Supervision overhead: monitored sweep vs bare Pool.map              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1591,6 +1721,7 @@ let () =
   if want "procpool" then bench_procpool ();
   if want "par" then bench_par ();
   if want "supervise" then bench_supervise ();
+  if want "explore" then bench_explore ();
   write_bench_json "BENCH_interp.json";
   write_tape_json "BENCH_tape.json";
   write_faults_json "BENCH_faults.json";
@@ -1600,4 +1731,5 @@ let () =
   write_supervise_json "BENCH_supervise.json";
   write_procpool_json "BENCH_procpool.json";
   write_serve_json "BENCH_serve.json";
+  write_explore_json "BENCH_explore.json";
   print_string "\nAll benchmarks complete.\n"

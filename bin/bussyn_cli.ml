@@ -1501,113 +1501,217 @@ let wizard_cmd =
 (* ------------------------------------------------------------------ *)
 
 let explore_cmd =
-  let workload_arg =
+  let module X = Busgen_explore.Explore in
+  let module Xp = Busgen_explore.Profile in
+  let module Json = Busgen_json.Json in
+  let profile_arg =
     Arg.(
-      required
-      & opt (some (enum [ ("ofdm", `Ofdm); ("mpeg2", `Mpeg2);
-                          ("database", `Database) ]))
-          None
-      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
-          ~doc:"Workload to explore: ofdm, mpeg2 or database.")
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "Traffic/application profile file (key = value lines: seed, \
+             transactions, pes, archs, widths, depths, arbs, protect, \
+             faults, fault_seed).  Omitted keys take their defaults; the \
+             grid flags below override the file.")
   in
-  let run workload =
-    (* The paper's pitch: sweep the bus architectures (and software
-       styles where they apply), generating each candidate for its cost
-       and simulating the workload for its performance, in seconds. *)
-    let t0 = Unix.gettimeofday () in
-    let generated_cost arch =
-      match Bussyn.Preset.scaled ~arch ~n_pes:4 with
+  (* Every grid flag is a raw profile value: the override text is fed
+     through the same Profile.parse as the file, so validation and
+     error wording cannot drift between the two paths. *)
+  let override key name doc =
+    ( Arg.(
+        value
+        & opt (some string) None
+        & info [ name ] ~docv:"V" ~doc),
+      key )
+  in
+  let seed_arg, seed_key = override "seed" "seed" "Traffic RNG root seed." in
+  let txn_arg, txn_key =
+    override "transactions" "transactions"
+      "Blocking transactions driven per candidate."
+  in
+  let pes_arg, pes_key = override "pes" "pes" "Processing elements (2-8)." in
+  let archs_arg, archs_key =
+    override "archs" "archs"
+      "Comma-separated architectures to sweep (default: all 8)."
+  in
+  let widths_arg, widths_key =
+    override "widths" "widths" "Comma-separated bus data widths (8/16/32/64)."
+  in
+  let depths_arg, depths_key =
+    override "depths" "depths"
+      "Comma-separated Bi-FIFO depths (powers of two in [2, 1024])."
+  in
+  let arbs_arg, arbs_key =
+    override "arbs" "arbs"
+      "Comma-separated arbitration policies (priority, rr, fcfs)."
+  in
+  let protect_arg, protect_key =
+    override "protect" "protect"
+      "Sweep bus protection hardware: true, false or both."
+  in
+  let faults_arg, faults_key =
+    override "faults" "faults"
+      "Fault injections per candidate for the reliability score (0 = \
+       skip the campaign)."
+  in
+  let fault_seed_arg, fault_seed_key =
+    override "fault_seed" "fault-seed" "Fault-campaign RNG seed."
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the canonical JSON front (profile hash, Pareto front, \
+             ranked points, casualties) instead of the table.  \
+             Byte-identical for every -j, either --isolate backend and \
+             across a --sweep-ckpt resume.")
+  in
+  let sweep_ckpt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sweep-ckpt" ] ~docv:"DIR"
+          ~doc:
+            "Checkpoint sweep progress (completed-candidate bitmap + \
+             scores) to DIR/sweep.bsck at a cadence, and resume from it \
+             if it already exists — a SIGKILLed exploration re-run with \
+             the same profile picks up where it died and produces a \
+             byte-identical front.")
+  in
+  let sweep_every_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "sweep-every" ] ~docv:"N"
+          ~doc:
+            "With --sweep-ckpt: rewrite the checkpoint after every N \
+             newly scored candidates (also rewritten on a wall-clock \
+             cadence and always on exit).  Default 32.")
+  in
+  let run profile seed txns pes archs widths depths arbs protect faults
+      fault_seed json jobs deadline retries isolate worker_mem_mb worker_cpu_s
+      sweep_ckpt sweep_every engine =
+    let ekind = engine_of_string engine in
+    let policy =
+      Sv.policy
+        ?deadline:(parse_job_deadline deadline)
+        ~retries:(parse_job_retries retries) ()
+    in
+    let iso = isolation_of ~isolate ~worker_mem_mb ~worker_cpu_s in
+    let file_text =
+      match profile with
+      | None -> ""
+      | Some path -> (
+          match
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          with
+          | text -> text
+          | exception Sys_error msg -> failwith msg)
+    in
+    let overrides =
+      List.filter_map
+        (fun (key, v) ->
+          Option.map (fun v -> Printf.sprintf "%s = %s" key v) v)
+        [ (seed_key, seed); (txn_key, txns); (pes_key, pes);
+          (archs_key, archs); (widths_key, widths); (depths_key, depths);
+          (arbs_key, arbs); (protect_key, protect); (faults_key, faults);
+          (fault_seed_key, fault_seed) ]
+    in
+    let p =
+      match
+        Xp.parse (file_text ^ "\n" ^ String.concat "\n" overrides ^ "\n")
+      with
+      | Ok p -> p
+      | Error msg -> failwith ("profile: " ^ msg)
+    in
+    let total = Xp.n_candidates p in
+    install_interrupt_handlers ();
+    let module Sweep = Busgen_ckpt.Sweep in
+    (* The checkpoint identity is the profile hash: resuming a sweep
+       with a different search space must refuse, not silently mix. *)
+    let sweep =
+      match sweep_ckpt with
       | None -> None
-      | Some opts -> (
-          match G.from_options opts with
-          | Ok r -> Some (r.G.gate_count, r.G.generation_time_ms)
-          | Error _ -> None)
+      | Some dir -> (
+          let ident = Printf.sprintf "explore/profile=%s" (Xp.hash p) in
+          match
+            Sweep.load ~log:prerr_endline ~every:sweep_every ~dir ~ident
+              ~total ()
+          with
+          | Error msg -> failwith msg (* user error: exit 2 *)
+          | Ok t ->
+              let done_ = Sweep.completed t in
+              if done_ > 0 then
+                Printf.eprintf
+                  "[sweep] resuming: %d/%d candidates already scored\n%!"
+                  done_ total;
+              Some t)
     in
-    let points =
-      match workload with
-      | `Ofdm ->
-          List.concat_map
-            (fun arch ->
-              List.filter_map
-                (fun style ->
-                  if not (Busgen_apps.Ofdm.supported arch style) then None
-                  else
-                    let r = Busgen_apps.Ofdm.run arch style in
-                    Some
-                      ( Printf.sprintf "%s/%s" (G.arch_name arch)
-                          (Busgen_apps.Ofdm.style_name style),
-                        r.Busgen_apps.Ofdm.throughput_mbps,
-                        "Mbps",
-                        generated_cost arch ))
-                [ Busgen_apps.Ofdm.Ppa; Busgen_apps.Ofdm.Fpa ])
-            [ G.Bfba; G.Gbavi; G.Gbavii; G.Gbaviii; G.Hybrid; G.Splitba;
-              G.Ggba ]
-      | `Mpeg2 ->
-          List.map
-            (fun arch ->
-              let r = Busgen_apps.Mpeg2.run arch in
-              ( G.arch_name arch,
-                r.Busgen_apps.Mpeg2.throughput_mbps,
-                "Mbps",
-                generated_cost arch ))
-            [ G.Bfba; G.Gbavi; G.Gbavii; G.Gbaviii; G.Hybrid; G.Ccba ]
-      | `Database ->
-          List.map
-            (fun arch ->
-              let r = Busgen_apps.Database.run arch in
-              (* Higher is better in the ranking: use 1e9/ns. *)
-              ( G.arch_name arch,
-                1e9 /. r.Busgen_apps.Database.execution_time_ns,
-                "1/ms",
-                generated_cost arch ))
-            [ G.Gbavii; G.Gbaviii; G.Hybrid; G.Splitba; G.Ggba; G.Ccba ]
+    let skip =
+      Option.map
+        (fun t i ->
+          match Sweep.lookup t i with
+          | None -> None
+          | Some payload -> (
+              match X.decode_score payload with
+              | Ok s -> Some s
+              | Error why ->
+                  Printf.eprintf
+                    "[sweep] candidate %d: corrupt payload (%s); \
+                     re-scoring\n\
+                     %!"
+                    i why;
+                  None))
+        sweep
     in
-    let ranked =
-      List.sort (fun (_, a, _, _) (_, b, _, _) -> compare b a) points
+    let on_case =
+      Option.map (fun t i s -> Sweep.note t i (X.encode_score s)) sweep
     in
-    Printf.printf "%-4s %-14s %12s %10s %9s\n" "rank" "design point" "perf"
-      "gates" "gen[ms]";
-    List.iteri
-      (fun i (name, perf, unit_, cost) ->
-        Printf.printf "%-4d %-14s %9.4f %s %10s %9s\n" (i + 1) name perf
-          unit_
-          (match cost with Some (g, _) -> string_of_int g | None -> "(hand)")
-          (match cost with
-          | Some (_, ms) -> Printf.sprintf "%.1f" ms
-          | None -> "-"))
-      ranked;
-    (* Pareto front on (performance up, gates down). *)
-    let front =
-      List.filter
-        (fun (_, perf, _, cost) ->
-          match cost with
-          | None -> false
-          | Some (g, _) ->
-              not
-                (List.exists
-                   (fun (_, p2, _, c2) ->
-                     match c2 with
-                     | Some (g2, _) ->
-                         (p2 > perf && g2 <= g) || (p2 >= perf && g2 < g)
-                     | None -> false)
-                   points))
-        ranked
+    let backend =
+      backend_for iso ~encode:X.encode_score
+        ~decode:(fun s ->
+          match X.decode_score s with
+          | Ok v -> v
+          | Error why -> failwith ("explore score decode: " ^ why))
     in
-    Printf.printf "\nPareto front (performance vs. gates): %s\n"
-      (String.concat ", " (List.map (fun (n, _, _, _) -> n) front));
-    Printf.printf
-      "Explored %d design points in %.1f s (the paper: about a week per \
-       hand-designed candidate).\n"
-      (List.length points)
-      (Unix.gettimeofday () -. t0);
-    0
+    match
+      X.run ~engine:ekind ~jobs ~policy ~backend
+        ~on_progress:(Sv.progress_line ~label:"explore" ())
+        ?on_case ?skip ~should_stop p
+    with
+    | exception Sv.Interrupted ->
+        (match (sweep, sweep_ckpt) with
+        | Some t, Some dir ->
+            Sweep.save t;
+            Printf.eprintf
+              "explore: interrupted — sweep checkpoint flushed to %s\n%!" dir
+        | _ -> prerr_endline "explore: interrupted");
+        exit_interrupted
+    | report ->
+        (match sweep with None -> () | Some t -> Sweep.save t);
+        if json then print_endline (Json.to_string (X.front_json report))
+        else print_string (X.report_text report);
+        if report.X.x_casualties <> [] then exit_partial else 0
   in
   Cmd.v
     (Cmd.info "explore"
-       ~doc:"Design-space exploration: sweep every bus architecture (and \
-             software style) for a workload, rank the design points and \
-             print the performance/area Pareto front.")
-    Term.(const run $ workload_arg)
+       ~doc:
+         "Design-space exploration: score every candidate in the \
+          architecture × width × depth × arbitration × protection grid of \
+          a traffic profile (simulated cycles, gate count, reliability \
+          under injected faults) on the supervised worker pool, and emit \
+          a deterministic Pareto front as a ranked table or canonical \
+          JSON.  Crash-resumable with --sweep-ckpt.")
+    Term.(
+      const run $ profile_arg $ seed_arg $ txn_arg $ pes_arg $ archs_arg
+      $ widths_arg $ depths_arg $ arbs_arg $ protect_arg $ faults_arg
+      $ fault_seed_arg $ json_arg $ jobs_arg $ deadline_arg $ retries_arg
+      $ isolate_arg $ worker_mem_arg $ worker_cpu_arg $ sweep_ckpt_arg
+      $ sweep_every_arg $ engine_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)

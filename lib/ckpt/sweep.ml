@@ -337,6 +337,25 @@ let encode_fuzz_results rs =
   Io.w_list w w_result rs;
   Io.contents w
 
+(* Generic string-list payloads: lets a sweep whose per-job result is
+   already a flat record of strings (e.g. explore candidate rows)
+   checkpoint without its own Io codec. *)
+let encode_strings ss =
+  let w = Io.writer () in
+  Io.w_list w Io.w_string ss;
+  Io.contents w
+
+let decode_strings s =
+  match
+    let r = Io.reader s in
+    let ss = Io.r_list r Io.r_string in
+    if not (Io.at_end r) then
+      raise (Io.Corrupt (Printf.sprintf "trailing bytes at %d" (Io.pos r)));
+    ss
+  with
+  | ss -> Ok ss
+  | exception Io.Corrupt msg -> Error msg
+
 let decode_fuzz_results s =
   match
     let r = Io.reader s in

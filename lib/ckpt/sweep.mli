@@ -73,3 +73,12 @@ val decode_fuzz_results :
   string -> (Busgen_verify.Fuzz.result list, string) result
 (** [Error] on any corruption (bad tag, truncation, unparseable option
     text) — a caller should fall back to re-running the case. *)
+
+(** {1 Generic string-list payloads}
+
+    For sweeps whose per-job result is a flat list of strings (the
+    explore candidate rows): same [Io] discipline, exact round-trip,
+    [Error] on any corruption. *)
+
+val encode_strings : string list -> string
+val decode_strings : string -> (string list, string) result

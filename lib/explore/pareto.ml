@@ -1,0 +1,42 @@
+type point = {
+  pt_label : string;
+  pt_cycles : int;
+  pt_gates : int;
+  pt_rel_num : int;
+  pt_rel_den : int;
+}
+
+let rel_compare a b =
+  (* Exact rational comparison; values are tiny (den <= 1000), so the
+     products stay far from overflow. *)
+  compare (a.pt_rel_num * b.pt_rel_den) (b.pt_rel_num * a.pt_rel_den)
+
+let dominates a b =
+  let rc = rel_compare a b in
+  a.pt_cycles <= b.pt_cycles && a.pt_gates <= b.pt_gates && rc >= 0
+  && (a.pt_cycles < b.pt_cycles || a.pt_gates < b.pt_gates || rc > 0)
+
+let order a b =
+  match compare a.pt_cycles b.pt_cycles with
+  | 0 -> (
+      match compare a.pt_gates b.pt_gates with
+      | 0 -> (
+          match rel_compare b a with
+          | 0 -> compare a.pt_label b.pt_label
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let front points =
+  List.filter
+    (fun p -> not (List.exists (fun q -> dominates q p) points))
+    points
+  |> List.sort order
+
+let rank points =
+  let on_front = front points in
+  let dominated =
+    List.filter (fun p -> not (List.memq p on_front)) points
+    |> List.sort order
+  in
+  on_front @ dominated

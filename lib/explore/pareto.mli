@@ -1,0 +1,37 @@
+(** Deterministic Pareto-front computation over explore scores.
+
+    Three objectives: cycles (minimize), gates (minimize), reliability
+    (maximize).  Reliability is an exact rational [num/den] (survived
+    injections over campaign size) compared by cross-multiplication,
+    never by floating division, so dominance is exact and the front is
+    a pure function of the integer scores. *)
+
+type point = {
+  pt_label : string;  (** unique candidate label, the ordering tiebreak *)
+  pt_cycles : int;
+  pt_gates : int;
+  pt_rel_num : int;
+  pt_rel_den : int;   (** must be >= 1 *)
+}
+
+val rel_compare : point -> point -> int
+(** Compare reliability ratios exactly: sign of
+    [a.num * b.den - b.num * a.den]. *)
+
+val dominates : point -> point -> bool
+(** [dominates a b]: [a] is no worse than [b] on all three objectives
+    and strictly better on at least one.  A point never dominates one
+    with identical objectives (ties and duplicates all survive). *)
+
+val front : point list -> point list
+(** The non-dominated subset, sorted by {!order}.  Duplicate objective
+    vectors are all kept.  Input order never matters: any permutation
+    of the input yields the identical output list. *)
+
+val order : point -> point -> int
+(** Deterministic display order: cycles asc, then gates asc, then
+    reliability desc, then label asc. *)
+
+val rank : point list -> point list
+(** All points sorted with front members first (in {!order}), then the
+    dominated remainder (in {!order}) — the ranked-report order. *)

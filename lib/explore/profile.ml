@@ -1,0 +1,218 @@
+module G = Bussyn.Generate
+module Arb = Busgen_modlib.Arbiter
+
+type t = {
+  seed : int;
+  transactions : int;
+  n_pes : int;
+  archs : G.arch list;
+  widths : int list;
+  depths : int list;
+  arbs : Arb.policy list;
+  protect : bool list;
+  faults : int;
+  fault_seed : int;
+}
+
+let all_archs =
+  [ G.Bfba; G.Gbavi; G.Gbavii; G.Gbaviii; G.Hybrid; G.Splitba; G.Ggba;
+    G.Ccba ]
+
+let default =
+  {
+    seed = 42;
+    transactions = 40;
+    n_pes = 2;
+    archs = all_archs;
+    widths = [ 16 ];
+    depths = [ 8 ];
+    arbs = [ Arb.Priority ];
+    protect = [ false ];
+    faults = 0;
+    fault_seed = 1;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let strip s =
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  let ws c = c = ' ' || c = '\t' || c = '\r' in
+  while !i < n && ws s.[!i] do incr i done;
+  while !j >= !i && ws s.[!j] do decr j done;
+  String.sub s !i (!j - !i + 1)
+
+let split_list v =
+  String.split_on_char ',' v |> List.map strip
+  |> List.filter (fun s -> s <> "")
+
+let arb_of_string = function
+  | "priority" -> Ok Arb.Priority
+  | "rr" | "round-robin" | "round_robin" -> Ok Arb.Round_robin
+  | "fcfs" -> Ok Arb.Fcfs
+  | s -> Error (Printf.sprintf "unknown arbitration policy %S" s)
+
+let arb_name = Arb.policy_name
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+exception Bad of string
+
+let parse text =
+  let p = ref default in
+  let fail line msg = raise (Bad (Printf.sprintf "line %d: %s" line msg)) in
+  let int_field line v ~lo ~hi ~key =
+    match int_of_string_opt v with
+    | Some n when n >= lo && n <= hi -> n
+    | _ ->
+        fail line
+          (Printf.sprintf "%s must be an integer in [%d, %d], got %S" key lo
+             hi v)
+  in
+  let int_list line v ~key ~check ~expect =
+    let items = split_list v in
+    if items = [] then fail line (key ^ " list is empty");
+    List.map
+      (fun s ->
+        match int_of_string_opt s with
+        | Some n when check n -> n
+        | _ ->
+            fail line (Printf.sprintf "%s entry %S: expected %s" key s expect))
+      items
+  in
+  let dedup xs =
+    (* preserve first-occurrence order *)
+    List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ])
+      [] xs
+  in
+  let handle line key v =
+    match key with
+    | "seed" -> p := { !p with seed = int_field line v ~lo:0 ~hi:max_int ~key }
+    | "transactions" ->
+        p := { !p with transactions = int_field line v ~lo:1 ~hi:100_000 ~key }
+    | "pes" -> p := { !p with n_pes = int_field line v ~lo:2 ~hi:8 ~key }
+    | "archs" ->
+        let items = split_list v in
+        if items = [] then fail line "archs list is empty";
+        let archs =
+          List.map
+            (fun s ->
+              match G.arch_of_string s with
+              | Ok a -> a
+              | Error msg -> fail line msg)
+            items
+        in
+        p := { !p with archs = dedup archs }
+    | "widths" ->
+        p :=
+          { !p with
+            widths =
+              dedup
+                (int_list line v ~key ~check:(fun n -> List.mem n [ 8; 16; 32; 64 ])
+                   ~expect:"one of 8, 16, 32, 64") }
+    | "depths" ->
+        p :=
+          { !p with
+            depths =
+              dedup
+                (int_list line v ~key
+                   ~check:(fun n -> is_pow2 n && n >= 2 && n <= 1024)
+                   ~expect:"a power of two in [2, 1024]") }
+    | "arbs" ->
+        let items = split_list v in
+        if items = [] then fail line "arbs list is empty";
+        let arbs =
+          List.map
+            (fun s ->
+              match arb_of_string s with
+              | Ok a -> a
+              | Error msg -> fail line msg)
+            items
+        in
+        p := { !p with arbs = dedup arbs }
+    | "protect" -> (
+        match strip v with
+        | "false" | "off" -> p := { !p with protect = [ false ] }
+        | "true" | "on" -> p := { !p with protect = [ true ] }
+        | "both" -> p := { !p with protect = [ false; true ] }
+        | s -> fail line (Printf.sprintf "protect must be true, false or both, got %S" s))
+    | "faults" -> p := { !p with faults = int_field line v ~lo:0 ~hi:1000 ~key }
+    | "fault_seed" ->
+        p := { !p with fault_seed = int_field line v ~lo:0 ~hi:max_int ~key }
+    | k -> fail line (Printf.sprintf "unknown key %S" k)
+  in
+  match
+    String.split_on_char '\n' text
+    |> List.iteri (fun i raw ->
+           let line = i + 1 in
+           let s =
+             match String.index_opt raw '#' with
+             | Some h -> String.sub raw 0 h
+             | None -> raw
+           in
+           let s = strip s in
+           if s <> "" then
+             match String.index_opt s '=' with
+             | None -> fail line "expected 'key = value'"
+             | Some eq ->
+                 let key = strip (String.sub s 0 eq) in
+                 let v =
+                   strip (String.sub s (eq + 1) (String.length s - eq - 1))
+                 in
+                 handle line key v)
+  with
+  | () -> Ok !p
+  | exception Bad msg -> Error msg
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Canonical form and hash                                             *)
+(* ------------------------------------------------------------------ *)
+
+let canonical p =
+  let ints xs = String.concat ", " (List.map string_of_int xs) in
+  Printf.sprintf
+    "seed = %d\n\
+     transactions = %d\n\
+     pes = %d\n\
+     archs = %s\n\
+     widths = %s\n\
+     depths = %s\n\
+     arbs = %s\n\
+     protect = %s\n\
+     faults = %d\n\
+     fault_seed = %d\n"
+    p.seed p.transactions p.n_pes
+    (String.concat ", "
+       (List.map (fun a -> String.lowercase_ascii (G.arch_name a)) p.archs))
+    (ints p.widths) (ints p.depths)
+    (String.concat ", " (List.map arb_name p.arbs))
+    (match p.protect with
+    | [ true ] -> "true"
+    | [ false; true ] -> "both"
+    | _ -> "false")
+    p.faults p.fault_seed
+
+let hash p =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    (canonical p);
+  Printf.sprintf "%016Lx" !h
+
+let n_candidates p =
+  List.length p.archs * List.length p.widths * List.length p.depths
+  * List.length p.arbs * List.length p.protect

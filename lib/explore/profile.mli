@@ -1,0 +1,66 @@
+(** Application/traffic profiles for design-space exploration.
+
+    A profile is the {e entire} identity of an exploration: the traffic
+    workload (seed, transaction count, PE count) and the candidate grid
+    (architectures × bus widths × FIFO depths × arbitration policies ×
+    protection), plus the optional fault campaign.  Two runs with equal
+    profiles must produce byte-identical fronts, so everything here is
+    value data with a canonical text form and a stable hash.
+
+    On disk a profile is a small [key = value] file::
+
+      # traffic
+      seed = 42
+      transactions = 40
+      pes = 2
+      # candidate grid
+      archs = bfba, gbaviii, ccba
+      widths = 16, 32
+      depths = 4, 8
+      arbs = priority, rr
+      protect = both
+      # optional fault campaign (0 = skip, reliability pinned to 1/1)
+      faults = 0
+      fault_seed = 1
+
+    Unknown keys are an error (a typo must not silently change the
+    search space); omitted keys take the {!default} below. *)
+
+type t = {
+  seed : int;          (** traffic RNG root seed *)
+  transactions : int;  (** blocking transactions driven per candidate *)
+  n_pes : int;
+  archs : Bussyn.Generate.arch list;
+  widths : int list;   (** bus data widths *)
+  depths : int list;   (** Bi-FIFO depths *)
+  arbs : Busgen_modlib.Arbiter.policy list;
+  protect : bool list; (** [[false]], [[true]] or [[false; true]] *)
+  faults : int;        (** injections per candidate; 0 = no campaign *)
+  fault_seed : int;
+}
+
+val default : t
+(** seed 42, 40 transactions, 2 PEs, all 8 architectures, widths [16],
+    depths [8], arbs [priority], protect [false], no fault campaign. *)
+
+val parse : string -> (t, string) result
+(** Parse profile file {e contents}.  Errors are one-line user
+    messages ("line 3: unknown key 'width'").  Validates bounds:
+    widths in 8/16/32/64, depths powers of two in [2, 1024], pes in
+    [2, 8], transactions in [1, 100_000], faults in [0, 1000], and a
+    non-empty grid. *)
+
+val load : string -> (t, string) result
+(** [parse] of a file's contents; [Error] if unreadable. *)
+
+val canonical : t -> string
+(** Canonical text form: every key, fixed order, normalized list
+    spellings.  [parse (canonical p) = Ok p], and equal profiles have
+    equal canonical texts. *)
+
+val hash : t -> string
+(** FNV-1a 64-bit hash of {!canonical}, as 16 lowercase hex digits —
+    the cache/journal key for an exploration. *)
+
+val n_candidates : t -> int
+(** Size of the candidate grid (product of the axis lengths). *)

@@ -5,9 +5,12 @@
     never an exception.
 
     Printing is {e canonical}: no whitespace, object fields in the
-    order given, integers as integers, floats via ["%.12g"].  The
-    daemon's chaos test diffs reply bytes across a kill/restart, so
-    reply serialization must be a pure function of the data. *)
+    order given, integers as integers, floats printed with the fewest
+    significant digits (15/16/17) that parse back to the identical
+    IEEE double, so [parse (to_string (Float f)) = Float f] for every
+    finite non-integral [f].  The daemon's chaos test diffs reply
+    bytes across a kill/restart, so reply serialization must be a pure
+    function of the data. *)
 
 type t =
   | Null

@@ -18,6 +18,10 @@ type policy = Priority | Round_robin | Fcfs
 
 type params = { policy : policy; masters : int }
 
+val policy_name : policy -> string
+(** ["priority"], ["rr"] or ["fcfs"] — the spelling used in module
+    names, profile files and explore reports. *)
+
 val module_name : params -> string
 val create : params -> Busgen_rtl.Circuit.t
 val id_width : params -> int

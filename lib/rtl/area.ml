@@ -98,6 +98,26 @@ let pp_breakdown fmt b =
     "gates=%d (comb=%d, regs=%d) register_bits=%d memory_bits=%d" (gates b)
     b.gates_comb b.gates_regs b.register_bits b.memory_bits
 
+(* A module's own logic: its assigns/regs/memories plus the expression
+   cost of the port connections it feeds into its direct instances.
+   [of_circuit] charges those connection expressions to the parent, so
+   any report that wants [sum of rows = of_circuit total] must count
+   them here and not drop them. *)
+let own_gates ?include_memories (c : Circuit.t) =
+  let env n = Circuit.signal_width c n in
+  let conn =
+    List.fold_left
+      (fun acc (i : Circuit.instance) ->
+        List.fold_left
+          (fun acc (_, e) -> acc + expr_cost ~env e)
+          acc i.in_connections)
+      0 c.instances
+  in
+  gates (of_circuit ?include_memories { c with Circuit.instances = [] })
+  + conn
+
+let glue_row = "<top-level glue>"
+
 let by_instance ?include_memories (c : Circuit.t) =
   let totals = Hashtbl.create 16 in
   List.iter
@@ -111,14 +131,41 @@ let by_instance ?include_memories (c : Circuit.t) =
       in
       Hashtbl.replace totals mod_name (count + 1, gate_sum + gates sub))
     c.instances;
-  (* The top module's own logic (netlist glue). *)
-  let own =
-    gates
-      (of_circuit ?include_memories
-         { c with Circuit.instances = [] })
-  in
+  (* The top module's own logic (netlist glue), including the cost of
+     the expressions driving instance ports: [of_circuit] counts those
+     in the parent, so they belong to this row, not to any instance.
+     Without them the rows do not sum to [gates (of_circuit c)]. *)
+  let own = own_gates ?include_memories c in
   let rows =
     Hashtbl.fold (fun m (n, g) acc -> (m, n, g) :: acc) totals []
   in
-  let rows = if own > 0 then ("<top-level glue>", 1, own) :: rows else rows in
+  let rows = if own > 0 then (glue_row, 1, own) :: rows else rows in
   List.sort (fun (_, _, a) (_, _, b) -> compare b a) rows
+
+let by_module ?include_memories (c : Circuit.t) =
+  let totals = Hashtbl.create 16 in
+  let add name g =
+    let count, gate_sum =
+      match Hashtbl.find_opt totals name with
+      | Some (n, s) -> (n, s)
+      | None -> (0, 0)
+    in
+    Hashtbl.replace totals name (count + 1, gate_sum + g)
+  in
+  let rec walk (c : Circuit.t) =
+    List.iter
+      (fun (i : Circuit.instance) ->
+        add (Circuit.name i.sub) (own_gates ?include_memories i.sub);
+        walk i.sub)
+      c.instances
+  in
+  walk c;
+  let own = own_gates ?include_memories c in
+  let rows =
+    Hashtbl.fold (fun m (n, g) acc -> (m, n, g) :: acc) totals []
+  in
+  let rows = if own > 0 then (glue_row, 1, own) :: rows else rows in
+  List.sort
+    (fun (m1, _, a) (m2, _, b) ->
+      match compare b a with 0 -> compare m1 m2 | o -> o)
+    rows

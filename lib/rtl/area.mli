@@ -22,12 +22,30 @@ val of_circuit : ?include_memories:bool -> Circuit.t -> breakdown
     [include_memories] is true (default false), each memory bit adds
     a register-bit cost. *)
 
+val glue_row : string
+(** The module-name pseudo-row ["<top-level glue>"] used by
+    {!by_instance} and {!by_module} for logic owned by the top level
+    itself. *)
+
 val by_instance :
   ?include_memories:bool -> Circuit.t -> (string * int * int) list
 (** Per-module area of the top level's direct instances:
     [(module_name, instance_count, total_gates)] rows, heaviest first,
     with the top's own glue logic as ["<top-level glue>"].  Instances
     of the same module are summed (their count is reported), so the
-    output reads like a synthesis area report. *)
+    output reads like a synthesis area report.  The glue row includes
+    the cost of expressions driving instance ports, so the rows sum
+    exactly to [gates (of_circuit c)]. *)
+
+val by_module :
+  ?include_memories:bool -> Circuit.t -> (string * int * int) list
+(** Fully flattened per-module report: every instance at any depth of
+    the hierarchy contributes one count, and each row's gates are that
+    module's {e own} logic (assigns, registers, memories, and the port
+    expressions it feeds its direct children) — sub-instances are
+    reported on their own rows.  Rows sum exactly to
+    [gates (of_circuit c)], so protection modules (WATCHDOG,
+    PARITY_GEN/PARITY_CHK) and bridges are visible wherever they are
+    instantiated.  Sorted heaviest first, ties by name. *)
 
 val pp_breakdown : Format.formatter -> breakdown -> unit

@@ -12,9 +12,11 @@ module V_pack = Busgen_verify.Pack
 module V_prop = Busgen_verify.Prop
 module V_traffic = Busgen_verify.Traffic
 module V_fuzz = Busgen_verify.Fuzz
+module X = Busgen_explore.Explore
+module Xp = Busgen_explore.Profile
 module Io = Busgen_binio.Io
 
-let job_kinds = [ "generate"; "simulate"; "verify"; "fuzz"; "inject" ]
+let job_kinds = [ "generate"; "simulate"; "verify"; "fuzz"; "inject"; "explore" ]
 let debug_kinds = [ "sleep"; "spin"; "crash"; "fail" ]
 
 (* ------------------------------------------------------------------ *)
@@ -103,6 +105,7 @@ type job =
       cycles : int;
       kind : E.kind;
     }
+  | J_explore of { profile : Xp.t; kind : E.kind }
   | J_sleep of int  (** milliseconds *)
   | J_spin
   | J_crash of int  (** signal to die by *)
@@ -181,6 +184,24 @@ let parse_job ~allow_debug (rq : Proto.request) =
         cycles = p_int params "cycles" ~default:120 ~min:1 ~max:100_000;
         kind = p_engine params;
       }
+  | "explore" -> (
+    let text =
+      match p_string_opt params "profile" with
+      | None -> bad "missing \"profile\" (the profile file text)"
+      | Some t -> t
+    in
+    match Xp.parse text with
+    | Error msg -> bad "profile: %s" msg
+    | Ok p ->
+      (* Admission bounds: an accepted exploration is bounded work (the
+         supervisor's deadline remains the backstop). *)
+      let n = Xp.n_candidates p in
+      if n > 256 then bad "profile grid has %d candidates (serve cap 256)" n;
+      if p.Xp.transactions > 5000 then
+        bad "transactions = %d over the serve cap 5000" p.Xp.transactions;
+      if p.Xp.faults > 64 then
+        bad "faults = %d over the serve cap 64" p.Xp.faults;
+      J_explore { profile = p; kind = p_engine params })
   | ("sleep" | "spin" | "crash" | "fail") as kind when not allow_debug ->
     bad "debug kind %S requires the server to run with --debug-kinds" kind
   | "sleep" -> J_sleep (p_int params "ms" ~default:100 ~min:0 ~max:600_000)
@@ -214,6 +235,15 @@ let warm rq =
   | J_verify { arch; config; _ }
   | J_inject { arch; config; _ } -> (
     try ignore (Cache.circuit arch config) with _ -> ())
+  | J_explore { profile; _ } -> (
+    (* Warm the first candidate's circuit; the worker reuses the LRU
+       for the whole grid. *)
+    match X.candidates profile with
+    | [||] -> ()
+    | cands -> (
+      let c = cands.(0) in
+      try ignore (Cache.circuit c.X.ca_arch (X.config_of profile c))
+      with _ -> ()))
   | J_simulate _ | J_fuzz _ | J_sleep _ | J_spin | J_crash _ | J_fail _ -> ()
   | exception _ -> ()
 
@@ -426,6 +456,16 @@ let inject_result arch config seed n cycles kind =
       ("masked", Json.Int !masked);
     ]
 
+(* Serial exploration against the memoizing circuit cache: jobs = 1
+   with no deadline runs inline in this worker (no nested domains), and
+   the reply is the canonical front — a pure function of the profile,
+   so journal replay after a daemon restart is byte-identical. *)
+let explore_result profile kind =
+  let report = X.run ~engine:kind ~generate:Cache.circuit ~jobs:1 profile in
+  match X.front_json report with
+  | Json.Obj fields -> Json.Obj (("kind", Json.String "explore") :: fields)
+  | j -> j
+
 let run (rq : Proto.request) =
   let before = Cache.snapshot () in
   let reply =
@@ -441,6 +481,7 @@ let run (rq : Proto.request) =
         fuzz_result seed budget cycles first_case
       | J_inject { arch; config; seed; n; cycles; kind } ->
         inject_result arch config seed n cycles kind
+      | J_explore { profile; kind } -> explore_result profile kind
       | J_sleep ms ->
         Unix.sleepf (float_of_int ms /. 1000.);
         Json.Obj [ ("kind", Json.String "sleep"); ("slept_ms", Json.Int ms) ]

@@ -172,8 +172,12 @@ exception Deadlock of string
 let ns_per_cycle = 10.0
 
 let throughput_mbps ~bits ~cycles =
-  (* bits / (cycles * 10ns) in Mbit/s = bits * 100 / cycles. *)
-  float_of_int bits *. 100.0 /. float_of_int cycles
+  (* bits / (cycles * 10ns) in Mbit/s = bits * 100 / cycles.  A run
+     that never advanced the clock (0 transactions, or everything
+     quarantined before the first grant) reports 0, not inf/NaN:
+     scoring code consumes this value and must stay total. *)
+  if cycles <= 0 then 0.0
+  else float_of_int bits *. 100.0 /. float_of_int cycles
 
 (* ------------------------------------------------------------------ *)
 (* Paths                                                               *)

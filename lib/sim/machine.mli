@@ -199,4 +199,6 @@ val ns_per_cycle : float
 (** 10.0 — the paper's 100 MHz SYSCLK. *)
 
 val throughput_mbps : bits:int -> cycles:int -> float
-(** Application throughput at 100 MHz, in Mbit/s. *)
+(** Application throughput at 100 MHz, in Mbit/s.  Total: a run with
+    [cycles <= 0] (nothing executed, or every PE quarantined before
+    the first grant) reports [0.0], never inf/NaN. *)

@@ -266,6 +266,48 @@ let test_verify_fuzz_isolate_proc_identical () =
   Alcotest.(check string) "proc -j 3 (with rlimits) stdout matches domain" od
     o3
 
+let explore_profile =
+  "seed = 11\n\
+   transactions = 10\n\
+   archs = bfba, ggba\n\
+   widths = 16\n\
+   depths = 4, 8\n\
+   arbs = priority\n"
+
+let test_explore_jobs_identical () =
+  (* The acceptance contract: the emitted front is byte-identical
+     across -j 1 / -j 4, both isolation backends, and --json/text. *)
+  let prof = in_tmp "explore_profile.txt" in
+  write_file prof explore_profile;
+  let args rest = [ "explore"; "--profile"; prof; "--json" ] @ rest in
+  let cd, od, _ = run (args [ "-j"; "1" ]) in
+  Alcotest.(check int) "clean run" 0 cd;
+  let c4, o4, _ = run (args [ "-j"; "4" ]) in
+  let cp, op, _ = run (args [ "--isolate"; "proc"; "-j"; "2" ]) in
+  Alcotest.(check int) "-j 4 exit" cd c4;
+  Alcotest.(check int) "proc exit" cd cp;
+  Alcotest.(check string) "-j 4 front byte-identical" od o4;
+  Alcotest.(check string) "proc front byte-identical" od op;
+  (* Grid overrides funnel through the same parser as the file. *)
+  let ce, _, err =
+    run (args [ "--archs"; "martian" ])
+  in
+  Alcotest.(check int) "bad override is a user error" 2 ce;
+  Alcotest.(check bool) "one-line stderr" true (is_one_line err)
+
+let test_explore_text_report () =
+  let prof = in_tmp "explore_profile.txt" in
+  write_file prof explore_profile;
+  let code, out, _ = run [ "explore"; "--profile"; prof ] in
+  Alcotest.(check int) "clean run" 0 code;
+  let has needle hay =
+    let n = String.length hay and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions candidates" true (has "4 candidates" out);
+  Alcotest.(check bool) "ranked rows present" true (has "bfba/w16/d4" out)
+
 (* ------------------------------------------------------------------ *)
 (* Sweep checkpoints                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -426,6 +468,13 @@ let () =
             test_inject_isolate_proc_identical;
           Alcotest.test_case "verify --fuzz --isolate proc -j 1 vs -j 3"
             `Slow test_verify_fuzz_isolate_proc_identical;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "explore -j 1 vs -j 4 vs proc" `Slow
+            test_explore_jobs_identical;
+          Alcotest.test_case "explore text report" `Slow
+            test_explore_text_report;
         ] );
       ( "sweep checkpoints",
         [

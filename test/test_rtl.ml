@@ -715,6 +715,68 @@ let test_area_by_instance () =
   Alcotest.(check bool) "sorted descending" true
     (weights = List.sort (fun a b -> compare b a) weights)
 
+(* Structural cross-check of the Area report against the generator's
+   real netlists: for every architecture, with and without protection,
+   the per-instance and per-module breakdowns must sum exactly to the
+   flat [of_circuit] total, and protection must surface its WATCHDOG
+   and PARITY modules as visible rows. *)
+let test_area_breakdowns_sum () =
+  let module G = Bussyn.Generate in
+  let module A = Bussyn.Archs in
+  let sum rows = List.fold_left (fun acc (_, _, g) -> acc + g) 0 rows in
+  let has rows needle =
+    List.exists
+      (fun (m, _, _) ->
+        let n = String.length m and k = String.length needle in
+        let rec go i = i + k <= n && (String.sub m i k = needle || go (i + 1)) in
+        go 0)
+      rows
+  in
+  List.iter
+    (fun arch ->
+      let name = G.arch_name arch in
+      let gates protect =
+        let config = { (A.small_config ~n_pes:2) with A.protect } in
+        let r = G.generate arch config in
+        let top = r.G.generated.A.top in
+        let total = Area.gates (Area.of_circuit top) in
+        let inst = Area.by_instance top in
+        let by_mod = Area.by_module top in
+        Alcotest.(check int)
+          (Printf.sprintf "%s by_instance sums (protect=%b)" name protect)
+          total (sum inst);
+        Alcotest.(check int)
+          (Printf.sprintf "%s by_module sums (protect=%b)" name protect)
+          total (sum by_mod);
+        (* Instance counts in by_instance agree with the netlist. *)
+        let counted =
+          List.fold_left
+            (fun acc (m, n, _) -> if m = Area.glue_row then acc else acc + n)
+            0 inst
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "%s instance count (protect=%b)" name protect)
+          (List.length top.Circuit.instances)
+          counted;
+        if protect then begin
+          Alcotest.(check bool)
+            (Printf.sprintf "%s watchdog counted" name)
+            true (has by_mod "watchdog");
+          Alcotest.(check bool)
+            (Printf.sprintf "%s parity counted" name)
+            true
+            (has by_mod "parity_gen" || has by_mod "parity_chk")
+        end;
+        total
+      in
+      let plain = gates false and protected_ = gates true in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s protection adds area" name)
+        true
+        (protected_ > plain))
+    [ G.Bfba; G.Gbavi; G.Gbavii; G.Gbaviii; G.Hybrid; G.Splitba; G.Ggba;
+      G.Ccba ]
+
 let test_verilog_design_hierarchy () =
   let open Circuit.Builder in
   let sub = counter_circuit () in
@@ -1426,6 +1488,8 @@ let () =
           Alcotest.test_case "lint reserved" `Quick test_lint_reserved_name;
           Alcotest.test_case "area" `Quick test_area_counter;
           Alcotest.test_case "area by instance" `Quick test_area_by_instance;
+          Alcotest.test_case "area breakdowns sum to total" `Quick
+            test_area_breakdowns_sum;
           Alcotest.test_case "depth" `Quick test_depth_basics;
           Alcotest.test_case "depth operators" `Quick test_depth_expr_levels;
           Alcotest.test_case "signed" `Quick test_signed_helpers;

@@ -140,6 +140,45 @@ let test_json_hardening () =
   Alcotest.(check string) "nan prints null" "null"
     (Json.to_string (Json.Float Float.nan))
 
+(* Canonical float printing: every finite float must reparse to the
+   exact same bits (shortest %.15g/%.16g/%.17g form), and non-finite
+   values print as null. *)
+let prop_json_float_roundtrip =
+  QCheck.Test.make ~name:"float print/parse roundtrip" ~count:2000
+    QCheck.float (fun f ->
+      let s = Json.to_string (Json.Float f) in
+      if Float.is_nan f || Float.abs f = Float.infinity then s = "null"
+      else
+        match Json.parse s with
+        | Ok (Json.Float f') ->
+            Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f')
+        | Ok _ | Error _ -> false)
+
+let test_json_float_edges () =
+  let rt f =
+    match Json.parse (Json.to_string (Json.Float f)) with
+    | Ok (Json.Float f') ->
+        Alcotest.(check bool)
+          (Printf.sprintf "roundtrip %h" f)
+          true
+          (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f'))
+    | _ -> Alcotest.failf "reparse of %h failed" f
+  in
+  List.iter rt
+    [ 0.0; -0.0; 1.5; 0.1; 1.0 /. 3.0; 1e15; 1e15 -. 1.0; 1e22;
+      4.9e-324 (* min subnormal *); 1.7976931348623157e308 (* max finite *);
+      2.2250738585072014e-308; -123456789.25 ];
+  (* Integral floats keep a decimal point so they reparse as Float,
+     never collapsing into Int. *)
+  Alcotest.(check string) "whole float keeps .0" "2.0"
+    (Json.to_string (Json.Float 2.0));
+  Alcotest.(check string) "negative zero keeps sign" "-0.0"
+    (Json.to_string (Json.Float (-0.0)));
+  Alcotest.(check string) "infinity prints null" "null"
+    (Json.to_string (Json.Float Float.infinity));
+  Alcotest.(check string) "-infinity prints null" "null"
+    (Json.to_string (Json.Float Float.neg_infinity))
+
 (* ------------------------------------------------------------------ *)
 (* Protocol parser                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -527,6 +566,64 @@ let test_drain_request () =
     (recv_exn sv);
   Alcotest.(check int) "drains to exit 0" 0 (finish sv)
 
+let test_explore_request () =
+  let sv = start () in
+  let profile =
+    "seed = 5\\ntransactions = 8\\npes = 2\\narchs = bfba, ggba\\nwidths = 16\\ndepths = 4\\narbs = priority\\n"
+  in
+  send_many sv
+    [
+      Printf.sprintf {|{"id":"x1","kind":"explore","params":{"profile":"%s"}}|}
+        profile;
+      (* Same profile again: deterministic, so the two result objects
+         must be byte-identical modulo the request id. *)
+      Printf.sprintf {|{"id":"x2","kind":"explore","params":{"profile":"%s"}}|}
+        profile;
+      {|{"id":"bad-prof","kind":"explore","params":{"profile":"archs = martian\n"}}|};
+      {|{"id":"no-prof","kind":"explore","params":{}}|};
+      {|{"id":"too-big","kind":"explore","params":{"profile":"transactions = 99999\n"}}|};
+    ];
+  (* Bad requests bounce at admission, before the explores finish, so
+     replies arrive out of order: collect all five and match by id. *)
+  let replies = Hashtbl.create 8 in
+  for _ = 1 to 5 do
+    let line = recv_exn sv in
+    match reply_field line "id" with
+    | Some id -> Hashtbl.replace replies id line
+    | None -> Alcotest.failf "reply without id: %S" line
+  done;
+  let reply id =
+    match Hashtbl.find_opt replies id with
+    | Some line -> line
+    | None -> Alcotest.failf "no reply for %S" id
+  in
+  let r1 = reply "x1" and r2 = reply "x2" in
+  let result line =
+    match Json.member "result" (parse_reply line) with
+    | Some r -> Json.to_string r
+    | None -> Alcotest.failf "no result in %S" line
+  in
+  let res1 = result r1 in
+  Alcotest.(check string) "same profile, same bytes" res1 (result r2);
+  let doc = parse_reply r1 in
+  let result_doc = Option.get (Json.member "result" doc) in
+  Alcotest.(check (option string))
+    "kind tagged" (Some "explore")
+    (Option.bind (Json.member "kind" result_doc) Json.get_string);
+  (match Json.member "candidates" result_doc with
+  | Some (Json.Int n) -> Alcotest.(check int) "2 archs x 1 width" 2 n
+  | _ -> Alcotest.fail "candidates missing");
+  (match Json.member "front" result_doc with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "empty or missing front");
+  check_error ~what:"bad arch" ~id:(Some "bad-prof") ~code:"bad-request"
+    (reply "bad-prof");
+  check_error ~what:"missing profile" ~id:(Some "no-prof") ~code:"bad-request"
+    (reply "no-prof");
+  check_error ~what:"over caps" ~id:(Some "too-big") ~code:"bad-request"
+    (reply "too-big");
+  Alcotest.(check int) "clean exit" 0 (finish sv)
+
 (* ------------------------------------------------------------------ *)
 (* Journal-driven daemon behavior                                      *)
 (* ------------------------------------------------------------------ *)
@@ -681,6 +778,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "hardening" `Quick test_json_hardening;
+          Alcotest.test_case "float edges" `Quick test_json_float_edges;
+          QCheck_alcotest.to_alcotest prop_json_float_roundtrip;
         ] );
       ("proto", [ Alcotest.test_case "parse" `Quick test_proto_parse ]);
       ( "journal",
@@ -705,6 +804,7 @@ let () =
           Alcotest.test_case "spin timed out" `Quick test_spin_timed_out;
           Alcotest.test_case "queue deadline shed" `Quick test_deadline_shed;
           Alcotest.test_case "drain request" `Quick test_drain_request;
+          Alcotest.test_case "explore request" `Quick test_explore_request;
         ] );
       ( "chaos",
         [

@@ -481,6 +481,17 @@ let prop_throughput_monotone =
       in
       time 1 <= time 2 && time 2 <= time 4)
 
+let test_throughput_totality () =
+  (* A run where every job was quarantined reports 0 cycles; the
+     derived rate must be 0.0, never inf or NaN. *)
+  let z = Machine.throughput_mbps ~bits:0 ~cycles:0 in
+  Alcotest.(check (float 0.0)) "0/0 is 0.0" 0.0 z;
+  let neg = Machine.throughput_mbps ~bits:1024 ~cycles:(-5) in
+  Alcotest.(check (float 0.0)) "negative cycles clamp to 0.0" 0.0 neg;
+  let v = Machine.throughput_mbps ~bits:1024 ~cycles:0 in
+  Alcotest.(check bool) "bits/0 is finite" true (Float.is_finite v);
+  Alcotest.(check (float 0.0)) "bits/0 is 0.0" 0.0 v
+
 let test_csv_export () =
   let c = { (cfg ()) with Machine.trace = true } in
   let p =
@@ -1183,7 +1194,9 @@ let () =
           Alcotest.test_case "splitba var home" `Quick test_splitba_var_home;
         ] );
       ( "analysis export",
-        [ Alcotest.test_case "csv and gnuplot" `Quick test_csv_export;
+        [ Alcotest.test_case "throughput totality" `Quick
+            test_throughput_totality;
+          Alcotest.test_case "csv and gnuplot" `Quick test_csv_export;
           Alcotest.test_case "lock contention" `Quick test_lock_contention;
           Alcotest.test_case "exports without trace" `Quick
             test_exports_without_trace;
